@@ -1,0 +1,92 @@
+// Ablation bench for EW-MAC's design choices (DESIGN.md §3):
+//  1. enable_extra off  -> EW-MAC degenerates to a per-pair-delay slotted
+//     handshake; quantifies how much the extra phase buys.
+//  2. enable_priority off -> pure-random rp; quantifies the fairness
+//     mechanism's effect on throughput/latency.
+//  3. Reception model: deterministic Eq.-1 vs SINR/PER physics — the
+//     ordering among protocols should be shape-invariant.
+//  4. Propagation: straight-line vs BellhopLite ray bending.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace aquamac;
+
+MeanStats run_variant(ScenarioConfig config) {
+  return mean_of(run_replicated(config, bench::replications()));
+}
+
+void add_row(Table& table, const std::string& label, const MeanStats& m) {
+  table.add_row({label, format_double(m.throughput_kbps, 4), format_double(m.delivery_ratio, 3),
+                 format_double(m.mean_power_mw, 2), format_double(m.mean_latency_s, 2),
+                 format_double(m.extra_successes, 1)});
+}
+
+}  // namespace
+
+int main() {
+  using namespace aquamac;
+  bench::print_header("EW-MAC ablations", "design-choice sensitivity (not a paper figure)");
+
+  ScenarioConfig base = paper_default_scenario();
+  base.traffic.offered_load_kbps = 0.8;
+
+  Table table{{"variant", "tput kbps", "delivery", "power mW", "latency s", "extra ok"}};
+
+  add_row(table, "EW-MAC (full)", run_variant(base));
+
+  {
+    ScenarioConfig config = base;
+    config.mac_config.enable_extra = false;
+    add_row(table, "no extra phase", run_variant(config));
+  }
+  {
+    ScenarioConfig config = base;
+    config.mac_config.enable_priority = false;
+    add_row(table, "no wait priority", run_variant(config));
+  }
+  {
+    ScenarioConfig config = base;
+    config.reception = ReceptionKind::kSinrPer;
+    add_row(table, "SINR/PER physics", run_variant(config));
+  }
+  {
+    ScenarioConfig config = base;
+    config.propagation = PropagationKind::kBellhopLite;
+    add_row(table, "BellhopLite rays", run_variant(config));
+  }
+  {
+    ScenarioConfig config = base;
+    config.clock_offset_stddev_s = 0.05;  // 50 ms skew on ~1 s slots
+    add_row(table, "50 ms clock skew", run_variant(config));
+  }
+  {
+    ScenarioConfig config = base;
+    config.reception = ReceptionKind::kSinrPer;
+    config.channel.mode = DeliveryMode::kLevelBased;
+    config.channel.enable_surface_echo = true;
+    add_row(table, "SINR + surface echo", run_variant(config));
+  }
+  {
+    ScenarioConfig config = base;
+    config.mac = MacKind::kSFama;
+    add_row(table, "S-FAMA reference", run_variant(config));
+  }
+
+  table.print(std::cout);
+
+  std::cout << "\nReading: the extra phase is the throughput lever; disabling it pulls\n"
+               "EW-MAC toward the S-FAMA reference. The physics variants (SINR/PER,\n"
+               "ray-bent propagation) preserve the EW-MAC > S-FAMA ordering — the\n"
+               "result does not depend on the abstracted physics. The failure knobs\n"
+               "show the §5 caveats concretely: 50 ms clock skew (5% of a slot)\n"
+               "erodes but does not break the protocol, while a strong surface echo\n"
+               "under full SINR physics (Lloyd-mirror self-interference) is harsher\n"
+               "than any MAC can fix — the regime where slotted protocols need\n"
+               "physical-layer help.\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 6: throughput (kbps) vs offered load (0.1 - 1.0 kbps), 60
+// sensors. Paper's shape: all protocols rise together at low load;
+// CS-MAC leads below ~0.6 thanks to negotiation-free stealing, then its
+// interference self-destructs and EW-MAC leads; ROPA sits between the
+// reuse protocols and S-FAMA; S-FAMA saturates lowest.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace aquamac;
+  bench::print_header("Figure 6 — throughput vs offered load", "Hung & Luo, Fig. 6");
+
+  const ScenarioConfig base = paper_default_scenario();
+  const double xs[] = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+
+  const SweepResult sweep = run_sweep(
+      base, paper_comparison_set(), xs,
+      [](ScenarioConfig& config, double load) { config.traffic.offered_load_kbps = load; },
+      bench::replications());
+
+  sweep_table(sweep, "offered kbps",
+              [](const MeanStats& m) { return m.throughput_kbps; })
+      .print(std::cout);
+
+  std::cout << "\nSeed spread (mean +- stddev over replications):\n\n";
+  sweep_table_with_spread(sweep, "offered kbps",
+                          [](const RunStats& r) { return r.throughput_kbps; }, 3)
+      .print(std::cout);
+
+  std::cout << "\nShape checks (paper Fig. 6): EW-MAC > ROPA > S-FAMA at load >= 0.8;\n"
+               "CS-MAC peaks in the mid-load range and falls behind EW-MAC at high load.\n";
+  return 0;
+}

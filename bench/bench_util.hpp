@@ -1,0 +1,32 @@
+#pragma once
+// Shared helpers for the figure benches.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "harness/scenario.hpp"
+#include "harness/sweep.hpp"
+
+namespace aquamac::bench {
+
+/// Seed replications per sweep point; override with AQUAMAC_REPLICATIONS
+/// (AQUAMAC_FAST=1 forces 1, for smoke runs).
+inline unsigned replications(unsigned def = 3) {
+  if (const char* fast = std::getenv("AQUAMAC_FAST"); fast != nullptr && fast[0] == '1') {
+    return 1;
+  }
+  if (const char* env = std::getenv("AQUAMAC_REPLICATIONS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  return def;
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << title << "\n";
+  for (std::size_t i = 0; i < title.size(); ++i) std::cout << '=';
+  std::cout << "\nReproduces: " << paper_ref << "\n\n";
+}
+
+}  // namespace aquamac::bench

@@ -1,0 +1,46 @@
+// Mobile column: a Fig.-1-style layered column of sensors drifting with
+// currents (the paper's three mobility models assigned at random), with
+// data flowing upward toward the surface. Demonstrates the timestamp-
+// based neighbor-delay maintenance of §4.3 under motion: delays are
+// re-learned from every packet, so EW-MAC keeps working while positions
+// change.
+
+#include <iostream>
+
+#include "harness/runner.hpp"
+#include "harness/scenario.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace aquamac;
+
+  ScenarioConfig base = paper_default_scenario();
+  base.deployment.kind = DeploymentKind::kLayeredColumn;
+  base.deployment.width_m = 2'500.0;
+  base.deployment.length_m = 2'500.0;
+  base.deployment.depth_m = 5'000.0;
+  base.deployment.layer_spacing_m = 1'000.0;
+  base.node_count = 80;
+  base.traffic.offered_load_kbps = 0.5;
+
+  std::cout << "aquamac mobile column example: 80 nodes in a drifting Fig.-1 column\n\n";
+
+  Table table{{"drift m/s", "EW-MAC tput", "delivery", "extra ok", "collisions"}};
+  for (double speed : {0.0, 0.3, 0.6, 1.0}) {
+    ScenarioConfig config = base;
+    config.mac = MacKind::kEwMac;
+    config.enable_mobility = speed > 0.0;
+    config.mobility.speed_mps = speed;
+    const MeanStats mean = mean_of(run_replicated(config, 3));
+    table.add_row({format_double(speed, 1), format_double(mean.throughput_kbps, 4),
+                   format_double(mean.delivery_ratio, 3),
+                   format_double(mean.extra_successes, 1),
+                   format_double(mean.rx_collisions, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nThe paper's §5 closing caveat: the protocol tolerates slow relative\n"
+               "motion (delays are re-learned per packet) but degrades if pairwise\n"
+               "delays change faster than they are refreshed.\n";
+  return 0;
+}

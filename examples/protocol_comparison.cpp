@@ -1,0 +1,41 @@
+// Protocol comparison: runs the paper's four protocols (plus the CW-MAC
+// substrate baseline and slotted ALOHA floor) on one identical scenario
+// and prints a side-by-side metric table — a miniature of the paper's §5.
+
+#include <iostream>
+#include <vector>
+
+#include "harness/runner.hpp"
+#include "harness/scenario.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace aquamac;
+
+  ScenarioConfig base = paper_default_scenario();
+  base.traffic.offered_load_kbps = 0.6;
+
+  std::cout << "aquamac protocol comparison (offered load "
+            << base.traffic.offered_load_kbps << " kbps, " << base.node_count
+            << " nodes, 3 seeds)\n\n";
+
+  Table table{{"protocol", "tput kbps", "delivery", "power mW", "latency s", "extra ok",
+               "collisions"}};
+  for (MacKind kind : {MacKind::kSFama, MacKind::kRopa, MacKind::kCsMac, MacKind::kEwMac,
+                       MacKind::kCwMac, MacKind::kSlottedAloha}) {
+    ScenarioConfig config = base;
+    config.mac = kind;
+    const MeanStats mean = mean_of(run_replicated(config, 3));
+    table.add_row({std::string{to_string(kind)}, format_double(mean.throughput_kbps, 4),
+                   format_double(mean.delivery_ratio, 3), format_double(mean.mean_power_mw, 1),
+                   format_double(mean.mean_latency_s, 2),
+                   format_double(mean.extra_successes, 1),
+                   format_double(mean.rx_collisions, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected ordering at this load (paper Fig. 6): EW-MAC and CS-MAC above\n"
+               "ROPA above S-FAMA; the reuse protocols deliver their gains via the\n"
+               "'extra ok' column.\n";
+  return 0;
+}

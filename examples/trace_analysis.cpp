@@ -1,0 +1,44 @@
+// Trace analysis: run one scenario with the structured PHY trace enabled
+// and post-process it — channel utilization, airtime shares, loss
+// anatomy, handshake reconstruction — the forensic view of *why* a MAC
+// protocol performs the way it does. Contrast EW-MAC against S-FAMA to
+// see where the reclaimed waiting time shows up.
+
+#include <iostream>
+
+#include "harness/scenario.hpp"
+#include "net/network.hpp"
+#include "stats/analysis.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aquamac;
+
+  ScenarioConfig config = paper_default_scenario();
+  config.traffic.offered_load_kbps = 0.7;
+  if (argc > 1) config.mac = mac_kind_from_string(argv[1]);
+
+  for (MacKind kind :
+       argc > 1 ? std::vector<MacKind>{config.mac}
+                : std::vector<MacKind>{MacKind::kSFama, MacKind::kEwMac}) {
+    MemoryTrace trace;
+    ScenarioConfig run_config = config;
+    run_config.mac = kind;
+    run_config.trace = &trace;
+
+    Simulator sim;
+    Network network{sim, run_config};
+    const RunStats stats = network.run();
+
+    std::cout << "================ " << to_string(kind) << " ================\n"
+              << "throughput " << stats.throughput_kbps << " kbps, delivery "
+              << stats.delivery_ratio << ", extras " << stats.extra_successes << "\n\n"
+              << analysis_report(trace, TimeInterval{Time::zero(), sim.now()},
+                                 run_config.bit_rate_bps)
+              << "\n";
+  }
+
+  std::cout << "Reading: EW-MAC converts idle waiting into extra data airtime — higher\n"
+               "busy fraction and data share, more completed deliveries per RTS — while\n"
+               "the loss anatomy shows its extra packets do not inflate collisions.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Plot aquamac sweep CSVs (from `aquamac_compare --csv` or the bench
+binaries piped through `print_csv`) as paper-style line figures.
+
+Usage:
+    tools/aquamac_compare --x load --metric throughput --csv fig6.csv
+    scripts/plot_results.py fig6.csv --ylabel "Throughput (kbps)" -o fig6.png
+
+Input format: header row `x,PROTO1,PROTO2,...`, one numeric row per x.
+Requires matplotlib (not needed for the simulation itself).
+"""
+
+import argparse
+import csv
+import sys
+
+
+def load(path):
+    with open(path, newline="") as handle:
+        rows = list(csv.reader(handle))
+    if len(rows) < 2:
+        raise SystemExit(f"{path}: no data rows")
+    header = rows[0]
+    xs = [float(r[0]) for r in rows[1:]]
+    series = {
+        name: [float(r[i]) for r in rows[1:]]
+        for i, name in enumerate(header[1:], start=1)
+    }
+    return header[0], xs, series
+
+
+STYLES = {
+    "S-FAMA": dict(marker="s", linestyle="--"),
+    "ROPA": dict(marker="^", linestyle="-."),
+    "CS-MAC": dict(marker="o", linestyle=":"),
+    "EW-MAC": dict(marker="*", linestyle="-"),
+}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("csv", help="sweep CSV (x column + one column per protocol)")
+    parser.add_argument("-o", "--output", help="output image (default: <csv>.png)")
+    parser.add_argument("--xlabel", default=None)
+    parser.add_argument("--ylabel", default="metric")
+    parser.add_argument("--title", default=None)
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        raise SystemExit("matplotlib is required: pip install matplotlib")
+
+    x_name, xs, series = load(args.csv)
+    fig, ax = plt.subplots(figsize=(6, 4.2))
+    for name, ys in series.items():
+        ax.plot(xs, ys, label=name, **STYLES.get(name, dict(marker=".")))
+    ax.set_xlabel(args.xlabel or x_name)
+    ax.set_ylabel(args.ylabel)
+    if args.title:
+        ax.set_title(args.title)
+    ax.grid(True, alpha=0.3)
+    ax.legend()
+    fig.tight_layout()
+
+    output = args.output or (args.csv.rsplit(".", 1)[0] + ".png")
+    fig.savefig(output, dpi=150)
+    print(f"wrote {output}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

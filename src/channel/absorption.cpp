@@ -1,0 +1,38 @@
+#include "channel/absorption.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aquamac {
+
+double thorp_absorption_db_per_km(double freq_khz) {
+  const double f2 = freq_khz * freq_khz;
+  if (freq_khz >= 0.4) {
+    return 0.11 * f2 / (1.0 + f2) + 44.0 * f2 / (4100.0 + f2) + 2.75e-4 * f2 + 0.003;
+  }
+  // Low-frequency branch (Thorp's fit below 400 Hz).
+  return 0.002 + 0.11 * (f2 / (1.0 + f2)) + 0.011 * f2;
+}
+
+double fisher_simmons_absorption_db_per_km(double freq_khz, double temperature_c) {
+  const double t = temperature_c;
+  const double f = freq_khz;
+  const double f2 = f * f;
+  // Relaxation frequencies (kHz); empirical fits at S=35, pH=8, 1 atm.
+  const double f1 = 0.78 * std::sqrt(35.0 / 35.0) * std::exp(t / 26.0);
+  const double fm = 42.0 * std::exp(t / 17.0);
+  // Component amplitudes (dB/km/kHz^2 scale factors).
+  const double boric = 0.106 * (f1 * f2) / (f2 + f1 * f1);
+  const double mgso4 = 0.52 * (1.0 + t / 43.0) * (fm * f2) / (f2 + fm * fm);
+  const double water = 4.9e-4 * f2 * std::exp(-t / 27.0);
+  return boric + mgso4 + water;
+}
+
+double transmission_loss_db(double distance_m, double freq_khz, Spreading spreading) {
+  const double d = std::max(distance_m, 1.0);
+  const double geometric = spreading_factor(spreading) * 10.0 * std::log10(d);
+  const double absorptive = (d / 1000.0) * thorp_absorption_db_per_km(freq_khz);
+  return geometric + absorptive;
+}
+
+}  // namespace aquamac

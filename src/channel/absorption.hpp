@@ -1,0 +1,38 @@
+#pragma once
+// Frequency-dependent acoustic absorption and path attenuation.
+//
+// Transmission loss follows the standard parametrization
+//   TL(d, f) = k * 10 log10(d) + d_km * alpha(f)        [dB, d in metres]
+// with spreading factor k (1 = cylindrical, 1.5 = practical, 2 = spherical)
+// and absorption alpha in dB/km from either Thorp's formula (the classic
+// UASN choice, valid a few hundred Hz .. ~50 kHz) or the simplified
+// Fisher-Simmons form with explicit relaxation terms.
+
+namespace aquamac {
+
+/// Thorp (1967) absorption in dB/km at frequency f in kHz.
+[[nodiscard]] double thorp_absorption_db_per_km(double freq_khz);
+
+/// Fisher & Simmons (1977) style absorption in dB/km, at 1 atm, with
+/// boric-acid and magnesium-sulfate relaxation plus pure-water viscosity,
+/// parameterized by temperature (deg C). Salinity 35 ppt, pH 8 assumed.
+[[nodiscard]] double fisher_simmons_absorption_db_per_km(double freq_khz,
+                                                         double temperature_c = 10.0);
+
+enum class Spreading { kCylindrical, kPractical, kSpherical };
+
+[[nodiscard]] constexpr double spreading_factor(Spreading s) {
+  switch (s) {
+    case Spreading::kCylindrical: return 1.0;
+    case Spreading::kPractical: return 1.5;
+    case Spreading::kSpherical: return 2.0;
+  }
+  return 1.5;
+}
+
+/// Total transmission loss in dB over `distance_m` metres at `freq_khz`.
+/// Distances below 1 m are clamped (TL is referenced to 1 m).
+[[nodiscard]] double transmission_loss_db(double distance_m, double freq_khz,
+                                          Spreading spreading = Spreading::kPractical);
+
+}  // namespace aquamac

@@ -1,0 +1,97 @@
+#include "channel/acoustic_channel.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace aquamac {
+
+AcousticChannel::AcousticChannel(Simulator& sim, const PropagationModel& propagation,
+                                 ChannelConfig config)
+    : sim_{sim},
+      propagation_{propagation},
+      config_{config},
+      noise_level_db_{aquamac::noise_level_db(config.freq_khz, config.bandwidth_hz,
+                                              config.noise)} {
+  if (config_.interference_range_m < config_.comm_range_m) {
+    throw std::invalid_argument("interference_range_m must be >= comm_range_m");
+  }
+}
+
+void AcousticChannel::attach(AcousticModem& modem) {
+  for (const AcousticModem* existing : modems_) {
+    if (existing == &modem || existing->id() == modem.id()) {
+      throw std::logic_error("modem attached twice / duplicate id");
+    }
+  }
+  modems_.push_back(&modem);
+  modem.set_channel(this);
+}
+
+void AcousticChannel::start_transmission(const AcousticModem& sender, const Frame& frame,
+                                         Duration airtime) {
+  ++transmissions_;
+  const Time now = sim_.now();
+  TransmissionAudit audit{};
+  const bool auditing = static_cast<bool>(audit_);
+  if (auditing) {
+    audit.sender = sender.id();
+    audit.frame = frame;
+    audit.tx_window = TimeInterval{now, now + airtime};
+  }
+
+  for (AcousticModem* receiver : modems_) {
+    if (receiver == &sender) continue;
+
+    const auto path =
+        propagation_.compute(sender.position(), receiver->position(), config_.freq_khz);
+    const double rx_level = config_.source_level_db - path.loss_db;
+
+    bool reaches = false;
+    bool decodable = false;
+    double threshold = config_.detection_threshold_db;
+    switch (config_.mode) {
+      case DeliveryMode::kRangeBased:
+        reaches = path.length_m <= config_.interference_range_m;
+        decodable = path.length_m <= config_.comm_range_m;
+        // Encode decodability as a threshold the reception model applies:
+        // in-range arrivals always clear it; out-of-range never do.
+        threshold = decodable ? -1e9 : 1e9;
+        break;
+      case DeliveryMode::kLevelBased:
+        reaches = rx_level >= config_.interference_floor_db;
+        decodable = rx_level >= config_.detection_threshold_db;
+        break;
+    }
+    if (!reaches) continue;
+
+    const TimeInterval window{now + path.delay, now + path.delay + airtime};
+    if (auditing) {
+      audit.reaches.push_back({receiver->id(), window, rx_level, decodable});
+    }
+    sim_.at(window.begin, [receiver, frame, rx_level, window, noise = noise_level_db_,
+                           threshold] {
+      receiver->begin_arrival(frame, rx_level, window, noise, threshold);
+    });
+
+    // First-order surface echo (SINR physics only): a delayed, attenuated
+    // replica that interferes but is never decodable.
+    if (config_.enable_surface_echo && config_.mode == DeliveryMode::kLevelBased) {
+      const auto echo = surface_echo_path(propagation_, sender.position(),
+                                          receiver->position(), config_.freq_khz,
+                                          config_.surface_reflection_loss_db);
+      const double echo_level = config_.source_level_db - echo.loss_db;
+      if (echo_level >= config_.interference_floor_db && echo.delay > path.delay) {
+        const TimeInterval echo_window{now + echo.delay, now + echo.delay + airtime};
+        sim_.at(echo_window.begin, [receiver, frame, echo_level, echo_window,
+                                    noise = noise_level_db_] {
+          receiver->begin_arrival(frame, echo_level, echo_window, noise,
+                                  /*detection_threshold_db=*/1e9);
+        });
+      }
+    }
+  }
+
+  if (auditing) audit_(audit);
+}
+
+}  // namespace aquamac

@@ -1,0 +1,107 @@
+#pragma once
+// The shared acoustic medium. Couples transmitting modems to every other
+// attached modem through the propagation model, scheduling one arrival
+// window per (transmission, receiver) pair.
+//
+// Delivery modes:
+// * kRangeBased reproduces the paper's model: a frame is decodable at
+//   receivers within comm_range (1.5 km, Table 2) and acts as pure
+//   interference out to interference_range. Collisions follow Eq. (1)
+//   via the DeterministicCollisionModel sitting in each modem.
+// * kLevelBased is the SINR-physics mode: every modem whose received
+//   level clears an interference floor gets the arrival; decodability is
+//   the reception model's business.
+
+#include <functional>
+#include <vector>
+
+#include "channel/noise.hpp"
+#include "channel/propagation.hpp"
+#include "phy/frame.hpp"
+#include "phy/modem.hpp"
+#include "sim/simulator.hpp"
+#include "util/time.hpp"
+
+namespace aquamac {
+
+enum class DeliveryMode { kRangeBased, kLevelBased };
+
+struct ChannelConfig {
+  double freq_khz{10.0};
+  double bandwidth_hz{12'000.0};
+  double source_level_db{156.0};  ///< dB re uPa @ 1 m
+  DeliveryMode mode{DeliveryMode::kRangeBased};
+  double comm_range_m{1'500.0};          ///< Table 2 communication range
+  double interference_range_m{1'500.0};  ///< >= comm_range_m
+  /// kLevelBased: arrivals below this received level are not modeled.
+  double interference_floor_db{40.0};
+  /// kLevelBased: reception-model detection threshold (absolute level).
+  double detection_threshold_db{60.0};
+  NoiseParams noise{};
+
+  /// kLevelBased only: also deliver a first-order surface-bounce echo of
+  /// every transmission (image-source method). Echoes arrive later and
+  /// weaker and act as self-interference/ISI; they are never decodable
+  /// (their detection threshold is pinned above their level). Ignored in
+  /// kRangeBased mode, whose Eq.-1 semantics predate multipath.
+  bool enable_surface_echo{false};
+  double surface_reflection_loss_db{6.0};
+};
+
+/// Ground-truth record of one transmission, for tests and invariants
+/// (e.g. "EW-MAC extra packets never overlap negotiated packets at any
+/// receiver"). Not visible to protocols.
+struct TransmissionAudit {
+  NodeId sender{kNoNode};
+  Frame frame{};
+  TimeInterval tx_window{};
+  struct Reach {
+    NodeId receiver;
+    TimeInterval window;
+    double rx_level_db;
+    bool decodable;
+  };
+  std::vector<Reach> reaches;
+};
+
+class AcousticChannel {
+ public:
+  AcousticChannel(Simulator& sim, const PropagationModel& propagation, ChannelConfig config);
+
+  AcousticChannel(const AcousticChannel&) = delete;
+  AcousticChannel& operator=(const AcousticChannel&) = delete;
+
+  /// Registers a modem on the medium (modem.set_channel is called).
+  void attach(AcousticModem& modem);
+
+  [[nodiscard]] std::size_t modem_count() const { return modems_.size(); }
+
+  /// Invoked by AcousticModem::transmit. Positions are sampled now.
+  void start_transmission(const AcousticModem& sender, const Frame& frame, Duration airtime);
+
+  /// Ground-truth path between two points (harness / tests only).
+  [[nodiscard]] PropagationModel::Path path_between(const Vec3& a, const Vec3& b) const {
+    return propagation_.compute(a, b, config_.freq_khz);
+  }
+
+  /// Band noise level seen by every receiver.
+  [[nodiscard]] double noise_level_db() const { return noise_level_db_; }
+
+  [[nodiscard]] const ChannelConfig& config() const { return config_; }
+
+  using AuditFn = std::function<void(const TransmissionAudit&)>;
+  void set_audit(AuditFn audit) { audit_ = std::move(audit); }
+
+  [[nodiscard]] std::uint64_t transmissions() const { return transmissions_; }
+
+ private:
+  Simulator& sim_;
+  const PropagationModel& propagation_;
+  ChannelConfig config_;
+  double noise_level_db_;
+  std::vector<AcousticModem*> modems_;
+  AuditFn audit_{};
+  std::uint64_t transmissions_{0};
+};
+
+}  // namespace aquamac

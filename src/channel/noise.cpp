@@ -1,0 +1,47 @@
+#include "channel/noise.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aquamac {
+
+namespace {
+[[nodiscard]] double db_to_power(double db) { return std::pow(10.0, db / 10.0); }
+[[nodiscard]] double power_to_db(double p) { return 10.0 * std::log10(p); }
+}  // namespace
+
+double turbulence_noise_db(double freq_khz) {
+  const double f = std::max(freq_khz, 1e-3);
+  return 17.0 - 30.0 * std::log10(f);
+}
+
+double shipping_noise_db(double freq_khz, double shipping_factor) {
+  const double f = std::max(freq_khz, 1e-3);
+  const double s = std::clamp(shipping_factor, 0.0, 1.0);
+  return 40.0 + 20.0 * (s - 0.5) + 26.0 * std::log10(f) - 60.0 * std::log10(f + 0.03);
+}
+
+double wind_noise_db(double freq_khz, double wind_mps) {
+  const double f = std::max(freq_khz, 1e-3);
+  const double w = std::max(wind_mps, 0.0);
+  return 50.0 + 7.5 * std::sqrt(w) + 20.0 * std::log10(f) - 40.0 * std::log10(f + 0.4);
+}
+
+double thermal_noise_db(double freq_khz) {
+  const double f = std::max(freq_khz, 1e-3);
+  return -15.0 + 20.0 * std::log10(f);
+}
+
+double ambient_noise_psd_db(double freq_khz, const NoiseParams& params) {
+  const double total = db_to_power(turbulence_noise_db(freq_khz)) +
+                       db_to_power(shipping_noise_db(freq_khz, params.shipping)) +
+                       db_to_power(wind_noise_db(freq_khz, params.wind_mps)) +
+                       db_to_power(thermal_noise_db(freq_khz));
+  return power_to_db(total);
+}
+
+double noise_level_db(double freq_khz, double bandwidth_hz, const NoiseParams& params) {
+  return ambient_noise_psd_db(freq_khz, params) + 10.0 * std::log10(std::max(bandwidth_hz, 1.0));
+}
+
+}  // namespace aquamac

@@ -1,0 +1,33 @@
+#pragma once
+// Ambient ocean noise (Wenz curves, as parameterized by Stojanovic 2007).
+//
+// Four components — turbulence, distant shipping, wind/surface agitation,
+// and thermal noise — each a power spectral density in dB re uPa^2/Hz.
+// The reception model integrates the PSD over the receiver bandwidth to
+// obtain the noise level entering the SINR computation.
+
+namespace aquamac {
+
+struct NoiseParams {
+  /// Shipping activity factor in [0, 1].
+  double shipping{0.5};
+  /// Wind speed in m/s.
+  double wind_mps{0.0};
+};
+
+/// Component PSDs at frequency f (kHz), in dB re uPa^2/Hz.
+[[nodiscard]] double turbulence_noise_db(double freq_khz);
+[[nodiscard]] double shipping_noise_db(double freq_khz, double shipping_factor);
+[[nodiscard]] double wind_noise_db(double freq_khz, double wind_mps);
+[[nodiscard]] double thermal_noise_db(double freq_khz);
+
+/// Total ambient PSD at f (kHz): power sum of the four components.
+[[nodiscard]] double ambient_noise_psd_db(double freq_khz, const NoiseParams& params);
+
+/// Noise level over a band [f_center - bw/2, f_center + bw/2], dB re uPa.
+/// Approximated as PSD(f_center) + 10 log10(bandwidth_hz), which is exact
+/// for a flat PSD and within a fraction of a dB for our narrow bands.
+[[nodiscard]] double noise_level_db(double freq_khz, double bandwidth_hz,
+                                    const NoiseParams& params);
+
+}  // namespace aquamac

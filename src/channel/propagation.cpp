@@ -1,0 +1,108 @@
+#include "channel/propagation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aquamac {
+
+PropagationModel::Path surface_echo_path(const PropagationModel& model, const Vec3& from,
+                                         const Vec3& to, double freq_khz,
+                                         double reflection_loss_db) {
+  const Vec3 image{from.x, from.y, -from.z};
+  PropagationModel::Path path = model.compute(image, to, freq_khz);
+  path.loss_db += reflection_loss_db;
+  return path;
+}
+
+PropagationModel::Path StraightLinePropagation::compute(const Vec3& from, const Vec3& to,
+                                                        double freq_khz) const {
+  const double dist = from.distance_to(to);
+  return Path{
+      .delay = Duration::from_seconds(dist / speed_),
+      .loss_db = transmission_loss_db(dist, freq_khz, spreading_),
+      .length_m = dist,
+  };
+}
+
+PropagationModel::Path BellhopLitePropagation::straight_path(const Vec3& from, const Vec3& to,
+                                                             double freq_khz) const {
+  const double dist = from.distance_to(to);
+  const double slowness = profile_->mean_slowness(from.z, to.z);
+  return Path{
+      .delay = Duration::from_seconds(dist * slowness),
+      .loss_db = transmission_loss_db(dist, freq_khz, spreading_),
+      .length_m = dist,
+  };
+}
+
+PropagationModel::Path BellhopLitePropagation::compute(const Vec3& from, const Vec3& to,
+                                                       double freq_khz) const {
+  const double za = from.z;
+  const double zb = to.z;
+  const double r = from.horizontal_distance_to(to);
+
+  // Local constant-gradient fit between the endpoint depths.
+  const double ca = profile_->speed_at(za);
+  const double cb = profile_->speed_at(zb);
+  const double g = (std::abs(zb - za) > 1e-6) ? (cb - ca) / (zb - za)
+                                              : profile_->gradient_at(za);
+
+  constexpr double kMinGradient = 1e-4;  // 1/s; below this the arc radius
+                                         // exceeds ~1.5e7 m and the chord
+                                         // is indistinguishable from it.
+  if (std::abs(g) < kMinGradient) return straight_path(from, to, freq_khz);
+
+  // Depth at which the extrapolated profile vanishes; ray circles are
+  // centred on this depth.
+  const double z_star = za - ca / g;
+
+  if (r < 1e-6) {
+    // Vertical path: t = (1/g) ln(c(zb)/c(za)), exact for linear c(z).
+    if (std::abs(zb - za) < 1e-9) {
+      return Path{Duration::zero(), transmission_loss_db(1.0, freq_khz, spreading_), 0.0};
+    }
+    const double t = std::abs(std::log(cb / ca) / g);
+    const double dist = std::abs(zb - za);
+    return Path{Duration::from_seconds(t),
+                transmission_loss_db(dist, freq_khz, spreading_), dist};
+  }
+
+  // Circle through (0, za) and (r, zb) with centre on depth z_star:
+  // perpendicular-bisector intersection gives the centre abscissa.
+  const double dza = za - z_star;
+  const double dzb = zb - z_star;
+  const double xc = (r * r + dzb * dzb - dza * dza) / (2.0 * r);
+  const double radius = std::hypot(xc, dza);
+
+  // Angles from the centre; z - z_star = R sin(theta) by construction.
+  const double theta_a = std::atan2(dza, 0.0 - xc);
+  const double theta_b = std::atan2(dzb, r - xc);
+
+  const double ta = std::tan(theta_a / 2.0);
+  const double tb = std::tan(theta_b / 2.0);
+  // The ray must stay on one side of the c = 0 depth; if the half-angle
+  // tangents differ in sign or vanish the arc solve is degenerate.
+  if (!(ta * tb > 0.0) || !std::isfinite(ta) || !std::isfinite(tb)) {
+    return straight_path(from, to, freq_khz);
+  }
+
+  const double travel_time = std::abs(std::log(tb / ta) / g);
+  const double arc_len = radius * std::abs(theta_b - theta_a);
+
+  if (!std::isfinite(travel_time) || !std::isfinite(arc_len) || travel_time <= 0.0) {
+    return straight_path(from, to, freq_khz);
+  }
+
+  // Sanity: the bent path cannot be shorter than the chord; numerical
+  // degeneracy (near-collinear centre) falls back to the chord.
+  const double chord = from.distance_to(to);
+  if (arc_len + 1e-6 < chord) return straight_path(from, to, freq_khz);
+
+  return Path{
+      .delay = Duration::from_seconds(travel_time),
+      .loss_db = transmission_loss_db(arc_len, freq_khz, spreading_),
+      .length_m = arc_len,
+  };
+}
+
+}  // namespace aquamac

@@ -1,0 +1,83 @@
+#pragma once
+// Propagation models: given two positions, produce the first-arrival
+// travel time and transmission loss.
+//
+// * StraightLinePropagation — the paper's analytical model: delay =
+//   distance / sound speed (0.67 s/km at 1.5 km/s), loss from spreading +
+//   Thorp absorption. Used by all figure reproductions.
+// * BellhopLitePropagation — our substitution for ns-3's Bellhop channel:
+//   a constant-gradient eigenray solver. Under c(z) = c0 + g z, rays are
+//   circular arcs centred on the depth where the extrapolated profile
+//   vanishes; the arc through both endpoints gives the bent path length
+//   and the exact ray-theoretic travel time (1/g) ln(tan(th_b/2) /
+//   tan(th_a/2)). This reproduces the delay dispersion Bellhop supplied
+//   to the authors' simulations without a full beam tracer (DESIGN.md §5).
+
+#include <memory>
+
+#include "channel/absorption.hpp"
+#include "channel/sound_speed.hpp"
+#include "util/time.hpp"
+#include "util/vec3.hpp"
+
+namespace aquamac {
+
+class PropagationModel {
+ public:
+  struct Path {
+    Duration delay;      ///< first-arrival travel time
+    double loss_db;      ///< transmission loss along the path
+    double length_m;     ///< geometric path length
+  };
+
+  virtual ~PropagationModel() = default;
+
+  [[nodiscard]] virtual Path compute(const Vec3& from, const Vec3& to,
+                                     double freq_khz) const = 0;
+};
+
+/// First-order surface-bounce eigenray via the image-source method: the
+/// transmitter is mirrored across the sea surface (z -> -z) and the
+/// image-to-receiver path computed with `model`. The reflection itself
+/// costs `reflection_loss_db` (sea-surface scattering; a few dB at low
+/// sea states). The echo always arrives after the direct path.
+[[nodiscard]] PropagationModel::Path surface_echo_path(const PropagationModel& model,
+                                                       const Vec3& from, const Vec3& to,
+                                                       double freq_khz,
+                                                       double reflection_loss_db = 6.0);
+
+class StraightLinePropagation final : public PropagationModel {
+ public:
+  explicit StraightLinePropagation(double sound_speed_mps = 1500.0,
+                                   Spreading spreading = Spreading::kPractical)
+      : speed_{sound_speed_mps}, spreading_{spreading} {}
+
+  [[nodiscard]] Path compute(const Vec3& from, const Vec3& to,
+                             double freq_khz) const override;
+
+  [[nodiscard]] double sound_speed() const { return speed_; }
+
+ private:
+  double speed_;
+  Spreading spreading_;
+};
+
+class BellhopLitePropagation final : public PropagationModel {
+ public:
+  BellhopLitePropagation(std::shared_ptr<const SoundSpeedProfile> profile,
+                         Spreading spreading = Spreading::kPractical)
+      : profile_{std::move(profile)}, spreading_{spreading} {}
+
+  [[nodiscard]] Path compute(const Vec3& from, const Vec3& to,
+                             double freq_khz) const override;
+
+ private:
+  /// Straight-path fallback integrating slowness along the chord; used
+  /// when the local gradient is negligible or the arc solve degenerates.
+  [[nodiscard]] Path straight_path(const Vec3& from, const Vec3& to, double freq_khz) const;
+
+  std::shared_ptr<const SoundSpeedProfile> profile_;
+  Spreading spreading_;
+};
+
+}  // namespace aquamac

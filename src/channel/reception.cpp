@@ -1,0 +1,61 @@
+#include "channel/reception.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aquamac {
+
+namespace {
+[[nodiscard]] double db_to_power(double db) { return std::pow(10.0, db / 10.0); }
+}  // namespace
+
+RxOutcome DeterministicCollisionModel::decide(const ReceptionContext& ctx, Rng&) const {
+  if (ctx.rx_level_db < ctx.detection_threshold_db) return RxOutcome::kBelowThreshold;
+  if (ctx.receiver_transmitted) return RxOutcome::kHalfDuplexLoss;
+  if (!ctx.interferer_levels_db.empty()) return RxOutcome::kCollision;
+  return RxOutcome::kSuccess;
+}
+
+double bit_error_rate(Modulation modulation, double snr_linear) {
+  const double snr = std::max(snr_linear, 0.0);
+  switch (modulation) {
+    case Modulation::kFskNoncoherent:
+      return 0.5 * std::exp(-snr / 2.0);
+    case Modulation::kBpskCoherent:
+      // Q(x) = erfc(x / sqrt(2)) / 2; here x = sqrt(2 snr).
+      return 0.5 * std::erfc(std::sqrt(snr));
+    case Modulation::kFskRayleigh:
+      return 1.0 / (2.0 + snr);
+  }
+  return 0.5;
+}
+
+double packet_error_rate(double ber, std::uint32_t bits) {
+  const double b = std::clamp(ber, 0.0, 1.0);
+  if (b == 0.0) return 0.0;
+  if (b == 1.0) return 1.0;
+  // 1 - (1-b)^n computed stably for tiny b via expm1/log1p.
+  return -std::expm1(static_cast<double>(bits) * std::log1p(-b));
+}
+
+RxOutcome SinrPerModel::decide(const ReceptionContext& ctx, Rng& rng) const {
+  if (ctx.rx_level_db < ctx.detection_threshold_db) return RxOutcome::kBelowThreshold;
+  if (ctx.receiver_transmitted) return RxOutcome::kHalfDuplexLoss;
+
+  const double signal = db_to_power(ctx.rx_level_db);
+  double denom = db_to_power(ctx.noise_level_db);
+  for (double level_db : ctx.interferer_levels_db) denom += db_to_power(level_db);
+  const double sinr = signal / denom;
+
+  if (10.0 * std::log10(std::max(sinr, 1e-30)) < detection_snr_db_) {
+    return ctx.interferer_levels_db.empty() ? RxOutcome::kChannelError : RxOutcome::kCollision;
+  }
+
+  const double per = packet_error_rate(bit_error_rate(modulation_, sinr), ctx.bits);
+  if (rng.bernoulli(per)) {
+    return ctx.interferer_levels_db.empty() ? RxOutcome::kChannelError : RxOutcome::kCollision;
+  }
+  return RxOutcome::kSuccess;
+}
+
+}  // namespace aquamac

@@ -1,0 +1,75 @@
+#pragma once
+// Reception models: decide whether a completed arrival was decodable.
+//
+// * DeterministicCollisionModel implements the paper's Eq. (1) exactly: a
+//   packet is received iff (a) the receiver never transmitted during the
+//   arrival window (half-duplex) and (b) no other packet overlapped it at
+//   the receiver. No capture effect.
+// * SinrPerModel is the ns-3-UAN-style "Default PER / Default SINR"
+//   substitute: signal-to-(interference+noise) ratio -> bit error rate for
+//   the configured modulation -> packet error rate -> Bernoulli draw.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace aquamac {
+
+enum class RxOutcome : std::uint8_t {
+  kSuccess,
+  kHalfDuplexLoss,  ///< receiver was transmitting during the window
+  kCollision,       ///< overlap loss (deterministic model)
+  kChannelError,    ///< SINR/PER loss (probabilistic model)
+  kBelowThreshold,  ///< signal too weak to detect at all
+};
+
+/// Everything the model may consult about one finished arrival.
+struct ReceptionContext {
+  double rx_level_db{0.0};    ///< received level, dB re uPa
+  double noise_level_db{0.0}; ///< band noise level, dB re uPa
+  std::uint32_t bits{0};      ///< frame length
+  /// Received levels of every other arrival overlapping this window.
+  std::vector<double> interferer_levels_db{};
+  bool receiver_transmitted{false};
+  /// Minimum detectable level; below it the frame is never seen.
+  double detection_threshold_db{0.0};
+};
+
+class ReceptionModel {
+ public:
+  virtual ~ReceptionModel() = default;
+  [[nodiscard]] virtual RxOutcome decide(const ReceptionContext& ctx, Rng& rng) const = 0;
+};
+
+class DeterministicCollisionModel final : public ReceptionModel {
+ public:
+  [[nodiscard]] RxOutcome decide(const ReceptionContext& ctx, Rng& rng) const override;
+};
+
+enum class Modulation : std::uint8_t {
+  kFskNoncoherent,  ///< BER = 1/2 exp(-snr/2); classic UAN default
+  kBpskCoherent,    ///< BER = Q(sqrt(2 snr))
+  kFskRayleigh,     ///< BER = 1/(2 + snr); fading channel
+};
+
+/// Uncoded bit error rate at the given linear SNR.
+[[nodiscard]] double bit_error_rate(Modulation modulation, double snr_linear);
+
+/// PER for `bits` independent bit errors at `ber`.
+[[nodiscard]] double packet_error_rate(double ber, std::uint32_t bits);
+
+class SinrPerModel final : public ReceptionModel {
+ public:
+  explicit SinrPerModel(Modulation modulation = Modulation::kFskNoncoherent,
+                        double required_detection_snr_db = 0.0)
+      : modulation_{modulation}, detection_snr_db_{required_detection_snr_db} {}
+
+  [[nodiscard]] RxOutcome decide(const ReceptionContext& ctx, Rng& rng) const override;
+
+ private:
+  Modulation modulation_;
+  double detection_snr_db_;
+};
+
+}  // namespace aquamac

@@ -1,0 +1,62 @@
+#include "channel/sound_speed.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace aquamac {
+
+double SoundSpeedProfile::mean_slowness(double depth_a_m, double depth_b_m) const {
+  if (depth_a_m > depth_b_m) std::swap(depth_a_m, depth_b_m);
+  constexpr int kSegments = 64;
+  const double h = (depth_b_m - depth_a_m) / kSegments;
+  if (h == 0.0) return 1.0 / speed_at(depth_a_m);
+  double sum = 0.5 * (1.0 / speed_at(depth_a_m) + 1.0 / speed_at(depth_b_m));
+  for (int i = 1; i < kSegments; ++i) sum += 1.0 / speed_at(depth_a_m + h * i);
+  return sum / kSegments;
+}
+
+double SoundSpeedProfile::gradient_at(double depth_m) const {
+  constexpr double kStep = 1.0;  // metres
+  const double lo = std::max(0.0, depth_m - kStep);
+  const double hi = depth_m + kStep;
+  return (speed_at(hi) - speed_at(lo)) / (hi - lo);
+}
+
+double MunkProfile::speed_at(double depth_m) const {
+  const double eta = 2.0 * (depth_m - z1_) / scale_;
+  return c1_ * (1.0 + eps_ * (eta + std::exp(-eta) - 1.0));
+}
+
+TabulatedProfile::TabulatedProfile(std::vector<Sample> samples) : samples_{std::move(samples)} {
+  if (samples_.size() < 2) throw std::invalid_argument("TabulatedProfile needs >= 2 samples");
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    if (samples_[i].depth_m <= samples_[i - 1].depth_m) {
+      throw std::invalid_argument("TabulatedProfile depths must be strictly increasing");
+    }
+  }
+}
+
+double TabulatedProfile::speed_at(double depth_m) const {
+  if (depth_m <= samples_.front().depth_m) return samples_.front().speed_mps;
+  if (depth_m >= samples_.back().depth_m) return samples_.back().speed_mps;
+  const auto it = std::lower_bound(
+      samples_.begin(), samples_.end(), depth_m,
+      [](const Sample& s, double d) { return s.depth_m < d; });
+  const Sample& hi = *it;
+  const Sample& lo = *(it - 1);
+  const double t = (depth_m - lo.depth_m) / (hi.depth_m - lo.depth_m);
+  return lo.speed_mps + t * (hi.speed_mps - lo.speed_mps);
+}
+
+double mackenzie_sound_speed(double temperature_c, double salinity_ppt, double depth_m) {
+  const double t = temperature_c;
+  const double s = salinity_ppt;
+  const double d = depth_m;
+  return 1448.96 + 4.591 * t - 5.304e-2 * t * t + 2.374e-4 * t * t * t +
+         1.340 * (s - 35.0) + 1.630e-2 * d + 1.675e-7 * d * d -
+         1.025e-2 * t * (s - 35.0) - 7.139e-13 * t * d * d * d;
+}
+
+}  // namespace aquamac

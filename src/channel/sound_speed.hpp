@@ -1,0 +1,98 @@
+#pragma once
+// Sound-speed profiles (SSP) for the underwater channel.
+//
+// The paper's analytical model uses a constant 1.5 km/s (§1, Table 2); the
+// evaluation additionally relies on ns-3's Bellhop channel, whose behaviour
+// is driven by a depth-dependent profile. We provide the constant profile
+// (used by the figure reproductions, like the paper's equations), plus
+// linear-gradient and Munk profiles consumed by the BellhopLite ray model,
+// and the Mackenzie empirical formula for building profiles from
+// temperature/salinity.
+
+#include <memory>
+#include <vector>
+
+namespace aquamac {
+
+/// Speed of sound as a function of depth (z >= 0 metres below surface).
+class SoundSpeedProfile {
+ public:
+  virtual ~SoundSpeedProfile() = default;
+
+  /// Sound speed in m/s at the given depth.
+  [[nodiscard]] virtual double speed_at(double depth_m) const = 0;
+
+  /// Mean of the *slowness* (1/c) between two depths, used for straight
+  /// path travel-time integration. Default: 16-point trapezoid.
+  [[nodiscard]] virtual double mean_slowness(double depth_a_m, double depth_b_m) const;
+
+  /// Local gradient dc/dz (1/s), central difference by default.
+  [[nodiscard]] virtual double gradient_at(double depth_m) const;
+};
+
+/// c(z) = c0. Matches the paper's 1.5 km/s assumption.
+class ConstantProfile final : public SoundSpeedProfile {
+ public:
+  explicit ConstantProfile(double speed_mps = 1500.0) : speed_{speed_mps} {}
+  [[nodiscard]] double speed_at(double) const override { return speed_; }
+  [[nodiscard]] double mean_slowness(double, double) const override { return 1.0 / speed_; }
+  [[nodiscard]] double gradient_at(double) const override { return 0.0; }
+
+ private:
+  double speed_;
+};
+
+/// c(z) = c0 + g * z — the canonical constant-gradient ocean used in ray
+/// theory (rays are circular arcs under this profile).
+class LinearProfile final : public SoundSpeedProfile {
+ public:
+  LinearProfile(double surface_speed_mps, double gradient_per_s)
+      : c0_{surface_speed_mps}, g_{gradient_per_s} {}
+  [[nodiscard]] double speed_at(double depth_m) const override { return c0_ + g_ * depth_m; }
+  [[nodiscard]] double gradient_at(double) const override { return g_; }
+
+ private:
+  double c0_;
+  double g_;
+};
+
+/// Munk (1974) canonical deep-sound-channel profile:
+///   c(z) = c1 * (1 + eps * (eta + exp(-eta) - 1)),  eta = 2 (z - z1) / B
+/// with default c1 = 1500 m/s, z1 = 1300 m axis depth, B = 1300 m scale,
+/// eps = 0.00737.
+class MunkProfile final : public SoundSpeedProfile {
+ public:
+  MunkProfile(double axis_speed_mps = 1500.0, double axis_depth_m = 1300.0,
+              double scale_m = 1300.0, double eps = 0.00737)
+      : c1_{axis_speed_mps}, z1_{axis_depth_m}, scale_{scale_m}, eps_{eps} {}
+  [[nodiscard]] double speed_at(double depth_m) const override;
+
+ private:
+  double c1_;
+  double z1_;
+  double scale_;
+  double eps_;
+};
+
+/// Piecewise-linear profile from (depth, speed) samples, the form Bellhop
+/// environment files use. Depths must be strictly increasing.
+class TabulatedProfile final : public SoundSpeedProfile {
+ public:
+  struct Sample {
+    double depth_m;
+    double speed_mps;
+  };
+  explicit TabulatedProfile(std::vector<Sample> samples);
+  [[nodiscard]] double speed_at(double depth_m) const override;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+/// Mackenzie (1981) nine-term empirical sound speed equation.
+/// temperature in deg C (valid 2-30), salinity in parts per thousand
+/// (25-40), depth in metres (0-8000).
+[[nodiscard]] double mackenzie_sound_speed(double temperature_c, double salinity_ppt,
+                                           double depth_m);
+
+}  // namespace aquamac

@@ -1,0 +1,339 @@
+#include "harness/config_io.hpp"
+
+#include <fstream>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace aquamac {
+
+namespace {
+
+std::string_view to_string(DeploymentKind kind) {
+  switch (kind) {
+    case DeploymentKind::kUniformBox: return "uniform-box";
+    case DeploymentKind::kLayeredColumn: return "layered-column";
+    case DeploymentKind::kGrid: return "grid";
+  }
+  return "?";
+}
+
+DeploymentKind deployment_from_string(const std::string& name) {
+  if (name == "uniform-box") return DeploymentKind::kUniformBox;
+  if (name == "layered-column") return DeploymentKind::kLayeredColumn;
+  if (name == "grid") return DeploymentKind::kGrid;
+  throw std::invalid_argument("unknown deployment kind: " + name);
+}
+
+std::string_view to_string(PropagationKind kind) {
+  return kind == PropagationKind::kStraightLine ? "straight" : "bellhop";
+}
+
+PropagationKind propagation_from_string(const std::string& name) {
+  if (name == "straight") return PropagationKind::kStraightLine;
+  if (name == "bellhop") return PropagationKind::kBellhopLite;
+  throw std::invalid_argument("unknown propagation kind: " + name);
+}
+
+std::string_view to_string(ReceptionKind kind) {
+  return kind == ReceptionKind::kDeterministic ? "deterministic" : "sinr";
+}
+
+ReceptionKind reception_from_string(const std::string& name) {
+  if (name == "deterministic") return ReceptionKind::kDeterministic;
+  if (name == "sinr") return ReceptionKind::kSinrPer;
+  throw std::invalid_argument("unknown reception kind: " + name);
+}
+
+std::string_view to_string(TrafficMode mode) {
+  return mode == TrafficMode::kPoisson ? "poisson" : "batch";
+}
+
+TrafficMode traffic_mode_from_string(const std::string& name) {
+  if (name == "poisson") return TrafficMode::kPoisson;
+  if (name == "batch") return TrafficMode::kBatch;
+  throw std::invalid_argument("unknown traffic mode: " + name);
+}
+
+double parse_double(const std::string& key, const std::string& raw) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(raw, &pos);
+    if (pos != raw.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("scenario key '" + key + "': expected a number, got '" + raw +
+                                "'");
+  }
+}
+
+std::uint64_t parse_uint(const std::string& key, const std::string& raw) {
+  try {
+    std::size_t pos = 0;
+    const unsigned long long v = std::stoull(raw, &pos);
+    if (pos != raw.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("scenario key '" + key + "': expected an integer, got '" +
+                                raw + "'");
+  }
+}
+
+bool parse_bool(const std::string& key, const std::string& raw) {
+  if (raw == "true" || raw == "1") return true;
+  if (raw == "false" || raw == "0") return false;
+  throw std::invalid_argument("scenario key '" + key + "': expected true/false, got '" + raw +
+                              "'");
+}
+
+}  // namespace
+
+void save_scenario(const ScenarioConfig& config, std::ostream& os) {
+  os << "# aquamac scenario\n";
+  os << "mac = " << aquamac::to_string(config.mac) << "\n";
+  os << "node-count = " << config.node_count << "\n";
+  os << "seed = " << config.seed << "\n";
+  os << "sim-time-s = " << config.sim_time.to_seconds() << "\n";
+  os << "hello-window-s = " << config.hello_window.to_seconds() << "\n";
+  os << "hello-rounds = " << config.hello_rounds << "\n";
+  os << "\n# channel / physics\n";
+  os << "freq-khz = " << config.channel.freq_khz << "\n";
+  os << "bandwidth-hz = " << config.channel.bandwidth_hz << "\n";
+  os << "source-level-db = " << config.channel.source_level_db << "\n";
+  os << "comm-range-m = " << config.channel.comm_range_m << "\n";
+  os << "interference-range-m = " << config.channel.interference_range_m << "\n";
+  os << "bit-rate-bps = " << config.bit_rate_bps << "\n";
+  os << "sound-speed-mps = " << config.sound_speed_mps << "\n";
+  os << "propagation = " << to_string(config.propagation) << "\n";
+  os << "reception = " << to_string(config.reception) << "\n";
+  os << "shipping = " << config.channel.noise.shipping << "\n";
+  os << "wind-mps = " << config.channel.noise.wind_mps << "\n";
+  os << "\n# deployment / mobility\n";
+  os << "deployment = " << to_string(config.deployment.kind) << "\n";
+  os << "width-m = " << config.deployment.width_m << "\n";
+  os << "length-m = " << config.deployment.length_m << "\n";
+  os << "depth-m = " << config.deployment.depth_m << "\n";
+  os << "layer-spacing-m = " << config.deployment.layer_spacing_m << "\n";
+  os << "jitter-m = " << config.deployment.jitter_m << "\n";
+  os << "mobility = " << (config.enable_mobility ? "true" : "false") << "\n";
+  os << "drift-mps = " << config.mobility.speed_mps << "\n";
+  os << "clock-skew-s = " << config.clock_offset_stddev_s << "\n";
+  os << "\n# MAC\n";
+  os << "control-bits = " << config.mac_config.control_bits << "\n";
+  os << "max-retries = " << config.mac_config.max_retries << "\n";
+  os << "cw-min-slots = " << config.mac_config.cw_min_slots << "\n";
+  os << "cw-max-slots = " << config.mac_config.cw_max_slots << "\n";
+  os << "queue-limit = " << config.mac_config.queue_limit << "\n";
+  os << "enable-extra = " << (config.mac_config.enable_extra ? "true" : "false") << "\n";
+  os << "enable-priority = " << (config.mac_config.enable_priority ? "true" : "false") << "\n";
+  os << "\n# traffic\n";
+  os << "traffic-mode = " << to_string(config.traffic.mode) << "\n";
+  os << "offered-load-kbps = " << config.traffic.offered_load_kbps << "\n";
+  os << "packet-bits-min = " << config.traffic.packet_bits_min << "\n";
+  os << "packet-bits-max = " << config.traffic.packet_bits_max << "\n";
+  os << "batch-packets = " << config.traffic.batch_packets << "\n";
+  os << "\n# multi-hop\n";
+  os << "multi-hop = " << (config.multi_hop ? "true" : "false") << "\n";
+  os << "sink-fraction = " << config.sink_fraction << "\n";
+  os << "hop-limit = " << static_cast<unsigned>(config.hop_limit) << "\n";
+  os << "\n# failure injection\n";
+  os << "node-failure-fraction = " << config.node_failure_fraction << "\n";
+  os << "node-failure-time-s = " << config.node_failure_time.to_seconds() << "\n";
+  os << "surface-echo = " << (config.channel.enable_surface_echo ? "true" : "false") << "\n";
+  os << "reflection-loss-db = " << config.channel.surface_reflection_loss_db << "\n";
+}
+
+void save_scenario_file(const ScenarioConfig& config, const std::string& path) {
+  std::ofstream os{path};
+  if (!os) throw std::invalid_argument("cannot open " + path + " for writing");
+  save_scenario(config, os);
+}
+
+ScenarioConfig load_scenario(std::istream& is, ScenarioConfig base) {
+  ScenarioConfig config = base;
+  using Setter = std::function<void(ScenarioConfig&, const std::string&, const std::string&)>;
+  static const std::map<std::string, Setter> kSetters = {
+      {"mac", [](ScenarioConfig& c, const std::string&, const std::string& v) {
+         c.mac = mac_kind_from_string(v);
+       }},
+      {"node-count", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.node_count = static_cast<std::size_t>(parse_uint(k, v));
+       }},
+      {"seed", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.seed = parse_uint(k, v);
+       }},
+      {"sim-time-s", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.sim_time = Duration::from_seconds(parse_double(k, v));
+       }},
+      {"hello-window-s", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.hello_window = Duration::from_seconds(parse_double(k, v));
+       }},
+      {"hello-rounds", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.hello_rounds = static_cast<std::uint32_t>(parse_uint(k, v));
+       }},
+      {"freq-khz", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.channel.freq_khz = parse_double(k, v);
+       }},
+      {"bandwidth-hz", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.channel.bandwidth_hz = parse_double(k, v);
+       }},
+      {"source-level-db", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.channel.source_level_db = parse_double(k, v);
+       }},
+      {"comm-range-m", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.channel.comm_range_m = parse_double(k, v);
+       }},
+      {"interference-range-m",
+       [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.channel.interference_range_m = parse_double(k, v);
+       }},
+      {"bit-rate-bps", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.bit_rate_bps = parse_double(k, v);
+       }},
+      {"sound-speed-mps", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.sound_speed_mps = parse_double(k, v);
+       }},
+      {"propagation", [](ScenarioConfig& c, const std::string&, const std::string& v) {
+         c.propagation = propagation_from_string(v);
+       }},
+      {"reception", [](ScenarioConfig& c, const std::string&, const std::string& v) {
+         c.reception = reception_from_string(v);
+       }},
+      {"shipping", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.channel.noise.shipping = parse_double(k, v);
+       }},
+      {"wind-mps", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.channel.noise.wind_mps = parse_double(k, v);
+       }},
+      {"deployment", [](ScenarioConfig& c, const std::string&, const std::string& v) {
+         c.deployment.kind = deployment_from_string(v);
+       }},
+      {"width-m", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.deployment.width_m = parse_double(k, v);
+       }},
+      {"length-m", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.deployment.length_m = parse_double(k, v);
+       }},
+      {"depth-m", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.deployment.depth_m = parse_double(k, v);
+       }},
+      {"layer-spacing-m", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.deployment.layer_spacing_m = parse_double(k, v);
+       }},
+      {"jitter-m", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.deployment.jitter_m = parse_double(k, v);
+       }},
+      {"mobility", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.enable_mobility = parse_bool(k, v);
+       }},
+      {"drift-mps", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.mobility.speed_mps = parse_double(k, v);
+       }},
+      {"clock-skew-s", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.clock_offset_stddev_s = parse_double(k, v);
+       }},
+      {"control-bits", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.mac_config.control_bits = static_cast<std::uint32_t>(parse_uint(k, v));
+       }},
+      {"max-retries", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.mac_config.max_retries = static_cast<std::uint32_t>(parse_uint(k, v));
+       }},
+      {"cw-min-slots", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.mac_config.cw_min_slots = static_cast<std::uint32_t>(parse_uint(k, v));
+       }},
+      {"cw-max-slots", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.mac_config.cw_max_slots = static_cast<std::uint32_t>(parse_uint(k, v));
+       }},
+      {"queue-limit", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.mac_config.queue_limit = static_cast<std::size_t>(parse_uint(k, v));
+       }},
+      {"enable-extra", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.mac_config.enable_extra = parse_bool(k, v);
+       }},
+      {"enable-priority", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.mac_config.enable_priority = parse_bool(k, v);
+       }},
+      {"traffic-mode", [](ScenarioConfig& c, const std::string&, const std::string& v) {
+         c.traffic.mode = traffic_mode_from_string(v);
+       }},
+      {"offered-load-kbps", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.traffic.offered_load_kbps = parse_double(k, v);
+       }},
+      {"packet-bits-min", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.traffic.packet_bits_min = static_cast<std::uint32_t>(parse_uint(k, v));
+       }},
+      {"packet-bits-max", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.traffic.packet_bits_max = static_cast<std::uint32_t>(parse_uint(k, v));
+       }},
+      {"batch-packets", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.traffic.batch_packets = static_cast<std::uint32_t>(parse_uint(k, v));
+       }},
+      {"multi-hop", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.multi_hop = parse_bool(k, v);
+       }},
+      {"sink-fraction", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.sink_fraction = parse_double(k, v);
+       }},
+      {"hop-limit", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.hop_limit = static_cast<std::uint8_t>(parse_uint(k, v));
+       }},
+      {"node-failure-fraction",
+       [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.node_failure_fraction = parse_double(k, v);
+       }},
+      {"node-failure-time-s",
+       [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.node_failure_time = Duration::from_seconds(parse_double(k, v));
+       }},
+      {"surface-echo", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.channel.enable_surface_echo = parse_bool(k, v);
+       }},
+      {"reflection-loss-db",
+       [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.channel.surface_reflection_loss_db = parse_double(k, v);
+       }},
+  };
+
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    // Trim.
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const auto last = line.find_last_not_of(" \t\r");
+    line = line.substr(first, last - first + 1);
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("scenario line " + std::to_string(line_no) +
+                                  ": expected 'key = value', got '" + line + "'");
+    }
+    auto trim = [](std::string s) {
+      const auto b = s.find_first_not_of(" \t");
+      const auto e = s.find_last_not_of(" \t");
+      return b == std::string::npos ? std::string{} : s.substr(b, e - b + 1);
+    };
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    const auto it = kSetters.find(key);
+    if (it == kSetters.end()) {
+      throw std::invalid_argument("scenario line " + std::to_string(line_no) +
+                                  ": unknown key '" + key + "'");
+    }
+    it->second(config, key, value);
+  }
+  return config;
+}
+
+ScenarioConfig load_scenario_file(const std::string& path, ScenarioConfig base) {
+  std::ifstream is{path};
+  if (!is) throw std::invalid_argument("cannot open scenario file " + path);
+  return load_scenario(is, std::move(base));
+}
+
+}  // namespace aquamac

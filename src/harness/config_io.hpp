@@ -1,0 +1,25 @@
+#pragma once
+// Scenario (de)serialization: a flat, commented `key = value` text format
+// so experiments are shareable and replayable without recompiling.
+// Round-trip is lossless for every scalar knob; unknown keys and
+// malformed values are hard errors (silent typos would silently change
+// an experiment).
+
+#include <iosfwd>
+#include <string>
+
+#include "net/network.hpp"
+
+namespace aquamac {
+
+/// Writes every scalar field of `config`, grouped and commented.
+void save_scenario(const ScenarioConfig& config, std::ostream& os);
+void save_scenario_file(const ScenarioConfig& config, const std::string& path);
+
+/// Parses a file produced by save_scenario (or hand-written). Starts from
+/// `paper_default_scenario()`-independent defaults: the `base` argument
+/// supplies anything the file does not mention.
+[[nodiscard]] ScenarioConfig load_scenario(std::istream& is, ScenarioConfig base);
+[[nodiscard]] ScenarioConfig load_scenario_file(const std::string& path, ScenarioConfig base);
+
+}  // namespace aquamac

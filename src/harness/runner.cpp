@@ -1,0 +1,91 @@
+#include "harness/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aquamac {
+
+Spread spread_of(const std::vector<RunStats>& runs, const RunMetricFn& metric) {
+  Spread spread{};
+  if (runs.empty()) return spread;
+  spread.min = metric(runs.front());
+  spread.max = spread.min;
+  for (const RunStats& run : runs) {
+    const double v = metric(run);
+    spread.mean += v;
+    spread.min = std::min(spread.min, v);
+    spread.max = std::max(spread.max, v);
+  }
+  spread.mean /= static_cast<double>(runs.size());
+  if (runs.size() > 1) {
+    double ss = 0.0;
+    for (const RunStats& run : runs) {
+      const double d = metric(run) - spread.mean;
+      ss += d * d;
+    }
+    spread.stddev = std::sqrt(ss / static_cast<double>(runs.size() - 1));
+  }
+  return spread;
+}
+
+RunStats run_scenario(const ScenarioConfig& config) {
+  Simulator sim{config.logger};
+  Network network{sim, config};
+  return network.run();
+}
+
+std::vector<RunStats> run_replicated(const ScenarioConfig& base, unsigned replications) {
+  std::vector<RunStats> runs;
+  runs.reserve(replications);
+  for (unsigned k = 0; k < replications; ++k) {
+    ScenarioConfig config = base;
+    config.seed = base.seed + k;
+    runs.push_back(run_scenario(config));
+  }
+  return runs;
+}
+
+MeanStats mean_of(const std::vector<RunStats>& runs) {
+  MeanStats mean{};
+  if (runs.empty()) return mean;
+  for (const RunStats& run : runs) {
+    mean.throughput_kbps += run.throughput_kbps;
+    mean.delivery_ratio += run.delivery_ratio;
+    mean.mean_power_mw += run.mean_power_mw;
+    mean.total_energy_j += run.total_energy_j;
+    mean.bits_delivered += static_cast<double>(run.bits_delivered);
+    mean.elapsed_s += run.elapsed_s;
+    mean.node_count += static_cast<double>(run.node_count);
+    mean.overhead_bits += run.overhead_bits();
+    mean.efficiency_raw += run.efficiency_raw();
+    mean.execution_time_s += run.execution_time_s;
+    mean.mean_latency_s += run.mean_latency_s;
+    mean.extra_successes += static_cast<double>(run.extra_successes);
+    mean.rx_collisions += static_cast<double>(run.rx_collisions);
+    mean.fairness_index += run.fairness_index;
+    mean.e2e_delivery_ratio += run.e2e_delivery_ratio;
+    mean.mean_hops += run.mean_hops;
+    mean.mean_e2e_latency_s += run.mean_e2e_latency_s;
+  }
+  const double n = static_cast<double>(runs.size());
+  mean.throughput_kbps /= n;
+  mean.delivery_ratio /= n;
+  mean.mean_power_mw /= n;
+  mean.total_energy_j /= n;
+  mean.bits_delivered /= n;
+  mean.elapsed_s /= n;
+  mean.node_count /= n;
+  mean.overhead_bits /= n;
+  mean.efficiency_raw /= n;
+  mean.execution_time_s /= n;
+  mean.mean_latency_s /= n;
+  mean.extra_successes /= n;
+  mean.rx_collisions /= n;
+  mean.fairness_index /= n;
+  mean.e2e_delivery_ratio /= n;
+  mean.mean_hops /= n;
+  mean.mean_e2e_latency_s /= n;
+  return mean;
+}
+
+}  // namespace aquamac

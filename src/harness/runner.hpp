@@ -1,0 +1,60 @@
+#pragma once
+// Single-run and replicated execution of scenarios.
+
+#include <functional>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace aquamac {
+
+/// Builds a Simulator + Network for `config`, runs it to the horizon and
+/// returns the aggregate statistics.
+[[nodiscard]] RunStats run_scenario(const ScenarioConfig& config);
+
+/// Runs `replications` copies differing only in seed (base.seed + k).
+[[nodiscard]] std::vector<RunStats> run_replicated(const ScenarioConfig& base,
+                                                   unsigned replications);
+
+/// Figure-level summary of a replicated run: the mean of each metric the
+/// paper's plots use.
+struct MeanStats {
+  double throughput_kbps{0.0};
+  double delivery_ratio{0.0};
+  double mean_power_mw{0.0};
+  double total_energy_j{0.0};
+  double bits_delivered{0.0};
+  double elapsed_s{0.0};
+  double node_count{0.0};
+
+  /// Fig. 9 metric: energy to move the workload, expressed as mean
+  /// per-node power over the Table-2 300 s reference window.
+  [[nodiscard]] double workload_power_mw() const {
+    return node_count > 0.0 ? total_energy_j / node_count / 300.0 * 1'000.0 : 0.0;
+  }
+  double overhead_bits{0.0};
+  double efficiency_raw{0.0};
+  double execution_time_s{0.0};
+  double mean_latency_s{0.0};
+  double extra_successes{0.0};
+  double rx_collisions{0.0};
+  double fairness_index{0.0};
+  double e2e_delivery_ratio{0.0};
+  double mean_hops{0.0};
+  double mean_e2e_latency_s{0.0};
+};
+
+[[nodiscard]] MeanStats mean_of(const std::vector<RunStats>& runs);
+
+/// Seed-to-seed dispersion of one metric across a replicated run.
+struct Spread {
+  double mean{0.0};
+  double stddev{0.0};  ///< sample standard deviation (n-1)
+  double min{0.0};
+  double max{0.0};
+};
+
+using RunMetricFn = std::function<double(const RunStats&)>;
+[[nodiscard]] Spread spread_of(const std::vector<RunStats>& runs, const RunMetricFn& metric);
+
+}  // namespace aquamac

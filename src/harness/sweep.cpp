@@ -1,0 +1,74 @@
+#include "harness/sweep.hpp"
+
+namespace aquamac {
+
+SweepResult run_sweep(const ScenarioConfig& base, std::span<const MacKind> protocols,
+                      std::span<const double> xs, const ConfigSetter& setter,
+                      unsigned replications) {
+  SweepResult result{};
+  result.xs.assign(xs.begin(), xs.end());
+  result.protocols.assign(protocols.begin(), protocols.end());
+  for (MacKind kind : protocols) {
+    auto& series = result.series[kind];
+    auto& raw = result.raw[kind];
+    series.reserve(xs.size());
+    raw.reserve(xs.size());
+    for (double x : xs) {
+      ScenarioConfig config = base;
+      config.mac = kind;
+      setter(config, x);
+      raw.push_back(run_replicated(config, replications));
+      series.push_back(mean_of(raw.back()));
+    }
+  }
+  return result;
+}
+
+Table sweep_table(const SweepResult& sweep, const std::string& x_name, const MetricFn& metric,
+                  int precision) {
+  std::vector<std::string> headers{x_name};
+  for (MacKind kind : sweep.protocols) headers.emplace_back(to_string(kind));
+  Table table{std::move(headers)};
+  for (std::size_t i = 0; i < sweep.xs.size(); ++i) {
+    std::vector<double> row{sweep.xs[i]};
+    for (MacKind kind : sweep.protocols) row.push_back(metric(sweep.at(kind, i)));
+    table.add_row_numeric(row, precision);
+  }
+  return table;
+}
+
+Table sweep_table_with_spread(const SweepResult& sweep, const std::string& x_name,
+                              const RunMetricFn& metric, int precision) {
+  std::vector<std::string> headers{x_name};
+  for (MacKind kind : sweep.protocols) headers.emplace_back(to_string(kind));
+  Table table{std::move(headers)};
+  for (std::size_t i = 0; i < sweep.xs.size(); ++i) {
+    std::vector<std::string> row{format_double(sweep.xs[i], precision)};
+    for (MacKind kind : sweep.protocols) {
+      const Spread spread = spread_of(sweep.runs_at(kind, i), metric);
+      row.push_back(format_double(spread.mean, precision) + " +- " +
+                    format_double(spread.stddev, precision));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+Table sweep_table_normalized(const SweepResult& sweep, const std::string& x_name,
+                             const MetricFn& metric, int precision) {
+  std::vector<std::string> headers{x_name};
+  for (MacKind kind : sweep.protocols) headers.emplace_back(to_string(kind));
+  Table table{std::move(headers)};
+  for (std::size_t i = 0; i < sweep.xs.size(); ++i) {
+    const double baseline = metric(sweep.at(MacKind::kSFama, i));
+    std::vector<double> row{sweep.xs[i]};
+    for (MacKind kind : sweep.protocols) {
+      const double value = metric(sweep.at(kind, i));
+      row.push_back(baseline != 0.0 ? value / baseline : 0.0);
+    }
+    table.add_row_numeric(row, precision);
+  }
+  return table;
+}
+
+}  // namespace aquamac

@@ -1,0 +1,61 @@
+#pragma once
+// Protocol x parameter sweeps: the engine behind every figure bench.
+//
+// A sweep takes a base scenario, a list of protocols, a list of x-axis
+// values and a setter that applies an x value to a ScenarioConfig; it
+// returns one MeanStats per (protocol, x), averaged over seed
+// replications. Benches select the metric column and print the same
+// series the corresponding paper figure plots.
+
+#include <functional>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "harness/runner.hpp"
+#include "util/table.hpp"
+
+namespace aquamac {
+
+using ConfigSetter = std::function<void(ScenarioConfig&, double)>;
+
+struct SweepResult {
+  std::vector<double> xs;
+  std::vector<MacKind> protocols;
+  /// series[protocol][i] corresponds to xs[i].
+  std::map<MacKind, std::vector<MeanStats>> series;
+  /// Raw replicated runs behind each mean (same indexing), for spread
+  /// reporting and custom post-processing.
+  std::map<MacKind, std::vector<std::vector<RunStats>>> raw;
+
+  [[nodiscard]] const MeanStats& at(MacKind kind, std::size_t i) const {
+    return series.at(kind).at(i);
+  }
+  [[nodiscard]] const std::vector<RunStats>& runs_at(MacKind kind, std::size_t i) const {
+    return raw.at(kind).at(i);
+  }
+};
+
+[[nodiscard]] SweepResult run_sweep(const ScenarioConfig& base,
+                                    std::span<const MacKind> protocols,
+                                    std::span<const double> xs, const ConfigSetter& setter,
+                                    unsigned replications);
+
+/// Renders one metric of a sweep as a table: first column the x value,
+/// one column per protocol.
+using MetricFn = std::function<double(const MeanStats&)>;
+[[nodiscard]] Table sweep_table(const SweepResult& sweep, const std::string& x_name,
+                                const MetricFn& metric, int precision = 4);
+
+/// Same, but each protocol's value is divided by the S-FAMA value at the
+/// same x (Figs. 10 and 11 normalize to S-FAMA = 1).
+[[nodiscard]] Table sweep_table_normalized(const SweepResult& sweep, const std::string& x_name,
+                                           const MetricFn& metric, int precision = 4);
+
+/// Per-cell "mean +- stddev" across the seed replications, for judging
+/// whether a figure's gaps exceed run-to-run noise.
+[[nodiscard]] Table sweep_table_with_spread(const SweepResult& sweep,
+                                            const std::string& x_name,
+                                            const RunMetricFn& metric, int precision = 4);
+
+}  // namespace aquamac

@@ -1,0 +1,573 @@
+#include "mac/ewmac/ew_mac.hpp"
+
+#include <algorithm>
+
+namespace aquamac {
+
+void EwMac::start() {}
+
+// ---------------------------------------------------------------------
+// Sender side: negotiated path
+// ---------------------------------------------------------------------
+
+void EwMac::handle_packet_enqueued() {
+  if (state_ == State::kIdle) schedule_attempt(0);
+}
+
+double EwMac::make_priority(const Packet& packet) {
+  // §3.1: rp is random but grows with the sender's wait time, so starved
+  // senders eventually win contention. The random tiebreak keeps equal
+  // waiters from deterministic capture.
+  const double jitter = rng_.uniform01();
+  if (!config_.enable_priority) return jitter;
+  const double waited_slots =
+      (sim_.now() - packet.enqueued).to_seconds() / slot_length().to_seconds();
+  return waited_slots + jitter;
+}
+
+void EwMac::schedule_attempt(std::int64_t extra_slots) {
+  if (!attempt_event_.is_null()) return;
+  const Time when = next_slot_boundary(sim_.now()) + slot_length() * extra_slots;
+  attempt_event_ = sim_.at(when, [this] {
+    attempt_event_ = EventHandle{};
+    attempt_rts();
+  });
+}
+
+void EwMac::attempt_rts() {
+  const Packet* packet = head();
+  if (packet == nullptr || state_ != State::kIdle) return;
+  if (quiet_now() || modem_.transmitting() || !candidates_.empty() || grant_.has_value()) {
+    const Time resume = std::max(quiet_until(), sim_.now() + slot_length());
+    attempt_event_ = sim_.at(next_slot_boundary(resume), [this] {
+      attempt_event_ = EventHandle{};
+      attempt_rts();
+    });
+    return;
+  }
+
+  Frame rts = make_control(FrameType::kRts, packet->dst);
+  rts.seq = packet->id;
+  rts.data_duration = data_airtime(packet->bits);
+  rts.priority_rp = make_priority(*packet);
+  if (const auto delay = neighbors_.delay_to(packet->dst)) rts.pair_delay = *delay;
+  if (packet->retries > 0) {
+    counters_.retransmitted_frames += 1;
+    counters_.retransmitted_bits += rts.size_bits;
+  }
+  counters_.handshake_attempts += 1;
+  transmit(rts);
+  state_ = State::kWaitCts;
+
+  const Time deadline = slot_start(slot_index(sim_.now()) + 3);
+  timeout_event_ = sim_.at(deadline, [this] {
+    timeout_event_ = EventHandle{};
+    if (state_ == State::kWaitCts) {
+      counters_.contention_losses += 1;
+      fail_and_backoff();
+    }
+  });
+}
+
+void EwMac::fail_and_backoff() {
+  state_ = State::kIdle;
+  extra_.reset();
+  Packet* packet = head_mutable();
+  if (packet == nullptr) return;
+  packet->retries += 1;
+  if (packet->retries > config_.max_retries) {
+    drop_head_packet();
+    if (head() != nullptr) schedule_attempt(0);
+    return;
+  }
+  schedule_attempt(backoff_slots(packet->retries));
+}
+
+void EwMac::on_cts(const Frame& frame, const RxInfo& info) {
+  const Packet* packet = head();
+  if (state_ != State::kWaitCts || packet == nullptr || frame.src != packet->dst ||
+      frame.seq != packet->id) {
+    return;
+  }
+  sim_.cancel(timeout_event_);
+  timeout_event_ = EventHandle{};
+  state_ = State::kWaitAck;
+
+  const Duration tau_sr = info.measured_delay;
+  const Packet packet_copy = *packet;
+  sim_.at(next_slot_boundary(sim_.now()), [this, packet_copy, tau_sr] {
+    if (state_ != State::kWaitAck) return;
+    if (modem_.transmitting()) {
+      // Extremely rare (e.g. an EXC grant still radiating at the
+      // boundary): abandoning beats wedging in WaitAck with no timeout.
+      fail_and_backoff();
+      return;
+    }
+    Frame data = make_data_for(FrameType::kData, packet_copy);
+    data.pair_delay = tau_sr;
+    transmit(data);
+    const std::int64_t ack_slot =
+        slot_index(sim_.now()) + data_slots(data_airtime(packet_copy.bits), tau_sr);
+    const Time deadline = slot_start(ack_slot + 3);
+    timeout_event_ = sim_.at(deadline, [this] {
+      timeout_event_ = EventHandle{};
+      if (state_ == State::kWaitAck) fail_and_backoff();
+    });
+  });
+}
+
+void EwMac::on_ack(const Frame& frame) {
+  const Packet* packet = head();
+  if (state_ != State::kWaitAck || packet == nullptr || frame.src != packet->dst ||
+      frame.seq != packet->id) {
+    return;
+  }
+  sim_.cancel(timeout_event_);
+  timeout_event_ = EventHandle{};
+  counters_.handshake_successes += 1;
+  counters_.total_delivery_latency += sim_.now() - packet->enqueued;
+  complete_head_packet(/*via_extra=*/false);
+  state_ = State::kIdle;
+  if (head() != nullptr) schedule_attempt(0);
+}
+
+// ---------------------------------------------------------------------
+// Receiver side
+// ---------------------------------------------------------------------
+
+void EwMac::on_rts(const Frame& frame, const RxInfo& info) {
+  // "Checking Scheduling" (Fig. 3): refuse when busy, quiet, or holding
+  // an extra-communication grant.
+  if (state_ != State::kIdle || quiet_now() || grant_.has_value()) return;
+  if (candidates_.empty()) {
+    decide_event_ = sim_.at(next_slot_boundary(sim_.now()), [this] {
+      decide_event_ = EventHandle{};
+      decide_cts();
+    });
+  }
+  candidates_.push_back(Candidate{frame.src, frame.seq, frame.data_duration,
+                                  info.measured_delay, frame.priority_rp});
+}
+
+void EwMac::decide_cts() {
+  if (candidates_.empty()) return;
+  // §3.1: pick the sender with the highest priority value.
+  const auto winner_it =
+      std::max_element(candidates_.begin(), candidates_.end(),
+                       [](const Candidate& a, const Candidate& b) { return a.rp < b.rp; });
+  const Candidate winner = *winner_it;
+  candidates_.clear();
+  if (state_ != State::kIdle || quiet_now() || modem_.transmitting() || grant_.has_value()) {
+    return;
+  }
+
+  Frame cts = make_control(FrameType::kCts, winner.src);
+  cts.seq = winner.seq;
+  cts.data_duration = winner.data_duration;
+  cts.pair_delay = winner.delay_to_src;
+  transmit(cts);
+  state_ = State::kWaitData;
+  expected_data_from_ = winner.src;
+  expected_seq_ = winner.seq;
+
+  const std::int64_t occupancy = data_slots(winner.data_duration, winner.delay_to_src);
+  const std::int64_t cts_slot = slot_index(sim_.now());
+  neg_data_begin_ = slot_start(cts_slot + 1) + winner.delay_to_src;
+  neg_ack_slot_start_ = slot_start(cts_slot + 1 + occupancy);
+  const Time deadline = slot_start(slot_index(sim_.now()) + 1 + occupancy + 2);
+  timeout_event_ = sim_.at(deadline, [this] {
+    timeout_event_ = EventHandle{};
+    if (state_ == State::kWaitData) {
+      state_ = State::kIdle;
+      expected_data_from_ = kNoNode;
+      if (head() != nullptr) schedule_attempt(0);
+    }
+  });
+}
+
+void EwMac::on_data(const Frame& frame) {
+  if (state_ != State::kWaitData || frame.src != expected_data_from_ ||
+      frame.seq != expected_seq_) {
+    return;
+  }
+  sim_.cancel(timeout_event_);
+  timeout_event_ = EventHandle{};
+  deliver_data(frame);
+  state_ = State::kIdle;
+  expected_data_from_ = kNoNode;
+
+  // Eq. (5): the reception just ended, so the next boundary *is* the
+  // ts(Data) + ceil((TD + tau)/|ts|) slot.
+  Frame ack = make_control(FrameType::kAck, frame.src);
+  ack.seq = frame.seq;
+  sim_.at(next_slot_boundary(sim_.now()), [this, ack] {
+    if (!modem_.transmitting()) transmit(ack);
+  });
+  if (head() != nullptr) schedule_attempt(1);
+}
+
+// ---------------------------------------------------------------------
+// Extra communication: asking side (sensor i, §4.2)
+// ---------------------------------------------------------------------
+
+void EwMac::contention_lost(const Frame& negotiation, const RxInfo& info) {
+  sim_.cancel(timeout_event_);
+  timeout_event_ = EventHandle{};
+  counters_.contention_losses += 1;
+
+  const Packet* packet = head();
+  if (!config_.enable_extra || packet == nullptr) {
+    fail_and_backoff();
+    return;
+  }
+
+  const bool j_is_receiver = negotiation.type == FrameType::kCts;
+  const Duration tau_ij = info.measured_delay;
+  const Duration tau_jk =
+      negotiation.pair_delay.is_zero() ? config_.tau_max : negotiation.pair_delay;
+  const Duration d_neg = negotiation.data_duration;
+  const std::int64_t heard_slot = slot_index(info.arrival_begin);
+
+  ExtraPlan plan{};
+  plan.j = negotiation.src;
+  plan.j_is_receiver = j_is_receiver;
+  plan.seq = packet->id;
+  plan.tau_ij = tau_ij;
+  plan.tau_jk = tau_jk;
+  plan.neg_data_duration = d_neg;
+
+  const Duration my_data_dur = data_airtime(packet->bits);
+  Time exr_time{};
+  bool feasible = false;
+
+  if (j_is_receiver) {
+    // Fig. 4: j sent CTS(j,k) in slot c; Data(k,j) leaves at S(c+1) and
+    // reaches j at S(c+1)+tau_jk. EXR goes out "in the next time slot of
+    // CTS at the beginning after beta" and must be fully received at j
+    // before the data's leading edge (period V).
+    const std::int64_t c = heard_slot;
+    plan.ack_slot_start = slot_start(c + 1 + data_slots(d_neg, tau_jk));
+    const Duration bound = tau_jk - tau_ij - omega() - config_.guard;
+    if (!bound.is_negative()) {
+      const Time base = slot_start(c + 1);
+      // Try a few launch offsets within [0, bound] until the arrival is
+      // clear at every schedulable neighbor.
+      for (int step = 0; step < 4 && !feasible; ++step) {
+        const Duration beta = Duration::nanoseconds(bound.count_ns() * step / 4);
+        const Time candidate = base + beta;
+        if (candidate <= sim_.now()) continue;
+        if (clear_at_neighbors(candidate, omega(), plan.j)) {
+          exr_time = candidate;
+          feasible = true;
+        }
+      }
+    }
+  } else {
+    // j sent RTS(j,k) in slot t: j idles from the end of its RTS until
+    // CTS(k,j) arrives at S(t+1)+tau_jk (period III). EXR can leave
+    // immediately.
+    const std::int64_t t = heard_slot;
+    plan.ack_slot_start = slot_start(t + 2 + data_slots(d_neg, tau_jk));
+    const Time candidate = sim_.now() + config_.guard;
+    const Time arrival_deadline = slot_start(t + 1) + tau_jk - config_.guard;
+    if (candidate + tau_ij + omega() <= arrival_deadline &&
+        clear_at_neighbors(candidate, omega(), plan.j)) {
+      exr_time = candidate;
+      feasible = true;
+    }
+  }
+
+  if (!feasible) {
+    fail_and_backoff();
+    return;
+  }
+
+  extra_ = plan;
+  state_ = State::kAskingExtra;
+  counters_.extra_attempts += 1;
+
+  const std::uint64_t seq = plan.seq;
+  const NodeId j = plan.j;
+  const Duration my_dur = my_data_dur;
+  sim_.at(exr_time, [this, seq, j, my_dur] {
+    if (state_ != State::kAskingExtra || !extra_ || extra_->seq != seq) return;
+    if (modem_.transmitting()) {
+      abandon_extra();
+      return;
+    }
+    Frame exr = make_control(FrameType::kExr, j);
+    exr.seq = seq;
+    exr.data_duration = my_dur;
+    if (const auto delay = neighbors_.delay_to(j)) exr.pair_delay = *delay;
+    transmit(exr);
+
+    // "If sensor i receives EXC after twice the propagation time" — allow
+    // the round trip plus both control airtimes.
+    const Time deadline =
+        sim_.now() + extra_->tau_ij + extra_->tau_ij + omega() + omega() + 4 * config_.guard;
+    timeout_event_ = sim_.at(deadline, [this] {
+      timeout_event_ = EventHandle{};
+      if (state_ == State::kAskingExtra) abandon_extra();
+    });
+  });
+}
+
+void EwMac::on_exc(const Frame& frame, const RxInfo&) {
+  if (state_ != State::kAskingExtra || !extra_ || frame.src != extra_->j ||
+      frame.seq != extra_->seq) {
+    return;
+  }
+  sim_.cancel(timeout_event_);
+  timeout_event_ = EventHandle{};
+
+  const Packet* packet = head();
+  if (packet == nullptr || packet->id != extra_->seq) {
+    abandon_extra();
+    return;
+  }
+  const Duration my_dur = data_airtime(packet->bits);
+
+  // Eq. (6): launch EXDATA so its leading edge reaches j right after j's
+  // negotiated exchange no longer needs the channel.
+  Time tx_time{};
+  if (extra_->j_is_receiver) {
+    // Arrival begins as j finishes transmitting Ack(j,k).
+    tx_time = extra_->ack_slot_start + omega() - extra_->tau_ij;
+  } else {
+    // Arrival begins after j finishes *receiving* Ack(k,j).
+    tx_time = extra_->ack_slot_start + extra_->tau_jk + omega() + config_.guard - extra_->tau_ij;
+  }
+
+  // Shift past any predicted neighbor reception we would garble.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const auto& w : schedule_.windows()) {
+      if (w.kind != BusyKind::kReceiving || w.neighbor == extra_->j) continue;
+      const auto tau_in = neighbors_.delay_to(w.neighbor);
+      if (!tau_in) continue;
+      const TimeInterval arrival{tx_time + *tau_in, tx_time + *tau_in + my_dur};
+      if (arrival.overlaps(w.interval)) {
+        tx_time = w.interval.end + config_.guard - *tau_in;
+      }
+    }
+  }
+  if (tx_time <= sim_.now() || tx_time > extra_->ack_slot_start + slot_length() + slot_length()) {
+    abandon_extra();
+    return;
+  }
+
+  state_ = State::kWaitExAck;
+  const std::uint64_t seq = extra_->seq;
+  const NodeId j = extra_->j;
+  const Duration tau_ij = extra_->tau_ij;
+  sim_.at(tx_time, [this, seq, j, my_dur, tau_ij] {
+    if (state_ != State::kWaitExAck || !extra_ || extra_->seq != seq) return;
+    if (modem_.transmitting() || head() == nullptr || head()->id != seq) {
+      abandon_extra();
+      return;
+    }
+    Frame exdata = make_data_for(FrameType::kExData, *head());
+    (void)j;
+    transmit(exdata);
+    const Time deadline =
+        sim_.now() + my_dur + tau_ij + tau_ij + omega() + omega() + 4 * config_.guard;
+    timeout_event_ = sim_.at(deadline, [this] {
+      timeout_event_ = EventHandle{};
+      if (state_ == State::kWaitExAck) abandon_extra();
+    });
+  });
+}
+
+void EwMac::on_exack(const Frame& frame) {
+  const Packet* packet = head();
+  if (state_ != State::kWaitExAck || !extra_ || packet == nullptr ||
+      frame.seq != extra_->seq || frame.src != extra_->j) {
+    return;
+  }
+  sim_.cancel(timeout_event_);
+  timeout_event_ = EventHandle{};
+  counters_.total_delivery_latency += sim_.now() - packet->enqueued;
+  complete_head_packet(/*via_extra=*/true);
+  extra_.reset();
+  state_ = State::kIdle;
+  if (head() != nullptr) schedule_attempt(0);
+}
+
+void EwMac::abandon_extra() {
+  // Fig. 3: giving up the extra chance sends the sensor through Quiet
+  // back to Idle; the packet re-enters normal contention with backoff.
+  fail_and_backoff();
+}
+
+// ---------------------------------------------------------------------
+// Extra communication: asked side (sensor j)
+// ---------------------------------------------------------------------
+
+void EwMac::on_exr(const Frame& frame, const RxInfo&) {
+  if (grant_.has_value()) return;  // one extra exchange at a time
+
+  Time expiry{};
+  if (state_ == State::kWaitData) {
+    // We are the receiver of a negotiated exchange: the EXC must be fully
+    // radiated before our peer's data starts arriving (period V).
+    if (sim_.now() + omega() + config_.guard > neg_data_begin_) return;
+    expiry = neg_ack_slot_start_ + slot_length() * 3;
+  } else if (state_ == State::kWaitCts) {
+    // We are a negotiating sender: period III lasts until the CTS we are
+    // waiting for arrives.
+    const Packet* packet = head();
+    if (packet == nullptr) return;
+    const auto tau = neighbors_.delay_to(packet->dst);
+    if (!tau) return;
+    const Time cts_arrival = slot_start(slot_index(sim_.now()) + 1) + *tau;
+    if (sim_.now() + omega() + config_.guard > cts_arrival) return;
+    const std::int64_t ack_slot =
+        slot_index(sim_.now()) + 2 + data_slots(data_airtime(packet->bits), *tau);
+    expiry = slot_start(ack_slot) + *tau + omega() + slot_length() * 3;
+  } else {
+    return;
+  }
+
+  if (modem_.transmitting()) return;
+  if (!clear_at_neighbors(sim_.now(), omega(), frame.src)) return;
+
+  Frame exc = make_control(FrameType::kExc, frame.src);
+  exc.seq = frame.seq;
+  exc.data_duration = frame.data_duration;
+  if (const auto delay = neighbors_.delay_to(frame.src)) exc.pair_delay = *delay;
+  transmit(exc);
+
+  grant_ = ExtraGrant{frame.src, frame.seq, expiry};
+  set_quiet_until(expiry);
+  grant_expiry_event_ = sim_.at(expiry, [this] {
+    grant_expiry_event_ = EventHandle{};
+    grant_.reset();
+  });
+}
+
+void EwMac::on_exdata(const Frame& frame) {
+  if (!grant_ || frame.src != grant_->i || frame.seq != grant_->seq) return;
+  deliver_data(frame);
+  sim_.cancel(grant_expiry_event_);
+  grant_expiry_event_ = EventHandle{};
+  grant_.reset();
+
+  if (modem_.transmitting()) return;  // asker times out and retries
+  Frame exack = make_control(FrameType::kExAck, frame.src);
+  exack.seq = frame.seq;
+  transmit(exack);
+}
+
+// ---------------------------------------------------------------------
+// Overhearing and schedule prediction
+// ---------------------------------------------------------------------
+
+void EwMac::predict_exchange(const Frame& frame, const RxInfo& info) {
+  const Duration tau_pair = frame.pair_delay.is_zero() ? config_.tau_max : frame.pair_delay;
+  const Duration d = frame.data_duration;
+  const std::int64_t heard_slot = slot_index(info.arrival_begin);
+
+  if (frame.type == FrameType::kRts) {
+    const NodeId j = frame.src;  // sender
+    const NodeId k = frame.dst;  // receiver (if it grants)
+    const Time cts_tx = slot_start(heard_slot + 1);
+    const Time data_tx = slot_start(heard_slot + 2);
+    const std::int64_t ack_slot = heard_slot + 2 + data_slots(d, tau_pair);
+    const Time ack_tx = slot_start(ack_slot);
+    schedule_.add(k, TimeInterval{cts_tx, cts_tx + omega()}, BusyKind::kTransmitting);
+    schedule_.add(j, TimeInterval{cts_tx + tau_pair, cts_tx + tau_pair + omega()},
+                  BusyKind::kReceiving);
+    schedule_.add(j, TimeInterval{data_tx, data_tx + d}, BusyKind::kTransmitting);
+    schedule_.add(k, TimeInterval{data_tx + tau_pair, data_tx + tau_pair + d},
+                  BusyKind::kReceiving);
+    schedule_.add(k, TimeInterval{ack_tx, ack_tx + omega()}, BusyKind::kTransmitting);
+    schedule_.add(j, TimeInterval{ack_tx + tau_pair, ack_tx + tau_pair + omega()},
+                  BusyKind::kReceiving);
+  } else if (frame.type == FrameType::kCts) {
+    const NodeId j = frame.src;  // receiver
+    const NodeId k = frame.dst;  // sender
+    const Time data_tx = slot_start(heard_slot + 1);
+    const std::int64_t ack_slot = heard_slot + 1 + data_slots(d, tau_pair);
+    const Time ack_tx = slot_start(ack_slot);
+    schedule_.add(k, TimeInterval{data_tx, data_tx + d}, BusyKind::kTransmitting);
+    schedule_.add(j, TimeInterval{data_tx + tau_pair, data_tx + tau_pair + d},
+                  BusyKind::kReceiving);
+    schedule_.add(j, TimeInterval{ack_tx, ack_tx + omega()}, BusyKind::kTransmitting);
+    schedule_.add(k, TimeInterval{ack_tx + tau_pair, ack_tx + tau_pair + omega()},
+                  BusyKind::kReceiving);
+  }
+}
+
+bool EwMac::clear_at_neighbors(Time tx_begin, Duration dur, NodeId exempt) const {
+  for (const auto& w : schedule_.windows()) {
+    if (w.kind != BusyKind::kReceiving || w.neighbor == exempt) continue;
+    const auto tau = neighbors_.delay_to(w.neighbor);
+    if (!tau) continue;  // unknown delay => outside our reach in practice
+    const TimeInterval arrival{tx_begin + *tau, tx_begin + *tau + dur};
+    if (arrival.overlaps(w.interval)) return false;
+  }
+  return true;
+}
+
+void EwMac::overhear(const Frame& frame, const RxInfo& info) {
+  schedule_.prune(sim_.now());
+
+  const Duration tau_pair = frame.pair_delay.is_zero() ? config_.tau_max : frame.pair_delay;
+  const std::int64_t heard_slot = slot_index(info.arrival_begin);
+  switch (frame.type) {
+    case FrameType::kRts: {
+      predict_exchange(frame, info);
+      const std::int64_t occupancy = data_slots(frame.data_duration, tau_pair);
+      set_quiet_until(slot_start(heard_slot + 3 + occupancy));
+      // Contention loss (Fig. 3): we were waiting for a CTS from this very
+      // node, which is itself negotiating as a sender.
+      const Packet* packet = head();
+      if (state_ == State::kWaitCts && packet != nullptr && frame.src == packet->dst) {
+        contention_lost(frame, info);
+      }
+      break;
+    }
+    case FrameType::kCts: {
+      predict_exchange(frame, info);
+      const std::int64_t occupancy = data_slots(frame.data_duration, tau_pair);
+      set_quiet_until(slot_start(heard_slot + 2 + occupancy));
+      const Packet* packet = head();
+      if (state_ == State::kWaitCts && packet != nullptr && frame.src == packet->dst) {
+        contention_lost(frame, info);
+      }
+      break;
+    }
+    case FrameType::kData:
+      set_quiet_until(info.arrival_end + slot_length() + slot_length());
+      break;
+    case FrameType::kExr:
+    case FrameType::kExc:
+      // Stay clear of the granted extra exchange (§4.2 closing note).
+      set_quiet_until(info.arrival_end + slot_length() + frame.data_duration + slot_length());
+      break;
+    case FrameType::kExData:
+      set_quiet_until(info.arrival_end + omega() + config_.tau_max);
+      break;
+    default:
+      break;
+  }
+}
+
+void EwMac::handle_frame(const Frame& frame, const RxInfo& info) {
+  if (frame.dst != id()) {
+    overhear(frame, info);
+    return;
+  }
+  switch (frame.type) {
+    case FrameType::kRts: on_rts(frame, info); break;
+    case FrameType::kCts: on_cts(frame, info); break;
+    case FrameType::kData: on_data(frame); break;
+    case FrameType::kAck: on_ack(frame); break;
+    case FrameType::kExr: on_exr(frame, info); break;
+    case FrameType::kExc: on_exc(frame, info); break;
+    case FrameType::kExData: on_exdata(frame); break;
+    case FrameType::kExAck: on_exack(frame); break;
+    default: break;
+  }
+}
+
+}  // namespace aquamac

@@ -1,0 +1,34 @@
+#include "mac/ewmac/wait_periods.hpp"
+
+namespace aquamac {
+
+WaitPeriods compute_wait_periods(const WaitPeriodInputs& in) {
+  const auto slot_start = [&in](std::int64_t index) {
+    return Time::zero() + in.slot_length * index;
+  };
+
+  const std::int64_t t = in.rts_slot;
+  const Time rts_tx_end = slot_start(t) + in.omega;
+  const Time cts_tx_begin = slot_start(t + 1);
+  const Time cts_tx_end = cts_tx_begin + in.omega;
+  const Time cts_at_sender = cts_tx_begin + in.tau_pair;  // leading edge
+  const Time data_tx_begin = slot_start(t + 2);
+  const Time data_tx_end = data_tx_begin + in.data_airtime;
+  const Time data_at_receiver = data_tx_begin + in.tau_pair;
+
+  WaitPeriods periods{};
+  // Eq. (5): ack slot = data slot + ceil((TD + tau)/|ts|).
+  periods.ack_slot = t + 2 + (in.data_airtime + in.tau_pair).divide_ceil(in.slot_length);
+  periods.ack_tx_begin = slot_start(periods.ack_slot);
+  periods.ack_tx_end = periods.ack_tx_begin + in.omega;
+
+  periods.sender_rts_to_cts = TimeInterval{rts_tx_end, cts_at_sender};
+  periods.sender_cts_to_data = TimeInterval{cts_at_sender + in.omega, data_tx_begin};
+  periods.sender_post_data =
+      TimeInterval{data_tx_end, periods.ack_tx_begin + in.tau_pair};
+  periods.receiver_cts_to_data = TimeInterval{cts_tx_end, data_at_receiver};
+  periods.receiver_free_from = periods.ack_tx_end;
+  return periods;
+}
+
+}  // namespace aquamac

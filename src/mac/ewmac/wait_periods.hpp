@@ -1,0 +1,62 @@
+#pragma once
+// The paper's Figure 2, computably: the idle "wait periods" (blocks
+// I-VII) that a negotiated four-way exchange leaves around itself, from
+// the perspective of the negotiating sender k, the receiver j, and a
+// loser/overhearer i. EW-MAC's §4.2 rules are statements about these
+// periods — "the extra request exploits time periods V of sensor j and
+// VII of sensor i", "EXData ... exploit time periods VI of sensor j" —
+// so making them first-class lets tests assert the implementation sends
+// each extra packet inside the period the paper names.
+//
+// Timeline of the negotiated exchange (all slot-aligned, §4.1):
+//   slot t   : k sends RTS(k, j)
+//   slot t+1 : j sends CTS(j, k)
+//   slot t+2 : k sends DATA, arriving at j over [S(t+2)+tau, +TD]
+//   slot a   : j sends ACK, a = t+2 + ceil((TD + tau)/|ts|)   (Eq. 5)
+//
+// Periods (as they appear in Fig. 2):
+//   III : k idle between finishing its RTS and the CTS arriving at k.
+//   IV  : k idle after the CTS until it must transmit DATA at S(t+2) —
+//         and again after DATA until the ACK arrives (the tail we expose
+//         as `sender_post_data`).
+//   V   : j idle between finishing its CTS and the DATA arriving at j.
+//   VI  : j idle after finishing its ACK (the exchange no longer needs j).
+//   I/II/VII : the corresponding idle stretches of a third sensor i that
+//         overheard the negotiation; they are i's whole wait, bounded by
+//         the packets i itself can hear, and are exposed through the
+//         ScheduleBook rather than here (i's geometry varies per node).
+
+#include "util/time.hpp"
+
+namespace aquamac {
+
+struct WaitPeriodInputs {
+  std::int64_t rts_slot{0};   ///< t: the slot the RTS went out in
+  Duration slot_length{};     ///< |ts| = omega + tau_max
+  Duration omega{};           ///< control-packet airtime
+  Duration tau_pair{};        ///< tau between the negotiating pair
+  Duration data_airtime{};    ///< TD
+};
+
+struct WaitPeriods {
+  /// Period III: sender idle, RTS sent -> CTS arrives.
+  TimeInterval sender_rts_to_cts;
+  /// Period IV (head): sender idle, CTS received -> DATA slot.
+  TimeInterval sender_cts_to_data;
+  /// Period IV (tail): sender idle, DATA finished -> ACK arrives.
+  TimeInterval sender_post_data;
+  /// Period V: receiver idle, CTS sent -> DATA arrives.
+  TimeInterval receiver_cts_to_data;
+  /// Period VI begins when the receiver finishes its ACK.
+  Time receiver_free_from;
+
+  /// Eq.-5 ACK slot index.
+  std::int64_t ack_slot{0};
+  Time ack_tx_begin;
+  Time ack_tx_end;
+};
+
+/// Computes the Fig.-2 periods for one negotiated exchange.
+[[nodiscard]] WaitPeriods compute_wait_periods(const WaitPeriodInputs& in);
+
+}  // namespace aquamac

@@ -1,0 +1,3 @@
+// handshake.hpp is header-only; this TU compiles it standalone under the
+// project's warning set.
+#include "mac/handshake.hpp"

@@ -1,0 +1,78 @@
+#pragma once
+// ScheduleBook: a node's prediction of when its neighbors will be busy.
+//
+// EW-MAC's extra communications are legal only when they "will not
+// interfere with negotiated transmissions" (§4.2). A node builds that
+// knowledge from overheard negotiation packets: an overheard RTS/CTS
+// announces the pair delay and data airtime, from which the Eq.-5
+// timeline of the whole exchange is predictable. The ScheduleBook stores
+// the resulting busy windows per neighbor; the extra-phase feasibility
+// checks query it before choosing EXR / EXDATA launch times.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "phy/frame.hpp"
+#include "util/time.hpp"
+
+namespace aquamac {
+
+/// What the neighbor is predicted to be doing in the window.
+enum class BusyKind : std::uint8_t {
+  kReceiving,     ///< a negotiated packet arrives at the neighbor
+  kTransmitting,  ///< the neighbor radiates a negotiated packet
+};
+
+class ScheduleBook {
+ public:
+  struct Window {
+    NodeId neighbor;
+    TimeInterval interval;
+    BusyKind kind;
+  };
+
+  void add(NodeId neighbor, TimeInterval interval, BusyKind kind) {
+    windows_.push_back(Window{neighbor, interval, kind});
+  }
+
+  /// Drops windows that ended before `now`.
+  void prune(Time now) {
+    std::erase_if(windows_, [now](const Window& w) { return w.interval.end <= now; });
+  }
+
+  /// Would a packet occupying `arrival` at `neighbor` overlap a window in
+  /// which that neighbor is predicted busy (either direction)? A neighbor
+  /// receiving must not be hit (it garbles the negotiated packet); a
+  /// neighbor transmitting cannot hear us anyway, and our arrival there
+  /// is harmless, so only kReceiving windows conflict by default.
+  [[nodiscard]] bool conflicts(NodeId neighbor, TimeInterval arrival,
+                               bool include_tx_windows = false) const {
+    for (const Window& w : windows_) {
+      if (w.neighbor != neighbor) continue;
+      if (!include_tx_windows && w.kind == BusyKind::kTransmitting) continue;
+      if (w.interval.overlaps(arrival)) return true;
+    }
+    return false;
+  }
+
+  /// Latest predicted busy end for `neighbor` (nullopt when none).
+  [[nodiscard]] std::optional<Time> busy_until(NodeId neighbor) const {
+    std::optional<Time> latest;
+    for (const Window& w : windows_) {
+      if (w.neighbor != neighbor) continue;
+      if (!latest || w.interval.end > *latest) latest = w.interval.end;
+    }
+    return latest;
+  }
+
+  [[nodiscard]] const std::vector<Window>& windows() const { return windows_; }
+  [[nodiscard]] bool empty() const { return windows_.empty(); }
+  [[nodiscard]] std::size_t size() const { return windows_.size(); }
+  void clear() { windows_.clear(); }
+
+ private:
+  std::vector<Window> windows_;
+};
+
+}  // namespace aquamac

@@ -1,0 +1,139 @@
+#include "mac/mac_protocol.hpp"
+
+#include <algorithm>
+
+namespace aquamac {
+
+MacProtocol::MacProtocol(Simulator& sim, AcousticModem& modem, NeighborTable& neighbors,
+                         MacConfig config, Rng rng, Logger log)
+    : sim_{sim},
+      modem_{modem},
+      neighbors_{neighbors},
+      config_{config},
+      rng_{rng},
+      log_{std::move(log)} {
+  modem_.set_listener(this);
+}
+
+void MacProtocol::enqueue_packet(NodeId dst, std::uint32_t payload_bits, E2eHeader e2e) {
+  counters_.packets_offered += 1;
+  counters_.bits_offered += payload_bits;
+  if (queue_.size() >= config_.queue_limit) {
+    counters_.packets_dropped += 1;
+    if (drop_handler_) drop_handler_(dst, e2e);
+    return;
+  }
+  queue_.push_back(Packet{next_packet_id_++, dst, payload_bits, sim_.now(), 0, e2e});
+  handle_packet_enqueued();
+}
+
+void MacProtocol::broadcast_hello() {
+  if (modem_.transmitting()) return;
+  Frame hello{};
+  hello.type = FrameType::kHello;
+  hello.dst = kBroadcast;
+  hello.size_bits = config_.control_bits;
+  transmit(hello);
+}
+
+Frame MacProtocol::make_control(FrameType type, NodeId dst) const {
+  Frame frame{};
+  frame.type = type;
+  frame.dst = dst;
+  frame.size_bits = control_frame_bits();
+  return frame;
+}
+
+Frame MacProtocol::make_data(FrameType type, NodeId dst, std::uint32_t payload_bits) const {
+  Frame frame{};
+  frame.type = type;
+  frame.dst = dst;
+  frame.size_bits = payload_bits;
+  frame.data_bits = payload_bits;
+  return frame;
+}
+
+Frame MacProtocol::make_data_for(FrameType type, const Packet& packet) const {
+  Frame frame = make_data(type, packet.dst, packet.bits);
+  frame.seq = packet.id;
+  frame.origin = packet.e2e.origin;
+  frame.final_dst = packet.e2e.final_dst;
+  frame.hop_count = packet.e2e.hop_count;
+  frame.e2e_id = packet.e2e.e2e_id;
+  frame.created_at = packet.e2e.created_at;
+  return frame;
+}
+
+void MacProtocol::transmit(const Frame& frame) {
+  counters_.count_sent(frame);
+  if (frame.control() && frame.type != FrameType::kHello) {
+    const auto entries = std::min<std::uint32_t>(
+        static_cast<std::uint32_t>(neighbors_.size()), config_.control_info_cap);
+    counters_.piggyback_info_bits +=
+        config_.control_info_base_bits + config_.control_info_per_entry_bits * entries;
+  }
+  AQUAMAC_LOG(log_, LogLevel::kDebug) << "tx " << frame.to_string();
+  modem_.transmit(frame);
+}
+
+void MacProtocol::complete_head_packet(bool via_extra) {
+  if (queue_.empty()) return;
+  counters_.packets_sent_ok += 1;
+  if (via_extra) counters_.extra_successes += 1;
+  queue_.pop_front();
+}
+
+void MacProtocol::drop_head_packet() {
+  if (queue_.empty()) return;
+  counters_.packets_dropped += 1;
+  const Packet& packet = queue_.front();
+  if (drop_handler_) drop_handler_(packet.dst, packet.e2e);
+  queue_.pop_front();
+}
+
+bool MacProtocol::deliver_data(const Frame& frame) {
+  const auto it = delivered_seq_high_.find(frame.src);
+  if (it != delivered_seq_high_.end() && frame.seq <= it->second) {
+    counters_.duplicate_deliveries += 1;
+    return false;
+  }
+  delivered_seq_high_[frame.src] = frame.seq;
+  counters_.packets_delivered += 1;
+  counters_.bits_delivered += frame.data_bits;
+  counters_.last_delivery_time = sim_.now();
+  if (delivery_handler_) delivery_handler_(frame);
+  return true;
+}
+
+void MacProtocol::on_frame_received(const Frame& frame, const RxInfo& raw_info) {
+  // Clock skew (or any timestamp corruption) can make the measured delay
+  // negative or larger than the physical maximum; a robust MAC clamps the
+  // reading to its physical range before trusting it anywhere.
+  RxInfo info = raw_info;
+  info.measured_delay = std::clamp(info.measured_delay, Duration::zero(), config_.tau_max);
+
+  // §4.3: every packet carries its sending timestamp; refresh the one-hop
+  // delay for the sender regardless of destination.
+  neighbors_.update(frame.src, info.measured_delay, sim_.now());
+  // Frames shipping neighbor info (CS-MAC negotiation packets) feed the
+  // two-hop table of everyone who hears them.
+  if (frame.neighbor_info) {
+    for (const NeighborInfo& entry : *frame.neighbor_info) {
+      if (entry.id != id()) {
+        neighbors_.update_two_hop(frame.src, entry.id, entry.delay, sim_.now());
+      }
+    }
+  }
+  counters_.count_received(frame);
+  AQUAMAC_LOG(log_, LogLevel::kDebug) << "rx " << frame.to_string();
+  handle_frame(frame, info);
+}
+
+void MacProtocol::on_rx_failure(const Frame& frame, RxOutcome outcome, const RxInfo& info) {
+  counters_.rx_collisions += 1;
+  handle_rx_failure(frame, outcome, info);
+}
+
+void MacProtocol::on_tx_done(const Frame& frame) { handle_tx_done(frame); }
+
+}  // namespace aquamac

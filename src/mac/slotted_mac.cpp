@@ -1,0 +1,3 @@
+// slotted_mac.hpp is header-only; this TU compiles it standalone under
+// the project's warning set.
+#include "mac/slotted_mac.hpp"

@@ -1,0 +1,103 @@
+#include "net/deployment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aquamac {
+
+DeploymentConfig table2_deployment() {
+  DeploymentConfig config{};
+  config.kind = DeploymentKind::kUniformBox;
+  config.width_m = 10'000.0;
+  config.length_m = 10'000.0;
+  config.depth_m = 10'000.0;
+  return config;
+}
+
+namespace {
+
+std::vector<Vec3> uniform_box(const DeploymentConfig& config, std::size_t count, Rng& rng) {
+  std::vector<Vec3> positions;
+  positions.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    positions.push_back(Vec3{rng.uniform(0.0, config.width_m), rng.uniform(0.0, config.length_m),
+                             rng.uniform(0.0, config.depth_m)});
+  }
+  return positions;
+}
+
+std::vector<Vec3> layered_column(const DeploymentConfig& config, std::size_t count, Rng& rng) {
+  const auto layers =
+      static_cast<std::size_t>(std::max(1.0, config.depth_m / config.layer_spacing_m));
+  std::vector<Vec3> positions;
+  positions.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t layer = i % layers;
+    const double depth = (static_cast<double>(layer) + 0.5) * config.layer_spacing_m +
+                         rng.uniform(-config.jitter_m, config.jitter_m);
+    positions.push_back(Vec3{rng.uniform(0.0, config.width_m), rng.uniform(0.0, config.length_m),
+                             std::max(0.0, depth)});
+  }
+  return positions;
+}
+
+std::vector<Vec3> jittered_grid(const DeploymentConfig& config, std::size_t count, Rng& rng) {
+  const auto side = static_cast<std::size_t>(std::ceil(std::cbrt(static_cast<double>(count))));
+  const double dx = config.width_m / static_cast<double>(side);
+  const double dy = config.length_m / static_cast<double>(side);
+  const double dz = config.depth_m / static_cast<double>(side);
+  std::vector<Vec3> positions;
+  positions.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t ix = i % side;
+    const std::size_t iy = (i / side) % side;
+    const std::size_t iz = i / (side * side);
+    positions.push_back(
+        Vec3{(static_cast<double>(ix) + 0.5) * dx + rng.uniform(-config.jitter_m, config.jitter_m),
+             (static_cast<double>(iy) + 0.5) * dy + rng.uniform(-config.jitter_m, config.jitter_m),
+             std::max(0.0, (static_cast<double>(iz) + 0.5) * dz +
+                               rng.uniform(-config.jitter_m, config.jitter_m))});
+  }
+  return positions;
+}
+
+}  // namespace
+
+std::vector<Vec3> generate_deployment(const DeploymentConfig& config, std::size_t count,
+                                      Rng& rng) {
+  switch (config.kind) {
+    case DeploymentKind::kUniformBox: return uniform_box(config, count, rng);
+    case DeploymentKind::kLayeredColumn: return layered_column(config, count, rng);
+    case DeploymentKind::kGrid: return jittered_grid(config, count, rng);
+  }
+  return {};
+}
+
+double mean_degree(const std::vector<Vec3>& positions, double range_m) {
+  if (positions.size() < 2) return 0.0;
+  std::size_t links = 0;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    for (std::size_t j = i + 1; j < positions.size(); ++j) {
+      if (positions[i].distance_to(positions[j]) <= range_m) links += 2;
+    }
+  }
+  return static_cast<double>(links) / static_cast<double>(positions.size());
+}
+
+double uphill_coverage(const std::vector<Vec3>& positions, double range_m) {
+  if (positions.empty()) return 0.0;
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    for (std::size_t j = 0; j < positions.size(); ++j) {
+      if (i == j) continue;
+      if (positions[j].z < positions[i].z &&
+          positions[i].distance_to(positions[j]) <= range_m) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(covered) / static_cast<double>(positions.size());
+}
+
+}  // namespace aquamac

@@ -1,0 +1,53 @@
+#pragma once
+// Sensor deployment generators.
+//
+// The paper deploys 60-200 sensors in a 1000 km^3 region (Table 2) with a
+// 1.5 km acoustic range, arranged as in Fig. 1: deeper sensors forward to
+// shallower ones toward surface sinks. Placing 60 nodes uniformly in
+// 10x10x10 km with a 1.5 km range yields a mean degree below one — a
+// disconnected network in which no MAC can be exercised — so the figure
+// reproductions default to a scaled region that preserves the *density
+// sweep* semantics (more nodes in a fixed volume => shorter neighbor
+// delays and less exploitable wait time). The paper-literal box remains
+// available. See DESIGN.md §5.
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/vec3.hpp"
+
+namespace aquamac {
+
+enum class DeploymentKind {
+  kUniformBox,     ///< uniform random in width x length x depth
+  kLayeredColumn,  ///< Fig.-1-style: depth layers under a sink region
+  kGrid,           ///< deterministic jittered 3-D grid (tests)
+};
+
+struct DeploymentConfig {
+  DeploymentKind kind{DeploymentKind::kUniformBox};
+  double width_m{4'000.0};
+  double length_m{4'000.0};
+  double depth_m{4'000.0};
+  /// kLayeredColumn: vertical spacing between layers.
+  double layer_spacing_m{1'000.0};
+  /// kGrid / kLayeredColumn: random jitter applied to each position.
+  double jitter_m{150.0};
+};
+
+/// Paper-literal Table 2 region: 10 x 10 x 10 km uniform box.
+[[nodiscard]] DeploymentConfig table2_deployment();
+
+/// Generates `count` sensor positions (z = depth, increasing downward).
+[[nodiscard]] std::vector<Vec3> generate_deployment(const DeploymentConfig& config,
+                                                    std::size_t count, Rng& rng);
+
+/// Mean number of neighbors within `range_m` (diagnostic used by tests
+/// and the harness to sanity-check connectivity).
+[[nodiscard]] double mean_degree(const std::vector<Vec3>& positions, double range_m);
+
+/// Fraction of nodes having at least one strictly shallower neighbor in
+/// range (i.e. able to route upward, Fig. 1).
+[[nodiscard]] double uphill_coverage(const std::vector<Vec3>& positions, double range_m);
+
+}  // namespace aquamac

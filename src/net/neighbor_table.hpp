@@ -1,0 +1,67 @@
+#pragma once
+// One-hop (and, for ROPA/CS-MAC, two-hop) neighbor propagation-delay
+// tables (§4.3).
+//
+// EW-MAC's rule: every received packet carries a sending timestamp; the
+// synchronized receiver computes the propagation delay as arrival minus
+// timestamp and refreshes the entry. Two-hop state is NOT kept by EW-MAC;
+// it exists here because the ROPA and CS-MAC baselines require it, and
+// the paper charges them for maintaining and transmitting it (§5.2, §5.3).
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "phy/frame.hpp"
+#include "util/time.hpp"
+
+namespace aquamac {
+
+class NeighborTable {
+ public:
+  struct Entry {
+    Duration delay{};
+    Time updated{};
+  };
+
+  /// Bits to encode one (id, delay) pair in a maintenance broadcast:
+  /// 16-bit id + 32-bit delay, the granularity the 64-bit control frames
+  /// of Table 2 imply.
+  static constexpr std::uint32_t kBitsPerEntry = 48;
+
+  void update(NodeId neighbor, Duration delay, Time now);
+
+  [[nodiscard]] std::optional<Duration> delay_to(NodeId neighbor) const;
+
+  [[nodiscard]] std::size_t size() const { return one_hop_.size(); }
+  [[nodiscard]] bool knows(NodeId neighbor) const { return one_hop_.contains(neighbor); }
+
+  /// Largest known one-hop delay (zero when empty).
+  [[nodiscard]] Duration max_known_delay() const;
+
+  [[nodiscard]] std::vector<NodeId> neighbor_ids() const;
+  [[nodiscard]] const std::unordered_map<NodeId, Entry>& entries() const { return one_hop_; }
+
+  /// Drops entries not refreshed since `horizon` (mobile networks).
+  void expire_older_than(Time horizon);
+
+  /// Payload size of a full one-hop table broadcast.
+  [[nodiscard]] std::uint32_t one_hop_info_bits() const {
+    return static_cast<std::uint32_t>(one_hop_.size()) * kBitsPerEntry;
+  }
+
+  // --- two-hop state (ROPA / CS-MAC only) ----------------------------
+  void update_two_hop(NodeId via, NodeId far, Duration delay, Time now);
+  [[nodiscard]] std::optional<Duration> two_hop_delay(NodeId via, NodeId far) const;
+  [[nodiscard]] std::size_t two_hop_size() const;
+  [[nodiscard]] std::uint32_t two_hop_info_bits() const {
+    return static_cast<std::uint32_t>(two_hop_size()) * kBitsPerEntry;
+  }
+
+ private:
+  std::unordered_map<NodeId, Entry> one_hop_;
+  std::unordered_map<NodeId, std::unordered_map<NodeId, Entry>> two_hop_;
+};
+
+}  // namespace aquamac

@@ -1,0 +1,278 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "channel/sound_speed.hpp"
+
+namespace aquamac {
+
+namespace {
+
+std::unique_ptr<PropagationModel> make_propagation(const ScenarioConfig& config) {
+  switch (config.propagation) {
+    case PropagationKind::kStraightLine:
+      return std::make_unique<StraightLinePropagation>(config.sound_speed_mps);
+    case PropagationKind::kBellhopLite:
+      // Mild downward-refracting gradient (0.017 1/s is the canonical
+      // deep-isothermal value) anchored at the configured surface speed.
+      return std::make_unique<BellhopLitePropagation>(
+          std::make_shared<LinearProfile>(config.sound_speed_mps, 0.017));
+  }
+  throw std::invalid_argument("unhandled PropagationKind");
+}
+
+std::unique_ptr<ReceptionModel> make_reception(const ScenarioConfig& config) {
+  switch (config.reception) {
+    case ReceptionKind::kDeterministic:
+      return std::make_unique<DeterministicCollisionModel>();
+    case ReceptionKind::kSinrPer:
+      return std::make_unique<SinrPerModel>(config.modulation);
+  }
+  throw std::invalid_argument("unhandled ReceptionKind");
+}
+
+}  // namespace
+
+Network::Network(Simulator& sim, const ScenarioConfig& config)
+    : sim_{sim}, config_{config}, rng_{config.seed} {
+  if (config_.node_count == 0) throw std::invalid_argument("node_count must be > 0");
+
+  propagation_ = make_propagation(config_);
+  reception_ = make_reception(config_);
+  channel_ = std::make_unique<AcousticChannel>(sim_, *propagation_, config_.channel);
+
+  // Slot sizing: tau_max is the max-range propagation delay (§4.1) unless
+  // the caller overrode the MacConfig default.
+  if (config_.mac_config.tau_max == Duration::seconds(1)) {
+    config_.mac_config.tau_max =
+        Duration::from_seconds(config_.channel.comm_range_m / config_.sound_speed_mps);
+  }
+
+  Rng deployment_rng = rng_.fork(0xDE9107);
+  initial_positions_ =
+      generate_deployment(config_.deployment, config_.node_count, deployment_rng);
+
+  ModemConfig modem_config{};
+  modem_config.bit_rate_bps = config_.bit_rate_bps;
+  modem_config.power = config_.power;
+
+  nodes_.reserve(config_.node_count);
+  for (std::size_t i = 0; i < config_.node_count; ++i) {
+    const auto id = static_cast<NodeId>(i);
+    auto node = std::make_unique<Node>(sim_, id, initial_positions_[i], modem_config,
+                                       *reception_, rng_.fork(0x40DE00 + i));
+    channel_->attach(node->modem());
+    if (config_.trace != nullptr) node->modem().set_trace(config_.trace);
+    if (config_.clock_offset_stddev_s > 0.0) {
+      Rng clock_rng = rng_.fork(0xC10C0 + i);
+      node->modem().set_clock_offset(
+          Duration::from_seconds(clock_rng.normal(0.0, config_.clock_offset_stddev_s)));
+    }
+
+    auto mac = make_mac(config_.mac, sim_, node->modem(), node->neighbors(),
+                        config_.mac_config, rng_.fork(0x3AC000 + i),
+                        config_.logger.with_tag("n" + std::to_string(i)));
+    node->set_mac(std::move(mac));
+
+    if (config_.enable_mobility) {
+      Rng mobility_rng = rng_.fork(0x30B000 + i);
+      MobilityConfig mobility_config = config_.mobility;
+      mobility_config.width_m = config_.deployment.width_m;
+      mobility_config.length_m = config_.deployment.length_m;
+      mobility_config.depth_m = config_.deployment.depth_m;
+      node->set_mobility(Mobility(Mobility::random_kind(mobility_rng), mobility_config,
+                                  initial_positions_[i], mobility_rng));
+    }
+    nodes_.push_back(std::move(node));
+  }
+
+  router_ = std::make_unique<UphillRouter>(initial_positions_, config_.channel.comm_range_m);
+
+  if (config_.multi_hop) {
+    // Sinks: the shallowest sink_fraction of nodes (at least one).
+    std::vector<NodeId> by_depth(config_.node_count);
+    for (std::size_t i = 0; i < config_.node_count; ++i) by_depth[i] = static_cast<NodeId>(i);
+    std::sort(by_depth.begin(), by_depth.end(), [this](NodeId a, NodeId b) {
+      return initial_positions_[a].z < initial_positions_[b].z;
+    });
+    const auto sink_count = std::max<std::size_t>(
+        1, static_cast<std::size_t>(config_.sink_fraction *
+                                    static_cast<double>(config_.node_count)));
+    std::vector<bool> is_sink(config_.node_count, false);
+    for (std::size_t i = 0; i < sink_count; ++i) is_sink[by_depth[i]] = true;
+
+    relays_.reserve(config_.node_count);
+    const UphillRouter* router = router_.get();
+    for (std::size_t i = 0; i < config_.node_count; ++i) {
+      const auto id = static_cast<NodeId>(i);
+      relays_.push_back(std::make_unique<RelayAgent>(
+          sim_, nodes_[i]->mac(), id, is_sink[id],
+          [router](NodeId self) { return router->shallowest_candidate(self); },
+          config_.hop_limit));
+    }
+  }
+
+  traffic_start_ = Time::zero() + config_.hello_window;
+  horizon_ = traffic_start_ + config_.sim_time;
+
+  // Traffic sources: the aggregate offered load is split across nodes
+  // that have at least one uphill neighbor (Fig. 1 semantics).
+  const double node_rate = per_node_packet_rate(config_.traffic, router_->source_count());
+  const std::size_t sources = router_->source_count();
+  std::uint32_t batch_per_source = 0;
+  std::uint32_t batch_remainder = 0;
+  if (sources > 0) {
+    batch_per_source = config_.traffic.batch_packets / static_cast<std::uint32_t>(sources);
+    batch_remainder = config_.traffic.batch_packets % static_cast<std::uint32_t>(sources);
+  }
+
+  std::uint32_t assigned_extra = 0;
+  for (std::size_t i = 0; i < config_.node_count; ++i) {
+    const auto id = static_cast<NodeId>(i);
+    if (router_->is_sink(id)) continue;
+    if (config_.multi_hop && relays_[i]->is_sink()) continue;
+    Rng traffic_rng = rng_.fork(0x7AFF00 + i);
+    Rng route_rng = rng_.fork(0x90E700 + i);
+    MacProtocol* mac = &nodes_[i]->mac();
+    const UphillRouter* router = router_.get();
+    TrafficSource::EmitFn emit;
+    if (config_.multi_hop) {
+      RelayAgent* relay_agent = relays_[i].get();
+      emit = [relay_agent](std::uint32_t bits) { relay_agent->originate(bits); };
+    } else {
+      emit = [mac, router, id, route_rng](std::uint32_t bits) mutable {
+        if (const auto dst = router->pick_destination(id, route_rng)) {
+          mac->enqueue_packet(*dst, bits);
+        }
+      };
+    }
+    auto source = std::make_unique<TrafficSource>(sim_, config_.traffic, node_rate,
+                                                  traffic_rng, std::move(emit));
+    std::uint32_t batch = batch_per_source;
+    if (assigned_extra < batch_remainder) {
+      ++batch;
+      ++assigned_extra;
+    }
+    source->start(traffic_start_, batch);
+    sources_.push_back(std::move(source));
+  }
+}
+
+void Network::schedule_hello_phase() {
+  // §4.3: each deployed sensor broadcasts a Hello with its timestamp.
+  // Rounds are spread uniformly over the hello window; later rounds fill
+  // entries whose first Hello collided.
+  Rng hello_rng = rng_.fork(0x4E110);
+  const double window_s = config_.hello_window.to_seconds();
+  const std::uint32_t rounds = std::max<std::uint32_t>(config_.hello_rounds, 1);
+  for (auto& node : nodes_) {
+    for (std::uint32_t round = 0; round < rounds; ++round) {
+      const double lo = window_s * round / rounds;
+      const double hi = window_s * (round + 1) / rounds - 0.05;
+      const Time when = Time::from_seconds(hello_rng.uniform(lo, std::max(lo, hi)));
+      MacProtocol* mac = &node->mac();
+      sim_.at(when, [mac] { mac->broadcast_hello(); });
+    }
+  }
+}
+
+void Network::schedule_mobility() {
+  if (!config_.enable_mobility) return;
+  const Duration step = config_.mobility.update_interval;
+  sim_.in(step, [this, step] {
+    for (auto& node : nodes_) node->advance_position(step);
+    if (sim_.now() + step <= horizon_) schedule_mobility();
+  });
+}
+
+void Network::start_traffic() {
+  for (auto& node : nodes_) node->mac().start();
+}
+
+RunStats Network::run() {
+  schedule_hello_phase();
+  schedule_mobility();
+  start_traffic();
+  if (config_.node_failure_fraction > 0.0) {
+    Rng failure_rng = rng_.fork(0xDEAD);
+    const auto casualties = static_cast<std::size_t>(
+        config_.node_failure_fraction * static_cast<double>(config_.node_count));
+    // Fisher-Yates prefix over node ids.
+    std::vector<NodeId> ids(config_.node_count);
+    for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<NodeId>(i);
+    for (std::size_t i = 0; i < casualties && i + 1 < ids.size(); ++i) {
+      const std::size_t j = i + failure_rng.below(ids.size() - i);
+      std::swap(ids[i], ids[j]);
+    }
+    const Time when = traffic_start_ + config_.node_failure_time;
+    for (std::size_t i = 0; i < casualties; ++i) {
+      AcousticModem* modem = &nodes_[ids[i]]->modem();
+      sim_.at(when, [modem] { modem->set_operational(false); });
+    }
+  }
+  if (config_.traffic.mode == TrafficMode::kBatch) {
+    // Poll in coarse steps; the step only bounds how late we notice
+    // completion, not any protocol timing.
+    const Duration step = Duration::seconds(5);
+    Time checkpoint = traffic_start_ + Duration::seconds(2);
+    while (checkpoint < horizon_) {
+      sim_.run_until(checkpoint);
+      if (workload_complete()) break;
+      checkpoint += step;
+    }
+    if (!workload_complete()) sim_.run_until(horizon_);
+  } else {
+    sim_.run_until(horizon_);
+  }
+  return stats();
+}
+
+bool Network::workload_complete() const {
+  for (const auto& node : nodes_) {
+    const MacCounters& c = node->mac().counters();
+    if (c.packets_sent_ok + c.packets_dropped < c.packets_offered) return false;
+  }
+  return true;
+}
+
+RunStats Network::stats() const {
+  MacCounters total{};
+  double energy_j = 0.0;
+  std::vector<double> per_source_acked;
+  const Duration elapsed = sim_.now() - Time::zero();
+  for (const auto& node : nodes_) {
+    const MacCounters& c = node->mac().counters();
+    total += c;
+    energy_j += node->modem().energy().energy_joules(elapsed);
+    if (c.packets_offered > 0) {
+      per_source_acked.push_back(static_cast<double>(c.packets_sent_ok));
+    }
+  }
+  RunStats stats = compute_run_stats(total, energy_j, nodes_.size(), elapsed,
+                                     config_.sim_time, traffic_start_);
+  stats.fairness_index = jain_fairness(per_source_acked);
+
+  if (!relays_.empty()) {
+    RelayCounters relay_total{};
+    for (const auto& relay_agent : relays_) relay_total += relay_agent->counters();
+    stats.e2e_originated = relay_total.originated;
+    stats.e2e_arrived_at_sink = relay_total.arrived_at_sink;
+    if (relay_total.originated > 0) {
+      stats.e2e_delivery_ratio = static_cast<double>(relay_total.arrived_at_sink) /
+                                 static_cast<double>(relay_total.originated);
+    }
+    if (relay_total.arrived_at_sink > 0) {
+      const auto arrived = static_cast<double>(relay_total.arrived_at_sink);
+      stats.mean_hops = static_cast<double>(relay_total.total_hops) / arrived;
+      stats.mean_e2e_latency_s = relay_total.total_e2e_latency.to_seconds() / arrived;
+    }
+  }
+  return stats;
+}
+
+double Network::deployed_mean_degree() const {
+  return mean_degree(initial_positions_, config_.channel.comm_range_m);
+}
+
+}  // namespace aquamac

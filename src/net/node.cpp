@@ -1,0 +1,3 @@
+// node.hpp is header-only; this TU compiles it standalone under the
+// project's warning set.
+#include "net/node.hpp"

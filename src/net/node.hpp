@@ -1,0 +1,48 @@
+#pragma once
+// A sensor node: modem + neighbor table + MAC + mobility, wired together.
+
+#include <memory>
+
+#include "mac/mac_protocol.hpp"
+#include "net/mobility.hpp"
+#include "net/neighbor_table.hpp"
+#include "phy/modem.hpp"
+
+namespace aquamac {
+
+class Node {
+ public:
+  Node(Simulator& sim, NodeId id, const Vec3& position, ModemConfig modem_config,
+       const ReceptionModel& reception, Rng modem_rng)
+      : modem_{sim, id, modem_config, reception, modem_rng} {
+    modem_.set_position(position);
+  }
+
+  [[nodiscard]] NodeId id() const { return modem_.id(); }
+  [[nodiscard]] AcousticModem& modem() { return modem_; }
+  [[nodiscard]] const AcousticModem& modem() const { return modem_; }
+  [[nodiscard]] NeighborTable& neighbors() { return neighbors_; }
+  [[nodiscard]] const NeighborTable& neighbors() const { return neighbors_; }
+
+  void set_mac(std::unique_ptr<MacProtocol> mac) { mac_ = std::move(mac); }
+  [[nodiscard]] MacProtocol& mac() { return *mac_; }
+  [[nodiscard]] const MacProtocol& mac() const { return *mac_; }
+  [[nodiscard]] bool has_mac() const { return mac_ != nullptr; }
+
+  void set_mobility(Mobility mobility) { mobility_ = mobility; }
+  [[nodiscard]] Mobility& mobility() { return mobility_; }
+
+  /// Advances the drift model and pushes the new position to the modem.
+  void advance_position(Duration dt) {
+    mobility_.advance(dt);
+    modem_.set_position(mobility_.position());
+  }
+
+ private:
+  AcousticModem modem_;
+  NeighborTable neighbors_;
+  std::unique_ptr<MacProtocol> mac_;
+  Mobility mobility_;
+};
+
+}  // namespace aquamac

@@ -1,0 +1,78 @@
+#include "net/relay.hpp"
+
+namespace aquamac {
+
+RelayCounters& RelayCounters::operator+=(const RelayCounters& o) {
+  originated += o.originated;
+  arrived_at_sink += o.arrived_at_sink;
+  forwarded += o.forwarded;
+  dropped_no_route += o.dropped_no_route;
+  dropped_hop_limit += o.dropped_hop_limit;
+  dropped_mac += o.dropped_mac;
+  total_e2e_latency += o.total_e2e_latency;
+  total_hops += o.total_hops;
+  return *this;
+}
+
+RelayAgent::RelayAgent(Simulator& sim, MacProtocol& mac, NodeId self, bool is_sink,
+                       NextHopFn next_hop, std::uint8_t hop_limit)
+    : sim_{sim},
+      mac_{mac},
+      self_{self},
+      is_sink_{is_sink},
+      next_hop_{std::move(next_hop)},
+      hop_limit_{hop_limit} {
+  mac_.set_delivery_handler([this](const Frame& frame) { on_delivery(frame); });
+  mac_.set_drop_handler([this](NodeId, const E2eHeader& e2e) {
+    if (e2e.origin != kNoNode) counters_.dropped_mac += 1;
+  });
+}
+
+void RelayAgent::originate(std::uint32_t payload_bits) {
+  const auto hop = next_hop_(self_);
+  if (!hop) {
+    counters_.dropped_no_route += 1;
+    return;
+  }
+  E2eHeader e2e{};
+  e2e.origin = self_;
+  e2e.final_dst = kBroadcast;  // "any sink" — absorbed by the first sink
+  e2e.hop_count = 1;
+  e2e.e2e_id = (static_cast<std::uint64_t>(self_) << 32) | next_e2e_id_++;
+  e2e.created_at = sim_.now();
+  counters_.originated += 1;
+  mac_.enqueue_packet(*hop, payload_bits, e2e);
+}
+
+void RelayAgent::on_delivery(const Frame& frame) {
+  if (frame.origin == kNoNode) return;  // single-hop traffic: not ours
+  if (is_sink_) {
+    counters_.arrived_at_sink += 1;
+    counters_.total_e2e_latency += sim_.now() - frame.created_at;
+    counters_.total_hops += frame.hop_count;
+    return;
+  }
+  forward(frame);
+}
+
+void RelayAgent::forward(const Frame& frame) {
+  if (frame.hop_count >= hop_limit_) {
+    counters_.dropped_hop_limit += 1;
+    return;
+  }
+  const auto hop = next_hop_(self_);
+  if (!hop) {
+    counters_.dropped_no_route += 1;
+    return;
+  }
+  E2eHeader e2e{};
+  e2e.origin = frame.origin;
+  e2e.final_dst = frame.final_dst;
+  e2e.hop_count = static_cast<std::uint8_t>(frame.hop_count + 1);
+  e2e.e2e_id = frame.e2e_id;
+  e2e.created_at = frame.created_at;
+  counters_.forwarded += 1;
+  mac_.enqueue_packet(*hop, frame.data_bits, e2e);
+}
+
+}  // namespace aquamac

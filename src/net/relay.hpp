@@ -1,0 +1,63 @@
+#pragma once
+// Multi-hop relay layer (§3.1/Fig. 1: "sensors must transmit sensing
+// information to surface sinks via multi-hop transmission").
+//
+// One RelayAgent sits above each node's MAC. Origins stamp an E2eHeader;
+// every intermediate delivery re-enqueues the packet toward the next
+// shallower hop; sinks absorb and account. The MAC below stays exactly
+// the paper's one-hop protocol — relaying is pure composition through the
+// MAC's delivery/drop handlers.
+
+#include <cstdint>
+#include <functional>
+
+#include "mac/mac_protocol.hpp"
+#include "net/routing.hpp"
+#include "util/rng.hpp"
+
+namespace aquamac {
+
+/// Network-layer counters, aggregated by Network::stats in multi-hop mode.
+struct RelayCounters {
+  std::uint64_t originated{0};       ///< packets stamped at this origin
+  std::uint64_t arrived_at_sink{0};  ///< packets absorbed here as sink
+  std::uint64_t forwarded{0};        ///< intermediate re-enqueues
+  std::uint64_t dropped_no_route{0}; ///< no shallower neighbor available
+  std::uint64_t dropped_hop_limit{0};
+  std::uint64_t dropped_mac{0};      ///< MAC exhausted retries on a hop
+  Duration total_e2e_latency{};      ///< summed over sink arrivals
+  std::uint64_t total_hops{0};       ///< summed over sink arrivals
+
+  RelayCounters& operator+=(const RelayCounters& o);
+};
+
+class RelayAgent {
+ public:
+  /// `is_sink`: this node absorbs packets. `next_hop`: shallowest-first
+  /// forwarding choice, nullopt when no shallower neighbor exists.
+  using NextHopFn = std::function<std::optional<NodeId>(NodeId self)>;
+
+  RelayAgent(Simulator& sim, MacProtocol& mac, NodeId self, bool is_sink, NextHopFn next_hop,
+             std::uint8_t hop_limit = 16);
+
+  /// Origin-side entry: stamps the header and enqueues the first hop.
+  void originate(std::uint32_t payload_bits);
+
+  [[nodiscard]] const RelayCounters& counters() const { return counters_; }
+  [[nodiscard]] bool is_sink() const { return is_sink_; }
+
+ private:
+  void on_delivery(const Frame& frame);
+  void forward(const Frame& frame);
+
+  Simulator& sim_;
+  MacProtocol& mac_;
+  NodeId self_;
+  bool is_sink_;
+  NextHopFn next_hop_;
+  std::uint8_t hop_limit_;
+  std::uint64_t next_e2e_id_{1};
+  RelayCounters counters_;
+};
+
+}  // namespace aquamac

@@ -1,0 +1,44 @@
+#include "net/routing.hpp"
+
+namespace aquamac {
+
+UphillRouter::UphillRouter(const std::vector<Vec3>& positions, double range_m) {
+  candidates_.resize(positions.size());
+  depths_.reserve(positions.size());
+  for (const Vec3& p : positions) depths_.push_back(p.z);
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    for (std::size_t j = 0; j < positions.size(); ++j) {
+      if (i == j) continue;
+      if (positions[j].z < positions[i].z &&
+          positions[i].distance_to(positions[j]) <= range_m) {
+        candidates_[i].push_back(static_cast<NodeId>(j));
+      }
+    }
+  }
+}
+
+std::optional<NodeId> UphillRouter::pick_destination(NodeId src, Rng& rng) const {
+  const auto& options = candidates_.at(src);
+  if (options.empty()) return std::nullopt;
+  return options[rng.below(options.size())];
+}
+
+std::optional<NodeId> UphillRouter::shallowest_candidate(NodeId src) const {
+  const auto& options = candidates_.at(src);
+  if (options.empty()) return std::nullopt;
+  NodeId best = options.front();
+  for (const NodeId candidate : options) {
+    if (depths_[candidate] < depths_[best]) best = candidate;
+  }
+  return best;
+}
+
+std::size_t UphillRouter::source_count() const {
+  std::size_t n = 0;
+  for (const auto& options : candidates_) {
+    if (!options.empty()) ++n;
+  }
+  return n;
+}
+
+}  // namespace aquamac

@@ -1,0 +1,40 @@
+#pragma once
+// Upward next-hop selection (Fig. 1): sensors at greater depth transmit
+// to sensors closer to the surface. Candidate sets are computed from the
+// deployment ground truth once at build time; per-packet destinations are
+// drawn uniformly from a node's uphill candidates, spreading contention
+// the way the paper's many-senders evaluation requires. Nodes with no
+// shallower in-range neighbor act as sinks and generate no traffic.
+
+#include <optional>
+#include <vector>
+
+#include "phy/frame.hpp"
+#include "util/rng.hpp"
+#include "util/vec3.hpp"
+
+namespace aquamac {
+
+class UphillRouter {
+ public:
+  UphillRouter(const std::vector<Vec3>& positions, double range_m);
+
+  /// Uniformly random uphill candidate; nullopt for sink nodes.
+  [[nodiscard]] std::optional<NodeId> pick_destination(NodeId src, Rng& rng) const;
+
+  /// Deterministic greedy next hop: the shallowest in-range neighbor
+  /// (multi-hop forwarding toward the surface, Fig. 1).
+  [[nodiscard]] std::optional<NodeId> shallowest_candidate(NodeId src) const;
+
+  [[nodiscard]] const std::vector<NodeId>& candidates(NodeId src) const {
+    return candidates_.at(src);
+  }
+  [[nodiscard]] bool is_sink(NodeId node) const { return candidates_.at(node).empty(); }
+  [[nodiscard]] std::size_t source_count() const;
+
+ private:
+  std::vector<std::vector<NodeId>> candidates_;
+  std::vector<double> depths_;
+};
+
+}  // namespace aquamac

@@ -1,0 +1,3 @@
+// energy.hpp is header-only; this TU compiles it standalone under the
+// project's warning set.
+#include "phy/energy.hpp"

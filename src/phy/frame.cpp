@@ -1,0 +1,36 @@
+#include "phy/frame.hpp"
+
+#include <sstream>
+
+namespace aquamac {
+
+std::string_view to_string(FrameType type) {
+  switch (type) {
+    case FrameType::kHello: return "HELLO";
+    case FrameType::kRts: return "RTS";
+    case FrameType::kCts: return "CTS";
+    case FrameType::kData: return "DATA";
+    case FrameType::kAck: return "ACK";
+    case FrameType::kExr: return "EXR";
+    case FrameType::kExc: return "EXC";
+    case FrameType::kExData: return "EXDATA";
+    case FrameType::kExAck: return "EXACK";
+    case FrameType::kRta: return "RTA";
+    case FrameType::kMaint: return "MAINT";
+  }
+  return "?";
+}
+
+std::string Frame::to_string() const {
+  std::ostringstream os;
+  os << aquamac::to_string(type) << " " << src << "->";
+  if (dst == kBroadcast) {
+    os << "*";
+  } else {
+    os << dst;
+  }
+  os << " seq=" << seq << " bits=" << size_bits << " " << sent_at.to_string();
+  return os.str();
+}
+
+}  // namespace aquamac

@@ -1,0 +1,131 @@
+#include "phy/modem.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "channel/acoustic_channel.hpp"
+
+namespace aquamac {
+
+AcousticModem::AcousticModem(Simulator& sim, NodeId id, ModemConfig config,
+                             const ReceptionModel& reception, Rng rng)
+    : sim_{sim}, id_{id}, config_{config}, reception_{reception}, rng_{rng} {}
+
+bool AcousticModem::transmitting() const { return sim_.now() < current_tx_end_; }
+
+void AcousticModem::transmit(Frame frame) {
+  if (channel_ == nullptr) throw std::logic_error("modem not attached to a channel");
+  if (!operational_) return;  // dead nodes radiate nothing
+  if (transmitting()) {
+    throw std::logic_error("half-duplex violation: node " + std::to_string(id_) +
+                           " transmit() while already transmitting " +
+                           sim_.now().to_string());
+  }
+  if (frame.size_bits == 0) throw std::logic_error("transmit of zero-size frame");
+
+  frame.src = id_;
+  frame.sent_at = sim_.now() + clock_offset_;
+  const Duration dur = airtime(frame.size_bits);
+  const TimeInterval window{sim_.now(), sim_.now() + dur};
+  tx_windows_.push_back(window);
+  current_tx_end_ = window.end;
+  energy_.add_tx_time(dur);
+  ++frames_sent_;
+
+  trace_event(TraceEventKind::kTxStart, frame, RxOutcome::kSuccess);
+  channel_->start_transmission(*this, frame, dur);
+
+  sim_.at(window.end, [this, frame] {
+    if (listener_ != nullptr) listener_->on_tx_done(frame);
+  });
+}
+
+void AcousticModem::trace_event(TraceEventKind kind, const Frame& frame,
+                                RxOutcome outcome) const {
+  if (trace_ == nullptr) return;
+  TraceEvent event{};
+  event.kind = kind;
+  event.at = sim_.now();
+  event.node = id_;
+  event.frame_type = frame.type;
+  event.src = frame.src;
+  event.dst = frame.dst;
+  event.seq = frame.seq;
+  event.bits = frame.size_bits;
+  event.outcome = outcome;
+  trace_->record(event);
+}
+
+void AcousticModem::begin_arrival(const Frame& frame, double rx_level_db, TimeInterval window,
+                                  double noise_level_db, double detection_threshold_db) {
+  if (!operational_) return;  // dead nodes hear nothing
+  prune_ledgers();
+  const std::uint64_t arrival_id = next_arrival_id_++;
+  arrivals_.push_back(Arrival{arrival_id, frame, rx_level_db, window, noise_level_db,
+                              detection_threshold_db});
+  sim_.at(window.end, [this, arrival_id] { finish_arrival(arrival_id); });
+}
+
+void AcousticModem::finish_arrival(std::uint64_t arrival_id) {
+  const auto it = std::find_if(arrivals_.begin(), arrivals_.end(),
+                               [arrival_id](const Arrival& a) { return a.id == arrival_id; });
+  assert(it != arrivals_.end() && "arrival pruned before its end event");
+  const Arrival arrival = *it;  // copy: ledger may be consulted below
+
+  ReceptionContext ctx{};
+  ctx.rx_level_db = arrival.rx_level_db;
+  ctx.noise_level_db = arrival.noise_level_db;
+  ctx.bits = arrival.frame.size_bits;
+  ctx.detection_threshold_db = arrival.detection_threshold_db;
+  for (const Arrival& other : arrivals_) {
+    if (other.id != arrival.id && other.window.overlaps(arrival.window)) {
+      ctx.interferer_levels_db.push_back(other.rx_level_db);
+    }
+  }
+  for (const TimeInterval& tx : tx_windows_) {
+    if (tx.overlaps(arrival.window)) {
+      ctx.receiver_transmitted = true;
+      break;
+    }
+  }
+
+  const RxOutcome outcome = reception_.decide(ctx, rng_);
+
+  // Active-receive energy: the union of arrival windows, tracked with a
+  // watermark so overlapping arrivals are not double-billed.
+  const Time billed_from = std::max(arrival.window.begin, last_rx_accounted_until_);
+  if (arrival.window.end > billed_from) {
+    energy_.add_rx_time(arrival.window.end - billed_from);
+    last_rx_accounted_until_ = arrival.window.end;
+  }
+
+  RxInfo info{};
+  info.arrival_begin = arrival.window.begin;
+  info.arrival_end = arrival.window.end;
+  info.rx_level_db = arrival.rx_level_db;
+  // The receiver reads its own (possibly offset) clock at arrival.
+  info.measured_delay = (arrival.window.begin + clock_offset_) - arrival.frame.sent_at;
+
+  if (outcome == RxOutcome::kSuccess) {
+    ++frames_received_;
+    trace_event(TraceEventKind::kRxOk, arrival.frame, outcome);
+    if (listener_ != nullptr) listener_->on_frame_received(arrival.frame, info);
+  } else if (outcome != RxOutcome::kBelowThreshold) {
+    ++rx_losses_;
+    trace_event(TraceEventKind::kRxLost, arrival.frame, outcome);
+    if (listener_ != nullptr) listener_->on_rx_failure(arrival.frame, outcome, info);
+  }
+  // kBelowThreshold arrivals are interference-only: never seen by the MAC
+  // and not counted as losses (the receiver was simply out of comm range).
+}
+
+void AcousticModem::prune_ledgers() {
+  const Time now = sim_.now();
+  // Strict '<' keeps windows ending exactly now: they can still overlap
+  // arrivals judged at this same instant.
+  std::erase_if(arrivals_, [now](const Arrival& a) { return a.window.end < now; });
+  std::erase_if(tx_windows_, [now](const TimeInterval& w) { return w.end < now; });
+}
+
+}  // namespace aquamac

@@ -1,0 +1,55 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace aquamac {
+
+EventHandle EventQueue::push(Time when, Callback fn) {
+  assert(fn && "scheduling a null callback");
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{when, seq});
+  callbacks_.emplace(seq, std::move(fn));
+  ++live_count_;
+  return EventHandle{seq};
+}
+
+bool EventQueue::cancel(EventHandle handle) {
+  if (handle.is_null()) return false;
+  auto it = callbacks_.find(handle.id());
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::drop_cancelled_front() {
+  while (!heap_.empty() && !callbacks_.contains(heap_.top().seq)) heap_.pop();
+}
+
+Time EventQueue::next_time() {
+  drop_cancelled_front();
+  assert(!heap_.empty());
+  return heap_.top().when;
+}
+
+EventQueue::PoppedEvent EventQueue::pop() {
+  drop_cancelled_front();
+  assert(!heap_.empty());
+  const Entry entry = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(entry.seq);
+  assert(it != callbacks_.end());
+  PoppedEvent popped{entry.when, std::move(it->second)};
+  callbacks_.erase(it);
+  --live_count_;
+  return popped;
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+  callbacks_.clear();
+  live_count_ = 0;
+}
+
+}  // namespace aquamac

@@ -1,0 +1,85 @@
+#pragma once
+// Cancellable pending-event queue for the discrete-event engine.
+//
+// A binary heap keyed by (time, insertion sequence) gives a total,
+// deterministic order: events scheduled for the same instant fire in the
+// order they were scheduled. Cancellation is lazy — cancelled entries are
+// skipped on pop — with periodic compaction so a cancel-heavy workload
+// (e.g. MAC timers) cannot grow the heap unboundedly.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace aquamac {
+
+/// Opaque handle identifying a scheduled event; valid until it fires or is
+/// cancelled. Default-constructed handles are null.
+class EventHandle {
+ public:
+  constexpr EventHandle() = default;
+  [[nodiscard]] constexpr bool is_null() const { return id_ == 0; }
+  [[nodiscard]] constexpr std::uint64_t id() const { return id_; }
+  constexpr bool operator==(const EventHandle&) const = default;
+
+ private:
+  friend class EventQueue;
+  constexpr explicit EventHandle(std::uint64_t id) : id_{id} {}
+  std::uint64_t id_{0};
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+
+  /// Schedules `fn` at absolute time `when`. O(log n).
+  EventHandle push(Time when, Callback fn);
+
+  /// Cancels a pending event; returns false if the event already fired,
+  /// was already cancelled, or the handle is null. O(1) amortized.
+  bool cancel(EventHandle handle);
+
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_count_; }
+
+  /// Time of the earliest live event. Requires !empty().
+  [[nodiscard]] Time next_time();
+
+  /// Removes and returns the earliest live event. Requires !empty().
+  struct PoppedEvent {
+    Time when;
+    Callback fn;
+  };
+  PoppedEvent pop();
+
+  void clear();
+
+ private:
+  struct Entry {
+    Time when;
+    std::uint64_t seq;
+    // Ordering for max-heap adapted to min-priority: later time = lower
+    // priority; ties broken by insertion sequence (earlier first).
+    bool operator<(const Entry& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+
+  void drop_cancelled_front();
+
+  std::priority_queue<Entry> heap_;
+  // Callbacks stored out-of-heap so Entry stays trivially movable; keyed
+  // by sequence number. A cancelled entry's callback is erased eagerly.
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::size_t live_count_{0};
+  std::uint64_t next_seq_{1};
+};
+
+}  // namespace aquamac

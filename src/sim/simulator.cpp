@@ -1,0 +1,32 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace aquamac {
+
+EventHandle Simulator::at(Time when, EventQueue::Callback fn) {
+  if (when < now_) {
+    throw std::logic_error("Simulator::at: scheduling into the past (" + when.to_string() +
+                           " < " + now_.to_string() + ")");
+  }
+  return queue_.push(when, std::move(fn));
+}
+
+std::uint64_t Simulator::run_until(Time until) {
+  stop_requested_ = false;
+  std::uint64_t fired = 0;
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.next_time() > until) break;
+    auto [when, fn] = queue_.pop();
+    assert(when >= now_);
+    now_ = when;
+    fn();
+    ++fired;
+    ++events_executed_;
+  }
+  if (now_ < until && until != Time::max()) now_ = until;
+  return fired;
+}
+
+}  // namespace aquamac

@@ -1,0 +1,63 @@
+#pragma once
+// The discrete-event simulator: a clock plus the pending-event queue.
+//
+// One Simulator instance exists per run; every component (channel, modem,
+// MAC, traffic source) holds a reference and schedules work through it.
+// There is deliberately no global/singleton instance — runs are isolated
+// and reproducible from (scenario, seed) alone.
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "util/logging.hpp"
+#include "util/time.hpp"
+
+namespace aquamac {
+
+class Simulator {
+ public:
+  explicit Simulator(Logger logger = Logger::off()) : logger_{std::move(logger)} {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time. Monotonically non-decreasing.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `when`; `when` must not precede now().
+  EventHandle at(Time when, EventQueue::Callback fn);
+
+  /// Schedules `fn` after `delay` (>= 0) from now.
+  EventHandle in(Duration delay, EventQueue::Callback fn) {
+    return at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event; false if it already fired or was cancelled.
+  bool cancel(EventHandle handle) { return queue_.cancel(handle); }
+
+  /// Runs events until the queue drains or `until` is passed; the clock is
+  /// left at min(until, last event time). Returns number of events fired.
+  std::uint64_t run_until(Time until);
+
+  /// Runs until the queue drains completely.
+  std::uint64_t run() { return run_until(Time::max()); }
+
+  /// Requests that the run loop stop after the current event.
+  void stop() { stop_requested_ = true; }
+
+  [[nodiscard]] bool has_pending() const { return !queue_.empty(); }
+  [[nodiscard]] std::size_t pending_count() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t events_executed() const { return events_executed_; }
+
+  [[nodiscard]] const Logger& logger() const { return logger_; }
+
+ private:
+  EventQueue queue_;
+  Time now_{Time::zero()};
+  bool stop_requested_{false};
+  std::uint64_t events_executed_{0};
+  Logger logger_;
+};
+
+}  // namespace aquamac

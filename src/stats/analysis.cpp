@@ -1,0 +1,199 @@
+#include "stats/analysis.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace aquamac {
+
+namespace {
+
+Duration airtime_of(const TraceEvent& event, double bit_rate_bps) {
+  return Duration::from_seconds(static_cast<double>(event.bits) / bit_rate_bps);
+}
+
+}  // namespace
+
+UtilizationReport channel_utilization(const MemoryTrace& trace, TimeInterval span,
+                                      double bit_rate_bps) {
+  UtilizationReport report{};
+  std::vector<TimeInterval> windows;
+  for (const TraceEvent& event : trace.events()) {
+    if (event.kind != TraceEventKind::kTxStart) continue;
+    const TimeInterval window{event.at, event.at + airtime_of(event, bit_rate_bps)};
+    if (!window.overlaps(span)) continue;
+    windows.push_back(TimeInterval{std::max(window.begin, span.begin),
+                                   std::min(window.end, span.end)});
+    report.total_airtime += windows.back().length();
+    report.transmissions += 1;
+  }
+  std::sort(windows.begin(), windows.end(),
+            [](const TimeInterval& a, const TimeInterval& b) { return a.begin < b.begin; });
+  Time cursor = span.begin;
+  for (const TimeInterval& w : windows) {
+    const Time from = std::max(w.begin, cursor);
+    if (w.end > from) {
+      report.busy_time += w.end - from;
+      cursor = w.end;
+    }
+  }
+  const double span_s = span.length().to_seconds();
+  if (span_s > 0.0) report.busy_fraction = report.busy_time.to_seconds() / span_s;
+  return report;
+}
+
+AirtimeBreakdown airtime_breakdown(const MemoryTrace& trace, double bit_rate_bps) {
+  double data_s = 0.0;
+  double control_s = 0.0;
+  double discovery_s = 0.0;
+  for (const TraceEvent& event : trace.events()) {
+    if (event.kind != TraceEventKind::kTxStart) continue;
+    const double airtime = airtime_of(event, bit_rate_bps).to_seconds();
+    switch (event.frame_type) {
+      case FrameType::kData:
+      case FrameType::kExData:
+        data_s += airtime;
+        break;
+      case FrameType::kHello:
+      case FrameType::kMaint:
+        discovery_s += airtime;
+        break;
+      default:
+        control_s += airtime;
+        break;
+    }
+  }
+  const double total = data_s + control_s + discovery_s;
+  if (total <= 0.0) return {};
+  return AirtimeBreakdown{data_s / total, control_s / total, discovery_s / total};
+}
+
+LossReport loss_report(const MemoryTrace& trace) {
+  LossReport report{};
+  for (const TraceEvent& event : trace.events()) {
+    if (event.kind == TraceEventKind::kRxOk) {
+      report.receptions_ok += 1;
+    } else if (event.kind == TraceEventKind::kRxLost) {
+      switch (event.outcome) {
+        case RxOutcome::kCollision: report.collisions += 1; break;
+        case RxOutcome::kHalfDuplexLoss: report.half_duplex += 1; break;
+        case RxOutcome::kChannelError: report.channel_errors += 1; break;
+        default: break;
+      }
+    }
+  }
+  return report;
+}
+
+std::map<NodeId, NodeActivity> node_activity(const MemoryTrace& trace) {
+  std::map<NodeId, NodeActivity> activity;
+  for (const TraceEvent& event : trace.events()) {
+    NodeActivity& node = activity[event.node];
+    switch (event.kind) {
+      case TraceEventKind::kTxStart: node.frames_sent += 1; break;
+      case TraceEventKind::kRxOk: node.frames_received += 1; break;
+      case TraceEventKind::kRxLost: node.losses_seen += 1; break;
+    }
+  }
+  return activity;
+}
+
+HandshakeReport reconstruct_handshakes(const MemoryTrace& trace) {
+  HandshakeReport report{};
+  struct Key {
+    NodeId initiator;
+    NodeId responder;
+    std::uint64_t seq;
+    auto operator<=>(const Key&) const = default;
+  };
+  enum class Stage { kRtsSent, kCtsSeen, kDataSeen };
+  struct State {
+    Stage stage;
+    Time started;
+  };
+  std::map<Key, State> open;
+
+  for (const TraceEvent& event : trace.events()) {
+    if (event.kind == TraceEventKind::kTxStart && event.frame_type == FrameType::kRts) {
+      report.rts_sent += 1;
+      open[Key{event.src, event.dst, event.seq}] = State{Stage::kRtsSent, event.at};
+      continue;
+    }
+    // Progress is marked on *receptions at the intended party*.
+    if (event.kind != TraceEventKind::kRxOk || event.node != event.dst) continue;
+    switch (event.frame_type) {
+      case FrameType::kCts: {
+        const auto it = open.find(Key{event.dst, event.src, event.seq});
+        if (it != open.end() && it->second.stage == Stage::kRtsSent) {
+          it->second.stage = Stage::kCtsSeen;
+        }
+        break;
+      }
+      case FrameType::kData: {
+        const auto it = open.find(Key{event.src, event.dst, event.seq});
+        if (it != open.end() && it->second.stage == Stage::kCtsSeen) {
+          it->second.stage = Stage::kDataSeen;
+        }
+        break;
+      }
+      case FrameType::kAck: {
+        const auto it = open.find(Key{event.dst, event.src, event.seq});
+        if (it != open.end() && it->second.stage == Stage::kDataSeen) {
+          report.completed += 1;
+          report.mean_duration += event.at - it->second.started;
+          report.durations_s.add((event.at - it->second.started).to_seconds());
+          open.erase(it);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  if (report.rts_sent > 0) {
+    report.completion_ratio =
+        static_cast<double>(report.completed) / static_cast<double>(report.rts_sent);
+  }
+  if (report.completed > 0) {
+    report.mean_duration = Duration::nanoseconds(report.mean_duration.count_ns() /
+                                                 static_cast<std::int64_t>(report.completed));
+  }
+  return report;
+}
+
+std::string analysis_report(const MemoryTrace& trace, TimeInterval span,
+                            double bit_rate_bps) {
+  std::ostringstream os;
+  const UtilizationReport util = channel_utilization(trace, span, bit_rate_bps);
+  os << "Channel utilization\n"
+     << "  transmissions      " << util.transmissions << "\n"
+     << "  busy fraction      " << util.busy_fraction << "\n"
+     << "  radiated airtime   " << util.total_airtime.to_seconds() << " s\n";
+
+  const AirtimeBreakdown breakdown = airtime_breakdown(trace, bit_rate_bps);
+  os << "Airtime shares\n"
+     << "  data               " << breakdown.data << "\n"
+     << "  control            " << breakdown.control << "\n"
+     << "  discovery          " << breakdown.discovery << "\n";
+
+  const LossReport losses = loss_report(trace);
+  os << "Receptions\n"
+     << "  ok                 " << losses.receptions_ok << "\n"
+     << "  collisions         " << losses.collisions << "\n"
+     << "  half-duplex        " << losses.half_duplex << "\n"
+     << "  channel errors     " << losses.channel_errors << "\n"
+     << "  loss ratio         " << losses.loss_ratio() << "\n";
+
+  const HandshakeReport handshakes = reconstruct_handshakes(trace);
+  os << "Handshakes (RTS..ACK chains)\n"
+     << "  RTS sent           " << handshakes.rts_sent << "\n"
+     << "  completed          " << handshakes.completed << "\n"
+     << "  completion ratio   " << handshakes.completion_ratio << "\n"
+     << "  mean duration      " << handshakes.mean_duration.to_seconds() << " s\n";
+  if (!handshakes.durations_s.empty()) {
+    os << "  p50 / p95          " << handshakes.durations_s.percentile(50.0) << " / "
+       << handshakes.durations_s.percentile(95.0) << " s\n";
+  }
+  return os.str();
+}
+
+}  // namespace aquamac

@@ -1,0 +1,83 @@
+#pragma once
+// Trace-driven post-run analysis: channel utilization, airtime breakdown
+// by frame class, loss anatomy, per-node activity, and handshake
+// reconstruction. Everything is computed from the structured PHY trace —
+// the same evidence an external observer (or a plot script reading the
+// CSV) would have — so it double-checks the protocols' own counters.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stats/trace.hpp"
+#include "util/samples.hpp"
+
+namespace aquamac {
+
+/// Fraction of [begin, end) during which at least one node was radiating,
+/// computed from kTxStart events and frame airtimes at `bit_rate_bps`.
+struct UtilizationReport {
+  double busy_fraction{0.0};
+  Duration total_airtime{};   ///< sum over transmissions (can exceed span)
+  Duration busy_time{};       ///< union of transmission windows
+  std::uint64_t transmissions{0};
+};
+
+[[nodiscard]] UtilizationReport channel_utilization(const MemoryTrace& trace,
+                                                    TimeInterval span,
+                                                    double bit_rate_bps = 12'000.0);
+
+/// Airtime share per frame class, as fractions of total radiated airtime.
+struct AirtimeBreakdown {
+  double data{0.0};      ///< DATA + EXDATA
+  double control{0.0};   ///< RTS/CTS/ACK + extra control + RTA
+  double discovery{0.0}; ///< HELLO + MAINT
+};
+
+[[nodiscard]] AirtimeBreakdown airtime_breakdown(const MemoryTrace& trace,
+                                                 double bit_rate_bps = 12'000.0);
+
+/// Loss anatomy: how many receptions failed, by cause.
+struct LossReport {
+  std::uint64_t receptions_ok{0};
+  std::uint64_t collisions{0};
+  std::uint64_t half_duplex{0};
+  std::uint64_t channel_errors{0};
+  [[nodiscard]] std::uint64_t total_lost() const {
+    return collisions + half_duplex + channel_errors;
+  }
+  [[nodiscard]] double loss_ratio() const {
+    const auto total = receptions_ok + total_lost();
+    return total > 0 ? static_cast<double>(total_lost()) / static_cast<double>(total) : 0.0;
+  }
+};
+
+[[nodiscard]] LossReport loss_report(const MemoryTrace& trace);
+
+/// Per-node transmit/receive activity, for spotting hot spots.
+struct NodeActivity {
+  std::uint64_t frames_sent{0};
+  std::uint64_t frames_received{0};
+  std::uint64_t losses_seen{0};
+};
+
+[[nodiscard]] std::map<NodeId, NodeActivity> node_activity(const MemoryTrace& trace);
+
+/// Reconstructed four-way handshakes, matched by (initiator, responder,
+/// seq) across RTS -> CTS -> DATA -> ACK receptions.
+struct HandshakeReport {
+  std::uint64_t rts_sent{0};
+  std::uint64_t completed{0};            ///< full RTS..ACK chains observed
+  double completion_ratio{0.0};
+  Duration mean_duration{};              ///< RTS tx start -> ACK reception
+  Samples durations_s{};                 ///< per-chain durations (seconds)
+};
+
+[[nodiscard]] HandshakeReport reconstruct_handshakes(const MemoryTrace& trace);
+
+/// Human-readable multi-section report (examples/trace_analysis).
+[[nodiscard]] std::string analysis_report(const MemoryTrace& trace, TimeInterval span,
+                                          double bit_rate_bps = 12'000.0);
+
+}  // namespace aquamac

@@ -1,0 +1,35 @@
+#include "stats/capacity.hpp"
+
+namespace aquamac {
+
+Duration capacity_slot_length(const CapacityParams& params) {
+  const Duration omega =
+      Duration::from_seconds(static_cast<double>(params.control_bits) / params.bit_rate_bps);
+  return omega + params.tau_max;
+}
+
+std::int64_t exchange_slots(const CapacityParams& params) {
+  const Duration slot = capacity_slot_length(params);
+  const Duration data_airtime =
+      Duration::from_seconds(static_cast<double>(params.data_bits) / params.bit_rate_bps);
+  const std::int64_t data_occupancy = (data_airtime + params.tau_max).divide_ceil(slot);
+  return 2 + data_occupancy + 1;  // RTS + CTS + data + ACK
+}
+
+double single_domain_handshake_capacity_kbps(const CapacityParams& params) {
+  const double cycle_s =
+      capacity_slot_length(params).to_seconds() * static_cast<double>(exchange_slots(params));
+  return static_cast<double>(params.data_bits) / cycle_s / 1'000.0;
+}
+
+double ewmac_capacity_upper_bound_kbps(const CapacityParams& params,
+                                       std::uint32_t extras_per_exchange) {
+  return single_domain_handshake_capacity_kbps(params) *
+         (1.0 + static_cast<double>(extras_per_exchange));
+}
+
+double raw_channel_capacity_kbps(const CapacityParams& params) {
+  return params.bit_rate_bps / 1'000.0;
+}
+
+}  // namespace aquamac

@@ -1,0 +1,49 @@
+#pragma once
+// Closed-form capacity bounds for the slotted handshake protocols in a
+// single collision domain — the analytic backbone the simulation is
+// validated against (tests/capacity_test.cpp).
+//
+// In one collision domain, a slotted four-way handshake serializes the
+// medium: each delivered packet costs
+//     RTS slot + CTS slot + ceil((TD + tau)/|ts|) data slots + ACK slot
+// so saturation throughput is payload / (slots * |ts|). EW-MAC's extra
+// phase can at best piggyback `k` extra packets per negotiated exchange
+// (one granted extra per winner, §4.2), bounding its gain at (1 + k)x.
+
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace aquamac {
+
+struct CapacityParams {
+  double bit_rate_bps{12'000.0};
+  std::uint32_t control_bits{64};
+  Duration tau_max{Duration::seconds(1)};
+  std::uint32_t data_bits{2'048};
+};
+
+/// omega = control airtime; |ts| = omega + tau_max (§4.1).
+[[nodiscard]] Duration capacity_slot_length(const CapacityParams& params);
+
+/// Slots consumed by one complete negotiated exchange, with the data
+/// occupancy computed at the worst-case pair delay tau_max (the S-FAMA
+/// reservation rule).
+[[nodiscard]] std::int64_t exchange_slots(const CapacityParams& params);
+
+/// Saturation throughput (kbps) of a slotted four-way handshake protocol
+/// when the whole network is one collision domain and exchanges are
+/// perfectly back-to-back (zero contention cost): a strict upper bound on
+/// S-FAMA/ROPA-core throughput.
+[[nodiscard]] double single_domain_handshake_capacity_kbps(const CapacityParams& params);
+
+/// EW-MAC upper bound: every exchange additionally carries
+/// `extras_per_exchange` extra data packets inside the waiting periods.
+[[nodiscard]] double ewmac_capacity_upper_bound_kbps(const CapacityParams& params,
+                                                     std::uint32_t extras_per_exchange = 1);
+
+/// The raw medium bound: payload bits per second if the channel carried
+/// nothing but back-to-back data frames.
+[[nodiscard]] double raw_channel_capacity_kbps(const CapacityParams& params);
+
+}  // namespace aquamac

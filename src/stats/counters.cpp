@@ -1,0 +1,45 @@
+#include "stats/counters.hpp"
+
+#include <algorithm>
+
+namespace aquamac {
+
+std::uint64_t MacCounters::control_bits_sent() const {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < kFrameTypeCount; ++i) {
+    const auto type = static_cast<FrameType>(i);
+    if (is_control(type) && type != FrameType::kMaint && type != FrameType::kHello) {
+      sum += bits_sent[i];
+    }
+  }
+  return sum;
+}
+
+MacCounters& MacCounters::operator+=(const MacCounters& o) {
+  for (std::size_t i = 0; i < kFrameTypeCount; ++i) {
+    frames_sent[i] += o.frames_sent[i];
+    bits_sent[i] += o.bits_sent[i];
+    frames_received[i] += o.frames_received[i];
+  }
+  retransmitted_frames += o.retransmitted_frames;
+  retransmitted_bits += o.retransmitted_bits;
+  piggyback_info_bits += o.piggyback_info_bits;
+  rx_collisions += o.rx_collisions;
+  packets_offered += o.packets_offered;
+  bits_offered += o.bits_offered;
+  packets_delivered += o.packets_delivered;
+  bits_delivered += o.bits_delivered;
+  packets_sent_ok += o.packets_sent_ok;
+  packets_dropped += o.packets_dropped;
+  duplicate_deliveries += o.duplicate_deliveries;
+  handshake_attempts += o.handshake_attempts;
+  handshake_successes += o.handshake_successes;
+  contention_losses += o.contention_losses;
+  extra_attempts += o.extra_attempts;
+  extra_successes += o.extra_successes;
+  total_delivery_latency += o.total_delivery_latency;
+  last_delivery_time = std::max(last_delivery_time, o.last_delivery_time);
+  return *this;
+}
+
+}  // namespace aquamac

@@ -1,0 +1,81 @@
+#pragma once
+// Per-node counters from which every figure's metric is derived.
+//
+// Byte/frame counts are classified by frame type so the Fig. 10 overhead
+// ratio (control + maintenance + retransmission cost relative to S-FAMA)
+// is computed from first principles rather than estimated.
+
+#include <array>
+#include <cstdint>
+
+#include "phy/frame.hpp"
+#include "util/time.hpp"
+
+namespace aquamac {
+
+inline constexpr std::size_t kFrameTypeCount = 11;
+
+[[nodiscard]] constexpr std::size_t frame_type_index(FrameType t) {
+  return static_cast<std::size_t>(t);
+}
+
+struct MacCounters {
+  // --- transmit side, by frame class --------------------------------
+  std::array<std::uint64_t, kFrameTypeCount> frames_sent{};
+  std::array<std::uint64_t, kFrameTypeCount> bits_sent{};
+  std::uint64_t retransmitted_frames{0};
+  std::uint64_t retransmitted_bits{0};
+  /// Neighbor-information surcharge (Fig. 10 accounting): the bits of
+  /// timestamp/delay/two-hop state a protocol's control packets carry on
+  /// top of the bare 64-bit Table-2 frame. Counted per control frame
+  /// from MacConfig::control_info_* (§5.3's "carrying more information
+  /// as piggyback").
+  std::uint64_t piggyback_info_bits{0};
+
+  // --- receive side ---------------------------------------------------
+  std::array<std::uint64_t, kFrameTypeCount> frames_received{};
+  std::uint64_t rx_collisions{0};
+
+  // --- upper-layer data accounting (Eq. 2) ----------------------------
+  std::uint64_t packets_offered{0};
+  std::uint64_t bits_offered{0};
+  std::uint64_t packets_delivered{0};   ///< DATA/EXDATA received at dst
+  std::uint64_t bits_delivered{0};
+  std::uint64_t packets_sent_ok{0};     ///< acked at the sender
+  std::uint64_t packets_dropped{0};     ///< retry budget exhausted
+  std::uint64_t duplicate_deliveries{0};///< retransmissions after lost Acks
+
+  // --- handshake outcomes ----------------------------------------------
+  std::uint64_t handshake_attempts{0};
+  std::uint64_t handshake_successes{0};
+  std::uint64_t contention_losses{0};
+  std::uint64_t extra_attempts{0};      ///< EW-MAC EXR / ROPA RTA / CS-MAC steals
+  std::uint64_t extra_successes{0};
+
+  // --- latency ----------------------------------------------------------
+  Duration total_delivery_latency{};    ///< enqueue -> delivered, summed
+  Time last_delivery_time{};            ///< Fig. 8 execution time input
+
+  void count_sent(const Frame& frame) {
+    frames_sent[frame_type_index(frame.type)] += 1;
+    bits_sent[frame_type_index(frame.type)] += frame.size_bits;
+  }
+  void count_received(const Frame& frame) {
+    frames_received[frame_type_index(frame.type)] += 1;
+  }
+
+  [[nodiscard]] std::uint64_t total_bits_sent() const {
+    std::uint64_t sum = 0;
+    for (auto b : bits_sent) sum += b;
+    return sum;
+  }
+  [[nodiscard]] std::uint64_t control_bits_sent() const;
+  [[nodiscard]] std::uint64_t maintenance_bits_sent() const {
+    return bits_sent[frame_type_index(FrameType::kMaint)] +
+           bits_sent[frame_type_index(FrameType::kHello)];
+  }
+
+  MacCounters& operator+=(const MacCounters& o);
+};
+
+}  // namespace aquamac

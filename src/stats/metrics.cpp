@@ -1,0 +1,71 @@
+#include "stats/metrics.hpp"
+
+namespace aquamac {
+
+double jain_fairness(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0.0) return 0.0;
+  return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+}
+
+RunStats compute_run_stats(const MacCounters& total, double total_energy_j,
+                           std::size_t node_count, Duration elapsed,
+                           Duration traffic_duration, Time traffic_start) {
+  RunStats stats{};
+  stats.elapsed_s = elapsed.to_seconds();
+  stats.traffic_duration_s = traffic_duration.to_seconds();
+  stats.node_count = node_count;
+
+  stats.packets_offered = total.packets_offered;
+  stats.packets_delivered = total.packets_delivered;
+  stats.packets_dropped = total.packets_dropped;
+  stats.bits_offered = total.bits_offered;
+  stats.bits_delivered = total.bits_delivered;
+
+  if (stats.traffic_duration_s > 0.0) {
+    stats.throughput_kbps =
+        static_cast<double>(total.bits_delivered) / stats.traffic_duration_s / 1'000.0;
+    stats.offered_load_kbps =
+        static_cast<double>(total.bits_offered) / stats.traffic_duration_s / 1'000.0;
+  }
+  if (total.bits_offered > 0) {
+    stats.delivery_ratio =
+        static_cast<double>(total.bits_delivered) / static_cast<double>(total.bits_offered);
+  }
+
+  stats.total_energy_j = total_energy_j;
+  if (node_count > 0 && stats.elapsed_s > 0.0) {
+    stats.mean_power_mw =
+        total_energy_j / stats.elapsed_s / static_cast<double>(node_count) * 1'000.0;
+  }
+
+  stats.control_bits = total.control_bits_sent();
+  stats.maintenance_bits = total.maintenance_bits_sent();
+  stats.retransmitted_bits = total.retransmitted_bits;
+  stats.piggyback_bits = total.piggyback_info_bits;
+  stats.total_bits_sent = total.total_bits_sent();
+
+  if (total.packets_sent_ok > 0) {
+    stats.mean_latency_s = total.total_delivery_latency.to_seconds() /
+                           static_cast<double>(total.packets_sent_ok);
+  }
+  if (total.last_delivery_time > traffic_start) {
+    stats.execution_time_s = (total.last_delivery_time - traffic_start).to_seconds();
+  }
+
+  stats.handshake_attempts = total.handshake_attempts;
+  stats.handshake_successes = total.handshake_successes;
+  stats.contention_losses = total.contention_losses;
+  stats.extra_attempts = total.extra_attempts;
+  stats.extra_successes = total.extra_successes;
+  stats.rx_collisions = total.rx_collisions;
+  return stats;
+}
+
+}  // namespace aquamac

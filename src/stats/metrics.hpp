@@ -1,0 +1,81 @@
+#pragma once
+// Run-level metrics derived from aggregated counters (Eqs. 2-4).
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/counters.hpp"
+#include "util/time.hpp"
+
+namespace aquamac {
+
+struct RunStats {
+  double elapsed_s{0.0};           ///< total simulated time
+  double traffic_duration_s{0.0};  ///< window over which load was offered
+  std::size_t node_count{0};
+
+  std::uint64_t packets_offered{0};
+  std::uint64_t packets_delivered{0};
+  std::uint64_t packets_dropped{0};
+  std::uint64_t bits_offered{0};
+  std::uint64_t bits_delivered{0};
+
+  /// Eq. (3): delivered bits per traffic second, in kbps.
+  double throughput_kbps{0.0};
+  double offered_load_kbps{0.0};
+  /// Delivered / offered bits.
+  double delivery_ratio{0.0};
+
+  /// Total network energy in joules and mean per-node power in mW.
+  double total_energy_j{0.0};
+  double mean_power_mw{0.0};
+
+  /// Overhead inputs (Fig. 10): control (RTS/CTS/Ack + extra control),
+  /// maintenance (Hello/Maint), retransmission bits.
+  std::uint64_t control_bits{0};
+  std::uint64_t maintenance_bits{0};
+  std::uint64_t retransmitted_bits{0};
+  std::uint64_t piggyback_bits{0};
+  std::uint64_t total_bits_sent{0};
+  [[nodiscard]] double overhead_bits() const {
+    return static_cast<double>(control_bits + maintenance_bits + retransmitted_bits +
+                               piggyback_bits);
+  }
+
+  double mean_latency_s{0.0};
+  /// Fig. 8: time from traffic start to the last successful delivery.
+  double execution_time_s{0.0};
+
+  std::uint64_t handshake_attempts{0};
+  std::uint64_t handshake_successes{0};
+  std::uint64_t contention_losses{0};
+  std::uint64_t extra_attempts{0};
+  std::uint64_t extra_successes{0};
+  std::uint64_t rx_collisions{0};
+
+  /// Eq. (4) numerator/denominator; the figure normalizes to S-FAMA.
+  [[nodiscard]] double efficiency_raw() const {
+    return mean_power_mw > 0.0 ? throughput_kbps / mean_power_mw : 0.0;
+  }
+
+  /// Jain's fairness index over per-source acked packets in [1/n, 1];
+  /// the §3.1 rp priority exists to keep this high under contention.
+  double fairness_index{0.0};
+
+  // --- multi-hop mode (§3.1/Fig. 1); zero when disabled ----------------
+  std::uint64_t e2e_originated{0};
+  std::uint64_t e2e_arrived_at_sink{0};
+  double e2e_delivery_ratio{0.0};
+  double mean_hops{0.0};
+  double mean_e2e_latency_s{0.0};
+};
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2); 0 for empty input.
+[[nodiscard]] double jain_fairness(const std::vector<double>& values);
+
+/// Folds summed per-node counters + energy into a RunStats.
+[[nodiscard]] RunStats compute_run_stats(const MacCounters& total, double total_energy_j,
+                                         std::size_t node_count, Duration elapsed,
+                                         Duration traffic_duration, Time traffic_start);
+
+}  // namespace aquamac

@@ -1,0 +1,81 @@
+#include "stats/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace aquamac {
+
+std::string_view to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kTxStart: return "TX";
+    case TraceEventKind::kRxOk: return "RX";
+    case TraceEventKind::kRxLost: return "LOST";
+  }
+  return "?";
+}
+
+std::string TraceEvent::to_csv_row() const {
+  std::ostringstream os;
+  os << at.count_ns() << ',' << to_string(kind) << ',' << node << ','
+     << aquamac::to_string(frame_type) << ',' << src << ',' << dst << ',' << seq << ','
+     << bits;
+  if (kind == TraceEventKind::kRxLost) {
+    switch (outcome) {
+      case RxOutcome::kCollision: os << ",collision"; break;
+      case RxOutcome::kHalfDuplexLoss: os << ",half-duplex"; break;
+      case RxOutcome::kChannelError: os << ",channel-error"; break;
+      case RxOutcome::kBelowThreshold: os << ",below-threshold"; break;
+      case RxOutcome::kSuccess: os << ",?"; break;
+    }
+  } else {
+    os << ",";
+  }
+  return os.str();
+}
+
+std::size_t MemoryTrace::count(TraceEventKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [kind](const TraceEvent& e) { return e.kind == kind; }));
+}
+
+std::size_t MemoryTrace::count_frames(FrameType type) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [type](const TraceEvent& e) { return e.frame_type == type; }));
+}
+
+bool MemoryTrace::is_time_ordered() const {
+  for (std::size_t i = 1; i < events_.size(); ++i) {
+    if (events_[i].at < events_[i - 1].at) return false;
+  }
+  return true;
+}
+
+CsvTrace::CsvTrace(std::ostream& os) : os_{os} {
+  os_ << "t_ns,event,node,frame,src,dst,seq,bits,loss\n";
+}
+
+void CsvTrace::record(const TraceEvent& event) { os_ << event.to_csv_row() << '\n'; }
+
+void HashTrace::mix(std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash_ ^= (value >> (byte * 8)) & 0xFF;
+    hash_ *= 1099511628211ULL;
+  }
+}
+
+void HashTrace::record(const TraceEvent& event) {
+  mix(static_cast<std::uint64_t>(event.at.count_ns()));
+  mix(static_cast<std::uint64_t>(event.kind));
+  mix(event.node);
+  mix(static_cast<std::uint64_t>(event.frame_type));
+  mix(event.src);
+  mix(event.dst);
+  mix(event.seq);
+  mix(event.bits);
+  mix(static_cast<std::uint64_t>(event.outcome));
+}
+
+}  // namespace aquamac

@@ -1,0 +1,100 @@
+#pragma once
+// Structured event tracing.
+//
+// A TraceSink receives one record per PHY-level event (transmit start,
+// successful reception, reception failure) network-wide, in simulation
+// order. Sinks: in-memory (tests, analysis), CSV (plotting), and a FNV
+// hash reducer used by the reproducibility tests — two runs of the same
+// (scenario, seed) must produce bit-identical traces.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "channel/reception.hpp"
+#include "phy/frame.hpp"
+#include "util/time.hpp"
+
+namespace aquamac {
+
+enum class TraceEventKind : std::uint8_t {
+  kTxStart,
+  kRxOk,
+  kRxLost,
+};
+
+[[nodiscard]] std::string_view to_string(TraceEventKind kind);
+
+struct TraceEvent {
+  TraceEventKind kind{TraceEventKind::kTxStart};
+  Time at{};
+  NodeId node{kNoNode};     ///< acting node (transmitter or receiver)
+  FrameType frame_type{FrameType::kHello};
+  NodeId src{kNoNode};
+  NodeId dst{kNoNode};
+  std::uint64_t seq{0};
+  std::uint32_t bits{0};
+  RxOutcome outcome{RxOutcome::kSuccess};  ///< meaningful for kRxLost
+
+  [[nodiscard]] std::string to_csv_row() const;
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void record(const TraceEvent& event) = 0;
+};
+
+/// Buffers every event; offers simple queries for tests and analysis.
+class MemoryTrace final : public TraceSink {
+ public:
+  void record(const TraceEvent& event) override { events_.push_back(event); }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  [[nodiscard]] std::size_t count(TraceEventKind kind) const;
+  [[nodiscard]] std::size_t count_frames(FrameType type) const;
+  /// Events are recorded in nondecreasing simulation time.
+  [[nodiscard]] bool is_time_ordered() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Streams CSV rows (with header) to any ostream.
+class CsvTrace final : public TraceSink {
+ public:
+  explicit CsvTrace(std::ostream& os);
+  void record(const TraceEvent& event) override;
+
+ private:
+  std::ostream& os_;
+};
+
+/// FNV-1a over the canonical encoding of each event: a run fingerprint.
+class HashTrace final : public TraceSink {
+ public:
+  void record(const TraceEvent& event) override;
+  [[nodiscard]] std::uint64_t digest() const { return hash_; }
+
+ private:
+  void mix(std::uint64_t value);
+  std::uint64_t hash_{1469598103934665603ULL};
+};
+
+/// Fans one event stream out to several sinks.
+class TeeTrace final : public TraceSink {
+ public:
+  explicit TeeTrace(std::vector<TraceSink*> sinks) : sinks_{std::move(sinks)} {}
+  void record(const TraceEvent& event) override {
+    for (TraceSink* sink : sinks_) sink->record(event);
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+}  // namespace aquamac

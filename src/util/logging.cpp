@@ -1,0 +1,47 @@
+#include "util/logging.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace aquamac {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+LogSink stderr_sink() {
+  return [](LogLevel level, std::string_view msg) {
+    std::fprintf(stderr, "[%s] %.*s\n", to_string(level).data(),
+                 static_cast<int>(msg.size()), msg.data());
+  };
+}
+
+Logger Logger::with_tag(std::string tag) const {
+  if (!sink_) return *this;
+  LogSink parent = sink_;
+  return Logger{level_, [parent, tag = std::move(tag)](LogLevel level, std::string_view msg) {
+                  parent(level, "[" + tag + "] " + std::string{msg});
+                }};
+}
+
+std::string Duration::to_string() const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6fs", to_seconds());
+  return buf;
+}
+
+std::string Time::to_string() const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "t=%.6fs", to_seconds());
+  return buf;
+}
+
+}  // namespace aquamac

@@ -1,0 +1,88 @@
+#pragma once
+// Tiny leveled logger. Simulation components log through a Logger value
+// they are given (no global mutable state), so tests can capture output
+// and parallel runs do not interleave.
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "util/time.hpp"
+
+namespace aquamac {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+[[nodiscard]] std::string_view to_string(LogLevel level);
+
+/// A sink receives fully formatted lines.
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+
+/// Default sink writing to stderr.
+[[nodiscard]] LogSink stderr_sink();
+
+class Logger {
+ public:
+  Logger() = default;
+  Logger(LogLevel level, LogSink sink) : level_{level}, sink_{std::move(sink)} {}
+
+  [[nodiscard]] static Logger off() { return Logger{LogLevel::kOff, nullptr}; }
+  [[nodiscard]] static Logger to_stderr(LogLevel level = LogLevel::kWarn) {
+    return Logger{level, stderr_sink()};
+  }
+
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return sink_ && level >= level_;
+  }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  void set_level(LogLevel level) { level_ = level; }
+
+  void log(LogLevel level, std::string_view msg) const {
+    if (enabled(level)) sink_(level, msg);
+  }
+
+  /// Creates a child logger whose lines carry "[tag] " prefixes; shares
+  /// the sink, so capture in tests still sees everything.
+  [[nodiscard]] Logger with_tag(std::string tag) const;
+
+ private:
+  LogLevel level_{LogLevel::kOff};
+  LogSink sink_{};
+};
+
+/// Stream-style helper: LOG_AT(logger, LogLevel::kDebug) << "x=" << x;
+/// The stream body is not evaluated when the level is disabled.
+class LogLine {
+ public:
+  LogLine(const Logger& logger, LogLevel level) : logger_{logger}, level_{level} {}
+  ~LogLine() { logger_.log(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+  LogLine& operator<<(Time t) {
+    stream_ << t.to_string();
+    return *this;
+  }
+  LogLine& operator<<(Duration d) {
+    stream_ << d.to_string();
+    return *this;
+  }
+
+ private:
+  const Logger& logger_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+#define AQUAMAC_LOG(logger, level)             \
+  if (!(logger).enabled(level)) {              \
+  } else                                       \
+    ::aquamac::LogLine{(logger), (level)}
+
+}  // namespace aquamac

@@ -1,0 +1,9 @@
+// rng.hpp is header-only; this TU exists to give the module a home for
+// future out-of-line additions and to compile the header standalone under
+// the project's warning set.
+#include "util/rng.hpp"
+
+namespace aquamac {
+static_assert(Rng::min() == 0);
+static_assert(Rng::max() == ~0ULL);
+}  // namespace aquamac

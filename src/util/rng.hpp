@@ -1,0 +1,115 @@
+#pragma once
+// Deterministic pseudo-random number generation.
+//
+// We implement xoshiro256** seeded through splitmix64 rather than relying
+// on std::mt19937_64 + std::distributions, because the standard
+// distributions are implementation-defined: the same seed produces
+// different streams on different standard libraries, which would make the
+// test-suite trace hashes non-portable. Every distribution here is
+// specified exactly.
+
+#include <array>
+#include <cstdint>
+#include <cmath>
+#include <numbers>
+
+namespace aquamac {
+
+/// splitmix64: used to expand a single 64-bit seed into generator state.
+[[nodiscard]] constexpr std::uint64_t splitmix64_next(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna), a fast all-purpose generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x2545f4914f6cdd1dULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64_next(sm);
+  }
+
+  /// Derives an independent stream for a sub-component (e.g. per node),
+  /// so adding a consumer never perturbs the draws of existing ones.
+  [[nodiscard]] Rng fork(std::uint64_t stream_id) const {
+    std::uint64_t mix = state_[0] ^ (stream_id * 0x9e3779b97f4a7c15ULL + 0x853c49e6748fea9bULL);
+    return Rng{splitmix64_next(mix)};
+  }
+
+  constexpr std::uint64_t operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  [[nodiscard]] double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) { return lo + (hi - lo) * uniform01(); }
+
+  /// Uniform integer in [0, n) via Lemire's unbiased multiply-shift.
+  [[nodiscard]] std::uint64_t below(std::uint64_t n) {
+    if (n == 0) return 0;
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  [[nodiscard]] bool bernoulli(double p) { return uniform01() < p; }
+
+  /// Exponential with given mean (inverse-CDF method); mean <= 0 yields 0.
+  [[nodiscard]] double exponential(double mean) {
+    if (mean <= 0.0) return 0.0;
+    // 1 - u in (0, 1] avoids log(0).
+    return -mean * std::log(1.0 - uniform01());
+  }
+
+  /// Standard normal via Box-Muller (one draw discarded for simplicity).
+  [[nodiscard]] double normal(double mean = 0.0, double stddev = 1.0) {
+    const double u1 = 1.0 - uniform01();
+    const double u2 = uniform01();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * r * std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace aquamac

@@ -1,0 +1,73 @@
+#pragma once
+// Order statistics over a sample set: mean/stddev/min/max/percentiles.
+// Used by the trace analysis for latency distributions.
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace aquamac {
+
+class Samples {
+ public:
+  void add(double value) {
+    values_.push_back(value);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+
+  [[nodiscard]] double mean() const {
+    if (values_.empty()) return 0.0;
+    double sum = 0.0;
+    for (double v : values_) sum += v;
+    return sum / static_cast<double>(values_.size());
+  }
+
+  /// Sample standard deviation (n-1); zero for fewer than two samples.
+  [[nodiscard]] double stddev() const {
+    if (values_.size() < 2) return 0.0;
+    const double m = mean();
+    double ss = 0.0;
+    for (double v : values_) ss += (v - m) * (v - m);
+    return std::sqrt(ss / static_cast<double>(values_.size() - 1));
+  }
+
+  [[nodiscard]] double min() const {
+    ensure_sorted();
+    return values_.empty() ? 0.0 : values_.front();
+  }
+  [[nodiscard]] double max() const {
+    ensure_sorted();
+    return values_.empty() ? 0.0 : values_.back();
+  }
+
+  /// Linear-interpolated percentile, p in [0, 100].
+  [[nodiscard]] double percentile(double p) const {
+    if (values_.empty()) return 0.0;
+    if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile out of [0, 100]");
+    ensure_sorted();
+    const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+  }
+
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+ private:
+  void ensure_sorted() const {
+    if (!sorted_) {
+      std::sort(values_.begin(), values_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> values_;
+  mutable bool sorted_{false};
+};
+
+}  // namespace aquamac

@@ -1,0 +1,38 @@
+#pragma once
+// ASCII table / CSV emitter used by the bench harness to print the same
+// rows and series the paper's figures report.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace aquamac {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; the cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row_numeric(const std::vector<double>& values, int precision = 4);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders a box-drawing-free, monospace-aligned ASCII table.
+  void print(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (no quoting needed for our content).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared by benches).
+[[nodiscard]] std::string format_double(double v, int precision = 4);
+
+}  // namespace aquamac

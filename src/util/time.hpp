@@ -1,0 +1,122 @@
+#pragma once
+// Strong integer-nanosecond time types for deterministic simulation.
+//
+// The simulator quantizes every physical delay (propagation, airtime) to
+// whole nanoseconds exactly once, at the point where it is computed from
+// floating-point physics. From then on all arithmetic is exact 64-bit
+// integer math, so event ordering is total and platform-independent.
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <cmath>
+#include <string>
+
+namespace aquamac {
+
+/// A span of simulated time. Internally whole nanoseconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  [[nodiscard]] static constexpr Duration nanoseconds(std::int64_t ns) { return Duration{ns}; }
+  [[nodiscard]] static constexpr Duration microseconds(std::int64_t us) { return Duration{us * 1'000}; }
+  [[nodiscard]] static constexpr Duration milliseconds(std::int64_t ms) { return Duration{ms * 1'000'000}; }
+  [[nodiscard]] static constexpr Duration seconds(std::int64_t s) { return Duration{s * 1'000'000'000}; }
+
+  /// Quantizes a floating-point second count to whole nanoseconds
+  /// (round-to-nearest). This is the single FP -> integer boundary.
+  [[nodiscard]] static Duration from_seconds(double s) {
+    return Duration{static_cast<std::int64_t>(std::llround(s * 1e9))};
+  }
+
+  [[nodiscard]] static constexpr Duration zero() { return Duration{0}; }
+  [[nodiscard]] static constexpr Duration max() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t count_ns() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  [[nodiscard]] constexpr double to_milliseconds() const { return static_cast<double>(ns_) * 1e-6; }
+
+  [[nodiscard]] constexpr bool is_zero() const { return ns_ == 0; }
+  [[nodiscard]] constexpr bool is_negative() const { return ns_ < 0; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return Duration{ns_ + o.ns_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{ns_ - o.ns_}; }
+  constexpr Duration operator-() const { return Duration{-ns_}; }
+  constexpr Duration operator*(std::int64_t k) const { return Duration{ns_ * k}; }
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+
+  /// Integer division: how many whole `o` fit in *this (o must be > 0).
+  [[nodiscard]] constexpr std::int64_t divide_floor(Duration o) const {
+    std::int64_t q = ns_ / o.ns_;
+    // Adjust C++ truncation toward zero to floor for negative operands.
+    if ((ns_ % o.ns_ != 0) && ((ns_ < 0) != (o.ns_ < 0))) --q;
+    return q;
+  }
+  /// Ceiling division, as used by the paper's Eq. (5).
+  [[nodiscard]] constexpr std::int64_t divide_ceil(Duration o) const {
+    return -((-*this).divide_floor(o));
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit Duration(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_{0};
+};
+
+constexpr Duration operator*(std::int64_t k, Duration d) { return d * k; }
+
+/// An absolute instant on the simulation clock (ns since simulation start).
+class Time {
+ public:
+  constexpr Time() = default;
+
+  [[nodiscard]] static constexpr Time from_ns(std::int64_t ns) { return Time{ns}; }
+  [[nodiscard]] static Time from_seconds(double s) {
+    return Time{Duration::from_seconds(s).count_ns()};
+  }
+  [[nodiscard]] static constexpr Time zero() { return Time{0}; }
+  [[nodiscard]] static constexpr Time max() {
+    return Time{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t count_ns() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  constexpr Time operator+(Duration d) const { return Time{ns_ + d.count_ns()}; }
+  constexpr Time operator-(Duration d) const { return Time{ns_ - d.count_ns()}; }
+  constexpr Duration operator-(Time o) const { return Duration::nanoseconds(ns_ - o.ns_); }
+  constexpr Time& operator+=(Duration d) { ns_ += d.count_ns(); return *this; }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit Time(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_{0};
+};
+
+/// Closed-open interval [begin, end) on the simulation clock; the shape of
+/// every packet arrival window and transmit window in the PHY.
+struct TimeInterval {
+  Time begin;
+  Time end;
+
+  [[nodiscard]] constexpr bool overlaps(const TimeInterval& o) const {
+    // Empty (zero-length) intervals contain no instants and overlap
+    // nothing; the second conjunct alone would misreport them.
+    return begin < o.end && o.begin < end && begin < end && o.begin < o.end;
+  }
+  [[nodiscard]] constexpr bool contains(Time t) const { return begin <= t && t < end; }
+  [[nodiscard]] constexpr Duration length() const { return end - begin; }
+  constexpr auto operator<=>(const TimeInterval&) const = default;
+};
+
+}  // namespace aquamac

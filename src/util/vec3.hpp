@@ -1,0 +1,48 @@
+#pragma once
+// Minimal 3-D vector for node positions (metres). Convention: x, y are
+// horizontal; z is *depth* in metres, increasing downward (z = 0 is the
+// surface), matching the oceanographic convention used by the channel
+// models.
+
+#include <cmath>
+#include <compare>
+#include <string>
+
+namespace aquamac {
+
+struct Vec3 {
+  double x{0.0};
+  double y{0.0};
+  double z{0.0};  ///< depth below surface, metres (>= 0 underwater)
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(double k) const { return {x * k, y * k, z * k}; }
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x; y += o.y; z += o.z;
+    return *this;
+  }
+  constexpr auto operator<=>(const Vec3&) const = default;
+
+  [[nodiscard]] constexpr double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  [[nodiscard]] double norm() const { return std::sqrt(dot(*this)); }
+  [[nodiscard]] constexpr double norm_sq() const { return dot(*this); }
+
+  [[nodiscard]] double distance_to(const Vec3& o) const { return (*this - o).norm(); }
+  /// Horizontal (surface-projected) distance, used by the ray model.
+  [[nodiscard]] double horizontal_distance_to(const Vec3& o) const {
+    const double dx = x - o.x;
+    const double dy = y - o.y;
+    return std::sqrt(dx * dx + dy * dy);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+constexpr Vec3 operator*(double k, const Vec3& v) { return v * k; }
+
+inline std::string Vec3::to_string() const {
+  return "(" + std::to_string(x) + ", " + std::to_string(y) + ", " + std::to_string(z) + ")";
+}
+
+}  // namespace aquamac

@@ -1,0 +1,100 @@
+#include "channel/absorption.hpp"
+#include "channel/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace aquamac {
+namespace {
+
+TEST(Thorp, ReferenceValues) {
+  // Published Thorp values: ~1.1 dB/km near 10 kHz, ~0.08 dB/km at 1 kHz.
+  EXPECT_NEAR(thorp_absorption_db_per_km(10.0), 1.1, 0.15);
+  EXPECT_NEAR(thorp_absorption_db_per_km(1.0), 0.08, 0.03);
+  EXPECT_GT(thorp_absorption_db_per_km(50.0), thorp_absorption_db_per_km(10.0));
+}
+
+TEST(Thorp, MonotoneAboveCrossover) {
+  double prev = thorp_absorption_db_per_km(0.5);
+  for (double f = 1.0; f <= 100.0; f += 1.0) {
+    const double cur = thorp_absorption_db_per_km(f);
+    EXPECT_GT(cur, prev) << "at " << f << " kHz";
+    prev = cur;
+  }
+}
+
+TEST(FisherSimmons, SameOrderAsThorpInBand) {
+  for (double f : {5.0, 10.0, 20.0}) {
+    const double fs = fisher_simmons_absorption_db_per_km(f, 10.0);
+    const double th = thorp_absorption_db_per_km(f);
+    EXPECT_GT(fs, 0.2 * th);
+    EXPECT_LT(fs, 5.0 * th);
+  }
+}
+
+TEST(FisherSimmons, TemperatureShiftsAbsorption) {
+  // Warmer water moves the MgSO4 relaxation up in frequency; at 10 kHz
+  // this reduces absorption.
+  EXPECT_NE(fisher_simmons_absorption_db_per_km(10.0, 4.0),
+            fisher_simmons_absorption_db_per_km(10.0, 25.0));
+}
+
+TEST(TransmissionLoss, SpreadingComponents) {
+  // Pure geometry at short range (absorption negligible): TL(1 km)
+  // ~ k * 30 dB.
+  EXPECT_NEAR(transmission_loss_db(1'000.0, 0.1, Spreading::kSpherical), 60.0, 1.0);
+  EXPECT_NEAR(transmission_loss_db(1'000.0, 0.1, Spreading::kCylindrical), 30.0, 1.0);
+  EXPECT_NEAR(transmission_loss_db(1'000.0, 0.1, Spreading::kPractical), 45.0, 1.0);
+}
+
+TEST(TransmissionLoss, MonotoneInDistanceAndFrequency) {
+  EXPECT_LT(transmission_loss_db(100.0, 10.0), transmission_loss_db(1'000.0, 10.0));
+  EXPECT_LT(transmission_loss_db(1'500.0, 5.0), transmission_loss_db(1'500.0, 30.0));
+}
+
+TEST(TransmissionLoss, ClampsBelowOneMetre) {
+  EXPECT_DOUBLE_EQ(transmission_loss_db(0.0, 10.0), transmission_loss_db(1.0, 10.0));
+  EXPECT_GE(transmission_loss_db(0.5, 10.0), 0.0);
+}
+
+TEST(TransmissionLoss, Table2RangeBudget) {
+  // At the paper's operating point (1.5 km, 10 kHz) the loss is ~49-50 dB
+  // with practical spreading — the basis for the default source level.
+  const double tl = transmission_loss_db(1'500.0, 10.0);
+  EXPECT_NEAR(tl, 49.4, 1.0);
+}
+
+TEST(Noise, ComponentsDominateInTheirBands) {
+  const NoiseParams calm{.shipping = 0.5, .wind_mps = 0.0};
+  // Turbulence dominates at very low f, thermal at very high f.
+  EXPECT_GT(turbulence_noise_db(0.01), shipping_noise_db(0.01, 0.5));
+  EXPECT_GT(thermal_noise_db(500.0), wind_noise_db(500.0, 0.0));
+  // Total PSD decreases through the 1-50 kHz UASN band.
+  EXPECT_GT(ambient_noise_psd_db(1.0, calm), ambient_noise_psd_db(20.0, calm));
+}
+
+TEST(Noise, ShippingAndWindRaiseNoise) {
+  const NoiseParams quiet{.shipping = 0.0, .wind_mps = 0.0};
+  const NoiseParams busy{.shipping = 1.0, .wind_mps = 10.0};
+  for (double f : {0.5, 1.0, 10.0}) {
+    EXPECT_GT(ambient_noise_psd_db(f, busy), ambient_noise_psd_db(f, quiet)) << f << " kHz";
+  }
+}
+
+TEST(Noise, BandLevelAddsBandwidth) {
+  const NoiseParams params{};
+  const double psd = ambient_noise_psd_db(10.0, params);
+  EXPECT_NEAR(noise_level_db(10.0, 12'000.0, params), psd + 10.0 * std::log10(12'000.0), 1e-9);
+  EXPECT_NEAR(noise_level_db(10.0, 1.0, params), psd, 1e-9);
+}
+
+TEST(Noise, WenzBallparkAt10kHz) {
+  // Wenz curves: moderate shipping, calm sea at 10 kHz is in the vicinity
+  // of 30 dB re uPa^2/Hz.
+  const NoiseParams params{.shipping = 0.5, .wind_mps = 0.0};
+  EXPECT_NEAR(ambient_noise_psd_db(10.0, params), 30.0, 6.0);
+}
+
+}  // namespace
+}  // namespace aquamac

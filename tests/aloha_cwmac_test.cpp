@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "testbed.hpp"
+
+namespace aquamac {
+namespace {
+
+using testbed::TestBed;
+
+TEST(SlottedAloha, SinglePairDelivery) {
+  TestBed bed;
+  const NodeId s = bed.add_node(MacKind::kSlottedAloha, Vec3{0, 0, 1'000});
+  const NodeId r = bed.add_node(MacKind::kSlottedAloha, Vec3{0, 0, 0});
+  bed.hello_and_settle();
+  bed.mac(s).enqueue_packet(r, 2'048);
+  bed.sim().run_until(Time::from_seconds(30.0));
+  EXPECT_EQ(bed.counters(r).packets_delivered, 1u);
+  EXPECT_EQ(bed.counters(s).frames_sent[frame_type_index(FrameType::kRts)], 0u)
+      << "ALOHA never negotiates";
+  EXPECT_EQ(bed.counters(s).packets_sent_ok, 1u);
+}
+
+TEST(SlottedAloha, CollidingSendersRecoverViaBackoff) {
+  TestBed bed;
+  const NodeId r = bed.add_node(MacKind::kSlottedAloha, Vec3{0, 0, 0});
+  // Equidistant senders: same-slot DATA frames collide at r.
+  const NodeId a = bed.add_node(MacKind::kSlottedAloha, Vec3{700, 0, 0});
+  const NodeId b = bed.add_node(MacKind::kSlottedAloha, Vec3{-700, 0, 0});
+  bed.hello_and_settle();
+  bed.mac(a).enqueue_packet(r, 2'048);
+  bed.mac(b).enqueue_packet(r, 2'048);
+  bed.sim().run_until(Time::from_seconds(300.0));
+
+  EXPECT_EQ(bed.counters(r).packets_delivered, 2u) << "backoff desynchronizes retries";
+  EXPECT_GT(bed.counters(r).rx_collisions, 0u) << "the first attempt really collided";
+  EXPECT_GT(bed.counters(a).retransmitted_frames + bed.counters(b).retransmitted_frames, 0u);
+}
+
+TEST(SlottedAloha, DropsAfterRetryBudget) {
+  TestBed bed;
+  const NodeId s = bed.add_node(MacKind::kSlottedAloha, Vec3{0, 0, 0});
+  bed.add_node(MacKind::kSlottedAloha, Vec3{0, 0, 4'000});  // unreachable
+  bed.hello_and_settle();
+  bed.mac(s).enqueue_packet(1, 2'048);
+  bed.sim().run_until(Time::from_seconds(600.0));
+  EXPECT_EQ(bed.counters(s).packets_dropped, 1u);
+  EXPECT_EQ(bed.mac(s).queue_depth(), 0u);
+}
+
+TEST(CwMac, SinglePairDelivery) {
+  TestBed bed;
+  const NodeId s = bed.add_node(MacKind::kCwMac, Vec3{0, 0, 1'000});
+  const NodeId r = bed.add_node(MacKind::kCwMac, Vec3{0, 0, 0});
+  bed.hello_and_settle();
+  bed.mac(s).enqueue_packet(r, 2'048);
+  bed.sim().run_until(Time::from_seconds(60.0));
+  EXPECT_EQ(bed.counters(r).packets_delivered, 1u);
+  EXPECT_EQ(bed.counters(s).packets_sent_ok, 1u);
+}
+
+TEST(CwMac, DefersWhileNeighborTransmits) {
+  TestBed bed;
+  const NodeId r = bed.add_node(MacKind::kCwMac, Vec3{0, 0, 0});
+  const NodeId a = bed.add_node(MacKind::kCwMac, Vec3{600, 0, 0});
+  const NodeId b = bed.add_node(MacKind::kCwMac, Vec3{300, 0, 0});  // hears a
+  bed.hello_and_settle();
+  bed.mac(a).enqueue_packet(r, 8'192);  // long frame
+  bed.sim().at(Time::from_seconds(7.0), [&] { bed.mac(b).enqueue_packet(r, 2'048); });
+  bed.sim().run_until(Time::from_seconds(200.0));
+  EXPECT_EQ(bed.counters(r).packets_delivered, 2u);
+}
+
+TEST(CwMac, ManySendersEventuallyDrain) {
+  TestBed bed;
+  const NodeId r = bed.add_node(MacKind::kCwMac, Vec3{0, 0, 0});
+  std::vector<NodeId> senders;
+  for (int i = 0; i < 4; ++i) {
+    senders.push_back(bed.add_node(
+        MacKind::kCwMac, Vec3{500.0 * std::cos(i * 1.5), 500.0 * std::sin(i * 1.5), 0}));
+  }
+  bed.hello_and_settle();
+  for (const NodeId s : senders) bed.mac(s).enqueue_packet(r, 2'048);
+  bed.sim().run_until(Time::from_seconds(600.0));
+  EXPECT_EQ(bed.counters(r).packets_delivered, 4u);
+}
+
+}  // namespace
+}  // namespace aquamac

@@ -1,0 +1,166 @@
+#include "stats/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/scenario.hpp"
+#include "net/network.hpp"
+
+namespace aquamac {
+namespace {
+
+TraceEvent tx(double at_s, NodeId node, FrameType type, std::uint32_t bits, NodeId dst = 1,
+              std::uint64_t seq = 1) {
+  TraceEvent e{};
+  e.kind = TraceEventKind::kTxStart;
+  e.at = Time::from_seconds(at_s);
+  e.node = node;
+  e.src = node;
+  e.dst = dst;
+  e.frame_type = type;
+  e.bits = bits;
+  e.seq = seq;
+  return e;
+}
+
+TraceEvent rx(double at_s, NodeId node, FrameType type, NodeId src, NodeId dst,
+              std::uint64_t seq, bool ok = true,
+              RxOutcome outcome = RxOutcome::kCollision) {
+  TraceEvent e{};
+  e.kind = ok ? TraceEventKind::kRxOk : TraceEventKind::kRxLost;
+  e.at = Time::from_seconds(at_s);
+  e.node = node;
+  e.src = src;
+  e.dst = dst;
+  e.frame_type = type;
+  e.bits = 64;
+  e.seq = seq;
+  e.outcome = ok ? RxOutcome::kSuccess : outcome;
+  return e;
+}
+
+TimeInterval span(double a, double b) {
+  return TimeInterval{Time::from_seconds(a), Time::from_seconds(b)};
+}
+
+TEST(Utilization, DisjointWindowsSum) {
+  MemoryTrace trace;
+  trace.record(tx(0.0, 1, FrameType::kData, 12'000));  // 1 s
+  trace.record(tx(5.0, 2, FrameType::kData, 12'000));  // 1 s
+  const UtilizationReport report = channel_utilization(trace, span(0, 10));
+  EXPECT_EQ(report.transmissions, 2u);
+  EXPECT_NEAR(report.busy_time.to_seconds(), 2.0, 1e-9);
+  EXPECT_NEAR(report.busy_fraction, 0.2, 1e-9);
+}
+
+TEST(Utilization, OverlappingWindowsUnion) {
+  MemoryTrace trace;
+  trace.record(tx(0.0, 1, FrameType::kData, 12'000));   // [0, 1)
+  trace.record(tx(0.5, 2, FrameType::kData, 12'000));   // [0.5, 1.5)
+  const UtilizationReport report = channel_utilization(trace, span(0, 10));
+  EXPECT_NEAR(report.busy_time.to_seconds(), 1.5, 1e-9);
+  EXPECT_NEAR(report.total_airtime.to_seconds(), 2.0, 1e-9) << "sum, not union";
+}
+
+TEST(Utilization, ClipsToSpan) {
+  MemoryTrace trace;
+  trace.record(tx(9.5, 1, FrameType::kData, 12'000));  // extends past span end
+  const UtilizationReport report = channel_utilization(trace, span(0, 10));
+  EXPECT_NEAR(report.busy_time.to_seconds(), 0.5, 1e-9);
+}
+
+TEST(Airtime, SharesSumToOne) {
+  MemoryTrace trace;
+  trace.record(tx(0.0, 1, FrameType::kData, 2'048));
+  trace.record(tx(1.0, 2, FrameType::kRts, 64));
+  trace.record(tx(2.0, 3, FrameType::kHello, 64));
+  const AirtimeBreakdown breakdown = airtime_breakdown(trace);
+  EXPECT_NEAR(breakdown.data + breakdown.control + breakdown.discovery, 1.0, 1e-12);
+  EXPECT_GT(breakdown.data, breakdown.control) << "2048 bits vs 64";
+  EXPECT_NEAR(breakdown.control, breakdown.discovery, 1e-12);
+}
+
+TEST(Airtime, EmptyTraceIsZero) {
+  const AirtimeBreakdown breakdown = airtime_breakdown(MemoryTrace{});
+  EXPECT_EQ(breakdown.data, 0.0);
+}
+
+TEST(Losses, ClassifiedByOutcome) {
+  MemoryTrace trace;
+  trace.record(rx(1.0, 2, FrameType::kData, 1, 2, 1, true));
+  trace.record(rx(2.0, 2, FrameType::kData, 1, 2, 2, false, RxOutcome::kCollision));
+  trace.record(rx(3.0, 2, FrameType::kData, 1, 2, 3, false, RxOutcome::kHalfDuplexLoss));
+  trace.record(rx(4.0, 2, FrameType::kData, 1, 2, 4, false, RxOutcome::kChannelError));
+  const LossReport report = loss_report(trace);
+  EXPECT_EQ(report.receptions_ok, 1u);
+  EXPECT_EQ(report.collisions, 1u);
+  EXPECT_EQ(report.half_duplex, 1u);
+  EXPECT_EQ(report.channel_errors, 1u);
+  EXPECT_NEAR(report.loss_ratio(), 0.75, 1e-12);
+}
+
+TEST(Handshakes, ReconstructsCompleteChain) {
+  MemoryTrace trace;
+  // s=1 -> r=2, seq 5: RTS tx, CTS rx at 1, DATA rx at 2, ACK rx at 1.
+  trace.record(tx(0.0, 1, FrameType::kRts, 64, 2, 5));
+  trace.record(rx(1.2, 1, FrameType::kCts, 2, 1, 5));
+  trace.record(rx(2.5, 2, FrameType::kData, 1, 2, 5));
+  trace.record(rx(3.8, 1, FrameType::kAck, 2, 1, 5));
+  const HandshakeReport report = reconstruct_handshakes(trace);
+  EXPECT_EQ(report.rts_sent, 1u);
+  EXPECT_EQ(report.completed, 1u);
+  EXPECT_NEAR(report.completion_ratio, 1.0, 1e-12);
+  EXPECT_NEAR(report.mean_duration.to_seconds(), 3.8, 1e-9);
+}
+
+TEST(Handshakes, IncompleteChainsDoNotCount) {
+  MemoryTrace trace;
+  trace.record(tx(0.0, 1, FrameType::kRts, 64, 2, 5));
+  trace.record(rx(1.2, 1, FrameType::kCts, 2, 1, 5));
+  // no DATA/ACK
+  trace.record(tx(10.0, 3, FrameType::kRts, 64, 4, 9));  // never answered
+  const HandshakeReport report = reconstruct_handshakes(trace);
+  EXPECT_EQ(report.rts_sent, 2u);
+  EXPECT_EQ(report.completed, 0u);
+}
+
+TEST(Analysis, FullRunCrossChecksCounters) {
+  MemoryTrace trace;
+  ScenarioConfig config = small_test_scenario();
+  config.mac = MacKind::kSFama;
+  config.trace = &trace;
+  Simulator sim;
+  Network network{sim, config};
+  const RunStats stats = network.run();
+
+  const LossReport losses = loss_report(trace);
+  EXPECT_EQ(losses.total_lost(), stats.rx_collisions)
+      << "trace-side loss count equals the MACs' aggregated counter";
+
+  const HandshakeReport handshakes = reconstruct_handshakes(trace);
+  EXPECT_EQ(handshakes.rts_sent, stats.handshake_attempts);
+  EXPECT_EQ(handshakes.completed, stats.handshake_successes);
+
+  const UtilizationReport util = channel_utilization(
+      trace, TimeInterval{Time::zero(), sim.now()}, config.bit_rate_bps);
+  EXPECT_GT(util.busy_fraction, 0.0);
+  EXPECT_LT(util.busy_fraction, 1.0);
+
+  const std::string report = analysis_report(
+      trace, TimeInterval{Time::zero(), sim.now()}, config.bit_rate_bps);
+  EXPECT_NE(report.find("Channel utilization"), std::string::npos);
+  EXPECT_NE(report.find("Handshakes"), std::string::npos);
+}
+
+TEST(NodeActivityReport, CountsPerNode) {
+  MemoryTrace trace;
+  trace.record(tx(0.0, 1, FrameType::kRts, 64, 2, 1));
+  trace.record(rx(1.0, 2, FrameType::kRts, 1, 2, 1));
+  trace.record(rx(2.0, 2, FrameType::kData, 3, 2, 1, false));
+  const auto activity = node_activity(trace);
+  EXPECT_EQ(activity.at(1).frames_sent, 1u);
+  EXPECT_EQ(activity.at(2).frames_received, 1u);
+  EXPECT_EQ(activity.at(2).losses_seen, 1u);
+}
+
+}  // namespace
+}  // namespace aquamac

@@ -1,0 +1,147 @@
+// The analytic capacity model, and the simulator validated against it:
+// in a single collision domain, measured saturation throughput must stay
+// below the closed-form bound and approach it within a contention factor.
+
+#include "stats/capacity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hpp"
+#include "harness/scenario.hpp"
+#include "util/samples.hpp"
+
+namespace aquamac {
+namespace {
+
+TEST(Capacity, Table2Numbers) {
+  const CapacityParams params{};  // Table 2 defaults
+  // omega = 64/12000 = 5.33 ms; |ts| = 1.00533 s.
+  EXPECT_NEAR(capacity_slot_length(params).to_seconds(), 1.005333, 1e-5);
+  // Data occupancy: ceil((0.17067 + 1)/1.00533) = 2; cycle = 5 slots.
+  EXPECT_EQ(exchange_slots(params), 5);
+  // 2048 bits per 5.0267 s = 0.4074 kbps.
+  EXPECT_NEAR(single_domain_handshake_capacity_kbps(params), 0.4074, 1e-3);
+  EXPECT_NEAR(ewmac_capacity_upper_bound_kbps(params, 1), 0.8148, 2e-3);
+  EXPECT_NEAR(raw_channel_capacity_kbps(params), 12.0, 1e-12);
+}
+
+TEST(Capacity, LargerPacketsAmortizeBetter) {
+  CapacityParams small{};
+  small.data_bits = 1'024;
+  CapacityParams large{};
+  large.data_bits = 4'096;
+  EXPECT_GT(single_domain_handshake_capacity_kbps(large),
+            single_domain_handshake_capacity_kbps(small))
+      << "the paper's §2 argument for large packets";
+}
+
+TEST(Capacity, ShorterRangeShortensSlots) {
+  CapacityParams near{};
+  near.tau_max = Duration::milliseconds(200);
+  CapacityParams far{};
+  far.tau_max = Duration::seconds(1);
+  EXPECT_GT(single_domain_handshake_capacity_kbps(near),
+            single_domain_handshake_capacity_kbps(far));
+}
+
+class SingleDomainValidation : public ::testing::Test {
+ protected:
+  // All nodes inside a 500 m ball: everyone hears everyone — exactly the
+  // single-collision-domain regime of the analytic model.
+  static ScenarioConfig config_for(MacKind kind) {
+    ScenarioConfig config = paper_default_scenario();
+    config.mac = kind;
+    config.node_count = 12;
+    config.deployment.kind = DeploymentKind::kGrid;
+    config.deployment.width_m = 500.0;
+    config.deployment.length_m = 500.0;
+    config.deployment.depth_m = 500.0;
+    config.deployment.jitter_m = 30.0;
+    config.enable_mobility = false;
+    config.traffic.offered_load_kbps = 1.2;  // deep saturation
+    config.sim_time = Duration::seconds(400);
+    return config;
+  }
+};
+
+TEST_F(SingleDomainValidation, SFamaStaysBelowAnalyticBound) {
+  const CapacityParams params{};
+  const double bound = single_domain_handshake_capacity_kbps(params);
+  Samples measured;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    ScenarioConfig config = config_for(MacKind::kSFama);
+    config.seed = seed;
+    measured.add(run_scenario(config).throughput_kbps);
+  }
+  EXPECT_LT(measured.max(), bound * 1.02) << "bound is strict (2% numeric slack)";
+  EXPECT_GT(measured.mean(), bound * 0.25)
+      << "contention costs something, but the channel is not idle";
+}
+
+TEST_F(SingleDomainValidation, EwMacStaysBelowItsBound) {
+  const CapacityParams params{};
+  const double bound = ewmac_capacity_upper_bound_kbps(params, 1);
+  Samples measured;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    ScenarioConfig config = config_for(MacKind::kEwMac);
+    config.seed = seed;
+    measured.add(run_scenario(config).throughput_kbps);
+  }
+  EXPECT_LT(measured.max(), bound * 1.02);
+}
+
+TEST_F(SingleDomainValidation, EwMacBeatsSFamaInTheDomain) {
+  double sfama = 0.0;
+  double ewmac = 0.0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    ScenarioConfig sf = config_for(MacKind::kSFama);
+    sf.seed = seed;
+    sfama += run_scenario(sf).throughput_kbps;
+    ScenarioConfig ew = config_for(MacKind::kEwMac);
+    ew.seed = seed;
+    ewmac += run_scenario(ew).throughput_kbps;
+  }
+  EXPECT_GT(ewmac, sfama);
+}
+
+TEST(SamplesTest, Percentiles) {
+  Samples samples;
+  for (int i = 1; i <= 100; ++i) samples.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(samples.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(samples.percentile(100.0), 100.0);
+  EXPECT_NEAR(samples.percentile(50.0), 50.5, 1e-9);
+  EXPECT_NEAR(samples.percentile(95.0), 95.05, 1e-9);
+  EXPECT_THROW((void)samples.percentile(101.0), std::invalid_argument);
+}
+
+TEST(SamplesTest, Moments) {
+  Samples samples;
+  samples.add(2.0);
+  samples.add(4.0);
+  samples.add(6.0);
+  EXPECT_DOUBLE_EQ(samples.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(samples.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(samples.min(), 2.0);
+  EXPECT_DOUBLE_EQ(samples.max(), 6.0);
+}
+
+TEST(SamplesTest, EmptyAndSingle) {
+  Samples samples;
+  EXPECT_TRUE(samples.empty());
+  EXPECT_DOUBLE_EQ(samples.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(samples.percentile(50.0), 0.0);
+  samples.add(7.0);
+  EXPECT_DOUBLE_EQ(samples.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(samples.percentile(50.0), 7.0);
+}
+
+TEST(SamplesTest, AddAfterPercentileResorts) {
+  Samples samples;
+  samples.add(10.0);
+  EXPECT_DOUBLE_EQ(samples.percentile(50.0), 10.0);
+  samples.add(0.0);
+  EXPECT_DOUBLE_EQ(samples.min(), 0.0);
+}
+
+}  // namespace
+}  // namespace aquamac

@@ -1,0 +1,134 @@
+// Property-style sweeps over the channel physics: reciprocity, Fermat
+// bounds, monotonicities, and cross-model consistency across randomized
+// geometries.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "channel/propagation.hpp"
+#include "util/rng.hpp"
+
+namespace aquamac {
+namespace {
+
+struct Geometry {
+  Vec3 a;
+  Vec3 b;
+};
+
+Geometry random_geometry(Rng& rng, double span_m, double depth_m) {
+  return Geometry{
+      Vec3{rng.uniform(0, span_m), rng.uniform(0, span_m), rng.uniform(10.0, depth_m)},
+      Vec3{rng.uniform(0, span_m), rng.uniform(0, span_m), rng.uniform(10.0, depth_m)},
+  };
+}
+
+class PropagationProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PropagationProperties, StraightLineInvariants) {
+  Rng rng{GetParam()};
+  const StraightLinePropagation prop{1'500.0};
+  for (int trial = 0; trial < 200; ++trial) {
+    const Geometry g = random_geometry(rng, 5'000.0, 4'000.0);
+    const auto ab = prop.compute(g.a, g.b, 10.0);
+    const auto ba = prop.compute(g.b, g.a, 10.0);
+    ASSERT_EQ(ab.delay, ba.delay) << "reciprocity";
+    ASSERT_DOUBLE_EQ(ab.loss_db, ba.loss_db);
+    ASSERT_NEAR(ab.delay.to_seconds() * 1'500.0, ab.length_m, 1e-6)
+        << "delay is distance over c";
+    ASSERT_GE(ab.loss_db, 0.0);
+  }
+}
+
+TEST_P(PropagationProperties, BellhopLiteInvariants) {
+  Rng rng{GetParam() + 1'000};
+  const auto profile = std::make_shared<LinearProfile>(1'480.0, 0.017);
+  const BellhopLitePropagation prop{profile};
+  for (int trial = 0; trial < 200; ++trial) {
+    const Geometry g = random_geometry(rng, 5'000.0, 4'000.0);
+    const auto ab = prop.compute(g.a, g.b, 10.0);
+    const auto ba = prop.compute(g.b, g.a, 10.0);
+    ASSERT_NEAR(ab.delay.to_seconds(), ba.delay.to_seconds(), 1e-9) << "reciprocity";
+    ASSERT_NEAR(ab.length_m, ba.length_m, 1e-6);
+
+    const double chord = g.a.distance_to(g.b);
+    ASSERT_GE(ab.length_m, chord - 1e-6) << "arc at least the chord";
+
+    // Fermat: eigenray time <= straight-chord time through the medium.
+    const double chord_time = chord * profile->mean_slowness(g.a.z, g.b.z);
+    ASSERT_LE(ab.delay.to_seconds(), chord_time + 1e-9);
+
+    // Physical speed bound: effective speed within the profile's range
+    // over the water column.
+    if (chord > 1.0) {
+      const double eff_speed = ab.length_m / ab.delay.to_seconds();
+      ASSERT_GT(eff_speed, profile->speed_at(0.0) - 1.0);
+      ASSERT_LT(eff_speed, profile->speed_at(4'100.0) + 1.0);
+    }
+  }
+}
+
+TEST_P(PropagationProperties, ModelsAgreeAtShortRange) {
+  // Over short distances the ray bend is negligible: both models must be
+  // within a microsecond on delay.
+  Rng rng{GetParam() + 2'000};
+  const auto profile = std::make_shared<LinearProfile>(1'500.0, 0.017);
+  const BellhopLitePropagation bent{profile};
+  for (int trial = 0; trial < 100; ++trial) {
+    const Vec3 a{rng.uniform(0, 100), rng.uniform(0, 100), rng.uniform(500, 600)};
+    const Vec3 b = a + Vec3{rng.uniform(-50, 50), rng.uniform(-50, 50), rng.uniform(-50, 50)};
+    const auto path = bent.compute(a, b, 10.0);
+    const double local_speed = profile->speed_at((a.z + b.z) / 2.0);
+    const double straight_time = a.distance_to(b) / local_speed;
+    ASSERT_NEAR(path.delay.to_seconds(), straight_time, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropagationProperties, ::testing::Values(1u, 2u, 3u),
+                         [](const auto& param_info) {
+                           return "seed_" + std::to_string(param_info.param);
+                         });
+
+TEST(PropagationMonotonicity, LossGrowsWithRangeUnderBothModels) {
+  const StraightLinePropagation straight{1'500.0};
+  const BellhopLitePropagation bent{std::make_shared<LinearProfile>(1'480.0, 0.017)};
+  double prev_straight = -1.0;
+  double prev_bent = -1.0;
+  for (double x = 100.0; x <= 5'000.0; x += 100.0) {
+    const auto ps = straight.compute(Vec3{0, 0, 1'000}, Vec3{x, 0, 1'000}, 10.0);
+    const auto pb = bent.compute(Vec3{0, 0, 1'000}, Vec3{x, 0, 1'000}, 10.0);
+    ASSERT_GT(ps.loss_db, prev_straight);
+    ASSERT_GT(pb.loss_db, prev_bent);
+    prev_straight = ps.loss_db;
+    prev_bent = pb.loss_db;
+  }
+}
+
+TEST(PropagationMonotonicity, DelayGrowsWithRange) {
+  const BellhopLitePropagation bent{std::make_shared<LinearProfile>(1'480.0, 0.017)};
+  Duration prev{};
+  for (double x = 100.0; x <= 5'000.0; x += 100.0) {
+    const auto path = bent.compute(Vec3{0, 0, 800}, Vec3{x, 0, 1'900}, 10.0);
+    ASSERT_GT(path.delay, prev) << "at " << x;
+    prev = path.delay;
+  }
+}
+
+TEST(PropagationGradients, StrongerGradientBendsMore) {
+  // Same endpoints, increasing gradient: the eigenray's extra length over
+  // the chord must not shrink.
+  const Vec3 a{0, 0, 500};
+  const Vec3 b{4'000, 0, 700};
+  const double chord = a.distance_to(b);
+  double prev_excess = -1.0;
+  for (double g : {0.002, 0.01, 0.017, 0.05}) {
+    const BellhopLitePropagation prop{std::make_shared<LinearProfile>(1'480.0, g)};
+    const double excess = prop.compute(a, b, 10.0).length_m - chord;
+    ASSERT_GE(excess, prev_excess - 1e-9) << "gradient " << g;
+    prev_excess = excess;
+  }
+}
+
+}  // namespace
+}  // namespace aquamac

@@ -1,0 +1,98 @@
+// The paper assumes network-wide synchronization (§3.1) and warns that
+// its slotted design depends on stable delay knowledge (§5 closing).
+// These tests exercise the clock-offset failure knob: skewed timestamps
+// corrupt measured delays by the *difference* of the two clocks, and the
+// protocols must degrade gracefully, not wedge.
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hpp"
+#include "harness/scenario.hpp"
+#include "testbed.hpp"
+
+namespace aquamac {
+namespace {
+
+using testbed::TestBed;
+
+TEST(ClockSync, OffsetSkewsMeasuredDelayByDifference) {
+  TestBed bed;
+  const NodeId s = bed.add_node(MacKind::kSFama, Vec3{0, 0, 900});
+  const NodeId r = bed.add_node(MacKind::kSFama, Vec3{0, 0, 0});
+  bed.node(s).modem().set_clock_offset(Duration::milliseconds(40));
+  bed.node(r).modem().set_clock_offset(Duration::milliseconds(-10));
+  bed.hello_and_settle();
+
+  // True delay 0.6 s; r measures 0.6 + (-0.01 - 0.04) = 0.55 s.
+  const auto measured_at_r = bed.node(r).neighbors().delay_to(s);
+  ASSERT_TRUE(measured_at_r.has_value());
+  EXPECT_NEAR(measured_at_r->to_seconds(), 0.6 - 0.05, 1e-6);
+  // And s measures 0.6 + (0.04 - (-0.01)) = 0.65 s: asymmetric, as in a
+  // real desynchronized pair.
+  const auto measured_at_s = bed.node(s).neighbors().delay_to(r);
+  ASSERT_TRUE(measured_at_s.has_value());
+  EXPECT_NEAR(measured_at_s->to_seconds(), 0.6 + 0.05, 1e-6);
+}
+
+TEST(ClockSync, ZeroOffsetMeansExactDelays) {
+  TestBed bed;
+  const NodeId s = bed.add_node(MacKind::kEwMac, Vec3{0, 0, 900});
+  const NodeId r = bed.add_node(MacKind::kEwMac, Vec3{0, 0, 0});
+  bed.hello_and_settle();
+  EXPECT_NEAR(bed.node(r).neighbors().delay_to(s)->to_seconds(), 0.6, 1e-9);
+}
+
+class ClockSkewSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ClockSkewSweep, EwMacSurvivesSkew) {
+  ScenarioConfig config = small_test_scenario();
+  config.mac = MacKind::kEwMac;
+  config.clock_offset_stddev_s = GetParam();
+  const RunStats stats = run_scenario(config);
+  // Conservation always holds; delivery may degrade but must not vanish
+  // for modest skew (slots are ~1 s, so millisecond-scale skew is benign).
+  EXPECT_LE(stats.packets_delivered, stats.packets_offered);
+  if (GetParam() <= 0.01) {
+    EXPECT_GT(stats.packets_delivered, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SkewLevels, ClockSkewSweep,
+                         ::testing::Values(0.0, 0.001, 0.01, 0.05, 0.2),
+                         [](const auto& param_info) {
+                           return "sigma_us_" +
+                                  std::to_string(static_cast<int>(param_info.param * 1e6));
+                         });
+
+TEST(ClockSync, MildSkewBarelyHurtsThroughput) {
+  ScenarioConfig config = small_test_scenario();
+  config.mac = MacKind::kEwMac;
+  config.sim_time = Duration::seconds(120);
+  const RunStats clean = run_scenario(config);
+  config.clock_offset_stddev_s = 0.001;  // 1 ms across ~1 s slots
+  const RunStats skewed = run_scenario(config);
+  EXPECT_GT(static_cast<double>(skewed.bits_delivered),
+            0.5 * static_cast<double>(clean.bits_delivered));
+}
+
+TEST(ClockSync, SevereSkewDegradesExtraPhase) {
+  // Extra-communication scheduling (Eq. 6) depends on accurate delays; a
+  // badly skewed network should not complete more extras than a clean one.
+  auto extras_with = [](double sigma) {
+    ScenarioConfig config = small_test_scenario();
+    config.mac = MacKind::kEwMac;
+    config.traffic.offered_load_kbps = 0.8;
+    config.sim_time = Duration::seconds(200);
+    config.clock_offset_stddev_s = sigma;
+    std::uint64_t extras = 0;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      config.seed = seed;
+      extras += run_scenario(config).extra_successes;
+    }
+    return extras;
+  };
+  EXPECT_GE(extras_with(0.0), extras_with(0.5));
+}
+
+}  // namespace
+}  // namespace aquamac

@@ -1,0 +1,129 @@
+#include "harness/config_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/runner.hpp"
+#include "harness/scenario.hpp"
+
+namespace aquamac {
+namespace {
+
+TEST(ConfigIo, RoundTripPreservesEveryScalar) {
+  ScenarioConfig original = paper_default_scenario();
+  original.mac = MacKind::kCsMac;
+  original.node_count = 123;
+  original.seed = 99;
+  original.sim_time = Duration::from_seconds(123.5);
+  original.channel.comm_range_m = 1'234.0;
+  original.propagation = PropagationKind::kBellhopLite;
+  original.reception = ReceptionKind::kSinrPer;
+  original.deployment.kind = DeploymentKind::kLayeredColumn;
+  original.deployment.depth_m = 5'432.0;
+  original.enable_mobility = false;
+  original.clock_offset_stddev_s = 0.25;
+  original.mac_config.max_retries = 9;
+  original.mac_config.enable_extra = false;
+  original.traffic.mode = TrafficMode::kBatch;
+  original.traffic.offered_load_kbps = 0.77;
+  original.traffic.batch_packets = 55;
+  original.multi_hop = true;
+  original.sink_fraction = 0.2;
+  original.hop_limit = 7;
+
+  std::stringstream buffer;
+  save_scenario(original, buffer);
+  const ScenarioConfig loaded = load_scenario(buffer, paper_default_scenario());
+
+  EXPECT_EQ(loaded.mac, original.mac);
+  EXPECT_EQ(loaded.node_count, original.node_count);
+  EXPECT_EQ(loaded.seed, original.seed);
+  EXPECT_EQ(loaded.sim_time, original.sim_time);
+  EXPECT_DOUBLE_EQ(loaded.channel.comm_range_m, original.channel.comm_range_m);
+  EXPECT_EQ(loaded.propagation, original.propagation);
+  EXPECT_EQ(loaded.reception, original.reception);
+  EXPECT_EQ(loaded.deployment.kind, original.deployment.kind);
+  EXPECT_DOUBLE_EQ(loaded.deployment.depth_m, original.deployment.depth_m);
+  EXPECT_EQ(loaded.enable_mobility, original.enable_mobility);
+  EXPECT_DOUBLE_EQ(loaded.clock_offset_stddev_s, original.clock_offset_stddev_s);
+  EXPECT_EQ(loaded.mac_config.max_retries, original.mac_config.max_retries);
+  EXPECT_EQ(loaded.mac_config.enable_extra, original.mac_config.enable_extra);
+  EXPECT_EQ(loaded.traffic.mode, original.traffic.mode);
+  EXPECT_DOUBLE_EQ(loaded.traffic.offered_load_kbps, original.traffic.offered_load_kbps);
+  EXPECT_EQ(loaded.traffic.batch_packets, original.traffic.batch_packets);
+  EXPECT_EQ(loaded.multi_hop, original.multi_hop);
+  EXPECT_DOUBLE_EQ(loaded.sink_fraction, original.sink_fraction);
+  EXPECT_EQ(loaded.hop_limit, original.hop_limit);
+}
+
+TEST(ConfigIo, LoadedScenarioRunsIdenticallyToOriginal) {
+  ScenarioConfig original = small_test_scenario();
+  original.mac = MacKind::kEwMac;
+  original.seed = 5;
+
+  std::stringstream buffer;
+  save_scenario(original, buffer);
+  const ScenarioConfig loaded = load_scenario(buffer, small_test_scenario());
+
+  const RunStats a = run_scenario(original);
+  const RunStats b = run_scenario(loaded);
+  EXPECT_EQ(a.packets_offered, b.packets_offered);
+  EXPECT_EQ(a.bits_delivered, b.bits_delivered);
+  EXPECT_DOUBLE_EQ(a.total_energy_j, b.total_energy_j);
+}
+
+TEST(ConfigIo, PartialFileKeepsBaseDefaults) {
+  std::stringstream buffer{"mac = S-FAMA\nnode-count = 7\n"};
+  ScenarioConfig base = small_test_scenario();
+  base.traffic.offered_load_kbps = 0.42;
+  const ScenarioConfig loaded = load_scenario(buffer, base);
+  EXPECT_EQ(loaded.mac, MacKind::kSFama);
+  EXPECT_EQ(loaded.node_count, 7u);
+  EXPECT_DOUBLE_EQ(loaded.traffic.offered_load_kbps, 0.42) << "untouched";
+}
+
+TEST(ConfigIo, CommentsAndBlankLinesIgnored) {
+  std::stringstream buffer{
+      "# a comment\n"
+      "\n"
+      "seed = 11   # trailing comment\n"
+      "   mobility = false   \n"};
+  const ScenarioConfig loaded = load_scenario(buffer, small_test_scenario());
+  EXPECT_EQ(loaded.seed, 11u);
+  EXPECT_FALSE(loaded.enable_mobility);
+}
+
+TEST(ConfigIo, UnknownKeyThrows) {
+  std::stringstream buffer{"nodes = 60\n"};  // correct key is node-count
+  EXPECT_THROW((void)load_scenario(buffer, small_test_scenario()), std::invalid_argument);
+}
+
+TEST(ConfigIo, MalformedValueThrowsWithLineNumber) {
+  std::stringstream buffer{"seed = eleven\n"};
+  try {
+    (void)load_scenario(buffer, small_test_scenario());
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string{e.what()}.find("seed"), std::string::npos);
+  }
+}
+
+TEST(ConfigIo, MissingEqualsThrows) {
+  std::stringstream buffer{"just some words\n"};
+  EXPECT_THROW((void)load_scenario(buffer, small_test_scenario()), std::invalid_argument);
+}
+
+TEST(ConfigIo, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/aquamac_scenario_test.cfg";
+  ScenarioConfig original = small_test_scenario();
+  original.seed = 321;
+  save_scenario_file(original, path);
+  const ScenarioConfig loaded = load_scenario_file(path, small_test_scenario());
+  EXPECT_EQ(loaded.seed, 321u);
+  EXPECT_THROW((void)load_scenario_file("/nonexistent/path.cfg", small_test_scenario()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aquamac

@@ -1,0 +1,140 @@
+#include "net/deployment.hpp"
+#include "net/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aquamac {
+namespace {
+
+TEST(Deployment, UniformBoxStaysInBounds) {
+  Rng rng{1};
+  DeploymentConfig config{};
+  const auto positions = generate_deployment(config, 200, rng);
+  ASSERT_EQ(positions.size(), 200u);
+  for (const Vec3& p : positions) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, config.width_m);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, config.length_m);
+    EXPECT_GE(p.z, 0.0);
+    EXPECT_LE(p.z, config.depth_m);
+  }
+}
+
+TEST(Deployment, DefaultBoxIsConnectedEnough) {
+  Rng rng{7};
+  const auto positions = generate_deployment(DeploymentConfig{}, 60, rng);
+  EXPECT_GT(mean_degree(positions, 1'500.0), 4.0)
+      << "the figure-default region must give real contention";
+  EXPECT_GT(uphill_coverage(positions, 1'500.0), 0.7);
+}
+
+TEST(Deployment, Table2LiteralBoxIsNearlyDisconnected) {
+  // The documented reason the figure default scales the region (DESIGN.md
+  // §5): 60 nodes in 1000 km^3 at 1.5 km range have degree < 2.
+  Rng rng{7};
+  const auto positions = generate_deployment(table2_deployment(), 60, rng);
+  EXPECT_LT(mean_degree(positions, 1'500.0), 2.0);
+}
+
+TEST(Deployment, DensitySweepIncreasesDegree) {
+  Rng rng{3};
+  const auto d60 = mean_degree(generate_deployment(DeploymentConfig{}, 60, rng), 1'500.0);
+  const auto d140 = mean_degree(generate_deployment(DeploymentConfig{}, 140, rng), 1'500.0);
+  EXPECT_GT(d140, d60 * 1.5) << "Fig. 7's density mechanism";
+}
+
+TEST(Deployment, LayeredColumnHasLayers) {
+  Rng rng{5};
+  DeploymentConfig config{};
+  config.kind = DeploymentKind::kLayeredColumn;
+  config.depth_m = 5'000.0;
+  config.layer_spacing_m = 1'000.0;
+  config.jitter_m = 50.0;
+  const auto positions = generate_deployment(config, 50, rng);
+  // Every node sits within jitter of a layer center (k + 0.5) * 1000.
+  for (const Vec3& p : positions) {
+    const double layer_offset = std::fmod(p.z, 1'000.0);
+    const bool near_center = std::abs(layer_offset - 500.0) <= 50.0 + 1e-9;
+    EXPECT_TRUE(near_center) << "depth " << p.z;
+  }
+}
+
+TEST(Deployment, GridIsDeterministicGivenSeed) {
+  DeploymentConfig config{};
+  config.kind = DeploymentKind::kGrid;
+  Rng rng1{11};
+  Rng rng2{11};
+  const auto a = generate_deployment(config, 27, rng1);
+  const auto b = generate_deployment(config, 27, rng2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Mobility, StaticNeverMoves) {
+  Rng rng{1};
+  Mobility mobility{MobilityKind::kStatic, MobilityConfig{}, Vec3{10, 20, 30}, rng};
+  mobility.advance(Duration::seconds(1'000));
+  EXPECT_EQ(mobility.position(), (Vec3{10, 20, 30}));
+}
+
+TEST(Mobility, HorizontalDriftPreservesDepth) {
+  Rng rng{2};
+  MobilityConfig config{};
+  config.speed_mps = 1.0;
+  Mobility mobility{MobilityKind::kHorizontalDrift, config, Vec3{2'000, 2'000, 1'234}, rng};
+  for (int i = 0; i < 100; ++i) mobility.advance(Duration::seconds(5));
+  EXPECT_DOUBLE_EQ(mobility.position().z, 1'234.0);
+  EXPECT_NE(mobility.position().x, 2'000.0);
+}
+
+TEST(Mobility, VerticalDriftPreservesHorizontal) {
+  Rng rng{3};
+  MobilityConfig config{};
+  config.speed_mps = 1.0;
+  Mobility mobility{MobilityKind::kVerticalDrift, config, Vec3{2'000, 2'000, 2'000}, rng};
+  for (int i = 0; i < 100; ++i) mobility.advance(Duration::seconds(5));
+  EXPECT_DOUBLE_EQ(mobility.position().x, 2'000.0);
+  EXPECT_DOUBLE_EQ(mobility.position().y, 2'000.0);
+  EXPECT_NE(mobility.position().z, 2'000.0);
+}
+
+TEST(Mobility, DriftSpeedMatchesConfig) {
+  Rng rng{4};
+  MobilityConfig config{};
+  config.speed_mps = 0.5;
+  Mobility mobility{MobilityKind::kHorizontalDrift, config, Vec3{2'000, 2'000, 100}, rng};
+  const Vec3 before = mobility.position();
+  mobility.advance(Duration::seconds(10));
+  EXPECT_NEAR(before.distance_to(mobility.position()), 5.0, 1e-9);
+}
+
+TEST(Mobility, ReflectsAtBounds) {
+  Rng rng{5};
+  MobilityConfig config{};
+  config.speed_mps = 10.0;  // fast, to force reflections
+  config.width_m = 100.0;
+  config.length_m = 100.0;
+  config.depth_m = 100.0;
+  Mobility mobility{MobilityKind::kHorizontalDrift, config, Vec3{50, 50, 50}, rng};
+  for (int i = 0; i < 1'000; ++i) {
+    mobility.advance(Duration::seconds(1));
+    EXPECT_GE(mobility.position().x, 0.0);
+    EXPECT_LE(mobility.position().x, 100.0);
+    EXPECT_GE(mobility.position().y, 0.0);
+    EXPECT_LE(mobility.position().y, 100.0);
+  }
+}
+
+TEST(Mobility, RandomKindCoversAllThreeModels) {
+  // §5: "the location of each sensor is changed by randomly selecting one
+  // of these models".
+  Rng rng{6};
+  bool saw[3] = {false, false, false};
+  for (int i = 0; i < 200; ++i) saw[static_cast<int>(Mobility::random_kind(rng))] = true;
+  EXPECT_TRUE(saw[0]);
+  EXPECT_TRUE(saw[1]);
+  EXPECT_TRUE(saw[2]);
+}
+
+}  // namespace
+}  // namespace aquamac

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "harness/runner.hpp"
+#include "harness/scenario.hpp"
+#include "mac/dots/dots_mac.hpp"
+#include "testbed.hpp"
+
+namespace aquamac {
+namespace {
+
+using testbed::TestBed;
+
+TEST(Dots, SinglePairDeliversWithoutNegotiation) {
+  TestBed bed;
+  const NodeId s = bed.add_node(MacKind::kDots, Vec3{0, 0, 1'000});
+  const NodeId r = bed.add_node(MacKind::kDots, Vec3{0, 0, 0});
+  bed.hello_and_settle();
+  bed.mac(s).enqueue_packet(r, 2'048);
+  bed.sim().run_until(Time::from_seconds(30.0));
+
+  EXPECT_EQ(bed.counters(r).packets_delivered, 1u);
+  EXPECT_EQ(bed.counters(s).frames_sent[frame_type_index(FrameType::kRts)], 0u)
+      << "DOTS never negotiates";
+  EXPECT_EQ(bed.counters(s).packets_sent_ok, 1u);
+}
+
+TEST(Dots, DeliveryIsFastNoSlotWait) {
+  // No slot grid: send + prop + ack round trip only. 1 km pair => well
+  // under two seconds, where slotted protocols need >= 4 slots (~4 s).
+  TestBed bed;
+  const NodeId s = bed.add_node(MacKind::kDots, Vec3{0, 0, 1'000});
+  const NodeId r = bed.add_node(MacKind::kDots, Vec3{0, 0, 0});
+  bed.hello_and_settle();
+  const Time start = bed.sim().now();
+  bed.mac(s).enqueue_packet(r, 2'048);
+  bed.sim().run_until(Time::from_seconds(30.0));
+  ASSERT_EQ(bed.counters(s).packets_sent_ok, 1u);
+  const Duration latency = bed.counters(s).total_delivery_latency;
+  EXPECT_LT((latency).to_seconds(), 2.0) << "unslotted latency";
+  (void)start;
+}
+
+TEST(Dots, DefersAroundOverheardReception) {
+  // b is receiving a long DATA from a; c (who overheard the header) must
+  // not garble it: c's packet to b arrives only after b's reception ends.
+  TestBed bed;
+  const NodeId a = bed.add_node(MacKind::kDots, Vec3{0, 0, 1'200});
+  const NodeId b = bed.add_node(MacKind::kDots, Vec3{0, 0, 0});
+  const NodeId c = bed.add_node(MacKind::kDots, Vec3{600, 0, 600});  // hears both
+  bed.hello_and_settle();
+  bed.mac(a).enqueue_packet(b, 12'000);  // 1 s airtime
+  // c queues after it has fully overheard a's frame (~0.57 s propagation
+  // + 1 s airtime), so its schedule book already predicts b's reception.
+  bed.sim().at(bed.sim().now() + Duration::milliseconds(1'700),
+               [&] { bed.mac(c).enqueue_packet(b, 2'048); });
+  bed.sim().run_until(Time::from_seconds(40.0));
+
+  EXPECT_EQ(bed.counters(b).packets_delivered, 2u) << "both arrive intact";
+  EXPECT_EQ(bed.counters(b).rx_collisions, 0u)
+      << "delay-aware launch must not collide at the shared receiver";
+}
+
+TEST(Dots, CollidingBlindSendersRecover) {
+  TestBed bed;
+  const NodeId r = bed.add_node(MacKind::kDots, Vec3{0, 0, 0});
+  const NodeId a = bed.add_node(MacKind::kDots, Vec3{700, 0, 0});
+  const NodeId b = bed.add_node(MacKind::kDots, Vec3{-700, 0, 0});
+  // a and b cannot hear each other's headers in time: first data frames
+  // collide at r; randomized backoff resolves.
+  bed.hello_and_settle();
+  bed.mac(a).enqueue_packet(r, 2'048);
+  bed.mac(b).enqueue_packet(r, 2'048);
+  bed.sim().run_until(Time::from_seconds(300.0));
+  EXPECT_EQ(bed.counters(r).packets_delivered, 2u);
+}
+
+TEST(Dots, UnknownDestinationProbesWithHelloThenDrops) {
+  TestBed bed;
+  const NodeId s = bed.add_node(MacKind::kDots, Vec3{0, 0, 0});
+  bed.add_node(MacKind::kDots, Vec3{0, 0, 4'000});  // unreachable
+  bed.hello_and_settle();
+  bed.mac(s).enqueue_packet(1, 2'048);
+  bed.sim().run_until(Time::from_seconds(300.0));
+  EXPECT_EQ(bed.counters(s).packets_dropped, 1u);
+  EXPECT_GT(bed.counters(s).frames_sent[frame_type_index(FrameType::kHello)], 1u)
+      << "re-probes for the missing neighbor";
+}
+
+TEST(Dots, ScheduleBookLearnsFromDataHeaders) {
+  TestBed bed;
+  const NodeId a = bed.add_node(MacKind::kDots, Vec3{0, 0, 1'200});
+  const NodeId b = bed.add_node(MacKind::kDots, Vec3{0, 0, 0});
+  const NodeId o = bed.add_node(MacKind::kDots, Vec3{600, 0, 600});
+  bed.hello_and_settle();
+  bed.mac(a).enqueue_packet(b, 2'048);
+  bed.sim().run_until(Time::from_seconds(8.0));
+  const auto& book = dynamic_cast<const DotsMac&>(bed.mac(o)).schedule_book();
+  EXPECT_GE(book.size(), 2u) << "overheard header predicts reception + ack windows";
+}
+
+TEST(Dots, SmallNetworkEndToEnd) {
+  ScenarioConfig config = small_test_scenario();
+  config.mac = MacKind::kDots;
+  const RunStats stats = run_scenario(config);
+  EXPECT_GT(stats.packets_delivered, 0u);
+  EXPECT_LE(stats.packets_delivered, stats.packets_offered);
+}
+
+}  // namespace
+}  // namespace aquamac

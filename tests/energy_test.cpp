@@ -1,0 +1,57 @@
+#include "phy/energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aquamac {
+namespace {
+
+TEST(EnergyMeter, IdleOnlyBaseline) {
+  const EnergyMeter meter{};  // defaults: tx 2 W, rx 0.75 W, idle 50 mW
+  const double joules = meter.energy_joules(Duration::seconds(100));
+  EXPECT_NEAR(joules, 0.05 * 100.0, 1e-12);
+  EXPECT_NEAR(meter.mean_power_w(Duration::seconds(100)), 0.05, 1e-12);
+}
+
+TEST(EnergyMeter, MixedStatesSumExactly) {
+  EnergyMeter meter{};
+  meter.add_tx_time(Duration::seconds(10));
+  meter.add_rx_time(Duration::seconds(20));
+  const double joules = meter.energy_joules(Duration::seconds(100));
+  EXPECT_NEAR(joules, 2.0 * 10.0 + 0.75 * 20.0 + 0.05 * 70.0, 1e-9);
+}
+
+TEST(EnergyMeter, CustomProfile) {
+  const PowerProfile profile{.tx_w = 5.0, .rx_w = 1.0, .idle_w = 0.0};
+  EnergyMeter meter{profile};
+  meter.add_tx_time(Duration::seconds(2));
+  EXPECT_NEAR(meter.energy_joules(Duration::seconds(10)), 10.0, 1e-12);
+}
+
+TEST(EnergyMeter, ActiveTimeBeyondElapsedNeverGoesNegativeIdle) {
+  EnergyMeter meter{};
+  meter.add_tx_time(Duration::seconds(10));
+  // Elapsed shorter than accounted activity: idle clamps to zero.
+  EXPECT_NEAR(meter.energy_joules(Duration::seconds(5)), 20.0, 1e-12);
+}
+
+TEST(EnergyMeter, ZeroElapsed) {
+  const EnergyMeter meter{};
+  EXPECT_DOUBLE_EQ(meter.mean_power_w(Duration::zero()), 0.0);
+}
+
+TEST(EnergyMeter, AccumulationIsAdditive) {
+  EnergyMeter meter{};
+  for (int i = 0; i < 100; ++i) meter.add_tx_time(Duration::milliseconds(10));
+  EXPECT_EQ(meter.tx_time(), Duration::seconds(1));
+}
+
+TEST(EnergyMeter, TxDominatesRxDominatesIdle) {
+  // The modeled ordering that drives Fig. 9: transmitting costs more than
+  // receiving costs more than waiting.
+  const PowerProfile profile{};
+  EXPECT_GT(profile.tx_w, profile.rx_w);
+  EXPECT_GT(profile.rx_w, profile.idle_w);
+}
+
+}  // namespace
+}  // namespace aquamac

@@ -1,0 +1,131 @@
+// Randomized differential test: EventQueue against a trivially correct
+// reference model (sorted vector with stable ordering), across mixed
+// push/cancel/pop workloads.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace aquamac {
+namespace {
+
+struct RefEntry {
+  Time when;
+  std::uint64_t seq;
+  int payload;
+  bool cancelled{false};
+};
+
+class ReferenceQueue {
+ public:
+  std::uint64_t push(Time when, int payload) {
+    entries_.push_back(RefEntry{when, next_seq_, payload, false});
+    return next_seq_++;
+  }
+  bool cancel(std::uint64_t seq) {
+    for (RefEntry& e : entries_) {
+      if (e.seq == seq && !e.cancelled) {
+        e.cancelled = true;
+        return true;
+      }
+    }
+    return false;
+  }
+  [[nodiscard]] bool empty() const {
+    return std::none_of(entries_.begin(), entries_.end(),
+                        [](const RefEntry& e) { return !e.cancelled; });
+  }
+  /// Earliest live entry; (time, seq) lexicographic — the contract.
+  RefEntry pop() {
+    auto best = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->cancelled) continue;
+      if (best == entries_.end() || it->when < best->when ||
+          (it->when == best->when && it->seq < best->seq)) {
+        best = it;
+      }
+    }
+    RefEntry result = *best;
+    entries_.erase(best);
+    return result;
+  }
+
+ private:
+  std::vector<RefEntry> entries_;
+  std::uint64_t next_seq_{0};
+};
+
+class EventQueueDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventQueueDifferential, MatchesReferenceModel) {
+  Rng rng{GetParam()};
+  EventQueue queue;
+  ReferenceQueue reference;
+
+  // Handle mapping: reference seq -> (EventHandle, payload sink).
+  std::vector<std::pair<std::uint64_t, EventHandle>> live;
+  std::vector<int> popped_real;
+
+  for (int op = 0; op < 5'000; ++op) {
+    const std::uint64_t choice = rng.below(100);
+    if (choice < 55 || live.empty()) {
+      // push
+      const Time when = Time::from_ns(static_cast<std::int64_t>(rng.below(10'000)));
+      const int payload = op;
+      const std::uint64_t ref_seq = reference.push(when, payload);
+      const EventHandle handle =
+          queue.push(when, [payload, &popped_real] { popped_real.push_back(payload); });
+      live.emplace_back(ref_seq, handle);
+    } else if (choice < 75) {
+      // cancel a random live entry (might already have been popped)
+      const std::size_t pick = rng.below(live.size());
+      const bool ref_ok = reference.cancel(live[pick].first);
+      const bool real_ok = queue.cancel(live[pick].second);
+      ASSERT_EQ(ref_ok, real_ok) << "cancel outcome diverged at op " << op;
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      // pop
+      ASSERT_EQ(queue.empty(), reference.empty());
+      if (!reference.empty()) {
+        const RefEntry expected = reference.pop();
+        const auto event = queue.pop();
+        ASSERT_EQ(event.when, expected.when) << "op " << op;
+        event.fn();
+        ASSERT_EQ(popped_real.back(), expected.payload) << "op " << op;
+        std::erase_if(live, [&](const auto& kv) { return kv.first == expected.seq; });
+      }
+    }
+    ASSERT_EQ(queue.size(), [&] {
+      std::size_t n = 0;
+      for (const auto& kv : live) {
+        (void)kv;
+        ++n;
+      }
+      return n;
+    }()) << "live-count bookkeeping";
+  }
+
+  // Drain both and compare the full remaining order.
+  while (!reference.empty()) {
+    ASSERT_FALSE(queue.empty());
+    const RefEntry expected = reference.pop();
+    const auto event = queue.pop();
+    ASSERT_EQ(event.when, expected.when);
+    event.fn();
+    ASSERT_EQ(popped_real.back(), expected.payload);
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueDifferential,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u),
+                         [](const auto& param_info) {
+                           return "seed_" + std::to_string(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace aquamac

@@ -1,0 +1,109 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace aquamac {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.push(Time::from_seconds(3.0), [&] { order.push_back(3); });
+  queue.push(Time::from_seconds(1.0), [&] { order.push_back(1); });
+  queue.push(Time::from_seconds(2.0), [&] { order.push_back(2); });
+  while (!queue.empty()) queue.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  const Time t = Time::from_seconds(1.0);
+  for (int i = 0; i < 10; ++i) {
+    queue.push(t, [&order, i] { order.push_back(i); });
+  }
+  while (!queue.empty()) queue.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelRemovesEvent) {
+  EventQueue queue;
+  bool fired = false;
+  const EventHandle handle = queue.push(Time::from_seconds(1.0), [&] { fired = true; });
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_TRUE(queue.cancel(handle));
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue queue;
+  const EventHandle handle = queue.push(Time::from_seconds(1.0), [] {});
+  EXPECT_TRUE(queue.cancel(handle));
+  EXPECT_FALSE(queue.cancel(handle));
+}
+
+TEST(EventQueue, CancelNullHandleFails) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.cancel(EventHandle{}));
+}
+
+TEST(EventQueue, CancelAfterPopFails) {
+  EventQueue queue;
+  const EventHandle handle = queue.push(Time::from_seconds(1.0), [] {});
+  (void)queue.pop();
+  EXPECT_FALSE(queue.cancel(handle));
+}
+
+TEST(EventQueue, CancelledEventsAreSkippedOnPop) {
+  EventQueue queue;
+  std::vector<int> order;
+  const EventHandle h1 = queue.push(Time::from_seconds(1.0), [&] { order.push_back(1); });
+  queue.push(Time::from_seconds(2.0), [&] { order.push_back(2); });
+  const EventHandle h3 = queue.push(Time::from_seconds(3.0), [&] { order.push_back(3); });
+  queue.cancel(h1);
+  queue.cancel(h3);
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_EQ(queue.next_time(), Time::from_seconds(2.0));
+  while (!queue.empty()) queue.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelledFront) {
+  EventQueue queue;
+  const EventHandle front = queue.push(Time::from_seconds(1.0), [] {});
+  queue.push(Time::from_seconds(5.0), [] {});
+  queue.cancel(front);
+  EXPECT_EQ(queue.next_time(), Time::from_seconds(5.0));
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  EventQueue queue;
+  for (int i = 0; i < 100; ++i) queue.push(Time::from_ns(i), [] {});
+  queue.clear();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(EventQueue, LargeInterleavedWorkload) {
+  EventQueue queue;
+  std::vector<EventHandle> handles;
+  for (std::int64_t i = 0; i < 10'000; ++i) {
+    handles.push_back(queue.push(Time::from_ns((i * 7'919) % 100'000), [] {}));
+  }
+  for (std::size_t i = 0; i < handles.size(); i += 3) queue.cancel(handles[i]);
+  Time last = Time::zero();
+  std::size_t popped = 0;
+  while (!queue.empty()) {
+    const auto event = queue.pop();
+    EXPECT_GE(event.when, last);
+    last = event.when;
+    ++popped;
+  }
+  EXPECT_EQ(popped, 10'000u - (10'000u + 2) / 3);
+}
+
+}  // namespace
+}  // namespace aquamac

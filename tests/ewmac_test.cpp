@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include "mac/ewmac/ew_mac.hpp"
+#include "testbed.hpp"
+
+namespace aquamac {
+namespace {
+
+using testbed::TestBed;
+
+TEST(EwMac, FourWayHandshakeDeliversOnePacket) {
+  TestBed bed;
+  const NodeId s = bed.add_node(MacKind::kEwMac, Vec3{0, 0, 1'000});
+  const NodeId r = bed.add_node(MacKind::kEwMac, Vec3{0, 0, 500});
+  bed.hello_and_settle();
+  bed.mac(s).enqueue_packet(r, 2'048);
+  bed.sim().run_until(Time::from_seconds(30.0));
+
+  EXPECT_EQ(bed.counters(r).packets_delivered, 1u);
+  EXPECT_EQ(bed.counters(s).handshake_successes, 1u);
+  EXPECT_EQ(bed.counters(s).extra_attempts, 0u) << "no contention, no extra phase";
+}
+
+// The Fig. 4/5 scenario: j receives from contention winner k; loser i
+// negotiates EXR/EXC inside period V and delivers EXDATA per Eq. (6),
+// interfering with nothing.
+class EwMacExtraReceiverCase : public ::testing::Test {
+ protected:
+  EwMacExtraReceiverCase() {
+    j_ = bed_.add_node(MacKind::kEwMac, Vec3{0, 0, 1'000});
+    k_ = bed_.add_node(MacKind::kEwMac, Vec3{1'400, 0, 1'000});   // tau_jk = 0.9333 s
+    i_ = bed_.add_node(MacKind::kEwMac, Vec3{-300, 0, 1'000});    // tau_ij = 0.2 s
+    // i and k are out of range of each other (1.7 km) by construction.
+  }
+
+  void run() {
+    bed_.hello_and_settle();                                       // ends at t = 5 s, slot 4
+    bed_.mac(k_).enqueue_packet(j_, 2'048);                        // k RTS at slot 5
+    bed_.sim().at(Time::from_seconds(5.5), [&] {                   // i RTS at slot 6,
+      bed_.mac(i_).enqueue_packet(j_, 2'048);                      // same slot as j's CTS
+    });
+    bed_.sim().run_until(Time::from_seconds(40.0));
+  }
+
+  TestBed bed_;
+  NodeId j_{}, k_{}, i_{};
+};
+
+TEST_F(EwMacExtraReceiverCase, LoserDeliversViaExtraCommunication) {
+  run();
+  const auto& ic = bed_.counters(i_);
+  const auto& jc = bed_.counters(j_);
+  const auto& kc = bed_.counters(k_);
+
+  EXPECT_EQ(kc.handshake_successes, 1u) << "winner's negotiated exchange completes";
+  EXPECT_EQ(ic.contention_losses, 1u);
+  EXPECT_EQ(ic.extra_attempts, 1u);
+  EXPECT_EQ(ic.extra_successes, 1u) << "loser delivered through EXR/EXC/EXDATA/EXACK";
+  EXPECT_EQ(ic.frames_sent[frame_type_index(FrameType::kExr)], 1u);
+  EXPECT_EQ(ic.frames_sent[frame_type_index(FrameType::kExData)], 1u);
+  EXPECT_EQ(ic.frames_sent[frame_type_index(FrameType::kData)], 0u)
+      << "the packet went out as EXDATA, not via a second negotiation";
+  EXPECT_EQ(jc.frames_sent[frame_type_index(FrameType::kExc)], 1u);
+  EXPECT_EQ(jc.frames_sent[frame_type_index(FrameType::kExAck)], 1u);
+  EXPECT_EQ(jc.packets_delivered, 2u) << "negotiated data + extra data";
+}
+
+TEST_F(EwMacExtraReceiverCase, ExtraPhaseInterferesWithNothing) {
+  run();
+  std::uint64_t collisions = 0;
+  for (NodeId n : {i_, j_, k_}) collisions += bed_.counters(n).rx_collisions;
+  EXPECT_EQ(collisions, 0u) << "Eq.-1 collision-freedom of the whole episode";
+}
+
+TEST_F(EwMacExtraReceiverCase, ExtraPacketsAreNotSlotAligned) {
+  std::vector<Time> extra_tx;
+  bed_.channel().set_audit([&](const TransmissionAudit& audit) {
+    if (audit.frame.extra()) extra_tx.push_back(audit.tx_window.begin);
+  });
+  run();
+  ASSERT_EQ(extra_tx.size(), 4u) << "EXR, EXC, EXDATA, EXACK";
+  const Duration slot = testbed::default_slot();
+  int off_boundary = 0;
+  for (const Time t : extra_tx) {
+    if ((t - Time::zero()).count_ns() % slot.count_ns() != 0) ++off_boundary;
+  }
+  // §4.1: "EXR, EXC, EXData, and EXAck packets are usually not" sent at
+  // slot starts. The EXR launches exactly at a boundary (beta = 0); the
+  // rest are offset by propagation-derived amounts.
+  EXPECT_GE(off_boundary, 3);
+}
+
+TEST_F(EwMacExtraReceiverCase, Eq6TimingExact) {
+  Time ack_tx{};
+  Time exdata_tx{};
+  bed_.channel().set_audit([&](const TransmissionAudit& audit) {
+    if (audit.frame.type == FrameType::kAck) ack_tx = audit.tx_window.begin;
+    if (audit.frame.type == FrameType::kExData) exdata_tx = audit.tx_window.begin;
+  });
+  run();
+  ASSERT_NE(ack_tx, Time{});
+  ASSERT_NE(exdata_tx, Time{});
+  // Eq. (6): t(EXData) = ts(Ack)·|ts| + omega - tau_ij, i.e. the EXDATA
+  // leading edge reaches j exactly as j finishes radiating the Ack.
+  const Duration omega = testbed::default_omega();
+  const Duration tau_ij = Duration::from_seconds(300.0 / 1'500.0);
+  EXPECT_EQ(exdata_tx.count_ns(), (ack_tx + omega - tau_ij).count_ns());
+}
+
+// The period-III case: the loser's target j is itself a *sender* (i
+// overheard RTS(j,k)); EXDATA must arrive after j finishes receiving its
+// Ack.
+TEST(EwMacExtraSenderCase, LoserDeliversViaExtraCommunication) {
+  TestBed bed;
+  const NodeId j = bed.add_node(MacKind::kEwMac, Vec3{0, 0, 1'000});
+  const NodeId k = bed.add_node(MacKind::kEwMac, Vec3{1'400, 0, 1'000});
+  const NodeId i = bed.add_node(MacKind::kEwMac, Vec3{-300, 0, 1'000});
+  bed.hello_and_settle();
+  // Both j and i transmit an RTS in slot 5: j to k, i to j.
+  bed.mac(j).enqueue_packet(k, 2'048);
+  bed.mac(i).enqueue_packet(j, 2'048);
+  bed.sim().run_until(Time::from_seconds(40.0));
+
+  EXPECT_EQ(bed.counters(j).handshake_successes, 1u);
+  EXPECT_EQ(bed.counters(i).contention_losses, 1u);
+  EXPECT_EQ(bed.counters(i).extra_successes, 1u);
+  EXPECT_EQ(bed.counters(j).packets_delivered, 1u) << "j received i's extra data";
+  EXPECT_EQ(bed.counters(k).packets_delivered, 1u) << "k received j's negotiated data";
+
+  std::uint64_t collisions = 0;
+  for (NodeId n : {i, j, k}) collisions += bed.counters(n).rx_collisions;
+  EXPECT_EQ(collisions, 0u);
+}
+
+TEST(EwMac, ExtraInfeasibleFallsBackToBackoff) {
+  // Loser is *farther* from j than the winner: tau_ij + omega > tau_jk,
+  // so period V cannot host the EXR and i must retry normally.
+  TestBed bed;
+  const NodeId j = bed.add_node(MacKind::kEwMac, Vec3{0, 0, 1'000});
+  const NodeId k = bed.add_node(MacKind::kEwMac, Vec3{300, 0, 1'000});     // tau_jk = 0.2 s
+  const NodeId i = bed.add_node(MacKind::kEwMac, Vec3{-1'400, 0, 1'000});  // tau_ij = 0.93 s
+  bed.hello_and_settle();
+  bed.mac(k).enqueue_packet(j, 2'048);
+  bed.sim().at(Time::from_seconds(5.5), [&] { bed.mac(i).enqueue_packet(j, 2'048); });
+  bed.sim().run_until(Time::from_seconds(120.0));
+
+  const auto& ic = bed.counters(i);
+  EXPECT_GE(ic.contention_losses, 1u);
+  EXPECT_EQ(ic.extra_attempts, 0u) << "infeasible extra must not be attempted";
+  EXPECT_EQ(ic.packets_sent_ok, 1u) << "normal retry eventually succeeds";
+  EXPECT_EQ(bed.counters(j).packets_delivered, 2u);
+}
+
+TEST(EwMac, AblationDisableExtraUsesPureBackoff) {
+  TestBed bed;
+  MacConfig no_extra{};
+  no_extra.enable_extra = false;
+  const NodeId j = bed.add_node(MacKind::kEwMac, Vec3{0, 0, 1'000}, no_extra);
+  const NodeId k = bed.add_node(MacKind::kEwMac, Vec3{1'400, 0, 1'000}, no_extra);
+  const NodeId i = bed.add_node(MacKind::kEwMac, Vec3{-300, 0, 1'000}, no_extra);
+  bed.hello_and_settle();
+  bed.mac(k).enqueue_packet(j, 2'048);
+  bed.sim().at(Time::from_seconds(5.5), [&] { bed.mac(i).enqueue_packet(j, 2'048); });
+  bed.sim().run_until(Time::from_seconds(120.0));
+
+  EXPECT_GE(bed.counters(i).contention_losses, 1u);
+  EXPECT_EQ(bed.counters(i).extra_attempts, 0u);
+  EXPECT_EQ(bed.counters(j).packets_delivered, 2u) << "both still delivered, just slower";
+}
+
+TEST(EwMac, WaitTimePriorityWinsContention) {
+  // rp grows with wait time (§3.1): a sender that waited ~5 slots beats a
+  // fresh one deterministically (gap > 1 slot dominates the random term).
+  TestBed bed;
+  const NodeId j = bed.add_node(MacKind::kEwMac, Vec3{0, 0, 0});
+  const NodeId i = bed.add_node(MacKind::kEwMac, Vec3{400, 0, 0});
+  const NodeId k = bed.add_node(MacKind::kEwMac, Vec3{0, 700, 0});
+  const NodeId l = bed.add_node(MacKind::kEwMac, Vec3{0, 900, 0});
+  bed.add_node(MacKind::kEwMac, Vec3{0, 2'390, 0});  // m: only l's peer
+
+  NodeId first_cts_dst = kNoNode;
+  bed.channel().set_audit([&](const TransmissionAudit& audit) {
+    if (audit.frame.type == FrameType::kCts && audit.sender == j &&
+        first_cts_dst == kNoNode) {
+      first_cts_dst = audit.frame.dst;
+    }
+  });
+
+  bed.hello_and_settle();
+  // l's exchange with m forces i, k and j quiet until slot 10. i's packet
+  // arrives while i is already quiet (it heard l's RTS at ~5.68 s), so
+  // its first attempt is deferred to exactly slot 10 — where it meets
+  // k's fresh packet in the same contention round.
+  bed.mac(l).enqueue_packet(4, 2'048);
+  bed.sim().at(Time::from_seconds(5.9), [&] { bed.mac(i).enqueue_packet(j, 2'048); });
+  bed.sim().at(Time::from_seconds(9.5), [&] { bed.mac(k).enqueue_packet(j, 2'048); });
+  bed.sim().run_until(Time::from_seconds(120.0));
+
+  EXPECT_EQ(first_cts_dst, i) << "the longer-waiting sender must win";
+  EXPECT_EQ(bed.counters(j).packets_delivered, 2u);
+}
+
+TEST(EwMac, ScheduleBookPopulatedByOverhearing) {
+  TestBed bed;
+  const NodeId j = bed.add_node(MacKind::kEwMac, Vec3{0, 0, 1'000});
+  const NodeId k = bed.add_node(MacKind::kEwMac, Vec3{1'400, 0, 1'000});
+  const NodeId o = bed.add_node(MacKind::kEwMac, Vec3{-300, 0, 1'000});  // pure overhearer
+  bed.hello_and_settle();
+  bed.mac(k).enqueue_packet(j, 2'048);
+  // Run until just after o heard j's CTS (slot 6 + 0.2 s).
+  bed.sim().run_until(Time::from_seconds(7.5));
+  const auto& book = dynamic_cast<const EwMac&>(bed.mac(o)).schedule_book();
+  EXPECT_GE(book.size(), 4u) << "CTS overhear predicts data + ack windows for both parties";
+}
+
+TEST(EwMac, MultiplePacketsDrainUnderContention) {
+  TestBed bed;
+  const NodeId r = bed.add_node(MacKind::kEwMac, Vec3{0, 0, 0});
+  const NodeId a = bed.add_node(MacKind::kEwMac, Vec3{0, 0, 700});
+  const NodeId b = bed.add_node(MacKind::kEwMac, Vec3{500, 0, 700});
+  bed.hello_and_settle();
+  for (int p = 0; p < 3; ++p) {
+    bed.mac(a).enqueue_packet(r, 2'048);
+    bed.mac(b).enqueue_packet(r, 2'048);
+  }
+  bed.sim().run_until(Time::from_seconds(300.0));
+  EXPECT_EQ(bed.counters(r).packets_delivered, 6u);
+  EXPECT_EQ(bed.counters(a).packets_dropped + bed.counters(b).packets_dropped, 0u);
+}
+
+}  // namespace
+}  // namespace aquamac

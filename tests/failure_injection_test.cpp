@@ -1,0 +1,185 @@
+// Failure injection: jamming, stale neighbor state, fast drift, queue
+// pressure. The protocols must degrade gracefully — retry, drop within
+// budget, never violate the modem's half-duplex contract (which throws).
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hpp"
+#include "harness/scenario.hpp"
+#include "testbed.hpp"
+
+namespace aquamac {
+namespace {
+
+using testbed::TestBed;
+
+TEST(FailureInjection, PeriodicJammerDoesNotWedgeSFama) {
+  TestBed bed;
+  const NodeId s = bed.add_node(MacKind::kSFama, Vec3{0, 0, 1'000});
+  const NodeId r = bed.add_node(MacKind::kSFama, Vec3{0, 0, 0});
+  // The jammer runs slotted ALOHA toward a far-away dst, spraying data
+  // frames that collide with the pair's control packets at r.
+  const NodeId jammer = bed.add_node(MacKind::kSlottedAloha, Vec3{0, 500, 0});
+  const NodeId jam_sink = bed.add_node(MacKind::kSlottedAloha, Vec3{0, 1'900, 0});
+  bed.hello_and_settle();
+  for (int i = 0; i < 10; ++i) bed.mac(jammer).enqueue_packet(jam_sink, 4'096);
+  for (int i = 0; i < 3; ++i) bed.mac(s).enqueue_packet(r, 2'048);
+  bed.sim().run_until(Time::from_seconds(600.0));
+
+  const auto& sc = bed.counters(s);
+  EXPECT_EQ(sc.packets_sent_ok + sc.packets_dropped, 3u)
+      << "every packet resolved one way or the other";
+  EXPECT_GT(bed.counters(r).rx_collisions + bed.counters(s).rx_collisions, 0u)
+      << "the jammer actually jammed";
+}
+
+TEST(FailureInjection, EwMacSurvivesJamming) {
+  TestBed bed;
+  const NodeId s = bed.add_node(MacKind::kEwMac, Vec3{0, 0, 1'000});
+  const NodeId r = bed.add_node(MacKind::kEwMac, Vec3{0, 0, 0});
+  const NodeId jammer = bed.add_node(MacKind::kSlottedAloha, Vec3{0, 700, 500});
+  const NodeId jam_sink = bed.add_node(MacKind::kSlottedAloha, Vec3{0, 2'100, 500});
+  bed.hello_and_settle();
+  for (int i = 0; i < 8; ++i) bed.mac(jammer).enqueue_packet(jam_sink, 4'096);
+  for (int i = 0; i < 3; ++i) bed.mac(s).enqueue_packet(r, 2'048);
+  bed.sim().run_until(Time::from_seconds(600.0));
+  const auto& sc = bed.counters(s);
+  EXPECT_EQ(sc.packets_sent_ok + sc.packets_dropped, 3u);
+}
+
+TEST(FailureInjection, StaleDelayEstimatesAreRefreshedByTraffic) {
+  // Move the receiver between exchanges: the first post-move handshake
+  // refreshes the sender's delay estimate via the CTS timestamp (§4.3).
+  TestBed bed;
+  const NodeId s = bed.add_node(MacKind::kEwMac, Vec3{0, 0, 1'000});
+  const NodeId r = bed.add_node(MacKind::kEwMac, Vec3{0, 0, 0});
+  bed.hello_and_settle();
+  bed.mac(s).enqueue_packet(r, 2'048);
+  bed.sim().run_until(Time::from_seconds(30.0));
+  ASSERT_EQ(bed.counters(r).packets_delivered, 1u);
+  EXPECT_NEAR(bed.node(s).neighbors().delay_to(r)->to_seconds(), 1'000.0 / 1'500.0, 1e-6);
+
+  // Teleport r 300 m closer (an extreme current).
+  bed.node(r).modem().set_position(Vec3{0, 0, 300});
+  bed.mac(s).enqueue_packet(r, 2'048);
+  bed.sim().run_until(Time::from_seconds(80.0));
+  EXPECT_EQ(bed.counters(r).packets_delivered, 2u);
+  EXPECT_NEAR(bed.node(s).neighbors().delay_to(r)->to_seconds(), 700.0 / 1'500.0, 1e-6)
+      << "delay re-learned from the next exchange";
+}
+
+TEST(FailureInjection, NeighborMovesOutOfRangeMidStream) {
+  TestBed bed;
+  const NodeId s = bed.add_node(MacKind::kSFama, Vec3{0, 0, 1'400});
+  const NodeId r = bed.add_node(MacKind::kSFama, Vec3{0, 0, 0});
+  bed.hello_and_settle();
+  bed.mac(s).enqueue_packet(r, 2'048);
+  bed.sim().run_until(Time::from_seconds(30.0));
+  ASSERT_EQ(bed.counters(s).packets_sent_ok, 1u);
+
+  bed.node(r).modem().set_position(Vec3{0, 0, -400});  // 1.8 km: gone
+  bed.mac(s).enqueue_packet(r, 2'048);
+  bed.sim().run_until(Time::from_seconds(500.0));
+  EXPECT_EQ(bed.counters(s).packets_dropped, 1u) << "retry budget exhausts cleanly";
+}
+
+TEST(FailureInjection, FastDriftStillDelivers) {
+  ScenarioConfig config = small_test_scenario();
+  config.mac = MacKind::kEwMac;
+  config.enable_mobility = true;
+  config.mobility.speed_mps = 3.0;  // 10x the realistic current
+  config.mobility.update_interval = Duration::seconds(2);
+  const RunStats stats = run_scenario(config);
+  EXPECT_GT(stats.packets_delivered, 0u)
+      << "per-packet delay refresh keeps the protocol alive under drift";
+}
+
+TEST(FailureInjection, QueueOverloadShedsAndRecovers) {
+  TestBed bed;
+  MacConfig config{};
+  config.queue_limit = 4;
+  const NodeId s = bed.add_node(MacKind::kEwMac, Vec3{0, 0, 800}, config);
+  const NodeId r = bed.add_node(MacKind::kEwMac, Vec3{0, 0, 0}, config);
+  bed.hello_and_settle();
+  for (int i = 0; i < 20; ++i) bed.mac(s).enqueue_packet(r, 2'048);
+  bed.sim().run_until(Time::from_seconds(300.0));
+
+  const auto& sc = bed.counters(s);
+  EXPECT_EQ(sc.packets_offered, 20u);
+  EXPECT_GE(sc.packets_dropped, 16u) << "queue bound sheds the burst";
+  EXPECT_EQ(sc.packets_sent_ok, 4u) << "the admitted packets all deliver";
+  EXPECT_EQ(bed.counters(r).packets_delivered, 4u);
+}
+
+TEST(FailureInjection, SelfAddressedAndUnknownDestinations) {
+  TestBed bed;
+  const NodeId s = bed.add_node(MacKind::kEwMac, Vec3{0, 0, 800});
+  bed.add_node(MacKind::kEwMac, Vec3{0, 0, 0});
+  bed.hello_and_settle();
+  bed.mac(s).enqueue_packet(s, 2'048);    // to itself: never deliverable
+  bed.mac(s).enqueue_packet(42, 2'048);   // nonexistent id
+  bed.sim().run_until(Time::from_seconds(500.0));
+  EXPECT_EQ(bed.counters(s).packets_dropped, 2u);
+  EXPECT_EQ(bed.total_delivered(), 0u);
+}
+
+TEST(FailureInjection, SinrPhysicsWithHeavyNoiseStillTerminates) {
+  ScenarioConfig config = small_test_scenario();
+  config.reception = ReceptionKind::kSinrPer;
+  config.channel.mode = DeliveryMode::kRangeBased;
+  config.channel.noise.wind_mps = 15.0;   // storm
+  config.channel.noise.shipping = 1.0;
+  config.channel.source_level_db = 130.0;  // weak transmitter: marginal SNR
+  const RunStats stats = run_scenario(config);
+  // Degraded, possibly heavily — but conservation still holds.
+  EXPECT_LE(stats.packets_delivered, stats.packets_offered);
+}
+
+TEST(FailureInjection, DeadNodeGoesSilentAndPeersRecover) {
+  TestBed bed;
+  const NodeId s = bed.add_node(MacKind::kEwMac, Vec3{0, 0, 900});
+  const NodeId r = bed.add_node(MacKind::kEwMac, Vec3{0, 0, 0});
+  bed.hello_and_settle();
+  bed.mac(s).enqueue_packet(r, 2'048);
+  bed.sim().run_until(Time::from_seconds(30.0));
+  ASSERT_EQ(bed.counters(s).packets_sent_ok, 1u);
+
+  bed.node(r).modem().set_operational(false);
+  bed.mac(s).enqueue_packet(r, 2'048);
+  bed.sim().run_until(Time::from_seconds(600.0));
+  EXPECT_EQ(bed.counters(s).packets_dropped, 1u) << "retry budget exhausts against a corpse";
+  EXPECT_EQ(bed.counters(r).packets_delivered, 1u) << "only the pre-failure delivery";
+}
+
+TEST(FailureInjection, MassFailureDegradesButNeverWedges) {
+  ScenarioConfig config = small_test_scenario();
+  config.mac = MacKind::kEwMac;
+  config.sim_time = Duration::seconds(200);
+  const RunStats healthy = run_scenario(config);
+
+  config.node_failure_fraction = 0.5;
+  config.node_failure_time = Duration::seconds(20);
+  const RunStats wounded = run_scenario(config);
+
+  EXPECT_LT(wounded.bits_delivered, healthy.bits_delivered)
+      << "half the network dying must cost throughput";
+  EXPECT_GT(wounded.packets_delivered, 0u) << "the surviving half keeps working";
+  // Conservation still holds network-wide.
+  EXPECT_LE(wounded.packets_delivered, wounded.packets_offered);
+}
+
+TEST(FailureInjection, MultiHopLosesDownstreamOfDeadRelay) {
+  ScenarioConfig config = small_test_scenario();
+  config.mac = MacKind::kEwMac;
+  config.multi_hop = true;
+  config.sim_time = Duration::seconds(250);
+  const RunStats healthy = run_scenario(config);
+
+  config.node_failure_fraction = 0.4;
+  config.node_failure_time = Duration::seconds(30);
+  const RunStats wounded = run_scenario(config);
+  EXPECT_LE(wounded.e2e_arrived_at_sink, healthy.e2e_arrived_at_sink);
+}
+
+}  // namespace
+}  // namespace aquamac

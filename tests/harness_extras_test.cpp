@@ -1,0 +1,126 @@
+// Spread statistics, Jain fairness, workload power normalization, and
+// dedup accounting at the harness level.
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hpp"
+#include "harness/scenario.hpp"
+#include "stats/metrics.hpp"
+
+namespace aquamac {
+namespace {
+
+TEST(Spread, ComputesMoments) {
+  std::vector<RunStats> runs(4);
+  runs[0].throughput_kbps = 1.0;
+  runs[1].throughput_kbps = 2.0;
+  runs[2].throughput_kbps = 3.0;
+  runs[3].throughput_kbps = 4.0;
+  const Spread spread =
+      spread_of(runs, [](const RunStats& r) { return r.throughput_kbps; });
+  EXPECT_DOUBLE_EQ(spread.mean, 2.5);
+  EXPECT_DOUBLE_EQ(spread.min, 1.0);
+  EXPECT_DOUBLE_EQ(spread.max, 4.0);
+  EXPECT_NEAR(spread.stddev, std::sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3.0), 1e-12);
+}
+
+TEST(Spread, SingleRunHasZeroStddev) {
+  std::vector<RunStats> runs(1);
+  runs[0].throughput_kbps = 5.0;
+  const Spread spread =
+      spread_of(runs, [](const RunStats& r) { return r.throughput_kbps; });
+  EXPECT_DOUBLE_EQ(spread.mean, 5.0);
+  EXPECT_DOUBLE_EQ(spread.stddev, 0.0);
+}
+
+TEST(Spread, EmptyIsZero) {
+  const Spread spread = spread_of({}, [](const RunStats&) { return 1.0; });
+  EXPECT_DOUBLE_EQ(spread.mean, 0.0);
+}
+
+TEST(Jain, PerfectFairnessIsOne) {
+  EXPECT_DOUBLE_EQ(jain_fairness({3.0, 3.0, 3.0, 3.0}), 1.0);
+}
+
+TEST(Jain, TotalCaptureIsOneOverN) {
+  EXPECT_NEAR(jain_fairness({10.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+}
+
+TEST(Jain, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(jain_fairness({}), 0.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({0.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({7.0}), 1.0);
+}
+
+TEST(Jain, MonotoneInEquality) {
+  EXPECT_GT(jain_fairness({5.0, 5.0, 5.0}), jain_fairness({9.0, 5.0, 1.0}));
+  EXPECT_GT(jain_fairness({9.0, 5.0, 1.0}), jain_fairness({14.0, 1.0, 0.0}));
+}
+
+TEST(Fairness, RunStatsReportsReasonableIndex) {
+  ScenarioConfig config = small_test_scenario();
+  config.mac = MacKind::kEwMac;
+  config.sim_time = Duration::seconds(120);
+  const RunStats stats = run_scenario(config);
+  EXPECT_GT(stats.fairness_index, 0.0);
+  EXPECT_LE(stats.fairness_index, 1.0 + 1e-12);
+}
+
+TEST(Fairness, PriorityImprovesOrMaintainsFairnessUnderContention) {
+  // The §3.1 wait-time priority exists for fairness. Averaged over seeds,
+  // disabling it must not make the network fairer.
+  auto fairness_with = [](bool priority) {
+    double total = 0.0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      ScenarioConfig config = small_test_scenario();
+      config.mac = MacKind::kEwMac;
+      config.seed = seed;
+      config.traffic.offered_load_kbps = 0.8;  // heavy contention
+      config.sim_time = Duration::seconds(200);
+      config.mac_config.enable_priority = priority;
+      total += run_scenario(config).fairness_index;
+    }
+    return total / 5.0;
+  };
+  EXPECT_GE(fairness_with(true) + 0.05, fairness_with(false))
+      << "allowing a small noise margin";
+}
+
+TEST(WorkloadPower, NormalizesOverReferenceWindow) {
+  MeanStats mean{};
+  mean.total_energy_j = 600.0;
+  mean.node_count = 80.0;
+  // 600 J over 80 nodes over the 300 s reference window = 25 mW.
+  EXPECT_NEAR(mean.workload_power_mw(), 25.0, 1e-12);
+  mean.node_count = 0.0;
+  EXPECT_DOUBLE_EQ(mean.workload_power_mw(), 0.0);
+}
+
+TEST(Dedup, DuplicateDeliveriesExcludedFromThroughput) {
+  // Synthetic counters: 5 packets delivered + 2 duplicates; only the 5
+  // count toward Eq. 2/3.
+  MacCounters counters{};
+  counters.packets_delivered = 5;
+  counters.bits_delivered = 5 * 2'048;
+  counters.duplicate_deliveries = 2;
+  const RunStats stats = compute_run_stats(counters, 10.0, 4, Duration::seconds(100),
+                                           Duration::seconds(100), Time::zero());
+  EXPECT_NEAR(stats.throughput_kbps, 5.0 * 2'048.0 / 100.0 / 1'000.0, 1e-12);
+}
+
+TEST(BatchCompletion, RunStopsEarlyWhenWorkloadResolves) {
+  ScenarioConfig config = small_test_scenario();
+  config.mac = MacKind::kEwMac;
+  config.traffic.mode = TrafficMode::kBatch;
+  config.traffic.batch_packets = 5;
+  config.sim_time = Duration::seconds(3'000);  // generous bound
+  Simulator sim;
+  Network network{sim, config};
+  const RunStats stats = network.run();
+  EXPECT_TRUE(network.workload_complete());
+  EXPECT_LT(sim.now().to_seconds(), 2'900.0) << "stopped well before the horizon";
+  EXPECT_EQ(stats.packets_offered, 5u);
+}
+
+}  // namespace
+}  // namespace aquamac

@@ -1,0 +1,189 @@
+// Property-style invariants checked over whole runs across a
+// (protocol x seed x packet-size) grid.
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hpp"
+#include "harness/scenario.hpp"
+#include "net/network.hpp"
+
+namespace aquamac {
+namespace {
+
+struct GridPoint {
+  MacKind mac;
+  std::uint64_t seed;
+  std::uint32_t packet_bits;
+};
+
+void PrintTo(const GridPoint& p, std::ostream* os) {
+  *os << to_string(p.mac) << "/seed" << p.seed << "/" << p.packet_bits << "b";
+}
+
+class RunInvariants : public ::testing::TestWithParam<GridPoint> {
+ protected:
+  static ScenarioConfig make_config(const GridPoint& p) {
+    ScenarioConfig config = small_test_scenario();
+    config.mac = p.mac;
+    config.seed = p.seed;
+    config.traffic.packet_bits_min = p.packet_bits;
+    config.traffic.packet_bits_max = p.packet_bits;
+    config.traffic.offered_load_kbps = 0.5;
+    return config;
+  }
+};
+
+TEST_P(RunInvariants, ConservationAndSanity) {
+  const ScenarioConfig config = make_config(GetParam());
+  Simulator sim;
+  Network network{sim, config};
+  // The run completing without a std::logic_error is itself the
+  // half-duplex / scheduling-correctness invariant: the modem throws on
+  // any protocol bug that transmits while transmitting.
+  const RunStats stats = network.run();
+
+  // --- delivery conservation -------------------------------------------
+  MacCounters total{};
+  std::uint64_t still_queued = 0;
+  for (NodeId i = 0; i < network.node_count(); ++i) {
+    const auto& mac = network.node(i).mac();
+    total += mac.counters();
+    still_queued += mac.queue_depth();
+
+    // Per-node sender-side conservation: every offered packet is acked,
+    // dropped, or still queued.
+    const auto& c = mac.counters();
+    EXPECT_EQ(c.packets_offered, c.packets_sent_ok + c.packets_dropped + mac.queue_depth())
+        << "node " << i;
+  }
+
+  // Every delivery corresponds to a received data-class frame, and frames
+  // received cannot exceed frames sent.
+  const std::uint64_t data_frames_sent =
+      total.frames_sent[frame_type_index(FrameType::kData)] +
+      total.frames_sent[frame_type_index(FrameType::kExData)];
+  EXPECT_LE(total.packets_delivered, data_frames_sent);
+
+  // --- energy bounds ----------------------------------------------------
+  const double elapsed_s = stats.elapsed_s;
+  const auto n = static_cast<double>(network.node_count());
+  EXPECT_GE(stats.total_energy_j, n * 0.05 * elapsed_s * 0.99) << "idle floor";
+  EXPECT_LE(stats.total_energy_j, n * 2.0 * elapsed_s) << "all-tx ceiling";
+
+  // --- metric consistency ------------------------------------------------
+  EXPECT_NEAR(stats.throughput_kbps,
+              static_cast<double>(stats.bits_delivered) / stats.traffic_duration_s / 1'000.0,
+              1e-9);
+  EXPECT_LE(total.handshake_successes, total.handshake_attempts);
+  EXPECT_LE(total.extra_successes, total.extra_attempts);
+  (void)still_queued;
+}
+
+TEST_P(RunInvariants, ExactCounterReproducibility) {
+  const ScenarioConfig config = make_config(GetParam());
+  auto run_counters = [&config] {
+    Simulator sim;
+    Network network{sim, config};
+    network.run();
+    MacCounters total{};
+    for (NodeId i = 0; i < network.node_count(); ++i) {
+      total += network.node(i).mac().counters();
+    }
+    return total;
+  };
+  const MacCounters a = run_counters();
+  const MacCounters b = run_counters();
+  for (std::size_t t = 0; t < kFrameTypeCount; ++t) {
+    EXPECT_EQ(a.frames_sent[t], b.frames_sent[t]) << "frame type " << t;
+    EXPECT_EQ(a.frames_received[t], b.frames_received[t]);
+  }
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_EQ(a.rx_collisions, b.rx_collisions);
+  EXPECT_EQ(a.total_delivery_latency, b.total_delivery_latency);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RunInvariants,
+    ::testing::Values(GridPoint{MacKind::kEwMac, 1, 1'024}, GridPoint{MacKind::kEwMac, 2, 2'048},
+                      GridPoint{MacKind::kEwMac, 3, 4'096}, GridPoint{MacKind::kSFama, 1, 2'048},
+                      GridPoint{MacKind::kSFama, 4, 4'096}, GridPoint{MacKind::kRopa, 1, 2'048},
+                      GridPoint{MacKind::kRopa, 5, 1'024}, GridPoint{MacKind::kCsMac, 1, 2'048},
+                      GridPoint{MacKind::kCsMac, 6, 1'024}, GridPoint{MacKind::kCwMac, 1, 2'048},
+                      GridPoint{MacKind::kSlottedAloha, 1, 2'048}),
+    [](const auto& param_info) {
+      std::string name{to_string(param_info.param.mac)};
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_s" + std::to_string(param_info.param.seed) + "_" +
+             std::to_string(param_info.param.packet_bits);
+    });
+
+// Slot alignment property: every negotiated frame (RTS/CTS/DATA/ACK) of a
+// slotted protocol starts exactly on a slot boundary of that protocol's
+// slot length; extra-class frames are exempt by design (§4.1).
+class SlotAlignment : public ::testing::TestWithParam<MacKind> {};
+
+TEST_P(SlotAlignment, NegotiatedFramesOnBoundaries) {
+  ScenarioConfig config = small_test_scenario();
+  config.mac = GetParam();
+  Simulator sim;
+  Network network{sim, config};
+
+  // CS-MAC's physically piggybacked two-hop entries lengthen its control
+  // frames and therefore its slot; the other surcharges are accounting-only.
+  std::uint32_t control_bits = config.mac_config.control_bits;
+  if (GetParam() == MacKind::kCsMac) control_bits += 96;
+  const Duration omega = Duration::from_seconds(
+      static_cast<double>(control_bits) / config.bit_rate_bps);
+  const Duration slot = omega + network.config().mac_config.tau_max;
+
+  std::uint64_t checked = 0;
+  network.channel().set_audit([&](const TransmissionAudit& audit) {
+    switch (audit.frame.type) {
+      case FrameType::kRts:
+      case FrameType::kCts:
+      case FrameType::kData:
+      case FrameType::kAck: {
+        const std::int64_t offset =
+            (audit.tx_window.begin - Time::zero()).count_ns() % slot.count_ns();
+        EXPECT_EQ(offset, 0) << audit.frame.to_string();
+        ++checked;
+        break;
+      }
+      default:
+        break;
+    }
+  });
+  network.run();
+  EXPECT_GT(checked, 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(SlottedProtocols, SlotAlignment,
+                         ::testing::Values(MacKind::kEwMac, MacKind::kSFama, MacKind::kRopa,
+                                           MacKind::kCsMac, MacKind::kSlottedAloha),
+                         [](const auto& param_info) {
+                           std::string name{to_string(param_info.param)};
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// Monotonicity property: offered load up => delivered bits (weakly) up,
+// until saturation, for the paper's protocols on a fixed small topology.
+TEST(LoadMonotonicity, LowLoadRegimeRoughlyLinear) {
+  for (MacKind kind : {MacKind::kEwMac, MacKind::kSFama}) {
+    ScenarioConfig config = small_test_scenario();
+    config.mac = kind;
+    config.sim_time = Duration::seconds(120);
+    config.traffic.offered_load_kbps = 0.05;
+    const RunStats low = run_scenario(config);
+    config.traffic.offered_load_kbps = 0.6;
+    const RunStats high = run_scenario(config);
+    EXPECT_GT(high.bits_delivered, low.bits_delivered) << to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace aquamac

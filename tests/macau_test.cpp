@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "harness/runner.hpp"
+#include "harness/scenario.hpp"
+#include "testbed.hpp"
+
+namespace aquamac {
+namespace {
+
+using testbed::TestBed;
+
+TEST(MacaU, FourWayHandshakeDelivers) {
+  TestBed bed;
+  const NodeId s = bed.add_node(MacKind::kMacaU, Vec3{0, 0, 1'000});
+  const NodeId r = bed.add_node(MacKind::kMacaU, Vec3{0, 0, 0});
+  bed.hello_and_settle();
+  bed.mac(s).enqueue_packet(r, 2'048);
+  bed.sim().run_until(Time::from_seconds(30.0));
+  EXPECT_EQ(bed.counters(r).packets_delivered, 1u);
+  EXPECT_EQ(bed.counters(s).handshake_successes, 1u);
+}
+
+TEST(MacaU, UnslottedLatencyBeatsSlotted) {
+  // One round trip + data + ack over a 1 km pair: well under the ~4
+  // slot-times S-FAMA needs; latency is dominated by real propagation.
+  TestBed bed;
+  const NodeId s = bed.add_node(MacKind::kMacaU, Vec3{0, 0, 1'000});
+  const NodeId r = bed.add_node(MacKind::kMacaU, Vec3{0, 0, 0});
+  bed.hello_and_settle();
+  bed.mac(s).enqueue_packet(r, 2'048);
+  bed.sim().run_until(Time::from_seconds(30.0));
+  ASSERT_EQ(bed.counters(s).packets_sent_ok, 1u);
+  EXPECT_LT(bed.counters(s).total_delivery_latency.to_seconds(), 3.5);
+}
+
+TEST(MacaU, PacketsAreNotSlotAligned) {
+  TestBed bed;
+  const NodeId s = bed.add_node(MacKind::kMacaU, Vec3{0, 0, 1'000});
+  const NodeId r = bed.add_node(MacKind::kMacaU, Vec3{0, 0, 0});
+  int off_boundary = 0;
+  int total = 0;
+  bed.channel().set_audit([&](const TransmissionAudit& audit) {
+    if (audit.frame.type == FrameType::kHello) return;
+    ++total;
+    if ((audit.tx_window.begin - Time::zero()).count_ns() %
+            testbed::default_slot().count_ns() !=
+        0) {
+      ++off_boundary;
+    }
+  });
+  bed.hello_and_settle();
+  bed.mac(s).enqueue_packet(r, 2'048);
+  bed.sim().run_until(Time::from_seconds(30.0));
+  ASSERT_GE(total, 4);
+  EXPECT_GE(off_boundary, 3) << "MACA-U has no slot grid";
+}
+
+TEST(MacaU, ContendersResolveViaBackoff) {
+  TestBed bed;
+  const NodeId r = bed.add_node(MacKind::kMacaU, Vec3{0, 0, 0});
+  const NodeId a = bed.add_node(MacKind::kMacaU, Vec3{700, 0, 0});
+  const NodeId b = bed.add_node(MacKind::kMacaU, Vec3{-700, 0, 0});
+  bed.hello_and_settle();
+  bed.mac(a).enqueue_packet(r, 2'048);
+  bed.mac(b).enqueue_packet(r, 2'048);
+  bed.sim().run_until(Time::from_seconds(300.0));
+  EXPECT_EQ(bed.counters(r).packets_delivered, 2u);
+}
+
+TEST(MacaU, FullScenarioAndOrderingSanity) {
+  // MACA-U should land between slotted ALOHA and the slotted handshake
+  // protocols in delivery terms at moderate load — and must never crash.
+  ScenarioConfig config = small_test_scenario();
+  config.mac = MacKind::kMacaU;
+  const RunStats stats = run_scenario(config);
+  EXPECT_GT(stats.packets_delivered, 0u);
+  EXPECT_LE(stats.packets_delivered, stats.packets_offered);
+}
+
+TEST(MacaU, RoundTripsThroughFactoryName) {
+  EXPECT_EQ(mac_kind_from_string("MACA-U"), MacKind::kMacaU);
+  EXPECT_EQ(to_string(MacKind::kMacaU), "MACA-U");
+}
+
+}  // namespace
+}  // namespace aquamac

@@ -1,0 +1,206 @@
+// Stress and edge coverage for the modem's arrival ledger: many
+// overlapping arrivals, chained collisions, energy watermarking, and the
+// half-open boundary cases the Eq.-6 timing depends on.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "channel/acoustic_channel.hpp"
+#include "phy/modem.hpp"
+
+namespace aquamac {
+namespace {
+
+struct CountingListener final : ModemListener {
+  int received = 0;
+  int failed = 0;
+  std::vector<RxOutcome> outcomes;
+  void on_frame_received(const Frame&, const RxInfo&) override { ++received; }
+  void on_rx_failure(const Frame&, RxOutcome outcome, const RxInfo&) override {
+    ++failed;
+    outcomes.push_back(outcome);
+  }
+  void on_tx_done(const Frame&) override {}
+};
+
+class ModemLedgerTest : public ::testing::Test {
+ protected:
+  ModemLedgerTest() : propagation_{1'500.0}, channel_{sim_, propagation_, ChannelConfig{}} {}
+
+  AcousticModem& add(NodeId id, Vec3 pos) {
+    auto modem =
+        std::make_unique<AcousticModem>(sim_, id, ModemConfig{}, reception_, Rng{id + 1});
+    modem->set_position(pos);
+    auto listener = std::make_unique<CountingListener>();
+    modem->set_listener(listener.get());
+    channel_.attach(*modem);
+    listeners_.push_back(std::move(listener));
+    modems_.push_back(std::move(modem));
+    return *modems_.back();
+  }
+
+  static Frame data_frame(NodeId dst, std::uint32_t bits) {
+    Frame frame{};
+    frame.type = FrameType::kData;
+    frame.dst = dst;
+    frame.size_bits = bits;
+    frame.data_bits = bits;
+    return frame;
+  }
+
+  Simulator sim_;
+  StraightLinePropagation propagation_;
+  DeterministicCollisionModel reception_;
+  AcousticChannel channel_;
+  std::vector<std::unique_ptr<AcousticModem>> modems_;
+  std::vector<std::unique_ptr<CountingListener>> listeners_;
+};
+
+TEST_F(ModemLedgerTest, ChainOfOverlappingArrivalsAllCollide) {
+  // Five staggered transmitters whose frames each overlap the next at the
+  // receiver: every arrival must be judged a collision, transitively.
+  add(0, Vec3{0, 0, 0});  // receiver
+  for (NodeId i = 1; i <= 5; ++i) {
+    auto& tx = add(i, Vec3{200.0 * i, 0, 0});
+    // 2048-bit frames: 170 ms airtime; arrivals offset by 133 ms steps
+    // (200 m) so consecutive frames overlap.
+    sim_.at(Time::from_seconds(0.0), [&tx, i] {
+      Frame frame = data_frame(0, 2'048);
+      frame.seq = i;
+      tx.transmit(frame);
+    });
+  }
+  sim_.run();
+  EXPECT_EQ(listeners_[0]->received, 0);
+  EXPECT_EQ(listeners_[0]->failed, 5);
+}
+
+TEST_F(ModemLedgerTest, BackToBackArrivalsDoNotCollide) {
+  // Half-open windows: a frame ending exactly when the next begins is NOT
+  // an overlap — the property EW-MAC's Eq. 6 exploits (EXDATA arriving
+  // exactly as the Ack transmission ends).
+  add(0, Vec3{0, 0, 0});
+  auto& a = add(1, Vec3{750, 0, 0});  // tau = 0.5 s
+  auto& b = add(2, Vec3{750, 0, 0});  // same distance
+  const Duration airtime = Duration::from_seconds(2'048.0 / 12'000.0);
+  sim_.at(Time::zero(), [&] { a.transmit(data_frame(0, 2'048)); });
+  sim_.at(Time::zero() + airtime, [&] { b.transmit(data_frame(0, 2'048)); });
+  sim_.run();
+  EXPECT_EQ(listeners_[0]->received, 2);
+  EXPECT_EQ(listeners_[0]->failed, 0);
+}
+
+TEST_F(ModemLedgerTest, OneNanosecondEarlierDoesCollide) {
+  add(0, Vec3{0, 0, 0});
+  auto& a = add(1, Vec3{750, 0, 0});
+  auto& b = add(2, Vec3{750, 0, 0});
+  const Duration airtime = Duration::from_seconds(2'048.0 / 12'000.0);
+  sim_.at(Time::zero(), [&] { a.transmit(data_frame(0, 2'048)); });
+  sim_.at(Time::zero() + airtime - Duration::nanoseconds(1),
+          [&] { b.transmit(data_frame(0, 2'048)); });
+  sim_.run();
+  EXPECT_EQ(listeners_[0]->received, 0);
+  EXPECT_EQ(listeners_[0]->failed, 2);
+}
+
+TEST_F(ModemLedgerTest, LongRunLedgerStaysBounded) {
+  // Many sequential transmissions: pruning must keep state small and all
+  // frames deliverable (indirectly: no stale-overlap false positives).
+  add(0, Vec3{0, 0, 0});
+  auto& tx = add(1, Vec3{300, 0, 0});
+  for (int k = 0; k < 500; ++k) {
+    sim_.at(Time::from_seconds(0.5 * k), [&tx, k] {
+      Frame frame = data_frame(0, 1'024);
+      frame.seq = static_cast<std::uint64_t>(k);
+      tx.transmit(frame);
+    });
+  }
+  sim_.run();
+  EXPECT_EQ(listeners_[0]->received, 500);
+  EXPECT_EQ(listeners_[0]->failed, 0);
+  EXPECT_EQ(modems_[0]->frames_received(), 500u);
+}
+
+TEST_F(ModemLedgerTest, RxEnergyWatermarkAvoidsDoubleBilling) {
+  // Two fully overlapping arrivals: active-receive time must be billed as
+  // the union (one airtime), not the sum.
+  add(0, Vec3{0, 0, 0});
+  auto& a = add(1, Vec3{600, 0, 0});
+  auto& b = add(2, Vec3{600, 0, 0});
+  sim_.at(Time::zero(), [&] { a.transmit(data_frame(0, 2'048)); });
+  sim_.at(Time::zero(), [&] { b.transmit(data_frame(0, 2'048)); });
+  sim_.run();
+  const double airtime_s = 2'048.0 / 12'000.0;
+  EXPECT_NEAR(modems_[0]->energy().rx_time().to_seconds(), airtime_s, 1e-9);
+}
+
+TEST_F(ModemLedgerTest, PartialOverlapBillsUnion) {
+  add(0, Vec3{0, 0, 0});
+  auto& a = add(1, Vec3{300, 0, 0});   // arrival begins 0.2
+  auto& b = add(2, Vec3{450, 0, 0});   // arrival begins 0.3
+  sim_.at(Time::zero(), [&] { a.transmit(data_frame(0, 2'048)); });
+  sim_.at(Time::zero(), [&] { b.transmit(data_frame(0, 2'048)); });
+  sim_.run();
+  const double airtime_s = 2'048.0 / 12'000.0;
+  // Union = [0.2, 0.3 + airtime) = 0.1 + airtime.
+  EXPECT_NEAR(modems_[0]->energy().rx_time().to_seconds(), 0.1 + airtime_s, 1e-9);
+}
+
+TEST_F(ModemLedgerTest, TransmitDuringArrivalKillsOnlyThatArrival) {
+  add(0, Vec3{0, 0, 0});
+  auto& a = add(1, Vec3{600, 0, 0});
+  // Receiver transmits a short frame in the middle of a's arrival window.
+  sim_.at(Time::zero(), [&] { a.transmit(data_frame(0, 2'048)); });
+  sim_.at(Time::from_seconds(0.45), [&] {
+    Frame frame{};
+    frame.type = FrameType::kAck;
+    frame.dst = 1;
+    frame.size_bits = 64;
+    modems_[0]->transmit(frame);
+  });
+  // A later clean arrival must still be received.
+  sim_.at(Time::from_seconds(2.0), [&] { a.transmit(data_frame(0, 2'048)); });
+  sim_.run();
+  EXPECT_EQ(listeners_[0]->failed, 1);
+  ASSERT_EQ(listeners_[0]->outcomes.size(), 1u);
+  EXPECT_EQ(listeners_[0]->outcomes[0], RxOutcome::kHalfDuplexLoss);
+  EXPECT_EQ(listeners_[0]->received, 1);
+}
+
+TEST_F(ModemLedgerTest, TxWindowJustBeforeArrivalIsHarmless) {
+  add(0, Vec3{0, 0, 0});
+  auto& a = add(1, Vec3{600, 0, 0});  // arrival begins at 0.4
+  sim_.at(Time::zero(), [&] { a.transmit(data_frame(0, 2'048)); });
+  // Receiver's 64-bit frame ends exactly at 0.4 - before the arrival's
+  // half-open window opens.
+  const Duration control_airtime = Duration::from_seconds(64.0 / 12'000.0);
+  sim_.at(Time::from_seconds(0.4) - control_airtime, [&] {
+    Frame frame{};
+    frame.type = FrameType::kAck;
+    frame.dst = 1;
+    frame.size_bits = 64;
+    modems_[0]->transmit(frame);
+  });
+  sim_.run();
+  EXPECT_EQ(listeners_[0]->received, 1);
+  EXPECT_EQ(listeners_[0]->failed, 0);
+}
+
+TEST_F(ModemLedgerTest, StatsCountersMatchListener) {
+  add(0, Vec3{0, 0, 0});
+  auto& a = add(1, Vec3{400, 0, 0});
+  auto& b = add(2, Vec3{400, 100, 0});
+  sim_.at(Time::zero(), [&] { a.transmit(data_frame(0, 2'048)); });        // collides
+  sim_.at(Time::zero(), [&] { b.transmit(data_frame(0, 2'048)); });        // collides
+  sim_.at(Time::from_seconds(3.0), [&] { a.transmit(data_frame(0, 1'024)); });  // clean
+  sim_.run();
+  EXPECT_EQ(modems_[0]->frames_received(), static_cast<std::uint64_t>(listeners_[0]->received));
+  EXPECT_EQ(modems_[0]->rx_losses(), static_cast<std::uint64_t>(listeners_[0]->failed));
+  EXPECT_EQ(modems_[0]->frames_received(), 1u);
+  EXPECT_EQ(modems_[0]->rx_losses(), 2u);
+  EXPECT_EQ(a.frames_sent(), 2u);
+}
+
+}  // namespace
+}  // namespace aquamac

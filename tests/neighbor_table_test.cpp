@@ -1,0 +1,79 @@
+#include "net/neighbor_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aquamac {
+namespace {
+
+TEST(NeighborTable, UpdateAndLookup) {
+  NeighborTable table;
+  EXPECT_FALSE(table.delay_to(5).has_value());
+  table.update(5, Duration::milliseconds(700), Time::from_seconds(1.0));
+  ASSERT_TRUE(table.delay_to(5).has_value());
+  EXPECT_EQ(*table.delay_to(5), Duration::milliseconds(700));
+  EXPECT_TRUE(table.knows(5));
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(NeighborTable, LatestUpdateWins) {
+  // §4.3: delays are refreshed on every received packet (mobile nodes).
+  NeighborTable table;
+  table.update(5, Duration::milliseconds(700), Time::from_seconds(1.0));
+  table.update(5, Duration::milliseconds(750), Time::from_seconds(2.0));
+  EXPECT_EQ(*table.delay_to(5), Duration::milliseconds(750));
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(NeighborTable, MaxKnownDelay) {
+  NeighborTable table;
+  EXPECT_EQ(table.max_known_delay(), Duration::zero());
+  table.update(1, Duration::milliseconds(300), Time::zero());
+  table.update(2, Duration::milliseconds(900), Time::zero());
+  table.update(3, Duration::milliseconds(500), Time::zero());
+  EXPECT_EQ(table.max_known_delay(), Duration::milliseconds(900));
+}
+
+TEST(NeighborTable, NeighborIdsSorted) {
+  NeighborTable table;
+  table.update(9, Duration::milliseconds(1), Time::zero());
+  table.update(2, Duration::milliseconds(1), Time::zero());
+  table.update(5, Duration::milliseconds(1), Time::zero());
+  EXPECT_EQ(table.neighbor_ids(), (std::vector<NodeId>{2, 5, 9}));
+}
+
+TEST(NeighborTable, ExpiryDropsStaleEntries) {
+  NeighborTable table;
+  table.update(1, Duration::milliseconds(1), Time::from_seconds(10.0));
+  table.update(2, Duration::milliseconds(1), Time::from_seconds(50.0));
+  table.update_two_hop(1, 7, Duration::milliseconds(2), Time::from_seconds(10.0));
+  table.update_two_hop(2, 8, Duration::milliseconds(2), Time::from_seconds(50.0));
+  table.expire_older_than(Time::from_seconds(30.0));
+  EXPECT_FALSE(table.knows(1));
+  EXPECT_TRUE(table.knows(2));
+  EXPECT_FALSE(table.two_hop_delay(1, 7).has_value());
+  EXPECT_TRUE(table.two_hop_delay(2, 8).has_value());
+}
+
+TEST(NeighborTable, TwoHopLookup) {
+  NeighborTable table;
+  EXPECT_FALSE(table.two_hop_delay(1, 2).has_value());
+  table.update_two_hop(1, 2, Duration::milliseconds(400), Time::zero());
+  ASSERT_TRUE(table.two_hop_delay(1, 2).has_value());
+  EXPECT_EQ(*table.two_hop_delay(1, 2), Duration::milliseconds(400));
+  EXPECT_FALSE(table.two_hop_delay(2, 1).has_value()) << "directional: keyed by (via, far)";
+  EXPECT_EQ(table.two_hop_size(), 1u);
+}
+
+TEST(NeighborTable, InfoBitsScaleWithEntries) {
+  // The §5.3 overhead accounting: maintenance payload grows linearly with
+  // table size — the mechanism behind Fig. 10's node-count growth.
+  NeighborTable table;
+  EXPECT_EQ(table.one_hop_info_bits(), 0u);
+  for (NodeId i = 0; i < 10; ++i) table.update(i, Duration::milliseconds(1), Time::zero());
+  EXPECT_EQ(table.one_hop_info_bits(), 10u * NeighborTable::kBitsPerEntry);
+  for (NodeId i = 0; i < 4; ++i) table.update_two_hop(1, 100 + i, Duration::zero(), Time::zero());
+  EXPECT_EQ(table.two_hop_info_bits(), 4u * NeighborTable::kBitsPerEntry);
+}
+
+}  // namespace
+}  // namespace aquamac

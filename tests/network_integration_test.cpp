@@ -1,0 +1,170 @@
+// Full-stack integration: Network assembled from ScenarioConfig, all
+// protocols, hello phase, traffic, mobility, both reception and
+// propagation models.
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hpp"
+#include "harness/scenario.hpp"
+
+namespace aquamac {
+namespace {
+
+class NetworkPerProtocol : public ::testing::TestWithParam<MacKind> {};
+
+TEST_P(NetworkPerProtocol, DeliversTrafficEndToEnd) {
+  ScenarioConfig config = small_test_scenario();
+  config.mac = GetParam();
+  const RunStats stats = run_scenario(config);
+
+  EXPECT_GT(stats.packets_offered, 0u);
+  EXPECT_GT(stats.packets_delivered, 0u) << to_string(GetParam());
+  EXPECT_GT(stats.throughput_kbps, 0.0);
+  EXPECT_GT(stats.total_energy_j, 0.0);
+  EXPECT_LE(stats.delivery_ratio, 1.05) << "delivered cannot meaningfully exceed offered";
+}
+
+TEST_P(NetworkPerProtocol, ReproducibleFromSeed) {
+  ScenarioConfig config = small_test_scenario();
+  config.mac = GetParam();
+  config.seed = 77;
+  const RunStats a = run_scenario(config);
+  const RunStats b = run_scenario(config);
+  EXPECT_EQ(a.packets_offered, b.packets_offered);
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_EQ(a.bits_delivered, b.bits_delivered);
+  EXPECT_EQ(a.rx_collisions, b.rx_collisions);
+  EXPECT_DOUBLE_EQ(a.total_energy_j, b.total_energy_j);
+}
+
+TEST_P(NetworkPerProtocol, DifferentSeedsDiverge) {
+  ScenarioConfig config = small_test_scenario();
+  config.mac = GetParam();
+  config.seed = 1;
+  const RunStats a = run_scenario(config);
+  config.seed = 2;
+  const RunStats b = run_scenario(config);
+  // Deployments and arrival processes differ; energy (a continuous
+  // accumulation over every transmission) is collision-proof evidence.
+  EXPECT_TRUE(a.packets_offered != b.packets_offered ||
+              a.total_energy_j != b.total_energy_j);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, NetworkPerProtocol,
+                         ::testing::Values(MacKind::kEwMac, MacKind::kSFama, MacKind::kRopa,
+                                           MacKind::kCsMac, MacKind::kCwMac,
+                                           MacKind::kSlottedAloha),
+                         [](const auto& param_info) {
+                           std::string name{to_string(param_info.param)};
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Network, HelloPhasePopulatesNeighborTables) {
+  Simulator sim;
+  ScenarioConfig config = small_test_scenario();
+  Network network{sim, config};
+  network.run();
+  std::size_t total_entries = 0;
+  for (std::size_t i = 0; i < network.node_count(); ++i) {
+    total_entries += network.node(static_cast<NodeId>(i)).neighbors().size();
+  }
+  EXPECT_GT(total_entries, network.node_count())
+      << "on average more than one neighbor learned per node";
+}
+
+TEST(Network, NeighborDelaysMatchGroundTruth) {
+  Simulator sim;
+  ScenarioConfig config = small_test_scenario();
+  config.enable_mobility = false;
+  Network network{sim, config};
+  network.run();
+
+  std::size_t checked = 0;
+  for (NodeId i = 0; i < network.node_count(); ++i) {
+    const auto& table = network.node(i).neighbors();
+    for (const auto& [peer, entry] : table.entries()) {
+      const auto truth = network.channel().path_between(
+          network.node(i).modem().position(), network.node(peer).modem().position());
+      EXPECT_NEAR(entry.delay.to_seconds(), truth.delay.to_seconds(), 1e-6)
+          << i << " -> " << peer;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(Network, TauMaxDerivedFromRangeAndSpeed) {
+  Simulator sim;
+  ScenarioConfig config = small_test_scenario();
+  config.channel.comm_range_m = 900.0;
+  config.sound_speed_mps = 1'500.0;
+  Network network{sim, config};
+  EXPECT_EQ(network.config().mac_config.tau_max, Duration::from_seconds(0.6));
+}
+
+TEST(Network, MobilityMovesNodes) {
+  Simulator sim;
+  ScenarioConfig config = small_test_scenario();
+  config.enable_mobility = true;
+  config.mobility.speed_mps = 2.0;  // exaggerated drift
+  Network network{sim, config};
+  std::vector<Vec3> before;
+  for (NodeId i = 0; i < network.node_count(); ++i) {
+    before.push_back(network.node(i).modem().position());
+  }
+  network.run();
+  std::size_t moved = 0;
+  for (NodeId i = 0; i < network.node_count(); ++i) {
+    if (before[i].distance_to(network.node(i).modem().position()) > 1.0) ++moved;
+  }
+  EXPECT_GT(moved, network.node_count() / 4) << "~2/3 of nodes drift (random models)";
+}
+
+TEST(Network, SinrReceptionModeRuns) {
+  ScenarioConfig config = small_test_scenario();
+  config.reception = ReceptionKind::kSinrPer;
+  const RunStats stats = run_scenario(config);
+  EXPECT_GT(stats.packets_delivered, 0u);
+}
+
+TEST(Network, BellhopLitePropagationRuns) {
+  ScenarioConfig config = small_test_scenario();
+  config.propagation = PropagationKind::kBellhopLite;
+  const RunStats stats = run_scenario(config);
+  EXPECT_GT(stats.packets_delivered, 0u);
+}
+
+TEST(Network, BatchModeReportsExecutionTime) {
+  ScenarioConfig config = small_test_scenario();
+  config.traffic.mode = TrafficMode::kBatch;
+  config.traffic.batch_packets = 10;
+  config.sim_time = Duration::seconds(400);
+  const RunStats stats = run_scenario(config);
+  EXPECT_EQ(stats.packets_offered, 10u);
+  EXPECT_GT(stats.execution_time_s, 0.0);
+  EXPECT_LT(stats.execution_time_s, 400.0);
+}
+
+TEST(Network, RejectsZeroNodes) {
+  Simulator sim;
+  ScenarioConfig config = small_test_scenario();
+  config.node_count = 0;
+  EXPECT_THROW((Network{sim, config}), std::invalid_argument);
+}
+
+TEST(Network, StatsAreMonotoneOverTime) {
+  Simulator sim;
+  ScenarioConfig config = small_test_scenario();
+  Network network{sim, config};
+  // Drive phases manually: hello + traffic already scheduled by run();
+  // here we sample stats mid-run via run_until.
+  network.run();  // to horizon
+  const RunStats final_stats = network.stats();
+  EXPECT_GE(final_stats.packets_offered, final_stats.packets_delivered);
+}
+
+}  // namespace
+}  // namespace aquamac

@@ -1,0 +1,126 @@
+#include "channel/propagation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace aquamac {
+namespace {
+
+TEST(StraightLine, PaperDelayScale) {
+  // §1: sound speed 1.5 km/s => 0.67 s/km; 1.5 km max range ~ 1 s.
+  const StraightLinePropagation prop{1'500.0};
+  const auto path = prop.compute(Vec3{0, 0, 100}, Vec3{1'500, 0, 100}, 10.0);
+  EXPECT_NEAR(path.delay.to_seconds(), 1.0, 1e-9);
+  EXPECT_NEAR(path.length_m, 1'500.0, 1e-9);
+  const auto km = prop.compute(Vec3{0, 0, 0}, Vec3{1'000, 0, 0}, 10.0);
+  EXPECT_NEAR(km.delay.to_seconds(), 0.6667, 5e-4);
+}
+
+TEST(StraightLine, DelayProportionalToDistance) {
+  const StraightLinePropagation prop{1'500.0};
+  const auto half = prop.compute(Vec3{0, 0, 0}, Vec3{750, 0, 0}, 10.0);
+  const auto full = prop.compute(Vec3{0, 0, 0}, Vec3{1'500, 0, 0}, 10.0);
+  EXPECT_EQ(full.delay.count_ns(), 2 * half.delay.count_ns());
+}
+
+TEST(StraightLine, SymmetricPaths) {
+  const StraightLinePropagation prop{1'500.0};
+  const Vec3 a{100, 2'000, 300};
+  const Vec3 b{900, 500, 2'500};
+  const auto ab = prop.compute(a, b, 10.0);
+  const auto ba = prop.compute(b, a, 10.0);
+  EXPECT_EQ(ab.delay, ba.delay);
+  EXPECT_DOUBLE_EQ(ab.loss_db, ba.loss_db);
+}
+
+TEST(StraightLine, ZeroDistance) {
+  const StraightLinePropagation prop{1'500.0};
+  const auto path = prop.compute(Vec3{5, 5, 5}, Vec3{5, 5, 5}, 10.0);
+  EXPECT_EQ(path.delay, Duration::zero());
+  EXPECT_GE(path.loss_db, 0.0);
+}
+
+TEST(BellhopLite, MatchesStraightLineWhenGradientVanishes) {
+  const BellhopLitePropagation bent{std::make_shared<ConstantProfile>(1'500.0)};
+  const StraightLinePropagation straight{1'500.0};
+  const Vec3 a{0, 0, 500};
+  const Vec3 b{1'200, 300, 1'500};
+  const auto pb = bent.compute(a, b, 10.0);
+  const auto ps = straight.compute(a, b, 10.0);
+  EXPECT_NEAR(pb.delay.to_seconds(), ps.delay.to_seconds(), 1e-9);
+  EXPECT_NEAR(pb.length_m, ps.length_m, 1e-6);
+}
+
+TEST(BellhopLite, VerticalPathUsesExactLogFormula) {
+  const double c0 = 1'480.0;
+  const double g = 0.017;
+  const BellhopLitePropagation prop{std::make_shared<LinearProfile>(c0, g)};
+  const double za = 100.0;
+  const double zb = 3'100.0;
+  const auto path = prop.compute(Vec3{0, 0, za}, Vec3{0, 0, zb}, 10.0);
+  const double expected = std::log((c0 + g * zb) / (c0 + g * za)) / g;
+  EXPECT_NEAR(path.delay.to_seconds(), expected, 1e-9);
+  EXPECT_NEAR(path.length_m, zb - za, 1e-9);
+}
+
+TEST(BellhopLite, BentPathIsAtLeastChordLengthAndFaster) {
+  // Fermat: the eigenray minimizes travel time, so its delay must not
+  // exceed the straight-chord travel time through the same medium; its
+  // geometric length must be >= the chord.
+  const auto profile = std::make_shared<LinearProfile>(1'480.0, 0.017);
+  const BellhopLitePropagation prop{profile};
+  const Vec3 a{0, 0, 200};
+  const Vec3 b{4'000, 0, 3'800};
+  const auto bent = prop.compute(a, b, 10.0);
+
+  const double chord = a.distance_to(b);
+  const double chord_time = chord * profile->mean_slowness(a.z, b.z);
+  EXPECT_GE(bent.length_m, chord - 1e-6);
+  EXPECT_LE(bent.delay.to_seconds(), chord_time + 1e-9);
+  // The bend is small but real for this gradient/geometry.
+  EXPECT_GT(bent.length_m, chord * (1.0 + 1e-7));
+}
+
+TEST(BellhopLite, SymmetricPaths) {
+  const BellhopLitePropagation prop{std::make_shared<LinearProfile>(1'480.0, 0.017)};
+  const Vec3 a{0, 0, 300};
+  const Vec3 b{2'500, 1'000, 3'500};
+  const auto ab = prop.compute(a, b, 10.0);
+  const auto ba = prop.compute(b, a, 10.0);
+  EXPECT_NEAR(ab.delay.to_seconds(), ba.delay.to_seconds(), 1e-9);
+  EXPECT_NEAR(ab.length_m, ba.length_m, 1e-6);
+}
+
+TEST(BellhopLite, HorizontalPathInGradient) {
+  // Equal depths in a gradient: the ray arcs above/below the chord but
+  // remains finite and sane.
+  const BellhopLitePropagation prop{std::make_shared<LinearProfile>(1'480.0, 0.017)};
+  const Vec3 a{0, 0, 1'000};
+  const Vec3 b{1'400, 0, 1'000};
+  const auto path = prop.compute(a, b, 10.0);
+  EXPECT_GT(path.delay.to_seconds(), 0.8);
+  EXPECT_LT(path.delay.to_seconds(), 1.1);
+  EXPECT_GE(path.length_m, 1'400.0 - 1e-6);
+}
+
+TEST(BellhopLite, DelayDiffersFromConstantSpeedModel) {
+  // The substitution's purpose: depth-dependent speed shifts delays
+  // relative to the 1.5 km/s straight-line model.
+  const BellhopLitePropagation bent{std::make_shared<LinearProfile>(1'470.0, 0.017)};
+  const StraightLinePropagation straight{1'500.0};
+  const Vec3 a{0, 0, 200};
+  const Vec3 b{1'000, 0, 600};
+  EXPECT_NE(bent.compute(a, b, 10.0).delay.count_ns(),
+            straight.compute(a, b, 10.0).delay.count_ns());
+}
+
+TEST(BellhopLite, MunkProfileDeepChannel) {
+  const BellhopLitePropagation prop{std::make_shared<MunkProfile>()};
+  const auto path = prop.compute(Vec3{0, 0, 1'000}, Vec3{1'500, 0, 1'600}, 10.0);
+  EXPECT_GT(path.delay.to_seconds(), 0.9);
+  EXPECT_LT(path.delay.to_seconds(), 1.2);
+}
+
+}  // namespace
+}  // namespace aquamac

@@ -1,0 +1,146 @@
+#include "channel/reception.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aquamac {
+namespace {
+
+ReceptionContext clean_context() {
+  ReceptionContext ctx{};
+  ctx.rx_level_db = 100.0;
+  ctx.noise_level_db = 60.0;
+  ctx.bits = 2'048;
+  ctx.detection_threshold_db = -1e9;
+  return ctx;
+}
+
+TEST(DeterministicModel, CleanArrivalSucceeds) {
+  Rng rng{1};
+  const DeterministicCollisionModel model;
+  EXPECT_EQ(model.decide(clean_context(), rng), RxOutcome::kSuccess);
+}
+
+TEST(DeterministicModel, AnyOverlapIsCollision) {
+  Rng rng{1};
+  const DeterministicCollisionModel model;
+  ReceptionContext ctx = clean_context();
+  ctx.interferer_levels_db.push_back(10.0);  // even a faint interferer kills it (Eq. 1)
+  EXPECT_EQ(model.decide(ctx, rng), RxOutcome::kCollision);
+}
+
+TEST(DeterministicModel, HalfDuplexLossDominates) {
+  Rng rng{1};
+  const DeterministicCollisionModel model;
+  ReceptionContext ctx = clean_context();
+  ctx.receiver_transmitted = true;
+  ctx.interferer_levels_db.push_back(90.0);
+  EXPECT_EQ(model.decide(ctx, rng), RxOutcome::kHalfDuplexLoss);
+}
+
+TEST(DeterministicModel, BelowThresholdIsInvisible) {
+  Rng rng{1};
+  const DeterministicCollisionModel model;
+  ReceptionContext ctx = clean_context();
+  ctx.detection_threshold_db = 200.0;
+  EXPECT_EQ(model.decide(ctx, rng), RxOutcome::kBelowThreshold);
+}
+
+TEST(BitErrorRate, KnownValues) {
+  // Noncoherent FSK at snr = 0: 0.5; falls exponentially.
+  EXPECT_DOUBLE_EQ(bit_error_rate(Modulation::kFskNoncoherent, 0.0), 0.5);
+  EXPECT_NEAR(bit_error_rate(Modulation::kFskNoncoherent, 10.0), 0.5 * std::exp(-5.0), 1e-12);
+  // Coherent BPSK at snr = 0: Q(0)... erfc(0)/2 = 0.5.
+  EXPECT_DOUBLE_EQ(bit_error_rate(Modulation::kBpskCoherent, 0.0), 0.5);
+  // Rayleigh FSK: 1/(2+snr).
+  EXPECT_DOUBLE_EQ(bit_error_rate(Modulation::kFskRayleigh, 8.0), 0.1);
+}
+
+TEST(BitErrorRate, OrderingAtModerateSnr) {
+  const double snr = 10.0;
+  EXPECT_LT(bit_error_rate(Modulation::kBpskCoherent, snr),
+            bit_error_rate(Modulation::kFskNoncoherent, snr));
+  EXPECT_LT(bit_error_rate(Modulation::kFskNoncoherent, snr),
+            bit_error_rate(Modulation::kFskRayleigh, snr));
+}
+
+TEST(BitErrorRate, NegativeSnrClamped) {
+  EXPECT_DOUBLE_EQ(bit_error_rate(Modulation::kFskNoncoherent, -5.0), 0.5);
+}
+
+TEST(PacketErrorRate, Limits) {
+  EXPECT_DOUBLE_EQ(packet_error_rate(0.0, 10'000), 0.0);
+  EXPECT_DOUBLE_EQ(packet_error_rate(1.0, 1), 1.0);
+  EXPECT_NEAR(packet_error_rate(0.5, 1), 0.5, 1e-12);
+}
+
+TEST(PacketErrorRate, StableForTinyBer) {
+  // 1e-9 BER over 2048 bits: PER ~ 2.048e-6; the naive pow() formulation
+  // loses precision here.
+  const double per = packet_error_rate(1e-9, 2'048);
+  EXPECT_NEAR(per, 2.048e-6, 1e-9);
+}
+
+TEST(PacketErrorRate, MonotoneInLength) {
+  EXPECT_LT(packet_error_rate(1e-4, 64), packet_error_rate(1e-4, 4'096));
+}
+
+TEST(SinrModel, HighSnrAlwaysSucceeds) {
+  Rng rng{1};
+  const SinrPerModel model{Modulation::kFskNoncoherent};
+  ReceptionContext ctx = clean_context();  // 40 dB SNR
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(model.decide(ctx, rng), RxOutcome::kSuccess);
+}
+
+TEST(SinrModel, StrongInterferenceFails) {
+  Rng rng{1};
+  const SinrPerModel model{Modulation::kFskNoncoherent};
+  ReceptionContext ctx = clean_context();
+  ctx.interferer_levels_db.push_back(100.0);  // co-channel equal-power
+  int successes = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (model.decide(ctx, rng) == RxOutcome::kSuccess) ++successes;
+  }
+  EXPECT_EQ(successes, 0) << "0 dB SINR over 2048 bits cannot survive";
+}
+
+TEST(SinrModel, CaptureEffectUnlikeDeterministic) {
+  // 20 dB above the interferer: the SINR model captures; Eq. 1 would not.
+  Rng rng{1};
+  const SinrPerModel sinr{Modulation::kFskNoncoherent};
+  const DeterministicCollisionModel det;
+  ReceptionContext ctx = clean_context();
+  ctx.interferer_levels_db.push_back(80.0);
+  int captures = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (sinr.decide(ctx, rng) == RxOutcome::kSuccess) ++captures;
+  }
+  EXPECT_GT(captures, 150);
+  EXPECT_EQ(det.decide(ctx, rng), RxOutcome::kCollision);
+}
+
+TEST(SinrModel, NoiseLimitedErrors) {
+  // SNR = 6 dB (~4x linear) noncoherent FSK: BER = 0.5 exp(-2) ~ 0.068;
+  // over 8-bit packets PER ~ 0.43 — a mixed outcome.
+  Rng rng{1};
+  const SinrPerModel model{Modulation::kFskNoncoherent};
+  ReceptionContext ctx = clean_context();
+  ctx.rx_level_db = ctx.noise_level_db + 6.0;
+  ctx.bits = 8;
+  int successes = 0;
+  for (int i = 0; i < 2'000; ++i) {
+    if (model.decide(ctx, rng) == RxOutcome::kSuccess) ++successes;
+  }
+  EXPECT_GT(successes, 100);
+  EXPECT_LT(successes, 2'000);
+}
+
+TEST(SinrModel, HalfDuplexStillDominates) {
+  Rng rng{1};
+  const SinrPerModel model{};
+  ReceptionContext ctx = clean_context();
+  ctx.receiver_transmitted = true;
+  EXPECT_EQ(model.decide(ctx, rng), RxOutcome::kHalfDuplexLoss);
+}
+
+}  // namespace
+}  // namespace aquamac

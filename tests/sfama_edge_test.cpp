@@ -1,0 +1,141 @@
+// S-FAMA edges: timeout paths, duplicate suppression after lost Acks,
+// receiver-busy refusals, and hidden-terminal recovery.
+
+#include <gtest/gtest.h>
+
+#include "testbed.hpp"
+
+namespace aquamac {
+namespace {
+
+using testbed::TestBed;
+
+TEST(SFamaEdge, ReceiverBusyIgnoresSecondRts) {
+  TestBed bed;
+  const NodeId r = bed.add_node(MacKind::kSFama, Vec3{0, 0, 0});
+  const NodeId a = bed.add_node(MacKind::kSFama, Vec3{0, 0, 900});
+  const NodeId b = bed.add_node(MacKind::kSFama, Vec3{600, 0, 900});
+  bed.hello_and_settle();
+  bed.mac(a).enqueue_packet(r, 12'000);  // long exchange
+  // b tries mid-exchange; r must not CTS it until a's exchange ends.
+  bed.sim().at(Time::from_seconds(8.0), [&] { bed.mac(b).enqueue_packet(r, 2'048); });
+  bed.sim().run_until(Time::from_seconds(120.0));
+
+  EXPECT_EQ(bed.counters(r).packets_delivered, 2u);
+  EXPECT_EQ(bed.counters(a).packets_dropped + bed.counters(b).packets_dropped, 0u);
+}
+
+TEST(SFamaEdge, HiddenTerminalResolvedByRetries) {
+  // a and b cannot hear each other (2.4 km apart) but share receiver r:
+  // the classic hidden-terminal topology. RTS/CTS plus retries must get
+  // both packets through.
+  TestBed bed;
+  const NodeId r = bed.add_node(MacKind::kSFama, Vec3{0, 0, 0});
+  const NodeId a = bed.add_node(MacKind::kSFama, Vec3{1'200, 0, 0});
+  const NodeId b = bed.add_node(MacKind::kSFama, Vec3{-1'200, 0, 0});
+  bed.hello_and_settle();
+  bed.mac(a).enqueue_packet(r, 2'048);
+  bed.mac(b).enqueue_packet(r, 2'048);
+  bed.sim().run_until(Time::from_seconds(300.0));
+  EXPECT_EQ(bed.counters(r).packets_delivered, 2u);
+}
+
+TEST(SFamaEdge, DuplicateDataAfterLostAckIsSuppressed) {
+  // Force an Ack loss with a jammer timed at the Ack slot; the sender
+  // retries the full handshake and the receiver recognizes the duplicate:
+  // delivered counts once, duplicates counts the rest.
+  TestBed bed;
+  const NodeId s = bed.add_node(MacKind::kSFama, Vec3{0, 0, 900});
+  const NodeId r = bed.add_node(MacKind::kSFama, Vec3{0, 0, 0});
+  const NodeId jam = bed.add_node(MacKind::kSlottedAloha, Vec3{0, 600, 900});
+  const NodeId jam_sink = bed.add_node(MacKind::kSlottedAloha, Vec3{0, 2'000, 900});
+  bed.hello_and_settle();
+  for (int i = 0; i < 6; ++i) bed.mac(jam).enqueue_packet(jam_sink, 12'000);
+  bed.mac(s).enqueue_packet(r, 2'048);
+  bed.sim().run_until(Time::from_seconds(600.0));
+
+  const auto& rc = bed.counters(r);
+  const auto& sc = bed.counters(s);
+  EXPECT_LE(rc.packets_delivered, 1u);
+  if (rc.duplicate_deliveries > 0) {
+    EXPECT_EQ(rc.packets_delivered, 1u)
+        << "duplicates imply the original was delivered once";
+  }
+  EXPECT_EQ(sc.packets_sent_ok + sc.packets_dropped, 1u);
+}
+
+TEST(SFamaEdge, BackoffWindowGrowsUnderRepeatedFailure) {
+  // Unreachable destination: consecutive RTS attempts must spread out
+  // (binary exponential backoff), i.e. gaps are non-decreasing on average
+  // and eventually exceed the initial window.
+  TestBed bed;
+  const NodeId s = bed.add_node(MacKind::kSFama, Vec3{0, 0, 0});
+  bed.add_node(MacKind::kSFama, Vec3{0, 0, 4'000});
+  std::vector<Time> rts_times;
+  bed.channel().set_audit([&](const TransmissionAudit& audit) {
+    if (audit.frame.type == FrameType::kRts) rts_times.push_back(audit.tx_window.begin);
+  });
+  bed.hello_and_settle();
+  bed.mac(s).enqueue_packet(1, 2'048);
+  bed.sim().run_until(Time::from_seconds(600.0));
+
+  MacConfig config{};
+  ASSERT_EQ(rts_times.size(), static_cast<std::size_t>(config.max_retries) + 1);
+  // The last gap must exceed the first (cw doubled several times).
+  const auto first_gap = rts_times[1] - rts_times[0];
+  const auto last_gap = rts_times.back() - rts_times[rts_times.size() - 2];
+  EXPECT_GT(last_gap.count_ns(), first_gap.count_ns());
+}
+
+TEST(SFamaEdge, CtsTimeoutCountsContentionLoss) {
+  TestBed bed;
+  const NodeId s = bed.add_node(MacKind::kSFama, Vec3{0, 0, 0});
+  bed.add_node(MacKind::kSFama, Vec3{0, 0, 4'000});
+  bed.hello_and_settle();
+  bed.mac(s).enqueue_packet(1, 2'048);
+  bed.sim().run_until(Time::from_seconds(600.0));
+  MacConfig config{};
+  EXPECT_EQ(bed.counters(s).contention_losses, config.max_retries + 1u);
+}
+
+TEST(SFamaEdge, SimultaneousMutualRtsDeadlockResolves) {
+  // a wants to send to b while b wants to send to a: both transmit RTS in
+  // the same slot, both are busy when the peer's RTS arrives, both time
+  // out — desynchronized backoff must break the symmetry.
+  TestBed bed;
+  const NodeId a = bed.add_node(MacKind::kSFama, Vec3{0, 0, 0});
+  const NodeId b = bed.add_node(MacKind::kSFama, Vec3{0, 0, 900});
+  bed.hello_and_settle();
+  bed.mac(a).enqueue_packet(b, 2'048);
+  bed.mac(b).enqueue_packet(a, 2'048);
+  bed.sim().run_until(Time::from_seconds(300.0));
+  EXPECT_EQ(bed.counters(a).packets_delivered, 1u);
+  EXPECT_EQ(bed.counters(b).packets_delivered, 1u);
+}
+
+TEST(SFamaEdge, LargePacketSpansManySlots) {
+  // 24 kb data = 2 s airtime: occupies 3 slots with a 0.6 s pair delay;
+  // the exchange must still complete and honour Eq. 5.
+  TestBed bed;
+  const NodeId s = bed.add_node(MacKind::kSFama, Vec3{0, 0, 900});
+  const NodeId r = bed.add_node(MacKind::kSFama, Vec3{0, 0, 0});
+  Time data_tx{};
+  Time ack_tx{};
+  bed.channel().set_audit([&](const TransmissionAudit& audit) {
+    if (audit.frame.type == FrameType::kData) data_tx = audit.tx_window.begin;
+    if (audit.frame.type == FrameType::kAck) ack_tx = audit.tx_window.begin;
+  });
+  bed.hello_and_settle();
+  bed.mac(s).enqueue_packet(r, 24'000);
+  bed.sim().run_until(Time::from_seconds(60.0));
+
+  EXPECT_EQ(bed.counters(r).bits_delivered, 24'000u);
+  const Duration slot = testbed::default_slot();
+  const Duration airtime = Duration::from_seconds(2.0);
+  const Duration tau = Duration::from_seconds(0.6);
+  EXPECT_EQ((ack_tx - data_tx).count_ns(),
+            (slot * (airtime + tau).divide_ceil(slot)).count_ns());
+}
+
+}  // namespace
+}  // namespace aquamac

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "testbed.hpp"
+
+namespace aquamac {
+namespace {
+
+using testbed::TestBed;
+
+TEST(SFama, FourWayHandshakeDeliversOnePacket) {
+  TestBed bed;
+  const NodeId s = bed.add_node(MacKind::kSFama, Vec3{0, 0, 1'000});
+  const NodeId r = bed.add_node(MacKind::kSFama, Vec3{0, 0, 500});  // 500 m, tau = 1/3 s
+  bed.hello_and_settle();
+
+  bed.mac(s).enqueue_packet(r, 2'048);
+  bed.sim().run_until(Time::from_seconds(30.0));
+
+  const auto& sc = bed.counters(s);
+  const auto& rc = bed.counters(r);
+  EXPECT_EQ(sc.frames_sent[frame_type_index(FrameType::kRts)], 1u);
+  EXPECT_EQ(rc.frames_sent[frame_type_index(FrameType::kCts)], 1u);
+  EXPECT_EQ(sc.frames_sent[frame_type_index(FrameType::kData)], 1u);
+  EXPECT_EQ(rc.frames_sent[frame_type_index(FrameType::kAck)], 1u);
+  EXPECT_EQ(rc.packets_delivered, 1u);
+  EXPECT_EQ(rc.bits_delivered, 2'048u);
+  EXPECT_EQ(sc.packets_sent_ok, 1u);
+  EXPECT_EQ(sc.handshake_successes, 1u);
+  EXPECT_EQ(sc.packets_dropped, 0u);
+}
+
+TEST(SFama, PacketsAreSlotAligned) {
+  TestBed bed;
+  const NodeId s = bed.add_node(MacKind::kSFama, Vec3{0, 0, 1'000});
+  const NodeId r = bed.add_node(MacKind::kSFama, Vec3{0, 0, 500});
+  std::vector<Time> tx_starts;
+  bed.channel().set_audit([&](const TransmissionAudit& audit) {
+    if (audit.frame.type != FrameType::kHello) tx_starts.push_back(audit.tx_window.begin);
+  });
+  bed.hello_and_settle();
+  bed.mac(s).enqueue_packet(r, 2'048);
+  bed.sim().run_until(Time::from_seconds(30.0));
+
+  ASSERT_GE(tx_starts.size(), 4u);
+  const Duration slot = testbed::default_slot();
+  for (const Time t : tx_starts) {
+    EXPECT_EQ((t - Time::zero()).count_ns() % slot.count_ns(), 0)
+        << "S-FAMA packet off slot boundary at " << t.to_string();
+  }
+}
+
+TEST(SFama, AckSlotFollowsEq5) {
+  TestBed bed;
+  const NodeId s = bed.add_node(MacKind::kSFama, Vec3{0, 0, 1'400});  // tau ~ 0.933 s
+  const NodeId r = bed.add_node(MacKind::kSFama, Vec3{0, 0, 0});
+  Time data_tx{};
+  Time ack_tx{};
+  bed.channel().set_audit([&](const TransmissionAudit& audit) {
+    if (audit.frame.type == FrameType::kData) data_tx = audit.tx_window.begin;
+    if (audit.frame.type == FrameType::kAck) ack_tx = audit.tx_window.begin;
+  });
+  bed.hello_and_settle();
+  bed.mac(s).enqueue_packet(r, 2'048);
+  bed.sim().run_until(Time::from_seconds(30.0));
+
+  ASSERT_NE(data_tx, Time{});
+  ASSERT_NE(ack_tx, Time{});
+  // Eq. (5): ack slot = data slot + ceil((TD + tau)/|ts|)
+  //        = data slot + ceil((0.1707 + 0.9333)/1.00533) = data slot + 2.
+  EXPECT_EQ((ack_tx - data_tx).count_ns(), (testbed::default_slot() * 2).count_ns());
+}
+
+TEST(SFama, OverhearerDefersDuringExchange) {
+  TestBed bed;
+  const NodeId s = bed.add_node(MacKind::kSFama, Vec3{0, 0, 1'000});
+  const NodeId r = bed.add_node(MacKind::kSFama, Vec3{0, 0, 200});
+  const NodeId o = bed.add_node(MacKind::kSFama, Vec3{300, 0, 1'000});  // hears s
+  std::vector<std::pair<NodeId, Time>> rts_times;
+  bed.channel().set_audit([&](const TransmissionAudit& audit) {
+    if (audit.frame.type == FrameType::kRts) {
+      rts_times.emplace_back(audit.sender, audit.tx_window.begin);
+    }
+  });
+  bed.hello_and_settle();
+  bed.mac(s).enqueue_packet(r, 2'048);
+  // o wants to talk to s while s is mid-exchange: it must defer.
+  bed.sim().at(Time::from_seconds(6.5), [&] { bed.mac(o).enqueue_packet(s, 2'048); });
+  bed.sim().run_until(Time::from_seconds(40.0));
+
+  ASSERT_GE(rts_times.size(), 2u);
+  Time s_rts{};
+  Time o_rts{};
+  for (const auto& [sender, t] : rts_times) {
+    if (sender == s && s_rts == Time{}) s_rts = t;
+    if (sender == o && o_rts == Time{}) o_rts = t;
+  }
+  ASSERT_NE(o_rts, Time{});
+  // s's exchange spans RTS + CTS + 2 data slots + ACK ~ 5 slots; o's RTS
+  // must come after the exchange finished.
+  EXPECT_GE((o_rts - s_rts).count_ns(), (testbed::default_slot() * 4).count_ns());
+  EXPECT_EQ(bed.total_delivered(), 2u) << "both packets eventually delivered";
+}
+
+TEST(SFama, ContentionLoserRetriesAndBothDeliver) {
+  TestBed bed;
+  const NodeId r = bed.add_node(MacKind::kSFama, Vec3{0, 0, 0});
+  const NodeId a = bed.add_node(MacKind::kSFama, Vec3{0, 0, 600});
+  const NodeId b = bed.add_node(MacKind::kSFama, Vec3{0, 0, 1'200});  // a-b in range: 600 m
+  bed.hello_and_settle();
+  bed.mac(a).enqueue_packet(r, 2'048);
+  bed.mac(b).enqueue_packet(r, 2'048);
+  bed.sim().run_until(Time::from_seconds(120.0));
+
+  EXPECT_EQ(bed.counters(r).packets_delivered, 2u);
+  EXPECT_EQ(bed.counters(a).packets_dropped + bed.counters(b).packets_dropped, 0u);
+}
+
+TEST(SFama, UnreachableDestinationDropsAfterRetries) {
+  TestBed bed;
+  const NodeId s = bed.add_node(MacKind::kSFama, Vec3{0, 0, 0});
+  bed.add_node(MacKind::kSFama, Vec3{0, 0, 5'000});  // out of range
+  bed.hello_and_settle();
+  bed.mac(s).enqueue_packet(1, 2'048);
+  bed.sim().run_until(Time::from_seconds(400.0));
+
+  const auto& sc = bed.counters(s);
+  MacConfig config{};
+  EXPECT_EQ(sc.packets_dropped, 1u);
+  EXPECT_EQ(sc.frames_sent[frame_type_index(FrameType::kRts)], config.max_retries + 1);
+  EXPECT_EQ(sc.retransmitted_frames, config.max_retries);
+  EXPECT_EQ(bed.total_delivered(), 0u);
+}
+
+TEST(SFama, QueueDrainsInOrder) {
+  TestBed bed;
+  const NodeId s = bed.add_node(MacKind::kSFama, Vec3{0, 0, 800});
+  const NodeId r = bed.add_node(MacKind::kSFama, Vec3{0, 0, 0});
+  bed.hello_and_settle();
+  for (int i = 0; i < 5; ++i) bed.mac(s).enqueue_packet(r, 2'048);
+  bed.sim().run_until(Time::from_seconds(200.0));
+  EXPECT_EQ(bed.counters(r).packets_delivered, 5u);
+  EXPECT_EQ(bed.mac(s).queue_depth(), 0u);
+}
+
+TEST(SFama, VariableDataSizesHonored) {
+  TestBed bed;
+  const NodeId s = bed.add_node(MacKind::kSFama, Vec3{0, 0, 800});
+  const NodeId r = bed.add_node(MacKind::kSFama, Vec3{0, 0, 0});
+  bed.hello_and_settle();
+  bed.mac(s).enqueue_packet(r, 1'024);
+  bed.mac(s).enqueue_packet(r, 4'096);
+  bed.sim().run_until(Time::from_seconds(120.0));
+  EXPECT_EQ(bed.counters(r).packets_delivered, 2u);
+  EXPECT_EQ(bed.counters(r).bits_delivered, 1'024u + 4'096u);
+}
+
+}  // namespace
+}  // namespace aquamac

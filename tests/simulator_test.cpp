@@ -1,0 +1,107 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace aquamac {
+namespace {
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  std::vector<double> seen;
+  sim.at(Time::from_seconds(1.0), [&] { seen.push_back(sim.now().to_seconds()); });
+  sim.at(Time::from_seconds(2.5), [&] { seen.push_back(sim.now().to_seconds()); });
+  sim.run();
+  EXPECT_EQ(seen, (std::vector<double>{1.0, 2.5}));
+  EXPECT_EQ(sim.now(), Time::from_seconds(2.5));
+}
+
+TEST(Simulator, InSchedulesRelative) {
+  Simulator sim;
+  Time fired{};
+  sim.at(Time::from_seconds(1.0), [&] {
+    sim.in(Duration::milliseconds(500), [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, Time::from_seconds(1.5));
+}
+
+TEST(Simulator, SchedulingIntoThePastThrows) {
+  Simulator sim;
+  sim.at(Time::from_seconds(2.0), [&] {
+    EXPECT_THROW(sim.at(Time::from_seconds(1.0), [] {}), std::logic_error);
+  });
+  sim.run();
+}
+
+TEST(Simulator, SchedulingAtNowIsAllowedAndRunsSameInstant) {
+  Simulator sim;
+  bool nested = false;
+  sim.at(Time::from_seconds(1.0), [&] {
+    sim.at(sim.now(), [&] { nested = true; });
+  });
+  sim.run();
+  EXPECT_TRUE(nested);
+  EXPECT_EQ(sim.now(), Time::from_seconds(1.0));
+}
+
+TEST(Simulator, RunUntilStopsAtHorizonAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(Time::from_seconds(1.0), [&] { ++fired; });
+  sim.at(Time::from_seconds(10.0), [&] { ++fired; });
+  const auto count = sim.run_until(Time::from_seconds(5.0));
+  EXPECT_EQ(count, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), Time::from_seconds(5.0)) << "clock parks at the horizon";
+  EXPECT_TRUE(sim.has_pending());
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventHandle handle = sim.at(Time::from_seconds(1.0), [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(handle));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, StopHaltsTheLoop) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(Time::from_seconds(1.0), [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.at(Time::from_seconds(2.0), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  // A subsequent run resumes.
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventsExecutedAccumulates) {
+  Simulator sim;
+  for (int i = 1; i <= 5; ++i) sim.at(Time::from_seconds(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+TEST(Simulator, CascadedSchedulingRunsToCompletion) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.in(Duration::milliseconds(1), recurse);
+  };
+  sim.in(Duration::milliseconds(1), recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), Time::zero() + Duration::milliseconds(100));
+}
+
+}  // namespace
+}  // namespace aquamac

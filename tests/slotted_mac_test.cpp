@@ -1,0 +1,129 @@
+#include "mac/slotted_mac.hpp"
+
+#include <gtest/gtest.h>
+
+#include "channel/reception.hpp"
+
+namespace aquamac {
+namespace {
+
+class ProbeMac final : public SlottedMac {
+ public:
+  using SlottedMac::SlottedMac;
+  [[nodiscard]] std::string_view name() const override { return "probe"; }
+
+  // Expose protected helpers for testing.
+  using SlottedMac::backoff_slots;
+  using SlottedMac::quiet_now;
+  using SlottedMac::quiet_until;
+  using SlottedMac::set_quiet_until;
+
+  Duration omega_public() const { return omega(); }
+
+ protected:
+  void handle_frame(const Frame&, const RxInfo&) override {}
+};
+
+class SlottedMacTest : public ::testing::Test {
+ protected:
+  SlottedMacTest()
+      : modem_{sim_, 0, ModemConfig{}, reception_, Rng{1}},
+        mac_{sim_, modem_, neighbors_, MacConfig{}, Rng{2}, Logger::off()} {}
+
+  Simulator sim_;
+  DeterministicCollisionModel reception_;
+  AcousticModem modem_;
+  NeighborTable neighbors_;
+  ProbeMac mac_;
+};
+
+TEST_F(SlottedMacTest, SlotLengthIsOmegaPlusTauMax) {
+  // §4.1: |ts| = omega + tau_max. 64 bits at 12 kbps = 5.333 ms.
+  EXPECT_EQ(mac_.omega_public(), Duration::from_seconds(64.0 / 12'000.0));
+  EXPECT_EQ(mac_.slot_length(), mac_.omega_public() + Duration::seconds(1));
+}
+
+TEST_F(SlottedMacTest, SlotIndexAndStartRoundTrip) {
+  for (std::int64_t i : {0, 1, 5, 100, 297}) {
+    const Time start = mac_.slot_start(i);
+    EXPECT_EQ(mac_.slot_index(start), i);
+    EXPECT_EQ(mac_.slot_index(start + Duration::nanoseconds(1)), i);
+    EXPECT_EQ(mac_.slot_index(start - Duration::nanoseconds(1)), i - 1);
+  }
+}
+
+TEST_F(SlottedMacTest, NextSlotBoundary) {
+  const Time boundary = mac_.slot_start(7);
+  EXPECT_EQ(mac_.next_slot_boundary(boundary), boundary)
+      << "a time exactly on a boundary is its own 'next boundary'";
+  EXPECT_EQ(mac_.next_slot_boundary(boundary + Duration::nanoseconds(1)), mac_.slot_start(8));
+  EXPECT_EQ(mac_.next_slot_boundary(boundary - Duration::nanoseconds(1)), boundary);
+}
+
+TEST_F(SlottedMacTest, DataSlotsMatchesEq5) {
+  const Duration data_2048 = Duration::from_seconds(2'048.0 / 12'000.0);
+  // ceil((0.1707 + 1.0) / 1.00533) = 2
+  EXPECT_EQ(mac_.data_slots(data_2048, Duration::seconds(1)), 2);
+  // Short delay: ceil((0.1707 + 0.1) / 1.00533) = 1
+  EXPECT_EQ(mac_.data_slots(data_2048, Duration::milliseconds(100)), 1);
+  // Huge data packet: 12 kb = 1 s airtime + 1 s delay -> 2 slots.
+  const Duration data_12k = Duration::from_seconds(1.0);
+  EXPECT_EQ(mac_.data_slots(data_12k, Duration::seconds(1)), 2);
+  // 4x: 48 kb = 4 s airtime + 1 s -> 5 slots.
+  EXPECT_EQ(mac_.data_slots(Duration::from_seconds(4.0), Duration::seconds(1)), 5);
+}
+
+TEST_F(SlottedMacTest, QuietIsMonotoneMax) {
+  EXPECT_FALSE(mac_.quiet_now());
+  mac_.set_quiet_until(Time::from_seconds(10.0));
+  mac_.set_quiet_until(Time::from_seconds(5.0));  // must not shorten
+  EXPECT_EQ(mac_.quiet_until(), Time::from_seconds(10.0));
+  EXPECT_TRUE(mac_.quiet_now());
+}
+
+TEST_F(SlottedMacTest, BackoffWithinWindowAndGrowing) {
+  MacConfig config{};
+  std::int64_t max_seen_r0 = 0;
+  std::int64_t max_seen_r3 = 0;
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t b0 = mac_.backoff_slots(0);
+    const std::int64_t b3 = mac_.backoff_slots(3);
+    EXPECT_GE(b0, 1);
+    EXPECT_LE(b0, static_cast<std::int64_t>(config.cw_min_slots));
+    EXPECT_GE(b3, 1);
+    EXPECT_LE(b3, static_cast<std::int64_t>(config.cw_min_slots) << 3);
+    max_seen_r0 = std::max(max_seen_r0, b0);
+    max_seen_r3 = std::max(max_seen_r3, b3);
+  }
+  EXPECT_GT(max_seen_r3, max_seen_r0) << "window grows with retries";
+}
+
+TEST_F(SlottedMacTest, BackoffCapsAtCwMax) {
+  MacConfig config{};
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_LE(mac_.backoff_slots(30), static_cast<std::int64_t>(config.cw_max_slots));
+  }
+}
+
+TEST_F(SlottedMacTest, EnqueueTracksOfferedAndQueueLimit) {
+  MacConfig config{};
+  for (std::size_t i = 0; i < config.queue_limit + 10; ++i) {
+    mac_.enqueue_packet(1, 2'048);
+  }
+  EXPECT_EQ(mac_.counters().packets_offered, config.queue_limit + 10);
+  EXPECT_EQ(mac_.queue_depth(), config.queue_limit);
+  EXPECT_EQ(mac_.counters().packets_dropped, 10u);
+  EXPECT_EQ(mac_.counters().bits_offered, (config.queue_limit + 10) * 2'048);
+}
+
+TEST_F(SlottedMacTest, PiggybackGrowsControlFrameAndSlot) {
+  MacConfig config{};
+  config.piggyback_bits = 384;
+  ProbeMac fat{sim_, modem_, neighbors_, config, Rng{3}, Logger::off()};
+  EXPECT_EQ(fat.omega_public(), Duration::from_seconds((64.0 + 384.0) / 12'000.0));
+  EXPECT_GT(fat.slot_length(), mac_.slot_length())
+      << "CS-MAC's in-band two-hop info lengthens its slot";
+}
+
+}  // namespace
+}  // namespace aquamac

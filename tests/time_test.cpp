@@ -1,0 +1,92 @@
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aquamac {
+namespace {
+
+TEST(Duration, FactoryUnitsAgree) {
+  EXPECT_EQ(Duration::seconds(1).count_ns(), 1'000'000'000);
+  EXPECT_EQ(Duration::milliseconds(1'000), Duration::seconds(1));
+  EXPECT_EQ(Duration::microseconds(1'000'000), Duration::seconds(1));
+  EXPECT_EQ(Duration::nanoseconds(5), Duration::microseconds(0) + Duration::nanoseconds(5));
+}
+
+TEST(Duration, FromSecondsRoundsToNearestNanosecond) {
+  EXPECT_EQ(Duration::from_seconds(1.0).count_ns(), 1'000'000'000);
+  EXPECT_EQ(Duration::from_seconds(0.5e-9).count_ns(), 1);   // rounds up
+  EXPECT_EQ(Duration::from_seconds(0.4e-9).count_ns(), 0);   // rounds down
+  EXPECT_EQ(Duration::from_seconds(-1.5).count_ns(), -1'500'000'000);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::seconds(2);
+  const Duration b = Duration::milliseconds(500);
+  EXPECT_EQ((a + b).count_ns(), 2'500'000'000);
+  EXPECT_EQ((a - b).count_ns(), 1'500'000'000);
+  EXPECT_EQ((b * 4), a);
+  EXPECT_EQ((4 * b), a);
+  EXPECT_EQ(-(a - b), b - a);
+}
+
+TEST(Duration, Comparisons) {
+  EXPECT_LT(Duration::milliseconds(1), Duration::milliseconds(2));
+  EXPECT_GE(Duration::seconds(1), Duration::milliseconds(1'000));
+  EXPECT_TRUE(Duration::zero().is_zero());
+  EXPECT_TRUE((Duration::zero() - Duration::nanoseconds(1)).is_negative());
+}
+
+TEST(Duration, DivideFloorAndCeil) {
+  const Duration slot = Duration::milliseconds(10);
+  EXPECT_EQ(Duration::milliseconds(25).divide_floor(slot), 2);
+  EXPECT_EQ(Duration::milliseconds(25).divide_ceil(slot), 3);
+  EXPECT_EQ(Duration::milliseconds(30).divide_floor(slot), 3);
+  EXPECT_EQ(Duration::milliseconds(30).divide_ceil(slot), 3);
+  EXPECT_EQ(Duration::zero().divide_ceil(slot), 0);
+  // Negative numerators floor/ceil correctly (slot arithmetic before
+  // time zero in tests).
+  EXPECT_EQ(Duration::milliseconds(-25).divide_floor(slot), -3);
+  EXPECT_EQ(Duration::milliseconds(-25).divide_ceil(slot), -2);
+}
+
+TEST(Duration, Eq5SlotCountExample) {
+  // Paper Eq. (5) worked example at Table 2 defaults: a 2048-bit data
+  // packet at 12 kbps (170.67 ms) plus a 1 s pair delay spans
+  // ceil(1.17067 / 1.00533) = 2 slots.
+  const Duration omega = Duration::from_seconds(64.0 / 12'000.0);
+  const Duration tau_max = Duration::seconds(1);
+  const Duration slot = omega + tau_max;
+  const Duration data = Duration::from_seconds(2'048.0 / 12'000.0);
+  EXPECT_EQ((data + tau_max).divide_ceil(slot), 2);
+}
+
+TEST(Time, ArithmeticAndOrdering) {
+  const Time t0 = Time::zero();
+  const Time t1 = t0 + Duration::seconds(3);
+  EXPECT_EQ((t1 - t0), Duration::seconds(3));
+  EXPECT_EQ(t1 - Duration::seconds(3), t0);
+  EXPECT_LT(t0, t1);
+  EXPECT_EQ(Time::from_seconds(1.5).count_ns(), 1'500'000'000);
+}
+
+TEST(TimeInterval, OverlapSemantics) {
+  const TimeInterval a{Time::from_seconds(1.0), Time::from_seconds(2.0)};
+  const TimeInterval b{Time::from_seconds(2.0), Time::from_seconds(3.0)};
+  const TimeInterval c{Time::from_seconds(1.5), Time::from_seconds(2.5)};
+  EXPECT_FALSE(a.overlaps(b)) << "half-open intervals sharing an endpoint do not overlap";
+  EXPECT_TRUE(a.overlaps(c));
+  EXPECT_TRUE(c.overlaps(a)) << "overlap is symmetric";
+  EXPECT_TRUE(a.contains(Time::from_seconds(1.0)));
+  EXPECT_FALSE(a.contains(Time::from_seconds(2.0)));
+  EXPECT_EQ(a.length(), Duration::seconds(1));
+}
+
+TEST(TimeInterval, ZeroLengthNeverOverlaps) {
+  const TimeInterval empty{Time::from_seconds(1.0), Time::from_seconds(1.0)};
+  const TimeInterval full{Time::zero(), Time::from_seconds(10.0)};
+  EXPECT_FALSE(empty.overlaps(full));
+  EXPECT_FALSE(full.overlaps(empty));
+}
+
+}  // namespace
+}  // namespace aquamac

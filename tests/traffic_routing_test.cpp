@@ -1,0 +1,125 @@
+#include "net/routing.hpp"
+#include "net/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aquamac {
+namespace {
+
+TEST(UphillRouter, OnlyShallowerInRangeCandidates) {
+  const std::vector<Vec3> positions{
+      {0, 0, 3'000},    // 0: deep
+      {0, 0, 2'000},    // 1: above 0, in range
+      {0, 0, 1'000},    // 2: above 1, in range of 1, out of range of 0
+      {5'000, 0, 100},  // 3: shallow but far from everyone
+  };
+  const UphillRouter router{positions, 1'500.0};
+  EXPECT_EQ(router.candidates(0), (std::vector<NodeId>{1}));
+  EXPECT_EQ(router.candidates(1), (std::vector<NodeId>{2}));
+  EXPECT_TRUE(router.is_sink(2)) << "nothing shallower in range";
+  EXPECT_TRUE(router.is_sink(3));
+  EXPECT_EQ(router.source_count(), 2u);
+}
+
+TEST(UphillRouter, PickIsAlwaysACandidate) {
+  const std::vector<Vec3> positions{
+      {0, 0, 2'000}, {500, 0, 1'000}, {0, 500, 1'200}, {200, 200, 900}};
+  const UphillRouter router{positions, 1'500.0};
+  Rng rng{1};
+  for (int i = 0; i < 200; ++i) {
+    const auto dst = router.pick_destination(0, rng);
+    ASSERT_TRUE(dst.has_value());
+    const auto& c = router.candidates(0);
+    EXPECT_NE(std::find(c.begin(), c.end(), *dst), c.end());
+  }
+}
+
+TEST(UphillRouter, SinkPicksNothing) {
+  const std::vector<Vec3> positions{{0, 0, 100}, {0, 0, 2'000}};
+  const UphillRouter router{positions, 1'500.0};
+  Rng rng{1};
+  EXPECT_FALSE(router.pick_destination(0, rng).has_value());
+}
+
+TEST(PerNodeRate, MatchesAggregateLoad) {
+  TrafficConfig config{};
+  config.offered_load_kbps = 0.5;        // 500 bits/s network-wide
+  config.packet_bits_min = 2'048;
+  config.packet_bits_max = 2'048;
+  const double rate = per_node_packet_rate(config, 50);
+  EXPECT_NEAR(rate * 50.0 * 2'048.0, 500.0, 1e-9);
+}
+
+TEST(PerNodeRate, ZeroSources) {
+  EXPECT_DOUBLE_EQ(per_node_packet_rate(TrafficConfig{}, 0), 0.0);
+}
+
+TEST(PerNodeRate, VariableSizeUsesMean) {
+  TrafficConfig config{};
+  config.offered_load_kbps = 1.0;
+  config.packet_bits_min = 1'024;
+  config.packet_bits_max = 4'096;  // mean 2560
+  EXPECT_NEAR(per_node_packet_rate(config, 10) * 10.0 * 2'560.0, 1'000.0, 1e-9);
+}
+
+TEST(TrafficSource, PoissonRateRealized) {
+  Simulator sim;
+  TrafficConfig config{};
+  config.mode = TrafficMode::kPoisson;
+  std::uint64_t emitted = 0;
+  TrafficSource source{sim, config, /*node_rate_pps=*/2.0, Rng{42},
+                       [&](std::uint32_t bits) {
+                         EXPECT_EQ(bits, 2'048u);
+                         ++emitted;
+                       }};
+  source.start(Time::zero(), 0);
+  sim.run_until(Time::from_seconds(1'000.0));
+  // 2 packets/s over 1000 s => ~2000, Poisson sd ~45.
+  EXPECT_NEAR(static_cast<double>(emitted), 2'000.0, 200.0);
+  EXPECT_EQ(source.generated(), emitted);
+}
+
+TEST(TrafficSource, ZeroRateEmitsNothing) {
+  Simulator sim;
+  TrafficConfig config{};
+  TrafficSource source{sim, config, 0.0, Rng{1}, [](std::uint32_t) { FAIL(); }};
+  source.start(Time::zero(), 0);
+  sim.run_until(Time::from_seconds(100.0));
+}
+
+TEST(TrafficSource, BatchInjectsExactCount) {
+  Simulator sim;
+  TrafficConfig config{};
+  config.mode = TrafficMode::kBatch;
+  std::uint64_t emitted = 0;
+  TrafficSource source{sim, config, 0.0, Rng{2}, [&](std::uint32_t) { ++emitted; }};
+  source.start(Time::from_seconds(5.0), 17);
+  sim.run();
+  EXPECT_EQ(emitted, 17u);
+  // All within the 1 s stagger window after start.
+  EXPECT_LE(sim.now().to_seconds(), 6.0);
+  EXPECT_GE(sim.now().to_seconds(), 5.0);
+}
+
+TEST(TrafficSource, VariableSizesWithinRange) {
+  Simulator sim;
+  TrafficConfig config{};
+  config.mode = TrafficMode::kBatch;
+  config.packet_bits_min = 1'024;
+  config.packet_bits_max = 4'096;
+  bool saw_below_mid = false;
+  bool saw_above_mid = false;
+  TrafficSource source{sim, config, 0.0, Rng{3}, [&](std::uint32_t bits) {
+                         ASSERT_GE(bits, 1'024u);
+                         ASSERT_LE(bits, 4'096u);
+                         saw_below_mid |= bits < 2'560;
+                         saw_above_mid |= bits > 2'560;
+                       }};
+  source.start(Time::zero(), 200);
+  sim.run();
+  EXPECT_TRUE(saw_below_mid);
+  EXPECT_TRUE(saw_above_mid);
+}
+
+}  // namespace
+}  // namespace aquamac

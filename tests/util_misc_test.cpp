@@ -1,0 +1,158 @@
+// Vec3, Logger, Table and Frame coverage.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "phy/frame.hpp"
+#include "stats/counters.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+#include "util/vec3.hpp"
+
+namespace aquamac {
+namespace {
+
+TEST(Vec3, ArithmeticAndNorms) {
+  const Vec3 a{3, 4, 0};
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.norm_sq(), 25.0);
+  const Vec3 b = a + Vec3{1, 1, 1};
+  EXPECT_EQ(b, (Vec3{4, 5, 1}));
+  EXPECT_EQ(b - a, (Vec3{1, 1, 1}));
+  EXPECT_EQ(a * 2.0, (Vec3{6, 8, 0}));
+  EXPECT_EQ(2.0 * a, a * 2.0);
+  Vec3 c{0, 0, 0};
+  c += a;
+  EXPECT_EQ(c, a);
+}
+
+TEST(Vec3, Distances) {
+  const Vec3 a{0, 0, 100};
+  const Vec3 b{300, 400, 100};
+  EXPECT_DOUBLE_EQ(a.distance_to(b), 500.0);
+  EXPECT_DOUBLE_EQ(a.horizontal_distance_to(b), 500.0);
+  const Vec3 deep{300, 400, 1'300};
+  EXPECT_DOUBLE_EQ(a.horizontal_distance_to(deep), 500.0)
+      << "horizontal distance ignores depth";
+  EXPECT_GT(a.distance_to(deep), 500.0);
+}
+
+TEST(Vec3, DotProduct) {
+  EXPECT_DOUBLE_EQ((Vec3{1, 2, 3}).dot(Vec3{4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ((Vec3{1, 0, 0}).dot(Vec3{0, 1, 0}), 0.0);
+}
+
+TEST(Logger, OffLoggerLogsNothing) {
+  const Logger logger = Logger::off();
+  EXPECT_FALSE(logger.enabled(LogLevel::kError));
+  // The macro body must not be evaluated when disabled.
+  int evaluations = 0;
+  auto touch = [&] {
+    ++evaluations;
+    return "x";
+  };
+  AQUAMAC_LOG(logger, LogLevel::kError) << touch();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(Logger, CapturesAtOrAboveLevel) {
+  std::vector<std::string> lines;
+  const Logger logger{LogLevel::kInfo, [&](LogLevel, std::string_view msg) {
+                        lines.emplace_back(msg);
+                      }};
+  AQUAMAC_LOG(logger, LogLevel::kDebug) << "hidden";
+  AQUAMAC_LOG(logger, LogLevel::kInfo) << "shown " << 42;
+  AQUAMAC_LOG(logger, LogLevel::kError) << "also shown";
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "shown 42");
+  EXPECT_EQ(lines[1], "also shown");
+}
+
+TEST(Logger, TagsPrefixMessages) {
+  std::vector<std::string> lines;
+  const Logger base{LogLevel::kInfo, [&](LogLevel, std::string_view msg) {
+                      lines.emplace_back(msg);
+                    }};
+  const Logger tagged = base.with_tag("n7");
+  AQUAMAC_LOG(tagged, LogLevel::kInfo) << "hello";
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "[n7] hello");
+}
+
+TEST(Logger, StreamsTimeTypes) {
+  std::vector<std::string> lines;
+  const Logger logger{LogLevel::kInfo, [&](LogLevel, std::string_view msg) {
+                        lines.emplace_back(msg);
+                      }};
+  AQUAMAC_LOG(logger, LogLevel::kInfo) << Time::from_seconds(1.5) << " "
+                                       << Duration::milliseconds(250);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "t=1.500000s 0.250000s");
+}
+
+TEST(LogLevelNames, AllDistinct) {
+  EXPECT_EQ(to_string(LogLevel::kTrace), "TRACE");
+  EXPECT_EQ(to_string(LogLevel::kWarn), "WARN");
+  EXPECT_EQ(to_string(LogLevel::kOff), "OFF");
+}
+
+TEST(Table, AlignsColumns) {
+  Table table{{"protocol", "x"}};
+  table.add_row({"EW-MAC", "1"});
+  table.add_row({"S", "22"});
+  std::ostringstream os;
+  table.print(os);
+  std::istringstream is{os.str()};
+  std::string header;
+  std::string separator;
+  std::string row1;
+  std::getline(is, header);
+  std::getline(is, separator);
+  std::getline(is, row1);
+  EXPECT_EQ(header.find('x'), row1.find('1')) << "columns line up";
+  EXPECT_EQ(separator.find_first_not_of('-'), std::string::npos);
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(3.0, 0), "3");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+TEST(Frame, Classification) {
+  EXPECT_TRUE(is_control(FrameType::kRts));
+  EXPECT_TRUE(is_control(FrameType::kAck));
+  EXPECT_TRUE(is_control(FrameType::kExr));
+  EXPECT_FALSE(is_control(FrameType::kData));
+  EXPECT_FALSE(is_control(FrameType::kExData));
+  EXPECT_TRUE(is_extra(FrameType::kExr));
+  EXPECT_TRUE(is_extra(FrameType::kExAck));
+  EXPECT_FALSE(is_extra(FrameType::kRts));
+  EXPECT_FALSE(is_extra(FrameType::kRta)) << "ROPA's RTA is its own class";
+}
+
+TEST(Frame, ToStringMentionsKeyFields) {
+  Frame frame{};
+  frame.type = FrameType::kCts;
+  frame.src = 3;
+  frame.dst = 9;
+  frame.seq = 17;
+  frame.size_bits = 64;
+  const std::string s = frame.to_string();
+  EXPECT_NE(s.find("CTS"), std::string::npos);
+  EXPECT_NE(s.find("3->9"), std::string::npos);
+  EXPECT_NE(s.find("seq=17"), std::string::npos);
+
+  frame.dst = kBroadcast;
+  EXPECT_NE(frame.to_string().find("->*"), std::string::npos);
+}
+
+TEST(FrameTypeNames, RoundTripAllEnumerators) {
+  for (std::size_t i = 0; i < kFrameTypeCount; ++i) {
+    EXPECT_NE(to_string(static_cast<FrameType>(i)), "?") << i;
+  }
+}
+
+}  // namespace
+}  // namespace aquamac

@@ -1,0 +1,110 @@
+// Figure 2 operationalized: the computed wait periods, and the assertion
+// that EW-MAC's extra packets really fly inside the periods the paper
+// names (EXR in period V of the receiver, EXDATA beginning in period VI).
+
+#include "mac/ewmac/wait_periods.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testbed.hpp"
+
+namespace aquamac {
+namespace {
+
+using testbed::TestBed;
+
+WaitPeriodInputs table2_inputs(std::int64_t rts_slot, double pair_distance_m,
+                               std::uint32_t data_bits) {
+  WaitPeriodInputs in{};
+  in.rts_slot = rts_slot;
+  in.omega = Duration::from_seconds(64.0 / 12'000.0);
+  in.slot_length = in.omega + Duration::seconds(1);
+  in.tau_pair = Duration::from_seconds(pair_distance_m / 1'500.0);
+  in.data_airtime = Duration::from_seconds(data_bits / 12'000.0);
+  return in;
+}
+
+TEST(WaitPeriodsTest, Table2ExampleGeometry) {
+  // 1.4 km pair, 2048-bit data, RTS in slot 5.
+  const WaitPeriods p = compute_wait_periods(table2_inputs(5, 1'400.0, 2'048));
+
+  // Eq. 5: ack slot = 7 + ceil((0.1707 + 0.9333)/1.00533) = 9.
+  EXPECT_EQ(p.ack_slot, 9);
+
+  // Period III: from RTS end (S(5)+omega) to CTS arrival (S(6)+tau).
+  EXPECT_NEAR(p.sender_rts_to_cts.length().to_seconds(),
+              1.00533 + 0.93333 - 64.0 / 12'000.0, 1e-3);
+  // Period V: from CTS end to DATA arrival at the receiver: tau + slot -
+  // omega... CTS ends S(6)+omega, data arrives S(7)+tau.
+  EXPECT_NEAR(p.receiver_cts_to_data.length().to_seconds(),
+              1.00533 + 0.93333 - 64.0 / 12'000.0, 1e-3);
+  // Every period is non-degenerate at this geometry.
+  EXPECT_GT(p.sender_cts_to_data.length().to_seconds(), 0.0);
+  EXPECT_GT(p.sender_post_data.length().to_seconds(), 0.0);
+  EXPECT_GT(p.receiver_free_from.to_seconds(), p.ack_tx_begin.to_seconds());
+}
+
+TEST(WaitPeriodsTest, PeriodsShrinkWithDensity) {
+  // The Fig.-7 mechanism: closer pairs leave smaller exploitable windows.
+  const WaitPeriods far = compute_wait_periods(table2_inputs(0, 1'400.0, 2'048));
+  const WaitPeriods near = compute_wait_periods(table2_inputs(0, 300.0, 2'048));
+  EXPECT_LT(near.receiver_cts_to_data.length().to_seconds(),
+            far.receiver_cts_to_data.length().to_seconds());
+  EXPECT_LT(near.sender_rts_to_cts.length().to_seconds(),
+            far.sender_rts_to_cts.length().to_seconds());
+}
+
+TEST(WaitPeriodsTest, BigDataPushesAckSlot) {
+  const WaitPeriods small = compute_wait_periods(table2_inputs(0, 1'000.0, 1'024));
+  const WaitPeriods large = compute_wait_periods(table2_inputs(0, 1'000.0, 24'000));
+  EXPECT_GT(large.ack_slot, small.ack_slot);
+}
+
+// The live protocol, checked against the computed periods: in the Fig.-4
+// scenario, the EXR must arrive at j strictly inside period V, and the
+// EXDATA's arrival must begin in period VI (at or after j finishes its
+// Ack, Eq. 6).
+TEST(WaitPeriodsTest, LiveExtraPacketsLandInTheNamedPeriods) {
+  TestBed bed;
+  const NodeId j = bed.add_node(MacKind::kEwMac, Vec3{0, 0, 1'000});
+  const NodeId k = bed.add_node(MacKind::kEwMac, Vec3{1'400, 0, 1'000});
+  const NodeId i = bed.add_node(MacKind::kEwMac, Vec3{-300, 0, 1'000});
+  (void)k;
+  (void)i;
+
+  std::int64_t rts_slot = -1;
+  TimeInterval exr_at_j{};
+  TimeInterval exdata_at_j{};
+  bed.channel().set_audit([&](const TransmissionAudit& audit) {
+    if (audit.frame.type == FrameType::kRts && audit.frame.dst == j && rts_slot < 0) {
+      rts_slot = (audit.tx_window.begin - Time::zero())
+                     .divide_floor(testbed::default_slot());
+    }
+    for (const auto& reach : audit.reaches) {
+      if (reach.receiver != j) continue;
+      if (audit.frame.type == FrameType::kExr) exr_at_j = reach.window;
+      if (audit.frame.type == FrameType::kExData) exdata_at_j = reach.window;
+    }
+  });
+
+  bed.hello_and_settle();
+  bed.mac(k).enqueue_packet(j, 2'048);
+  bed.sim().at(Time::from_seconds(5.5), [&] { bed.mac(i).enqueue_packet(j, 2'048); });
+  bed.sim().run_until(Time::from_seconds(40.0));
+
+  ASSERT_GE(rts_slot, 0);
+  ASSERT_NE(exr_at_j.end, Time{});
+  ASSERT_NE(exdata_at_j.end, Time{});
+
+  const WaitPeriods periods = compute_wait_periods(table2_inputs(rts_slot, 1'400.0, 2'048));
+
+  // EXR fully inside period V of j.
+  EXPECT_GE(exr_at_j.begin.count_ns(), periods.receiver_cts_to_data.begin.count_ns());
+  EXPECT_LE(exr_at_j.end.count_ns(), periods.receiver_cts_to_data.end.count_ns());
+
+  // EXDATA begins exactly when period VI opens (Eq. 6: as the Ack ends).
+  EXPECT_EQ(exdata_at_j.begin.count_ns(), periods.receiver_free_from.count_ns());
+}
+
+}  // namespace
+}  // namespace aquamac

@@ -1,0 +1,147 @@
+// aquamac_sim — run one UASN MAC scenario from the command line.
+//
+//   aquamac_sim --mac EW-MAC --nodes 80 --load 0.6 --seed 3
+//   aquamac_sim --mac CS-MAC --reception sinr --trace run.csv
+//   aquamac_sim --help
+//
+// Prints the full metric block; optionally writes a per-event PHY trace
+// in CSV for external analysis/plotting.
+
+#include <fstream>
+#include <iostream>
+
+#include "harness/config_io.hpp"
+#include "harness/runner.hpp"
+#include "harness/scenario.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace aquamac;
+
+int run(const CliParser& cli) {
+  ScenarioConfig config = paper_default_scenario();
+  if (cli.has("config")) config = load_scenario_file(cli.get("config"), config);
+  config.mac = mac_kind_from_string(cli.get("mac"));
+  config.node_count = static_cast<std::size_t>(cli.get_int("nodes"));
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  config.sim_time = Duration::from_seconds(cli.get_double("time"));
+  config.traffic.offered_load_kbps = cli.get_double("load");
+  config.traffic.packet_bits_min = static_cast<std::uint32_t>(cli.get_int("packet-bits"));
+  config.traffic.packet_bits_max = config.traffic.packet_bits_min;
+  config.enable_mobility = cli.get_bool("mobility");
+  config.clock_offset_stddev_s = cli.get_double("clock-skew");
+  config.multi_hop = cli.get_bool("multi-hop");
+  config.node_failure_fraction = cli.get_double("kill-fraction");
+
+  const std::string region = cli.get("region");
+  if (region == "table2") {
+    config.deployment = table2_deployment();
+  } else if (region != "scaled") {
+    throw std::invalid_argument("--region must be 'scaled' or 'table2'");
+  }
+
+  const std::string reception = cli.get("reception");
+  if (reception == "sinr") {
+    config.reception = ReceptionKind::kSinrPer;
+  } else if (reception != "deterministic") {
+    throw std::invalid_argument("--reception must be 'deterministic' or 'sinr'");
+  }
+  const std::string propagation = cli.get("propagation");
+  if (propagation == "bellhop") {
+    config.propagation = PropagationKind::kBellhopLite;
+  } else if (propagation != "straight") {
+    throw std::invalid_argument("--propagation must be 'straight' or 'bellhop'");
+  }
+  if (cli.get_bool("batch")) {
+    config.traffic.mode = TrafficMode::kBatch;
+    config.traffic.batch_packets = static_cast<std::uint32_t>(cli.get_int("batch-packets"));
+  }
+
+  std::ofstream trace_file;
+  std::unique_ptr<CsvTrace> trace;
+  if (cli.has("trace")) {
+    trace_file.open(cli.get("trace"));
+    if (!trace_file) throw std::invalid_argument("cannot open trace file " + cli.get("trace"));
+    trace = std::make_unique<CsvTrace>(trace_file);
+    config.trace = trace.get();
+  }
+
+  if (cli.get_bool("verbose")) config.logger = Logger::to_stderr(LogLevel::kDebug);
+
+  if (cli.has("save-config")) {
+    save_scenario_file(config, cli.get("save-config"));
+    std::cout << "wrote scenario to " << cli.get("save-config") << "\n";
+  }
+
+  std::cout << describe_scenario(config) << "\n";
+  const RunStats stats = run_scenario(config);
+
+  std::cout << "Results\n-------\n"
+            << "throughput        " << stats.throughput_kbps << " kbps\n"
+            << "offered load      " << stats.offered_load_kbps << " kbps\n"
+            << "delivery ratio    " << stats.delivery_ratio << "\n"
+            << "packets           " << stats.packets_delivered << " delivered, "
+            << stats.packets_dropped << " dropped, " << stats.packets_offered << " offered\n"
+            << "mean power        " << stats.mean_power_mw << " mW/node\n"
+            << "total energy      " << stats.total_energy_j << " J\n"
+            << "mean latency      " << stats.mean_latency_s << " s\n"
+            << "execution time    " << stats.execution_time_s << " s\n"
+            << "overhead bits     " << stats.overhead_bits() << "\n"
+            << "fairness (Jain)   " << stats.fairness_index << "\n"
+            << "handshakes        " << stats.handshake_successes << "/"
+            << stats.handshake_attempts << "\n"
+            << "extra comms       " << stats.extra_successes << "/" << stats.extra_attempts
+            << "\n"
+            << "collisions        " << stats.rx_collisions << "\n";
+  if (config.multi_hop) {
+    std::cout << "e2e delivery      " << stats.e2e_delivery_ratio << " ("
+              << stats.e2e_arrived_at_sink << "/" << stats.e2e_originated << ")\n"
+              << "mean hops         " << stats.mean_hops << "\n"
+              << "e2e latency       " << stats.mean_e2e_latency_s << " s\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using aquamac::CliParser;
+  CliParser cli{"aquamac_sim",
+                {
+                    {"mac", "EW-MAC", "protocol: EW-MAC, S-FAMA, ROPA, CS-MAC, CW-MAC, "
+                                      "S-ALOHA, DOTS"},
+                    {"nodes", "60", "number of sensors"},
+                    {"load", "0.5", "network-aggregate offered load in kbps"},
+                    {"packet-bits", "2048", "data payload size in bits (Table 2: 1024-4096)"},
+                    {"time", "300", "traffic duration in seconds"},
+                    {"seed", "1", "random seed (runs are reproducible per seed)"},
+                    {"region", "scaled", "deployment region: scaled (figure default) or "
+                                         "table2 (paper-literal 1000 km^3)"},
+                    {"reception", "deterministic", "reception model: deterministic (Eq. 1) or "
+                                                   "sinr"},
+                    {"propagation", "straight", "propagation: straight (1.5 km/s) or bellhop "
+                                                "(ray-bent)"},
+                    {"mobility", "true", "drift nodes with the paper's three mobility models"},
+                    {"clock-skew", "0", "per-node clock offset stddev in seconds (sync "
+                                        "imperfection)"},
+                    {"multi-hop", "false", "relay traffic to surface sinks (Fig.-1 mode)"},
+                    {"kill-fraction", "0", "fraction of nodes that die 60 s into traffic"},
+                    {"batch", "false", "batch workload instead of Poisson (Figs. 8/9 mode)"},
+                    {"batch-packets", "40", "packets injected at start in batch mode"},
+                    {"trace", "", "write a per-event PHY trace CSV to this path"},
+                    {"config", "", "load scenario defaults from a key=value file first"},
+                    {"save-config", "", "write the effective scenario to this path"},
+                    {"verbose", "false", "per-node debug logging to stderr"},
+                }};
+  try {
+    if (!cli.parse(argc, argv)) {
+      std::cout << cli.help_text();
+      return 0;
+    }
+    return run(cli);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+}
