@@ -27,6 +27,10 @@ int main() {
     sweep_table_normalized(sweep, "nodes",
                            [](const MeanStats& m) { return m.overhead_bits; }, 3)
         .print(std::cout);
+
+    bench::emit_bench_json(
+        "fig10a_overhead_vs_density", sweep,
+        {{"overhead_bits", [](const MeanStats& m) { return m.overhead_bits; }}});
   }
 
   {
@@ -41,6 +45,10 @@ int main() {
     sweep_table_normalized(sweep, "offered kbps",
                            [](const MeanStats& m) { return m.overhead_bits; }, 3)
         .print(std::cout);
+
+    bench::emit_bench_json(
+        "fig10b_overhead_vs_load", sweep,
+        {{"overhead_bits", [](const MeanStats& m) { return m.overhead_bits; }}});
   }
 
   std::cout << "\nShape checks (paper Fig. 10): S-FAMA = 1 by construction; ROPA around\n"

@@ -23,6 +23,11 @@ int main() {
                          [](const MeanStats& m) { return m.efficiency_raw; }, 3)
       .print(std::cout);
 
+  bench::emit_bench_json(
+      "fig11_efficiency", sweep,
+      {{"efficiency_raw", [](const MeanStats& m) { return m.efficiency_raw; }},
+       {"throughput_kbps", [](const MeanStats& m) { return m.throughput_kbps; }}});
+
   std::cout << "\nShape checks (paper Fig. 11): EW-MAC's index is highest at high load;\n"
                "ROPA approaches/falls below 1 at the top of the load range.\n";
   return 0;

@@ -29,6 +29,11 @@ int main() {
                           [](const RunStats& r) { return r.throughput_kbps; }, 3)
       .print(std::cout);
 
+  bench::emit_bench_json(
+      "fig6_throughput_load", sweep,
+      {{"throughput_kbps", [](const MeanStats& m) { return m.throughput_kbps; }},
+       {"delivery_ratio", [](const MeanStats& m) { return m.delivery_ratio; }}});
+
   std::cout << "\nShape checks (paper Fig. 6): EW-MAC > ROPA > S-FAMA at load >= 0.8;\n"
                "CS-MAC peaks in the mid-load range and falls behind EW-MAC at high load.\n";
   return 0;

@@ -26,6 +26,10 @@ int main() {
   sweep_table(sweep, "nodes", [](const MeanStats& m) { return m.throughput_kbps; })
       .print(std::cout);
 
+  bench::emit_bench_json(
+      "fig7_throughput_density", sweep,
+      {{"throughput_kbps", [](const MeanStats& m) { return m.throughput_kbps; }}});
+
   std::cout << "\nShape checks (paper Fig. 7): S-FAMA roughly flat across density; the\n"
                "gap between the reuse protocols and S-FAMA narrows as density grows.\n";
   return 0;

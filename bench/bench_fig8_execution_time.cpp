@@ -35,6 +35,10 @@ int main() {
               [](const MeanStats& m) { return m.execution_time_s; }, 1)
       .print(std::cout);
 
+  bench::emit_bench_json(
+      "fig8_execution_time", sweep,
+      {{"execution_time_s", [](const MeanStats& m) { return m.execution_time_s; }}});
+
   std::cout << "\nShape checks (paper Fig. 8): negligible differences at the lowest load;\n"
                "EW-MAC completes fastest and S-FAMA slowest as load grows.\n";
   return 0;

@@ -54,6 +54,13 @@ int main() {
                 },
                 1)
         .print(std::cout);
+
+    bench::emit_bench_json(
+        "fig9a_power_vs_load", sweep,
+        {{"workload_power_mw", [](const MeanStats& m) { return m.workload_power_mw(); }},
+         {"energy_mj_per_kbit", [](const MeanStats& m) {
+            return m.bits_delivered > 0.0 ? m.total_energy_j / m.bits_delivered * 1e6 : 0.0;
+          }}});
   }
 
   {
@@ -68,6 +75,10 @@ int main() {
         bench::replications());
     sweep_table(sweep, "nodes", [](const MeanStats& m) { return m.workload_power_mw(); }, 2)
         .print(std::cout);
+
+    bench::emit_bench_json(
+        "fig9b_power_vs_density", sweep,
+        {{"workload_power_mw", [](const MeanStats& m) { return m.workload_power_mw(); }}});
   }
 
   std::cout << "\nShape checks (paper Fig. 9): EW-MAC lowest power in both sweeps; the\n"

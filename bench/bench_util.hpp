@@ -2,11 +2,15 @@
 // Shared helpers for the figure benches.
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "harness/scenario.hpp"
 #include "harness/sweep.hpp"
+#include "util/json_writer.hpp"
 
 namespace aquamac::bench {
 
@@ -27,6 +31,94 @@ inline void print_header(const std::string& title, const std::string& paper_ref)
   std::cout << title << "\n";
   for (std::size_t i = 0; i < title.size(); ++i) std::cout << '=';
   std::cout << "\nReproduces: " << paper_ref << "\n\n";
+}
+
+/// One named metric column to serialize into the JSON `series` block.
+using NamedMetric = std::pair<std::string, MetricFn>;
+
+/// Extra top-level numbers a bench wants recorded (e.g. measured
+/// serial-vs-parallel speedup).
+using ExtraField = std::pair<std::string, double>;
+
+/// Directory BENCH_*.json files land in; override with AQUAMAC_BENCH_DIR.
+inline std::string bench_output_dir() {
+  if (const char* dir = std::getenv("AQUAMAC_BENCH_DIR")) return dir;
+  return ".";
+}
+
+/// Serializes a sweep into `os` as the BENCH JSON schema: timing (total
+/// wall seconds, per-cell summed run seconds, runs/sec, worker count)
+/// plus the selected metric series per protocol.
+inline void write_bench_json(std::ostream& os, const std::string& name,
+                             const SweepResult& sweep,
+                             const std::vector<NamedMetric>& metrics,
+                             const std::vector<ExtraField>& extras = {}) {
+  JsonWriter json{os};
+  json.begin_object();
+  json.key("bench").value(name);
+  json.key("schema").value("aquamac-bench-v1");
+  json.key("jobs").value(sweep.jobs_used);
+  json.key("replications").value(sweep.replications);
+  json.key("total_runs").value(sweep.total_runs());
+  json.key("wall_s").value(sweep.wall_s);
+  json.key("runs_per_sec")
+      .value(sweep.wall_s > 0.0 ? static_cast<double>(sweep.total_runs()) / sweep.wall_s
+                                : 0.0);
+  for (const auto& [key, value] : extras) json.key(key).value(value);
+
+  json.key("xs").begin_array();
+  for (const double x : sweep.xs) json.value(x);
+  json.end_array();
+
+  json.key("protocols").begin_array();
+  for (const MacKind kind : sweep.protocols) json.value(to_string(kind));
+  json.end_array();
+
+  // Summed per-run wall seconds per (protocol, x) cell — compute cost,
+  // which under parallel execution is not elapsed time.
+  json.key("cell_run_s").begin_object();
+  for (const MacKind kind : sweep.protocols) {
+    json.key(to_string(kind)).begin_array();
+    for (const double s : sweep.cell_wall_s.at(kind)) json.value(s);
+    json.end_array();
+  }
+  json.end_object();
+
+  json.key("series").begin_object();
+  for (const auto& [metric_name, metric] : metrics) {
+    json.key(metric_name).begin_object();
+    for (const MacKind kind : sweep.protocols) {
+      json.key(to_string(kind)).begin_array();
+      for (std::size_t i = 0; i < sweep.xs.size(); ++i) json.value(metric(sweep.at(kind, i)));
+      json.end_array();
+    }
+    json.end_object();
+  }
+  json.end_object();
+
+  json.end_object();
+  os << "\n";
+}
+
+/// Writes BENCH_<name>.json into bench_output_dir() and announces the
+/// path on stdout. Set AQUAMAC_NO_BENCH_JSON=1 to suppress (tests that
+/// exercise bench binaries without wanting artifacts).
+inline void emit_bench_json(const std::string& name, const SweepResult& sweep,
+                            const std::vector<NamedMetric>& metrics,
+                            const std::vector<ExtraField>& extras = {}) {
+  if (const char* off = std::getenv("AQUAMAC_NO_BENCH_JSON");
+      off != nullptr && off[0] == '1') {
+    return;
+  }
+  const std::string path = bench_output_dir() + "/BENCH_" + name + ".json";
+  std::ofstream os{path};
+  if (!os) {
+    std::cerr << "warning: cannot open " << path << " for writing\n";
+    return;
+  }
+  write_bench_json(os, name, sweep, metrics, extras);
+  std::cout << "\n[bench json] wrote " << path << " (wall " << sweep.wall_s << " s, jobs "
+            << sweep.jobs_used << ")\n";
 }
 
 }  // namespace aquamac::bench

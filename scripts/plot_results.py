@@ -1,21 +1,29 @@
 #!/usr/bin/env python3
-"""Plot aquamac sweep CSVs (from `aquamac_compare --csv` or the bench
-binaries piped through `print_csv`) as paper-style line figures.
+"""Plot aquamac sweep results as paper-style line figures.
+
+Accepts either:
+  * sweep CSVs from `aquamac_compare --csv` (or bench tables piped
+    through `print_csv`): header row `x,PROTO1,PROTO2,...`, one numeric
+    row per x;
+  * BENCH_*.json files emitted by the bench binaries (schema
+    aquamac-bench-v1): pick the metric with --metric (defaults to the
+    file's first series).
 
 Usage:
     tools/aquamac_compare --x load --metric throughput --csv fig6.csv
     scripts/plot_results.py fig6.csv --ylabel "Throughput (kbps)" -o fig6.png
+    scripts/plot_results.py BENCH_fig6_throughput_load.json --metric throughput_kbps
 
-Input format: header row `x,PROTO1,PROTO2,...`, one numeric row per x.
 Requires matplotlib (not needed for the simulation itself).
 """
 
 import argparse
 import csv
+import json
 import sys
 
 
-def load(path):
+def load_csv(path):
     with open(path, newline="") as handle:
         rows = list(csv.reader(handle))
     if len(rows) < 2:
@@ -29,6 +37,35 @@ def load(path):
     return header[0], xs, series
 
 
+def load_bench_json(path, metric=None):
+    with open(path) as handle:
+        doc = json.load(handle)
+    if doc.get("schema") != "aquamac-bench-v1":
+        raise SystemExit(f"{path}: unknown schema {doc.get('schema')!r}")
+    all_series = doc.get("series", {})
+    if not all_series:
+        raise SystemExit(f"{path}: no series")
+    if metric is None:
+        metric = next(iter(all_series))
+    if metric not in all_series:
+        raise SystemExit(
+            f"{path}: no metric {metric!r}; available: {', '.join(all_series)}"
+        )
+    wall = doc.get("wall_s")
+    jobs = doc.get("jobs")
+    if wall is not None and jobs is not None:
+        print(f"{doc.get('bench')}: {doc.get('total_runs')} runs in {wall:.3g} s "
+              f"(jobs={jobs})")
+    return "x", doc["xs"], all_series[metric], metric
+
+
+def load(path, metric=None):
+    if path.endswith(".json"):
+        return load_bench_json(path, metric)
+    x_name, xs, series = load_csv(path)
+    return x_name, xs, series, None
+
+
 STYLES = {
     "S-FAMA": dict(marker="s", linestyle="--"),
     "ROPA": dict(marker="^", linestyle="-."),
@@ -38,11 +75,20 @@ STYLES = {
 
 
 def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("csv", help="sweep CSV (x column + one column per protocol)")
-    parser.add_argument("-o", "--output", help="output image (default: <csv>.png)")
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument(
+        "input", help="sweep CSV, or a BENCH_*.json from the bench binaries"
+    )
+    parser.add_argument("-o", "--output", help="output image (default: <input>.png)")
+    parser.add_argument(
+        "--metric",
+        default=None,
+        help="series to plot from a BENCH_*.json (default: its first metric)",
+    )
     parser.add_argument("--xlabel", default=None)
-    parser.add_argument("--ylabel", default="metric")
+    parser.add_argument("--ylabel", default=None)
     parser.add_argument("--title", default=None)
     args = parser.parse_args()
 
@@ -54,19 +100,19 @@ def main():
     except ImportError:
         raise SystemExit("matplotlib is required: pip install matplotlib")
 
-    x_name, xs, series = load(args.csv)
+    x_name, xs, series, metric = load(args.input, args.metric)
     fig, ax = plt.subplots(figsize=(6, 4.2))
     for name, ys in series.items():
         ax.plot(xs, ys, label=name, **STYLES.get(name, dict(marker=".")))
     ax.set_xlabel(args.xlabel or x_name)
-    ax.set_ylabel(args.ylabel)
+    ax.set_ylabel(args.ylabel or metric or "metric")
     if args.title:
         ax.set_title(args.title)
     ax.grid(True, alpha=0.3)
     ax.legend()
     fig.tight_layout()
 
-    output = args.output or (args.csv.rsplit(".", 1)[0] + ".png")
+    output = args.output or (args.input.rsplit(".", 1)[0] + ".png")
     fig.savefig(output, dpi=150)
     print(f"wrote {output}")
 

@@ -1,6 +1,7 @@
 #include "channel/acoustic_channel.hpp"
 
 #include <cassert>
+#include <memory>
 #include <stdexcept>
 
 namespace aquamac {
@@ -11,7 +12,8 @@ AcousticChannel::AcousticChannel(Simulator& sim, const PropagationModel& propaga
       propagation_{propagation},
       config_{config},
       noise_level_db_{aquamac::noise_level_db(config.freq_khz, config.bandwidth_hz,
-                                              config.noise)} {
+                                              config.noise)},
+      path_cache_{propagation, config.freq_khz, config.enable_surface_echo} {
   if (config_.interference_range_m < config_.comm_range_m) {
     throw std::invalid_argument("interference_range_m must be >= comm_range_m");
   }
@@ -25,6 +27,7 @@ void AcousticChannel::attach(AcousticModem& modem) {
   }
   modems_.push_back(&modem);
   modem.set_channel(this);
+  if (config_.cache_paths) path_cache_.ensure_capacity(modem.id());
 }
 
 void AcousticChannel::start_transmission(const AcousticModem& sender, const Frame& frame,
@@ -39,11 +42,18 @@ void AcousticChannel::start_transmission(const AcousticModem& sender, const Fram
     audit.tx_window = TimeInterval{now, now + airtime};
   }
 
+  // One immutable copy of the frame shared by every per-receiver arrival
+  // lambda (previously each lambda carried its own Frame copy).
+  const auto shared_frame = std::make_shared<const Frame>(frame);
+
   for (AcousticModem* receiver : modems_) {
     if (receiver == &sender) continue;
 
-    const auto path =
-        propagation_.compute(sender.position(), receiver->position(), config_.freq_khz);
+    const PropagationModel::Path path =
+        config_.cache_paths
+            ? path_cache_.direct(sender, *receiver)
+            : propagation_.compute(sender.position(), receiver->position(),
+                                   config_.freq_khz);
     const double rx_level = config_.source_level_db - path.loss_db;
 
     bool reaches = false;
@@ -68,23 +78,26 @@ void AcousticChannel::start_transmission(const AcousticModem& sender, const Fram
     if (auditing) {
       audit.reaches.push_back({receiver->id(), window, rx_level, decodable});
     }
-    sim_.at(window.begin, [receiver, frame, rx_level, window, noise = noise_level_db_,
-                           threshold] {
-      receiver->begin_arrival(frame, rx_level, window, noise, threshold);
+    sim_.at(window.begin, [receiver, shared_frame, rx_level, window,
+                           noise = noise_level_db_, threshold] {
+      receiver->begin_arrival(*shared_frame, rx_level, window, noise, threshold);
     });
 
     // First-order surface echo (SINR physics only): a delayed, attenuated
     // replica that interferes but is never decodable.
     if (config_.enable_surface_echo && config_.mode == DeliveryMode::kLevelBased) {
-      const auto echo = surface_echo_path(propagation_, sender.position(),
-                                          receiver->position(), config_.freq_khz,
-                                          config_.surface_reflection_loss_db);
+      const PropagationModel::Path echo =
+          config_.cache_paths
+              ? path_cache_.surface_echo(sender, *receiver,
+                                         config_.surface_reflection_loss_db)
+              : surface_echo_path(propagation_, sender.position(), receiver->position(),
+                                  config_.freq_khz, config_.surface_reflection_loss_db);
       const double echo_level = config_.source_level_db - echo.loss_db;
       if (echo_level >= config_.interference_floor_db && echo.delay > path.delay) {
         const TimeInterval echo_window{now + echo.delay, now + echo.delay + airtime};
-        sim_.at(echo_window.begin, [receiver, frame, echo_level, echo_window,
+        sim_.at(echo_window.begin, [receiver, shared_frame, echo_level, echo_window,
                                     noise = noise_level_db_] {
-          receiver->begin_arrival(frame, echo_level, echo_window, noise,
+          receiver->begin_arrival(*shared_frame, echo_level, echo_window, noise,
                                   /*detection_threshold_db=*/1e9);
         });
       }

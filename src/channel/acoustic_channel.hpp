@@ -17,6 +17,7 @@
 
 #include "channel/noise.hpp"
 #include "channel/propagation.hpp"
+#include "channel/propagation_cache.hpp"
 #include "phy/frame.hpp"
 #include "phy/modem.hpp"
 #include "sim/simulator.hpp"
@@ -46,6 +47,12 @@ struct ChannelConfig {
   /// kRangeBased mode, whose Eq.-1 semantics predate multipath.
   bool enable_surface_echo{false};
   double surface_reflection_loss_db{6.0};
+
+  /// Memoize per-pair propagation paths (see PropagationCache). Cached
+  /// entries are invalidated by position epochs, so results are
+  /// bit-identical with the cache on or off; the knob exists for A/B
+  /// benchmarking and tests.
+  bool cache_paths{true};
 };
 
 /// Ground-truth record of one transmission, for tests and invariants
@@ -94,12 +101,17 @@ class AcousticChannel {
 
   [[nodiscard]] std::uint64_t transmissions() const { return transmissions_; }
 
+  /// Propagation-cache effectiveness counters (diagnostics / benches).
+  [[nodiscard]] std::uint64_t path_cache_hits() const { return path_cache_.hits(); }
+  [[nodiscard]] std::uint64_t path_cache_misses() const { return path_cache_.misses(); }
+
  private:
   Simulator& sim_;
   const PropagationModel& propagation_;
   ChannelConfig config_;
   double noise_level_db_;
   std::vector<AcousticModem*> modems_;
+  PropagationCache path_cache_;
   AuditFn audit_{};
   std::uint64_t transmissions_{0};
 };

@@ -1,0 +1,70 @@
+#include "channel/propagation_cache.hpp"
+
+#include <algorithm>
+
+namespace aquamac {
+
+void PropagationCache::ensure_capacity(NodeId max_id) {
+  if (max_id > kMaxCachedId) return;
+  const std::size_t need = static_cast<std::size_t>(max_id) + 1;
+  if (need <= dim_) return;
+  // Grow geometrically (attach is called once per modem, so O(log n)
+  // rebuilds total), clamped at the ceiling; the rebuild re-indexes
+  // existing entries into the wider table.
+  const std::size_t new_dim =
+      std::min<std::size_t>(std::max<std::size_t>(need, dim_ == 0 ? 8 : dim_ * 2),
+                            static_cast<std::size_t>(kMaxCachedId) + 1);
+  auto rebuild = [&](std::vector<Entry>& table) {
+    std::vector<Entry> wider(new_dim * new_dim);
+    for (std::size_t f = 0; f < dim_; ++f) {
+      for (std::size_t t = 0; t < dim_; ++t) {
+        wider[f * new_dim + t] = table[f * dim_ + t];
+      }
+    }
+    table = std::move(wider);
+  };
+  rebuild(direct_);
+  if (cache_echo_) rebuild(echo_);
+  dim_ = new_dim;
+}
+
+template <typename Compute>
+PropagationModel::Path PropagationCache::lookup(std::vector<Entry>& table,
+                                                const AcousticModem& from,
+                                                const AcousticModem& to,
+                                                const Compute& compute) {
+  const std::size_t f = from.id();
+  const std::size_t t = to.id();
+  if (f >= dim_ || t >= dim_ || table.empty()) {
+    ++misses_;
+    return compute();
+  }
+  Entry& entry = table[f * dim_ + t];
+  if (entry.from_epoch == from.position_epoch() && entry.to_epoch == to.position_epoch()) {
+    ++hits_;
+    return entry.path;
+  }
+  ++misses_;
+  entry.path = compute();
+  entry.from_epoch = from.position_epoch();
+  entry.to_epoch = to.position_epoch();
+  return entry.path;
+}
+
+PropagationModel::Path PropagationCache::direct(const AcousticModem& from,
+                                                const AcousticModem& to) {
+  return lookup(direct_, from, to, [&] {
+    return model_.compute(from.position(), to.position(), freq_khz_);
+  });
+}
+
+PropagationModel::Path PropagationCache::surface_echo(const AcousticModem& from,
+                                                      const AcousticModem& to,
+                                                      double reflection_loss_db) {
+  return lookup(echo_, from, to, [&] {
+    return surface_echo_path(model_, from.position(), to.position(), freq_khz_,
+                             reflection_loss_db);
+  });
+}
+
+}  // namespace aquamac

@@ -95,6 +95,7 @@ void save_scenario(const ScenarioConfig& config, std::ostream& os) {
   os << "mac = " << aquamac::to_string(config.mac) << "\n";
   os << "node-count = " << config.node_count << "\n";
   os << "seed = " << config.seed << "\n";
+  os << "jobs = " << config.jobs << "\n";
   os << "sim-time-s = " << config.sim_time.to_seconds() << "\n";
   os << "hello-window-s = " << config.hello_window.to_seconds() << "\n";
   os << "hello-rounds = " << config.hello_rounds << "\n";
@@ -143,6 +144,7 @@ void save_scenario(const ScenarioConfig& config, std::ostream& os) {
   os << "node-failure-time-s = " << config.node_failure_time.to_seconds() << "\n";
   os << "surface-echo = " << (config.channel.enable_surface_echo ? "true" : "false") << "\n";
   os << "reflection-loss-db = " << config.channel.surface_reflection_loss_db << "\n";
+  os << "cache-paths = " << (config.channel.cache_paths ? "true" : "false") << "\n";
 }
 
 void save_scenario_file(const ScenarioConfig& config, const std::string& path) {
@@ -163,6 +165,9 @@ ScenarioConfig load_scenario(std::istream& is, ScenarioConfig base) {
        }},
       {"seed", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
          c.seed = parse_uint(k, v);
+       }},
+      {"jobs", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.jobs = static_cast<unsigned>(parse_uint(k, v));
        }},
       {"sim-time-s", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
          c.sim_time = Duration::from_seconds(parse_double(k, v));
@@ -293,6 +298,9 @@ ScenarioConfig load_scenario(std::istream& is, ScenarioConfig base) {
       {"reflection-loss-db",
        [](ScenarioConfig& c, const std::string& k, const std::string& v) {
          c.channel.surface_reflection_loss_db = parse_double(k, v);
+       }},
+      {"cache-paths", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.channel.cache_paths = parse_bool(k, v);
        }},
   };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/thread_pool.hpp"
+
 namespace aquamac {
 
 Spread spread_of(const std::vector<RunStats>& runs, const RunMetricFn& metric) {
@@ -35,13 +37,33 @@ RunStats run_scenario(const ScenarioConfig& config) {
 }
 
 std::vector<RunStats> run_replicated(const ScenarioConfig& base, unsigned replications) {
-  std::vector<RunStats> runs;
-  runs.reserve(replications);
-  for (unsigned k = 0; k < replications; ++k) {
-    ScenarioConfig config = base;
-    config.seed = base.seed + k;
-    runs.push_back(run_scenario(config));
+  return run_replicated_parallel(base, replications, base.jobs);
+}
+
+std::vector<RunStats> run_replicated_parallel(const ScenarioConfig& base,
+                                              unsigned replications, unsigned jobs) {
+  unsigned workers = resolve_jobs(jobs);
+  // A shared trace sink (or an enabled logger sink) is the one piece of
+  // state the per-run isolation does not cover; keep its output ordered.
+  if (base.trace != nullptr) workers = 1;
+
+  if (workers <= 1) {
+    std::vector<RunStats> runs;
+    runs.reserve(replications);
+    for (unsigned k = 0; k < replications; ++k) {
+      ScenarioConfig config = base;
+      config.seed = base.seed + k;
+      runs.push_back(run_scenario(config));
+    }
+    return runs;
   }
+
+  std::vector<RunStats> runs(replications);
+  parallel_for(workers, replications, [&](std::size_t k) {
+    ScenarioConfig config = base;
+    config.seed = base.seed + static_cast<std::uint64_t>(k);
+    runs[k] = run_scenario(config);
+  });
   return runs;
 }
 

@@ -1,26 +1,85 @@
 #include "harness/sweep.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
 namespace aquamac {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
 
 SweepResult run_sweep(const ScenarioConfig& base, std::span<const MacKind> protocols,
                       std::span<const double> xs, const ConfigSetter& setter,
                       unsigned replications) {
+  const auto sweep_start = std::chrono::steady_clock::now();
+
   SweepResult result{};
   result.xs.assign(xs.begin(), xs.end());
   result.protocols.assign(protocols.begin(), protocols.end());
-  for (MacKind kind : protocols) {
-    auto& series = result.series[kind];
-    auto& raw = result.raw[kind];
-    series.reserve(xs.size());
-    raw.reserve(xs.size());
-    for (double x : xs) {
-      ScenarioConfig config = base;
-      config.mac = kind;
-      setter(config, x);
-      raw.push_back(run_replicated(config, replications));
-      series.push_back(mean_of(raw.back()));
+  result.replications = replications;
+
+  unsigned jobs = resolve_jobs(base.jobs);
+  if (base.trace != nullptr) jobs = 1;  // keep a shared trace sink ordered
+  result.jobs_used = jobs;
+
+  // Flatten the (protocol, x, seed) cross product so the pool sees every
+  // independent run at once — parallelism is not limited by the seed
+  // count of a single cell.
+  struct Task {
+    std::size_t proto;  ///< index into result.protocols
+    std::size_t x;      ///< index into result.xs
+    unsigned rep;
+  };
+  std::vector<Task> tasks;
+  tasks.reserve(result.protocols.size() * result.xs.size() * replications);
+  for (std::size_t p = 0; p < result.protocols.size(); ++p) {
+    for (std::size_t i = 0; i < result.xs.size(); ++i) {
+      for (unsigned k = 0; k < replications; ++k) tasks.push_back({p, i, k});
     }
   }
+
+  // Workers write disjoint slots of flat arrays; results are scattered
+  // into the per-protocol maps after the join.
+  std::vector<RunStats> flat_runs(tasks.size());
+  std::vector<double> run_wall_s(tasks.size(), 0.0);
+
+  parallel_for(jobs, tasks.size(), [&](std::size_t t) {
+    const Task& task = tasks[t];
+    ScenarioConfig config = base;
+    config.mac = result.protocols[task.proto];
+    setter(config, result.xs[task.x]);
+    config.seed = config.seed + task.rep;
+    const auto run_start = std::chrono::steady_clock::now();
+    flat_runs[t] = run_scenario(config);
+    run_wall_s[t] = seconds_since(run_start);
+  });
+
+  for (MacKind kind : result.protocols) {
+    result.raw[kind].assign(result.xs.size(), std::vector<RunStats>(replications));
+    result.cell_wall_s[kind].assign(result.xs.size(), 0.0);
+  }
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    const MacKind kind = result.protocols[tasks[t].proto];
+    result.raw[kind][tasks[t].x][tasks[t].rep] = std::move(flat_runs[t]);
+    result.cell_wall_s[kind][tasks[t].x] += run_wall_s[t];
+  }
+  for (MacKind kind : result.protocols) {
+    auto& series = result.series[kind];
+    series.reserve(result.xs.size());
+    for (const std::vector<RunStats>& runs : result.raw[kind]) {
+      series.push_back(mean_of(runs));
+    }
+  }
+
+  result.wall_s = seconds_since(sweep_start);
   return result;
 }
 
@@ -56,6 +115,12 @@ Table sweep_table_with_spread(const SweepResult& sweep, const std::string& x_nam
 
 Table sweep_table_normalized(const SweepResult& sweep, const std::string& x_name,
                              const MetricFn& metric, int precision) {
+  if (std::find(sweep.protocols.begin(), sweep.protocols.end(), MacKind::kSFama) ==
+      sweep.protocols.end()) {
+    throw std::invalid_argument(
+        "sweep_table_normalized: the sweep did not include the S-FAMA baseline; "
+        "normalized (Fig. 10/11 style) tables divide by the S-FAMA series");
+  }
   std::vector<std::string> headers{x_name};
   for (MacKind kind : sweep.protocols) headers.emplace_back(to_string(kind));
   Table table{std::move(headers)};

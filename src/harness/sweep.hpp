@@ -28,6 +28,18 @@ struct SweepResult {
   /// reporting and custom post-processing.
   std::map<MacKind, std::vector<std::vector<RunStats>>> raw;
 
+  // --- wall-clock accounting (BENCH_*.json) --------------------------
+  double wall_s{0.0};         ///< end-to-end sweep wall time
+  unsigned jobs_used{1};      ///< resolved worker count the sweep ran with
+  unsigned replications{0};   ///< seeds per (protocol, x) cell
+  /// Summed per-run wall seconds per (protocol, x) cell (same indexing
+  /// as series). Under parallel execution this is compute cost, not
+  /// elapsed time; the cells sum to ~wall_s * jobs_used at saturation.
+  std::map<MacKind, std::vector<double>> cell_wall_s;
+
+  [[nodiscard]] std::size_t total_runs() const {
+    return protocols.size() * xs.size() * replications;
+  }
   [[nodiscard]] const MeanStats& at(MacKind kind, std::size_t i) const {
     return series.at(kind).at(i);
   }
@@ -36,6 +48,11 @@ struct SweepResult {
   }
 };
 
+/// Runs the full (protocol, x, seed) cross product, fanned across
+/// base.jobs worker threads (every run is an independent Simulator +
+/// Network + RNG, so results are bit-identical for any jobs value;
+/// jobs = 1 is the plain serial loop). A base carrying a shared
+/// TraceSink is forced serial to keep the trace ordered.
 [[nodiscard]] SweepResult run_sweep(const ScenarioConfig& base,
                                     std::span<const MacKind> protocols,
                                     std::span<const double> xs, const ConfigSetter& setter,
@@ -48,7 +65,10 @@ using MetricFn = std::function<double(const MeanStats&)>;
                                 const MetricFn& metric, int precision = 4);
 
 /// Same, but each protocol's value is divided by the S-FAMA value at the
-/// same x (Figs. 10 and 11 normalize to S-FAMA = 1).
+/// same x (Figs. 10 and 11 normalize to S-FAMA = 1). Throws
+/// std::invalid_argument if the sweep did not include the S-FAMA
+/// baseline — normalizing against a missing series would print
+/// meaningless numbers.
 [[nodiscard]] Table sweep_table_normalized(const SweepResult& sweep, const std::string& x_name,
                                            const MetricFn& metric, int precision = 4);
 

@@ -30,6 +30,13 @@ struct ScenarioConfig {
   std::size_t node_count{60};
   std::uint64_t seed{1};
 
+  /// Harness-level only (never read inside a run): worker threads used by
+  /// run_replicated / run_sweep to fan independent (protocol, x, seed)
+  /// runs across cores. 0 = auto (AQUAMAC_JOBS env, else hardware
+  /// concurrency); 1 = the serial code path. Results are bit-identical
+  /// for every jobs value — each run owns its Simulator/Network/RNG.
+  unsigned jobs{0};
+
   /// Table 2: 300 s of offered traffic after a discovery warm-up.
   Duration sim_time{Duration::seconds(300)};
   Duration hello_window{Duration::seconds(10)};

@@ -81,8 +81,16 @@ class AcousticModem {
   /// two nodes' offsets — exactly how real desynchronization enters.
   void set_clock_offset(Duration offset) { clock_offset_ = offset; }
   [[nodiscard]] Duration clock_offset() const { return clock_offset_; }
-  void set_position(const Vec3& pos) { position_ = pos; }
+  void set_position(const Vec3& pos) {
+    if (pos == position_) return;
+    position_ = pos;
+    ++position_epoch_;
+  }
   [[nodiscard]] const Vec3& position() const { return position_; }
+  /// Bumped every time the position actually changes (mobility updates).
+  /// PropagationCache entries record the epochs they were computed at, so
+  /// a moved endpoint invalidates its cached paths automatically.
+  [[nodiscard]] std::uint64_t position_epoch() const { return position_epoch_; }
 
   /// Attached by AcousticChannel::attach; one channel per modem.
   void set_channel(AcousticChannel* channel) { channel_ = channel; }
@@ -138,6 +146,7 @@ class AcousticModem {
   ModemListener* listener_{nullptr};
   TraceSink* trace_{nullptr};
   Vec3 position_{};
+  std::uint64_t position_epoch_{1};  ///< 0 is reserved for "never cached"
 
   std::vector<Arrival> arrivals_;       ///< ledger of windows still able to overlap
   std::vector<TimeInterval> tx_windows_;

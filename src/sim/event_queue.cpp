@@ -1,14 +1,23 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace aquamac {
 
+EventQueue::EventQueue() { reserve(kCompactionFloor); }
+
+void EventQueue::reserve(std::size_t expected_pending) {
+  heap_.reserve(expected_pending);
+  callbacks_.reserve(expected_pending);
+}
+
 EventHandle EventQueue::push(Time when, Callback fn) {
   assert(fn && "scheduling a null callback");
   const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{when, seq});
+  heap_.push_back(Entry{when, seq});
+  std::push_heap(heap_.begin(), heap_.end());
   callbacks_.emplace(seq, std::move(fn));
   ++live_count_;
   return EventHandle{seq};
@@ -20,24 +29,39 @@ bool EventQueue::cancel(EventHandle handle) {
   if (it == callbacks_.end()) return false;
   callbacks_.erase(it);
   --live_count_;
+  maybe_compact();
   return true;
 }
 
+void EventQueue::maybe_compact() {
+  // Every heap entry has exactly one callback while live, so the dead
+  // fraction is heap_.size() - live_count_. Rebuilding costs O(n) and is
+  // only triggered after >= 3n/4 cancels produced the garbage, keeping
+  // cancel O(1) amortized.
+  if (heap_.size() <= kCompactionFloor || heap_.size() <= 4 * live_count_) return;
+  std::erase_if(heap_, [this](const Entry& e) { return !callbacks_.contains(e.seq); });
+  std::make_heap(heap_.begin(), heap_.end());
+}
+
 void EventQueue::drop_cancelled_front() {
-  while (!heap_.empty() && !callbacks_.contains(heap_.top().seq)) heap_.pop();
+  while (!heap_.empty() && !callbacks_.contains(heap_.front().seq)) {
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.pop_back();
+  }
 }
 
 Time EventQueue::next_time() {
   drop_cancelled_front();
   assert(!heap_.empty());
-  return heap_.top().when;
+  return heap_.front().when;
 }
 
 EventQueue::PoppedEvent EventQueue::pop() {
   drop_cancelled_front();
   assert(!heap_.empty());
-  const Entry entry = heap_.top();
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end());
+  const Entry entry = heap_.back();
+  heap_.pop_back();
   auto it = callbacks_.find(entry.seq);
   assert(it != callbacks_.end());
   PoppedEvent popped{entry.when, std::move(it->second)};
@@ -47,7 +71,7 @@ EventQueue::PoppedEvent EventQueue::pop() {
 }
 
 void EventQueue::clear() {
-  heap_ = {};
+  heap_.clear();
   callbacks_.clear();
   live_count_ = 0;
 }

@@ -5,11 +5,13 @@
 // deterministic order: events scheduled for the same instant fire in the
 // order they were scheduled. Cancellation is lazy — cancelled entries are
 // skipped on pop — with periodic compaction so a cancel-heavy workload
-// (e.g. MAC timers) cannot grow the heap unboundedly.
+// (e.g. MAC timers) cannot grow the heap unboundedly: whenever dead
+// entries outnumber live ones 3:1 (past a small floor), the heap is
+// rebuilt from the live entries in O(n), amortized against the cancels
+// that created the garbage.
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -36,7 +38,11 @@ class EventQueue {
  public:
   using Callback = std::function<void()>;
 
-  EventQueue() = default;
+  EventQueue();
+
+  /// Pre-sizes the heap and callback table for an expected number of
+  /// simultaneously pending events (rehash/realloc avoidance only).
+  void reserve(std::size_t expected_pending);
 
   /// Schedules `fn` at absolute time `when`. O(log n).
   EventHandle push(Time when, Callback fn);
@@ -47,6 +53,10 @@ class EventQueue {
 
   [[nodiscard]] bool empty() const { return live_count_ == 0; }
   [[nodiscard]] std::size_t size() const { return live_count_; }
+
+  /// Heap entries including not-yet-reclaimed cancelled ones; bounded at
+  /// max(kCompactionFloor, 4 * size()) by compaction. Diagnostics/tests.
+  [[nodiscard]] std::size_t heap_entries() const { return heap_.size(); }
 
   /// Time of the earliest live event. Requires !empty().
   [[nodiscard]] Time next_time();
@@ -59,6 +69,10 @@ class EventQueue {
   PoppedEvent pop();
 
   void clear();
+
+  /// Compaction triggers when heap_entries() exceeds both this floor and
+  /// 4x the live count (i.e. >75% of the heap is cancelled garbage).
+  static constexpr std::size_t kCompactionFloor = 64;
 
  private:
   struct Entry {
@@ -73,8 +87,9 @@ class EventQueue {
   };
 
   void drop_cancelled_front();
+  void maybe_compact();
 
-  std::priority_queue<Entry> heap_;
+  std::vector<Entry> heap_;  ///< std::push_heap/pop_heap ordering
   // Callbacks stored out-of-heap so Entry stays trivially movable; keyed
   // by sequence number. A cancelled entry's callback is erased eagerly.
   std::unordered_map<std::uint64_t, Callback> callbacks_;

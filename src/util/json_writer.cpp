@@ -1,0 +1,125 @@
+#include "util/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace aquamac {
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) return;
+  Scope& scope = stack_.back();
+  if (scope.is_object && !pending_key_) return;  // key() already separated
+  if (!scope.is_object) {
+    if (!scope.first) os_ << ',';
+    scope.first = false;
+  }
+  pending_key_ = false;
+}
+
+void JsonWriter::write_escaped(std::string_view s) {
+  os_ << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os_ << "\\\""; break;
+      case '\\': os_ << "\\\\"; break;
+      case '\n': os_ << "\\n"; break;
+      case '\r': os_ << "\\r"; break;
+      case '\t': os_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os_ << buf;
+        } else {
+          os_ << c;
+        }
+    }
+  }
+  os_ << '"';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  stack_.push_back(Scope{/*is_object=*/true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  stack_.pop_back();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  stack_.push_back(Scope{/*is_object=*/false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  stack_.pop_back();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  Scope& scope = stack_.back();
+  if (!scope.first) os_ << ',';
+  scope.first = false;
+  write_escaped(name);
+  os_ << ':';
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  before_value();
+  write_escaped(s);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    os_ << "null";
+    return *this;
+  }
+  // Shortest round-trippable decimal: %.17g always round-trips an IEEE
+  // double; try %.15g first for readability.
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.15g", v);
+  double parsed = 0.0;
+  std::sscanf(buf, "%lf", &parsed);
+  if (parsed != v) std::snprintf(buf, sizeof buf, "%.17g", v);
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  os_ << "null";
+  return *this;
+}
+
+}  // namespace aquamac

@@ -1,0 +1,58 @@
+#pragma once
+// Minimal streaming JSON writer for machine-readable bench output
+// (BENCH_*.json). Handles comma placement, string escaping and
+// round-trippable number formatting; no reading, no DOM — callers emit
+// objects/arrays in document order.
+//
+//   JsonWriter j{os};
+//   j.begin_object();
+//   j.key("wall_s").value(1.25);
+//   j.key("series").begin_array();
+//   j.value(0.1).value(0.2);
+//   j.end_array();
+//   j.end_object();
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+namespace aquamac {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_{os} {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key; the next value/begin_* call is its value.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view{s}); }
+  JsonWriter& value(double v);  ///< NaN/Inf are emitted as null
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+ private:
+  void before_value();
+  void write_escaped(std::string_view s);
+
+  struct Scope {
+    bool is_object;
+    bool first{true};
+  };
+
+  std::ostream& os_;
+  std::vector<Scope> stack_;
+  bool pending_key_{false};
+};
+
+}  // namespace aquamac

@@ -1,0 +1,104 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+namespace aquamac {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned n = threads == 0 ? 1 : threads;
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock{mutex_};
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::unique_lock lock{mutex_};
+    tasks_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock{mutex_};
+  idle_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock{mutex_};
+      task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ && drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::unique_lock lock{mutex_};
+      --in_flight_;
+      if (tasks_.empty() && in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+unsigned default_jobs() {
+  if (const char* env = std::getenv("AQUAMAC_JOBS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+unsigned resolve_jobs(unsigned jobs) { return jobs == 0 ? default_jobs() : jobs; }
+
+void parallel_for(unsigned jobs, std::size_t count,
+                  const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (jobs <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(jobs, count));
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error{nullptr};
+  std::mutex error_mutex;
+
+  ThreadPool pool{workers};
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.submit([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        try {
+          fn(i);
+        } catch (...) {
+          std::scoped_lock lock{error_mutex};
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    });
+  }
+  pool.wait_idle();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace aquamac

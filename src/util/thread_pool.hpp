@@ -1,0 +1,76 @@
+#pragma once
+// Small fixed-size task-queue thread pool for the harness.
+//
+// Simulation *runs* are embarrassingly parallel — each owns its own
+// Simulator, Network and RNG — so the pool only needs to fan whole runs
+// out across cores; there is no work inside a run to steal. Tasks are
+// pulled from a single mutex-protected queue (a task here is an entire
+// multi-second simulation, so queue contention is irrelevant).
+//
+// `parallel_for` is the harness entry point: it executes fn(0..count)
+// across `jobs` workers and rethrows the first task exception on the
+// calling thread. With jobs <= 1 it degenerates to a plain serial loop
+// on the caller's thread — byte-for-byte today's code path.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aquamac {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(unsigned threads);
+
+  /// Joins; pending tasks are still executed before shutdown.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw out of the pool unobserved;
+  /// use parallel_for (or catch inside the task) for exception transport.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+  [[nodiscard]] unsigned thread_count() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::size_t in_flight_{0};
+  bool stopping_{false};
+};
+
+/// Number of workers `jobs = 0` (auto) resolves to: the AQUAMAC_JOBS
+/// environment variable if set to a positive integer, otherwise
+/// std::thread::hardware_concurrency() (at least 1).
+[[nodiscard]] unsigned default_jobs();
+
+/// Resolves a jobs knob: 0 = auto (default_jobs()), otherwise the value.
+[[nodiscard]] unsigned resolve_jobs(unsigned jobs);
+
+/// Runs fn(i) for every i in [0, count) across `jobs` workers. Blocks
+/// until all iterations finish; the first exception thrown by any
+/// iteration is rethrown here (remaining iterations still run, so every
+/// output slot an iteration owns is either written or untouched).
+/// jobs <= 1 executes serially on the calling thread.
+void parallel_for(unsigned jobs, std::size_t count,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace aquamac

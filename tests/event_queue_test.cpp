@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 namespace aquamac {
@@ -85,6 +86,49 @@ TEST(EventQueue, ClearDropsEverything) {
   queue.clear();
   EXPECT_TRUE(queue.empty());
   EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(EventQueue, CompactionBoundsCancelledGarbage) {
+  // Cancel-heavy workloads (MAC timer churn) must not leave the heap full
+  // of dead entries: after any burst of cancels, stored entries stay
+  // within 4x the live count (plus the small compaction floor).
+  EventQueue queue;
+  std::vector<EventHandle> handles;
+  constexpr std::size_t kPushed = 50'000;
+  handles.reserve(kPushed);
+  for (std::size_t i = 0; i < kPushed; ++i) {
+    handles.push_back(
+        queue.push(Time::from_ns(static_cast<std::int64_t>((i * 7'919) % 1'000'000)), [] {}));
+  }
+  // Cancel all but every 100th event — 99% garbage without compaction.
+  for (std::size_t i = 0; i < kPushed; ++i) {
+    if (i % 100 != 0) queue.cancel(handles[i]);
+  }
+  const std::size_t live = queue.size();
+  EXPECT_EQ(live, kPushed / 100);
+  EXPECT_LE(queue.heap_entries(),
+            std::max<std::size_t>(EventQueue::kCompactionFloor, 4 * live));
+
+  // Compaction must not disturb ordering: the survivors pop in time order.
+  Time last = Time::zero();
+  std::size_t popped = 0;
+  while (!queue.empty()) {
+    const auto event = queue.pop();
+    EXPECT_GE(event.when, last);
+    last = event.when;
+    ++popped;
+  }
+  EXPECT_EQ(popped, live);
+}
+
+TEST(EventQueue, ReserveDoesNotChangeBehaviour) {
+  EventQueue queue;
+  queue.reserve(1'024);
+  std::vector<int> order;
+  queue.push(Time::from_seconds(2.0), [&] { order.push_back(2); });
+  queue.push(Time::from_seconds(1.0), [&] { order.push_back(1); });
+  while (!queue.empty()) queue.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
 
 TEST(EventQueue, LargeInterleavedWorkload) {

@@ -1,0 +1,114 @@
+// JsonWriter: comma placement, escaping, number formatting. BENCH_*.json
+// files are consumed by scripts/plot_results.py and external tooling, so
+// the output must be strictly valid JSON with round-trippable doubles.
+
+#include "util/json_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace aquamac {
+namespace {
+
+std::string emit(const std::function<void(JsonWriter&)>& body) {
+  std::ostringstream os;
+  JsonWriter writer{os};
+  body(writer);
+  return os.str();
+}
+
+TEST(JsonWriter, EmptyObjectAndArray) {
+  EXPECT_EQ(emit([](JsonWriter& j) { j.begin_object().end_object(); }), "{}");
+  EXPECT_EQ(emit([](JsonWriter& j) { j.begin_array().end_array(); }), "[]");
+}
+
+TEST(JsonWriter, CommasBetweenMembersAndElements) {
+  EXPECT_EQ(emit([](JsonWriter& j) {
+              j.begin_object();
+              j.key("a").value(1);
+              j.key("b").value(2);
+              j.end_object();
+            }),
+            "{\"a\":1,\"b\":2}");
+  EXPECT_EQ(emit([](JsonWriter& j) {
+              j.begin_array().value(1).value(2).value(3).end_array();
+            }),
+            "[1,2,3]");
+}
+
+TEST(JsonWriter, NestedContainers) {
+  EXPECT_EQ(emit([](JsonWriter& j) {
+              j.begin_object();
+              j.key("xs").begin_array().value(0.5).value(1.5).end_array();
+              j.key("inner").begin_object().key("n").value(7u).end_object();
+              j.end_object();
+            }),
+            "{\"xs\":[0.5,1.5],\"inner\":{\"n\":7}}");
+}
+
+TEST(JsonWriter, StringEscaping) {
+  EXPECT_EQ(emit([](JsonWriter& j) { j.begin_array().value("a\"b\\c").end_array(); }),
+            "[\"a\\\"b\\\\c\"]");
+  EXPECT_EQ(emit([](JsonWriter& j) { j.begin_array().value("tab\there\nline").end_array(); }),
+            "[\"tab\\there\\nline\"]");
+  // Control characters below 0x20 use \u escapes.
+  EXPECT_EQ(emit([](JsonWriter& j) { j.begin_array().value(std::string{'\x01'}).end_array(); }),
+            "[\"\\u0001\"]");
+}
+
+TEST(JsonWriter, KeysAreEscapedToo) {
+  EXPECT_EQ(emit([](JsonWriter& j) {
+              j.begin_object().key("we\"ird").value(true).end_object();
+            }),
+            "{\"we\\\"ird\":true}");
+}
+
+TEST(JsonWriter, BoolAndNull) {
+  EXPECT_EQ(emit([](JsonWriter& j) {
+              j.begin_array().value(true).value(false).null().end_array();
+            }),
+            "[true,false,null]");
+}
+
+TEST(JsonWriter, IntegerWidths) {
+  EXPECT_EQ(emit([](JsonWriter& j) {
+              j.begin_array()
+                  .value(std::int64_t{-9'007'199'254'740'991})
+                  .value(std::uint64_t{18'446'744'073'709'551'615u})
+                  .end_array();
+            }),
+            "[-9007199254740991,18446744073709551615]");
+}
+
+TEST(JsonWriter, DoublesRoundTripExactly) {
+  const double values[] = {0.1, 1.0 / 3.0, 6.02214076e23, -2.5e-8, 0.0};
+  for (const double v : values) {
+    const std::string out =
+        emit([v](JsonWriter& j) { j.begin_array().value(v).end_array(); });
+    const double parsed = std::stod(out.substr(1, out.size() - 2));
+    EXPECT_EQ(parsed, v) << out;
+  }
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  EXPECT_EQ(emit([](JsonWriter& j) {
+              j.begin_array()
+                  .value(std::numeric_limits<double>::quiet_NaN())
+                  .value(std::numeric_limits<double>::infinity())
+                  .value(-std::numeric_limits<double>::infinity())
+                  .end_array();
+            }),
+            "[null,null,null]");
+}
+
+TEST(JsonWriter, TopLevelScalar) {
+  EXPECT_EQ(emit([](JsonWriter& j) { j.value(42); }), "42");
+}
+
+}  // namespace
+}  // namespace aquamac

@@ -1,0 +1,180 @@
+// PropagationCache correctness: cached paths are the bit-identical
+// doubles the model computes, position changes invalidate, and enabling
+// the cache never changes simulation results — static or mobile.
+
+#include "channel/propagation_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "channel/reception.hpp"
+#include "harness/runner.hpp"
+#include "harness/scenario.hpp"
+#include "sim/simulator.hpp"
+
+namespace aquamac {
+namespace {
+
+constexpr double kFreqKhz = 10.0;
+
+void expect_same_path(const PropagationModel::Path& a, const PropagationModel::Path& b) {
+  EXPECT_EQ(a.delay, b.delay);
+  EXPECT_EQ(a.loss_db, b.loss_db);
+  EXPECT_EQ(a.length_m, b.length_m);
+}
+
+class PropagationCacheTest : public ::testing::Test {
+ protected:
+  AcousticModem& add_modem(NodeId id, Vec3 position) {
+    auto modem =
+        std::make_unique<AcousticModem>(sim_, id, ModemConfig{}, reception_, Rng{100 + id});
+    modem->set_position(position);
+    modems_.push_back(std::move(modem));
+    return *modems_.back();
+  }
+
+  Simulator sim_;
+  StraightLinePropagation model_{1'500.0};
+  DeterministicCollisionModel reception_;
+  std::vector<std::unique_ptr<AcousticModem>> modems_;
+};
+
+TEST_F(PropagationCacheTest, CachedPathEqualsFreshCompute) {
+  PropagationCache cache{model_, kFreqKhz};
+  AcousticModem& a = add_modem(0, {0.0, 0.0, 100.0});
+  AcousticModem& b = add_modem(1, {1'000.0, 500.0, 300.0});
+  cache.ensure_capacity(1);
+
+  const auto expected = model_.compute(a.position(), b.position(), kFreqKhz);
+  expect_same_path(cache.direct(a, b), expected);  // miss: computes
+  expect_same_path(cache.direct(a, b), expected);  // hit: replays
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST_F(PropagationCacheTest, DirectionsAreCachedIndependently) {
+  PropagationCache cache{model_, kFreqKhz};
+  AcousticModem& a = add_modem(0, {0.0, 0.0, 100.0});
+  AcousticModem& b = add_modem(1, {2'000.0, 0.0, 400.0});
+  cache.ensure_capacity(1);
+
+  expect_same_path(cache.direct(a, b), model_.compute(a.position(), b.position(), kFreqKhz));
+  expect_same_path(cache.direct(b, a), model_.compute(b.position(), a.position(), kFreqKhz));
+  EXPECT_EQ(cache.misses(), 2u);  // (a,b) and (b,a) are distinct keys
+  expect_same_path(cache.direct(b, a), model_.compute(b.position(), a.position(), kFreqKhz));
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST_F(PropagationCacheTest, MovingAnEndpointInvalidates) {
+  PropagationCache cache{model_, kFreqKhz};
+  AcousticModem& a = add_modem(0, {0.0, 0.0, 100.0});
+  AcousticModem& b = add_modem(1, {1'000.0, 0.0, 100.0});
+  cache.ensure_capacity(1);
+
+  (void)cache.direct(a, b);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  b.set_position({1'500.0, 200.0, 150.0});  // mobility update
+  const auto expected = model_.compute(a.position(), b.position(), kFreqKhz);
+  expect_same_path(cache.direct(a, b), expected);  // recomputed, not stale
+  EXPECT_EQ(cache.misses(), 2u);
+  expect_same_path(cache.direct(a, b), expected);  // fresh entry now hits
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST_F(PropagationCacheTest, SettingTheSamePositionDoesNotInvalidate) {
+  PropagationCache cache{model_, kFreqKhz};
+  AcousticModem& a = add_modem(0, {0.0, 0.0, 100.0});
+  AcousticModem& b = add_modem(1, {1'000.0, 0.0, 100.0});
+  cache.ensure_capacity(1);
+
+  (void)cache.direct(a, b);
+  const auto epoch = b.position_epoch();
+  b.set_position(b.position());  // no actual movement
+  EXPECT_EQ(b.position_epoch(), epoch);
+  (void)cache.direct(a, b);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST_F(PropagationCacheTest, SurfaceEchoMatchesImageSourcePath) {
+  PropagationCache cache{model_, kFreqKhz, /*cache_echo=*/true};
+  AcousticModem& a = add_modem(0, {0.0, 0.0, 200.0});
+  AcousticModem& b = add_modem(1, {1'200.0, 300.0, 350.0});
+  cache.ensure_capacity(1);
+
+  constexpr double kReflectionLossDb = 6.0;
+  const auto expected =
+      surface_echo_path(model_, a.position(), b.position(), kFreqKhz, kReflectionLossDb);
+  expect_same_path(cache.surface_echo(a, b, kReflectionLossDb), expected);
+  expect_same_path(cache.surface_echo(a, b, kReflectionLossDb), expected);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST_F(PropagationCacheTest, IdsBeyondTheTableAreServedUncached) {
+  PropagationCache cache{model_, kFreqKhz};
+  AcousticModem& a = add_modem(0, {0.0, 0.0, 100.0});
+  // An id past the current table dimension (ensure_capacity(1) sizes the
+  // table for a handful of ids) — the same fallback serves ids past the
+  // kMaxCachedId hard ceiling.
+  AcousticModem& far = add_modem(1'000, {900.0, 0.0, 100.0});
+  cache.ensure_capacity(1);
+
+  const auto expected = model_.compute(a.position(), far.position(), kFreqKhz);
+  expect_same_path(cache.direct(a, far), expected);
+  expect_same_path(cache.direct(a, far), expected);
+  EXPECT_EQ(cache.hits(), 0u);  // never cached, always recomputed
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST_F(PropagationCacheTest, WorksBeforeEnsureCapacity) {
+  PropagationCache cache{model_, kFreqKhz};
+  AcousticModem& a = add_modem(0, {0.0, 0.0, 100.0});
+  AcousticModem& b = add_modem(1, {700.0, 0.0, 100.0});
+  // No ensure_capacity: table is empty, everything falls through.
+  expect_same_path(cache.direct(a, b), model_.compute(a.position(), b.position(), kFreqKhz));
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+// --- network level: the cache must be invisible in the results ---------
+
+void expect_identical_runs(const RunStats& a, const RunStats& b) {
+  EXPECT_EQ(a.packets_offered, b.packets_offered);
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_EQ(a.bits_delivered, b.bits_delivered);
+  EXPECT_EQ(a.throughput_kbps, b.throughput_kbps);
+  EXPECT_EQ(a.delivery_ratio, b.delivery_ratio);
+  EXPECT_EQ(a.total_energy_j, b.total_energy_j);
+  EXPECT_EQ(a.mean_power_mw, b.mean_power_mw);
+  EXPECT_EQ(a.total_bits_sent, b.total_bits_sent);
+  EXPECT_EQ(a.mean_latency_s, b.mean_latency_s);
+  EXPECT_EQ(a.handshake_attempts, b.handshake_attempts);
+  EXPECT_EQ(a.handshake_successes, b.handshake_successes);
+  EXPECT_EQ(a.rx_collisions, b.rx_collisions);
+  EXPECT_EQ(a.fairness_index, b.fairness_index);
+}
+
+RunStats run_with_cache(ScenarioConfig config, bool cache_paths) {
+  config.channel.cache_paths = cache_paths;
+  return run_scenario(config);
+}
+
+TEST(PropagationCacheNetwork, StaticScenarioIsBitIdenticalWithAndWithoutCache) {
+  ScenarioConfig config = small_test_scenario();
+  config.sim_time = Duration::seconds(30);
+  ASSERT_FALSE(config.enable_mobility);
+  expect_identical_runs(run_with_cache(config, true), run_with_cache(config, false));
+}
+
+TEST(PropagationCacheNetwork, MobileScenarioIsBitIdenticalWithAndWithoutCache) {
+  ScenarioConfig config = small_test_scenario();
+  config.sim_time = Duration::seconds(30);
+  config.enable_mobility = true;
+  config.mobility.speed_mps = 1.0;
+  expect_identical_runs(run_with_cache(config, true), run_with_cache(config, false));
+}
+
+}  // namespace
+}  // namespace aquamac

@@ -61,6 +61,7 @@ int run(const CliParser& cli) {
   base.node_count = static_cast<std::size_t>(cli.get_int("nodes"));
   base.traffic.offered_load_kbps = cli.get_double("load");
   base.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  base.jobs = static_cast<unsigned>(cli.get_int("jobs"));
   base.multi_hop = cli.get_bool("multi-hop");
 
   const std::vector<double> xs = parse_values(cli.get("values"));
@@ -125,6 +126,8 @@ int main(int argc, char** argv) {
                     {"nodes", "60", "node count when not the swept axis"},
                     {"load", "0.5", "offered load when not the swept axis"},
                     {"seed", "1", "base seed"},
+                    {"jobs", "0", "worker threads for the sweep (0 = all cores, "
+                                  "1 = serial; results are identical either way)"},
                     {"multi-hop", "false", "relay traffic to surface sinks (Fig.-1 mode)"},
                     {"csv", "", "write CSV here instead of printing a table"},
                 }};
