@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
+#include "stats/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace aquamac {
@@ -42,28 +44,29 @@ std::vector<RunStats> run_replicated(const ScenarioConfig& base, unsigned replic
 
 std::vector<RunStats> run_replicated_parallel(const ScenarioConfig& base,
                                               unsigned replications, unsigned jobs) {
-  unsigned workers = resolve_jobs(jobs);
-  // A shared trace sink (or an enabled logger sink) is the one piece of
-  // state the per-run isolation does not cover; keep its output ordered.
-  if (base.trace != nullptr) workers = 1;
+  const unsigned workers = resolve_jobs(jobs);
 
-  if (workers <= 1) {
-    std::vector<RunStats> runs;
-    runs.reserve(replications);
-    for (unsigned k = 0; k < replications; ++k) {
-      ScenarioConfig config = base;
-      config.seed = base.seed + k;
-      runs.push_back(run_scenario(config));
-    }
-    return runs;
+  // A shared trace sink is the one piece of state the per-run isolation
+  // does not cover. Instead of forcing the harness serial, each run
+  // records into its own buffer and the buffers are merged after the
+  // join — the same path for every jobs value, so the merged stream is
+  // bit-identical whether the runs executed serially or in parallel.
+  std::vector<std::unique_ptr<MemoryTrace>> buffers;
+  if (base.trace != nullptr) {
+    const TraceSinkFactory factory = memory_trace_factory();
+    buffers.reserve(replications);
+    for (unsigned k = 0; k < replications; ++k) buffers.push_back(factory(k));
   }
 
   std::vector<RunStats> runs(replications);
   parallel_for(workers, replications, [&](std::size_t k) {
     ScenarioConfig config = base;
     config.seed = base.seed + static_cast<std::uint64_t>(k);
+    if (!buffers.empty()) config.trace = buffers[k].get();
     runs[k] = run_scenario(config);
   });
+
+  if (base.trace != nullptr) merge_traces(buffers, *base.trace);
   return runs;
 }
 

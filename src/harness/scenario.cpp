@@ -64,6 +64,31 @@ ScenarioConfig small_test_scenario() {
   return config;
 }
 
+InvariantAuditor::Config auditor_config_for(const ScenarioConfig& config) {
+  InvariantAuditor::Config audit{};
+  // Replicate the Network constructor's tau_max derivation: the MacConfig
+  // default (1 s) means "derive from comm range".
+  Duration tau_max = config.mac_config.tau_max;
+  if (tau_max == Duration::seconds(1)) {
+    tau_max = Duration::from_seconds(config.channel.comm_range_m / config.sound_speed_mps);
+  }
+  audit.tau_max = tau_max;
+  // omega is the airtime of a control frame (EW-MAC and S-FAMA ship no
+  // physical piggyback, so control_bits alone size the slot).
+  audit.omega = Duration::from_seconds(
+      static_cast<double>(config.mac_config.control_bits + config.mac_config.piggyback_bits) /
+      config.bit_rate_bps);
+  audit.slot_length = audit.omega + tau_max;
+  audit.slotted = config.mac == MacKind::kEwMac || config.mac == MacKind::kSFama;
+  // Perfect synchronization (§3.1) admits exact checks; with clock skew
+  // enabled the measured delays absorb offset *differences*, so the
+  // tolerance must cover the far tails of the difference distribution.
+  audit.sync_tolerance = config.clock_offset_stddev_s > 0.0
+                             ? Duration::from_seconds(16.0 * config.clock_offset_stddev_s)
+                             : Duration::zero();
+  return audit;
+}
+
 std::string describe_scenario(const ScenarioConfig& config) {
   std::ostringstream os;
   os << "Parameter                      Value\n";

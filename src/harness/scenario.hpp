@@ -2,6 +2,7 @@
 // Scenario presets for the paper's evaluation (§5, Table 2) and for tests.
 
 #include "net/network.hpp"
+#include "stats/invariant_auditor.hpp"
 
 namespace aquamac {
 
@@ -19,6 +20,11 @@ namespace aquamac {
 /// Small, fast, connected scenario for unit/integration tests:
 /// 12 nodes in a 2x2x2 km grid, 60 s of traffic, no mobility.
 [[nodiscard]] ScenarioConfig small_test_scenario();
+
+/// InvariantAuditor configuration matching a scenario: replicates the
+/// Network's tau_max derivation and the slotted MACs' |ts| = omega +
+/// tau_max so the auditor checks the same arithmetic the protocols use.
+[[nodiscard]] InvariantAuditor::Config auditor_config_for(const ScenarioConfig& config);
 
 /// Human-readable parameter sheet (bench_table2_parameters).
 [[nodiscard]] std::string describe_scenario(const ScenarioConfig& config);

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <stdexcept>
 
+#include "stats/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace aquamac {
@@ -26,8 +28,7 @@ SweepResult run_sweep(const ScenarioConfig& base, std::span<const MacKind> proto
   result.protocols.assign(protocols.begin(), protocols.end());
   result.replications = replications;
 
-  unsigned jobs = resolve_jobs(base.jobs);
-  if (base.trace != nullptr) jobs = 1;  // keep a shared trace sink ordered
+  const unsigned jobs = resolve_jobs(base.jobs);
   result.jobs_used = jobs;
 
   // Flatten the (protocol, x, seed) cross product so the pool sees every
@@ -46,6 +47,16 @@ SweepResult run_sweep(const ScenarioConfig& base, std::span<const MacKind> proto
     }
   }
 
+  // A shared trace sink records into per-task buffers merged after the
+  // join (ordered by sim time, then flat task index), so the stream a
+  // sink sees is bit-identical for every jobs value.
+  std::vector<std::unique_ptr<MemoryTrace>> buffers;
+  if (base.trace != nullptr) {
+    const TraceSinkFactory factory = memory_trace_factory();
+    buffers.reserve(tasks.size());
+    for (std::size_t t = 0; t < tasks.size(); ++t) buffers.push_back(factory(t));
+  }
+
   // Workers write disjoint slots of flat arrays; results are scattered
   // into the per-protocol maps after the join.
   std::vector<RunStats> flat_runs(tasks.size());
@@ -57,10 +68,13 @@ SweepResult run_sweep(const ScenarioConfig& base, std::span<const MacKind> proto
     config.mac = result.protocols[task.proto];
     setter(config, result.xs[task.x]);
     config.seed = config.seed + task.rep;
+    if (!buffers.empty()) config.trace = buffers[t].get();
     const auto run_start = std::chrono::steady_clock::now();
     flat_runs[t] = run_scenario(config);
     run_wall_s[t] = seconds_since(run_start);
   });
+
+  if (base.trace != nullptr) merge_traces(buffers, *base.trace);
 
   for (MacKind kind : result.protocols) {
     result.raw[kind].assign(result.xs.size(), std::vector<RunStats>(replications));

@@ -52,7 +52,8 @@ struct SweepResult {
 /// base.jobs worker threads (every run is an independent Simulator +
 /// Network + RNG, so results are bit-identical for any jobs value;
 /// jobs = 1 is the plain serial loop). A base carrying a shared
-/// TraceSink is forced serial to keep the trace ordered.
+/// TraceSink is fed the per-run traces merged by (sim time, task index)
+/// after the join — the same bit-identical stream for every jobs value.
 [[nodiscard]] SweepResult run_sweep(const ScenarioConfig& base,
                                     std::span<const MacKind> protocols,
                                     std::span<const double> xs, const ConfigSetter& setter,

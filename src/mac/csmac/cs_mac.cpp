@@ -273,7 +273,6 @@ void CsMac::handle_frame(const Frame& frame, const RxInfo& info) {
       sim_.cancel(timeout_event_);
       timeout_event_ = EventHandle{};
       counters_.handshake_successes += 1;
-      counters_.total_delivery_latency += sim_.now() - packet->enqueued;
       complete_head_packet(/*via_extra=*/false);
       state_ = State::kIdle;
       if (head() != nullptr) schedule_attempt(0);
@@ -287,7 +286,6 @@ void CsMac::handle_frame(const Frame& frame, const RxInfo& info) {
       }
       sim_.cancel(timeout_event_);
       timeout_event_ = EventHandle{};
-      counters_.total_delivery_latency += sim_.now() - packet->enqueued;
       complete_head_packet(/*via_extra=*/true);  // counts the extra success
       state_ = State::kIdle;
       if (head() != nullptr) schedule_attempt(0);

@@ -155,7 +155,6 @@ void DotsMac::handle_frame(const Frame& frame, const RxInfo& info) {
         counters_.handshake_successes += 1;
         const Packet* packet = head();
         if (packet != nullptr && packet->id == frame.seq && packet->dst == frame.src) {
-          counters_.total_delivery_latency += sim_.now() - packet->enqueued;
           complete_head_packet(/*via_extra=*/false);
         }
         if (head() != nullptr) schedule_attempt(config_.guard);

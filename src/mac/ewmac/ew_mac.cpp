@@ -6,6 +6,11 @@ namespace aquamac {
 
 void EwMac::start() {}
 
+void EwMac::set_state(State next) {
+  if (next != state_) trace_state(static_cast<int>(state_), static_cast<int>(next));
+  state_ = next;
+}
+
 // ---------------------------------------------------------------------
 // Sender side: negotiated path
 // ---------------------------------------------------------------------
@@ -56,21 +61,37 @@ void EwMac::attempt_rts() {
     counters_.retransmitted_bits += rts.size_bits;
   }
   counters_.handshake_attempts += 1;
+  if (trace_ != nullptr) {
+    TraceEvent ev{};
+    ev.kind = TraceEventKind::kSlotBoundary;
+    ev.frame_type = FrameType::kRts;
+    ev.a = slot_index(sim_.now());
+    trace_mac(ev);
+  }
   transmit(rts);
-  state_ = State::kWaitCts;
+  set_state(State::kWaitCts);
 
   const Time deadline = slot_start(slot_index(sim_.now()) + 3);
   timeout_event_ = sim_.at(deadline, [this] {
     timeout_event_ = EventHandle{};
     if (state_ == State::kWaitCts) {
       counters_.contention_losses += 1;
+      if (trace_ != nullptr) {
+        TraceEvent ev{};
+        ev.kind = TraceEventKind::kContentionLoss;
+        if (const Packet* p = head()) {
+          ev.dst = p->dst;
+          ev.seq = p->id;
+        }
+        trace_mac(ev);
+      }
       fail_and_backoff();
     }
   });
 }
 
 void EwMac::fail_and_backoff() {
-  state_ = State::kIdle;
+  set_state(State::kIdle);
   extra_.reset();
   Packet* packet = head_mutable();
   if (packet == nullptr) return;
@@ -91,7 +112,7 @@ void EwMac::on_cts(const Frame& frame, const RxInfo& info) {
   }
   sim_.cancel(timeout_event_);
   timeout_event_ = EventHandle{};
-  state_ = State::kWaitAck;
+  set_state(State::kWaitAck);
 
   const Duration tau_sr = info.measured_delay;
   const Packet packet_copy = *packet;
@@ -125,9 +146,8 @@ void EwMac::on_ack(const Frame& frame) {
   sim_.cancel(timeout_event_);
   timeout_event_ = EventHandle{};
   counters_.handshake_successes += 1;
-  counters_.total_delivery_latency += sim_.now() - packet->enqueued;
   complete_head_packet(/*via_extra=*/false);
-  state_ = State::kIdle;
+  set_state(State::kIdle);
   if (head() != nullptr) schedule_attempt(0);
 }
 
@@ -161,12 +181,26 @@ void EwMac::decide_cts() {
     return;
   }
 
+  if (trace_ != nullptr) {
+    TraceEvent boundary{};
+    boundary.kind = TraceEventKind::kSlotBoundary;
+    boundary.frame_type = FrameType::kCts;
+    boundary.a = slot_index(sim_.now());
+    trace_mac(boundary);
+    TraceEvent win{};
+    win.kind = TraceEventKind::kContentionWin;
+    win.src = winner.src;
+    win.dst = id();
+    win.seq = winner.seq;
+    win.value = winner.rp;
+    trace_mac(win);
+  }
   Frame cts = make_control(FrameType::kCts, winner.src);
   cts.seq = winner.seq;
   cts.data_duration = winner.data_duration;
   cts.pair_delay = winner.delay_to_src;
   transmit(cts);
-  state_ = State::kWaitData;
+  set_state(State::kWaitData);
   expected_data_from_ = winner.src;
   expected_seq_ = winner.seq;
 
@@ -178,7 +212,7 @@ void EwMac::decide_cts() {
   timeout_event_ = sim_.at(deadline, [this] {
     timeout_event_ = EventHandle{};
     if (state_ == State::kWaitData) {
-      state_ = State::kIdle;
+      set_state(State::kIdle);
       expected_data_from_ = kNoNode;
       if (head() != nullptr) schedule_attempt(0);
     }
@@ -193,7 +227,7 @@ void EwMac::on_data(const Frame& frame) {
   sim_.cancel(timeout_event_);
   timeout_event_ = EventHandle{};
   deliver_data(frame);
-  state_ = State::kIdle;
+  set_state(State::kIdle);
   expected_data_from_ = kNoNode;
 
   // Eq. (5): the reception just ended, so the next boundary *is* the
@@ -214,6 +248,17 @@ void EwMac::contention_lost(const Frame& negotiation, const RxInfo& info) {
   sim_.cancel(timeout_event_);
   timeout_event_ = EventHandle{};
   counters_.contention_losses += 1;
+  if (trace_ != nullptr) {
+    TraceEvent ev{};
+    ev.kind = TraceEventKind::kContentionLoss;
+    ev.frame_type = negotiation.type;
+    ev.src = negotiation.src;
+    if (const Packet* p = head()) {
+      ev.dst = p->dst;
+      ev.seq = p->id;
+    }
+    trace_mac(ev);
+  }
 
   const Packet* packet = head();
   if (!config_.enable_extra || packet == nullptr) {
@@ -283,7 +328,7 @@ void EwMac::contention_lost(const Frame& negotiation, const RxInfo& info) {
   }
 
   extra_ = plan;
-  state_ = State::kAskingExtra;
+  set_state(State::kAskingExtra);
   counters_.extra_attempts += 1;
 
   const std::uint64_t seq = plan.seq;
@@ -355,7 +400,17 @@ void EwMac::on_exc(const Frame& frame, const RxInfo&) {
     return;
   }
 
-  state_ = State::kWaitExAck;
+  if (trace_ != nullptr) {
+    TraceEvent ev{};
+    ev.kind = TraceEventKind::kExtraScheduled;
+    ev.frame_type = FrameType::kExData;
+    ev.dst = extra_->j;
+    ev.seq = extra_->seq;
+    ev.window_begin = tx_time;
+    ev.window_end = tx_time + my_dur;
+    trace_mac(ev);
+  }
+  set_state(State::kWaitExAck);
   const std::uint64_t seq = extra_->seq;
   const NodeId j = extra_->j;
   const Duration tau_ij = extra_->tau_ij;
@@ -385,10 +440,9 @@ void EwMac::on_exack(const Frame& frame) {
   }
   sim_.cancel(timeout_event_);
   timeout_event_ = EventHandle{};
-  counters_.total_delivery_latency += sim_.now() - packet->enqueued;
   complete_head_packet(/*via_extra=*/true);
   extra_.reset();
-  state_ = State::kIdle;
+  set_state(State::kIdle);
   if (head() != nullptr) schedule_attempt(0);
 }
 
@@ -437,6 +491,17 @@ void EwMac::on_exr(const Frame& frame, const RxInfo&) {
   transmit(exc);
 
   grant_ = ExtraGrant{frame.src, frame.seq, expiry};
+  if (trace_ != nullptr) {
+    TraceEvent ev{};
+    ev.kind = TraceEventKind::kExtraNegotiated;
+    ev.frame_type = FrameType::kExc;
+    ev.src = frame.src;
+    ev.dst = id();
+    ev.seq = frame.seq;
+    ev.window_begin = sim_.now();
+    ev.window_end = expiry;
+    trace_mac(ev);
+  }
   set_quiet_until(expiry);
   grant_expiry_event_ = sim_.at(expiry, [this] {
     grant_expiry_event_ = EventHandle{};

@@ -87,6 +87,10 @@ class EwMac final : public SlottedMac {
 
   [[nodiscard]] double make_priority(const Packet& packet);
 
+  /// All FSM transitions funnel through here so the trace sees every
+  /// kMacState edge.
+  void set_state(State next);
+
   State state_{State::kIdle};
   EventHandle attempt_event_{};
   EventHandle timeout_event_{};

@@ -80,6 +80,10 @@ void MacProtocol::complete_head_packet(bool via_extra) {
   if (queue_.empty()) return;
   counters_.packets_sent_ok += 1;
   if (via_extra) counters_.extra_successes += 1;
+  // Latency accounting lives here so the sum and its sample count can
+  // never diverge (mean = total_delivery_latency / latency_samples).
+  counters_.total_delivery_latency += sim_.now() - queue_.front().enqueued;
+  counters_.latency_samples += 1;
   queue_.pop_front();
 }
 
@@ -115,6 +119,16 @@ void MacProtocol::on_frame_received(const Frame& frame, const RxInfo& raw_info) 
   // §4.3: every packet carries its sending timestamp; refresh the one-hop
   // delay for the sender regardless of destination.
   neighbors_.update(frame.src, info.measured_delay, sim_.now());
+  if (trace_ != nullptr) {
+    TraceEvent event{};
+    event.kind = TraceEventKind::kNeighborUpdate;
+    event.frame_type = frame.type;
+    event.src = frame.src;
+    event.dst = frame.dst;
+    event.seq = frame.seq;
+    event.a = info.measured_delay.count_ns();
+    trace_mac(event);
+  }
   // Frames shipping neighbor info (CS-MAC negotiation packets) feed the
   // two-hop table of everyone who hears them.
   if (frame.neighbor_info) {
@@ -135,5 +149,21 @@ void MacProtocol::on_rx_failure(const Frame& frame, RxOutcome outcome, const RxI
 }
 
 void MacProtocol::on_tx_done(const Frame& frame) { handle_tx_done(frame); }
+
+void MacProtocol::trace_mac(TraceEvent event) const {
+  if (trace_ == nullptr) return;
+  event.at = sim_.now();
+  event.node = id();
+  trace_->record(event);
+}
+
+void MacProtocol::trace_state(int from, int to) const {
+  if (trace_ == nullptr) return;
+  TraceEvent event{};
+  event.kind = TraceEventKind::kMacState;
+  event.a = from;
+  event.b = to;
+  trace_mac(event);
+}
 
 }  // namespace aquamac

@@ -20,6 +20,7 @@
 #include "phy/modem.hpp"
 #include "sim/simulator.hpp"
 #include "stats/counters.hpp"
+#include "stats/trace.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 
@@ -109,6 +110,11 @@ class MacProtocol : public ModemListener {
   /// when the modem is mid-transmission.
   void broadcast_hello();
 
+  /// Optional structured trace of this MAC's protocol-level events
+  /// (state transitions, slot boundaries, contention outcomes, extra
+  /// negotiation, neighbor-table updates).
+  void set_trace(TraceSink* trace) { trace_ = trace; }
+
   [[nodiscard]] NodeId id() const { return modem_.id(); }
   [[nodiscard]] MacCounters& counters() { return counters_; }
   [[nodiscard]] const MacCounters& counters() const { return counters_; }
@@ -172,12 +178,19 @@ class MacProtocol : public ModemListener {
   /// delivered — a retransmission after a lost Ack. Callers still Ack.
   bool deliver_data(const Frame& frame);
 
+  /// Records a MAC-level trace event, stamping `at` and `node`; the
+  /// caller fills the kind-specific fields. No-op without a sink.
+  void trace_mac(TraceEvent event) const;
+  /// Convenience: a kMacState transition event (a = from, b = to).
+  void trace_state(int from, int to) const;
+
   Simulator& sim_;
   AcousticModem& modem_;
   NeighborTable& neighbors_;
   MacConfig config_;
   Rng rng_;
   Logger log_;
+  TraceSink* trace_{nullptr};
   MacCounters counters_;
   std::deque<Packet> queue_;
   std::uint64_t next_packet_id_{1};

@@ -4,6 +4,11 @@ namespace aquamac {
 
 void MacaU::start() {}
 
+void MacaU::set_state(State next) {
+  if (next != state_) trace_state(static_cast<int>(state_), static_cast<int>(next));
+  state_ = next;
+}
+
 void MacaU::handle_packet_enqueued() {
   if (state_ == State::kIdle) {
     schedule_attempt(Duration::from_seconds(rng_.uniform(0.0, 0.1)));
@@ -37,7 +42,7 @@ void MacaU::attempt_rts() {
   }
   counters_.handshake_attempts += 1;
   transmit(rts);
-  state_ = State::kWaitCts;
+  set_state(State::kWaitCts);
 
   // CTS deadline: one worst-case round trip plus both airtimes.
   const Time deadline = sim_.now() + 2 * config_.tau_max + 2 * omega() + 4 * config_.guard;
@@ -45,13 +50,22 @@ void MacaU::attempt_rts() {
     timeout_event_ = EventHandle{};
     if (state_ == State::kWaitCts) {
       counters_.contention_losses += 1;
+      if (trace_ != nullptr) {
+        TraceEvent ev{};
+        ev.kind = TraceEventKind::kContentionLoss;
+        if (const Packet* p = head()) {
+          ev.dst = p->dst;
+          ev.seq = p->id;
+        }
+        trace_mac(ev);
+      }
       fail_and_backoff();
     }
   });
 }
 
 void MacaU::fail_and_backoff() {
-  state_ = State::kIdle;
+  set_state(State::kIdle);
   Packet* packet = head_mutable();
   if (packet == nullptr) return;
   packet->retries += 1;
@@ -74,12 +88,21 @@ void MacaU::handle_frame(const Frame& frame, const RxInfo& info) {
   switch (frame.type) {
     case FrameType::kRts: {
       if (state_ != State::kIdle || quiet_now() || modem_.transmitting()) break;
+      if (trace_ != nullptr) {
+        // Unslotted: the first decodable RTS wins the receiver outright.
+        TraceEvent win{};
+        win.kind = TraceEventKind::kContentionWin;
+        win.src = frame.src;
+        win.dst = id();
+        win.seq = frame.seq;
+        trace_mac(win);
+      }
       Frame cts = make_control(FrameType::kCts, frame.src);
       cts.seq = frame.seq;
       cts.data_duration = frame.data_duration;
       cts.pair_delay = info.measured_delay;
       transmit(cts);
-      state_ = State::kWaitData;
+      set_state(State::kWaitData);
       expected_data_from_ = frame.src;
       expected_seq_ = frame.seq;
       const Time deadline = sim_.now() + 2 * config_.tau_max + frame.data_duration +
@@ -87,7 +110,7 @@ void MacaU::handle_frame(const Frame& frame, const RxInfo& info) {
       timeout_event_ = sim_.at(deadline, [this] {
         timeout_event_ = EventHandle{};
         if (state_ == State::kWaitData) {
-          state_ = State::kIdle;
+          set_state(State::kIdle);
           expected_data_from_ = kNoNode;
           if (head() != nullptr) schedule_attempt(config_.guard);
         }
@@ -102,7 +125,7 @@ void MacaU::handle_frame(const Frame& frame, const RxInfo& info) {
       }
       sim_.cancel(timeout_event_);
       timeout_event_ = EventHandle{};
-      state_ = State::kWaitAck;
+      set_state(State::kWaitAck);
       if (modem_.transmitting()) {
         fail_and_backoff();
         break;
@@ -126,7 +149,7 @@ void MacaU::handle_frame(const Frame& frame, const RxInfo& info) {
       sim_.cancel(timeout_event_);
       timeout_event_ = EventHandle{};
       deliver_data(frame);
-      state_ = State::kIdle;
+      set_state(State::kIdle);
       expected_data_from_ = kNoNode;
       if (!modem_.transmitting()) {
         Frame ack = make_control(FrameType::kAck, frame.src);
@@ -145,9 +168,8 @@ void MacaU::handle_frame(const Frame& frame, const RxInfo& info) {
       sim_.cancel(timeout_event_);
       timeout_event_ = EventHandle{};
       counters_.handshake_successes += 1;
-      counters_.total_delivery_latency += sim_.now() - packet->enqueued;
       complete_head_packet(/*via_extra=*/false);
-      state_ = State::kIdle;
+      set_state(State::kIdle);
       if (head() != nullptr) schedule_attempt(config_.guard);
       break;
     }

@@ -34,6 +34,8 @@ class MacaU final : public SlottedMac {
   void attempt_rts();
   void fail_and_backoff();
   void overhear(const Frame& frame, const RxInfo& info);
+  /// All FSM transitions funnel through here (kMacState trace edges).
+  void set_state(State next);
 
   State state_{State::kIdle};
   EventHandle attempt_event_{};

@@ -337,7 +337,6 @@ void Ropa::handle_frame(const Frame& frame, const RxInfo& info) {
       sim_.cancel(timeout_event_);
       timeout_event_ = EventHandle{};
       counters_.handshake_successes += 1;
-      counters_.total_delivery_latency += sim_.now() - packet->enqueued;
       complete_head_packet(/*via_extra=*/false);
       if (!appenders_.empty()) {
         begin_grant_phase();
@@ -355,7 +354,6 @@ void Ropa::handle_frame(const Frame& frame, const RxInfo& info) {
       }
       sim_.cancel(timeout_event_);
       timeout_event_ = EventHandle{};
-      counters_.total_delivery_latency += sim_.now() - packet->enqueued;
       complete_head_packet(/*via_extra=*/true);
       state_ = State::kIdle;
       if (head() != nullptr) schedule_attempt(0);

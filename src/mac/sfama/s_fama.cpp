@@ -4,6 +4,11 @@ namespace aquamac {
 
 void SFama::start() {}
 
+void SFama::set_state(State next) {
+  if (next != state_) trace_state(static_cast<int>(state_), static_cast<int>(next));
+  state_ = next;
+}
+
 void SFama::handle_packet_enqueued() {
   if (state_ == State::kIdle) schedule_attempt(0);
 }
@@ -39,8 +44,15 @@ void SFama::attempt_rts() {
     counters_.retransmitted_bits += rts.size_bits;
   }
   counters_.handshake_attempts += 1;
+  if (trace_ != nullptr) {
+    TraceEvent ev{};
+    ev.kind = TraceEventKind::kSlotBoundary;
+    ev.frame_type = FrameType::kRts;
+    ev.a = slot_index(sim_.now());
+    trace_mac(ev);
+  }
   transmit(rts);
-  state_ = State::kWaitCts;
+  set_state(State::kWaitCts);
 
   // CTS is sent at slot t+1 and arrives within it; give one slot slack.
   const Time deadline = slot_start(slot_index(sim_.now()) + 3);
@@ -48,13 +60,22 @@ void SFama::attempt_rts() {
     timeout_event_ = EventHandle{};
     if (state_ == State::kWaitCts) {
       counters_.contention_losses += 1;
+      if (trace_ != nullptr) {
+        TraceEvent ev{};
+        ev.kind = TraceEventKind::kContentionLoss;
+        if (const Packet* p = head()) {
+          ev.dst = p->dst;
+          ev.seq = p->id;
+        }
+        trace_mac(ev);
+      }
       fail_and_backoff();
     }
   });
 }
 
 void SFama::fail_and_backoff() {
-  state_ = State::kIdle;
+  set_state(State::kIdle);
   Packet* packet = head_mutable();
   if (packet == nullptr) return;
   packet->retries += 1;
@@ -94,7 +115,7 @@ void SFama::handle_frame(const Frame& frame, const RxInfo& info) {
       }
       sim_.cancel(timeout_event_);
       timeout_event_ = EventHandle{};
-      state_ = State::kWaitAck;
+      set_state(State::kWaitAck);
       const Duration tau_sr = info.measured_delay;
       const Packet packet_copy = *packet;
       sim_.at(next_slot_boundary(sim_.now()), [this, packet_copy, tau_sr] {
@@ -126,7 +147,7 @@ void SFama::handle_frame(const Frame& frame, const RxInfo& info) {
       sim_.cancel(timeout_event_);
       timeout_event_ = EventHandle{};
       deliver_data(frame);
-      state_ = State::kIdle;
+      set_state(State::kIdle);
       expected_data_from_ = kNoNode;
       send_ack(frame.src, frame.seq);
       if (head() != nullptr) schedule_attempt(0);
@@ -141,9 +162,8 @@ void SFama::handle_frame(const Frame& frame, const RxInfo& info) {
       sim_.cancel(timeout_event_);
       timeout_event_ = EventHandle{};
       counters_.handshake_successes += 1;
-      counters_.total_delivery_latency += sim_.now() - packet->enqueued;
       complete_head_packet(/*via_extra=*/false);
-      state_ = State::kIdle;
+      set_state(State::kIdle);
       if (head() != nullptr) schedule_attempt(0);
       break;
     }
@@ -158,12 +178,26 @@ void SFama::decide_cts() {
   pending_rts_.reset();
   if (state_ != State::kIdle || quiet_now() || modem_.transmitting()) return;
 
+  if (trace_ != nullptr) {
+    TraceEvent boundary{};
+    boundary.kind = TraceEventKind::kSlotBoundary;
+    boundary.frame_type = FrameType::kCts;
+    boundary.a = slot_index(sim_.now());
+    trace_mac(boundary);
+    // S-FAMA grants the first RTS of the slot; rp is not used (value 0).
+    TraceEvent win{};
+    win.kind = TraceEventKind::kContentionWin;
+    win.src = rts.src;
+    win.dst = id();
+    win.seq = rts.seq;
+    trace_mac(win);
+  }
   Frame cts = make_control(FrameType::kCts, rts.src);
   cts.seq = rts.seq;
   cts.data_duration = rts.data_duration;
   cts.pair_delay = rts.delay_to_src;
   transmit(cts);
-  state_ = State::kWaitData;
+  set_state(State::kWaitData);
   expected_data_from_ = rts.src;
   expected_seq_ = rts.seq;
 
@@ -173,7 +207,7 @@ void SFama::decide_cts() {
   timeout_event_ = sim_.at(deadline, [this] {
     timeout_event_ = EventHandle{};
     if (state_ == State::kWaitData) {
-      state_ = State::kIdle;
+      set_state(State::kIdle);
       expected_data_from_ = kNoNode;
       if (head() != nullptr) schedule_attempt(0);
     }

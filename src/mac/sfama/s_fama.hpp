@@ -35,6 +35,9 @@ class SFama final : public SlottedMac {
   // --- overhearing -------------------------------------------------------
   void overhear(const Frame& frame, const RxInfo& info);
 
+  /// All FSM transitions funnel through here (kMacState trace edges).
+  void set_state(State next);
+
   State state_{State::kIdle};
   EventHandle attempt_event_{};
   EventHandle timeout_event_{};

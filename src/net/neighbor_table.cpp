@@ -14,7 +14,8 @@ std::optional<Duration> NeighborTable::delay_to(NodeId neighbor) const {
   return it->second.delay;
 }
 
-Duration NeighborTable::max_known_delay() const {
+std::optional<Duration> NeighborTable::max_known_delay() const {
+  if (one_hop_.empty()) return std::nullopt;
   Duration max{};
   for (const auto& [id, entry] : one_hop_) max = std::max(max, entry.delay);
   return max;

@@ -37,8 +37,10 @@ class NeighborTable {
   [[nodiscard]] std::size_t size() const { return one_hop_.size(); }
   [[nodiscard]] bool knows(NodeId neighbor) const { return one_hop_.contains(neighbor); }
 
-  /// Largest known one-hop delay (zero when empty).
-  [[nodiscard]] Duration max_known_delay() const;
+  /// Largest known one-hop delay; nullopt when the table is empty, so a
+  /// caller using it as a tau fallback cannot silently collapse the slot
+  /// length to omega.
+  [[nodiscard]] std::optional<Duration> max_known_delay() const;
 
   [[nodiscard]] std::vector<NodeId> neighbor_ids() const;
   [[nodiscard]] const std::unordered_map<NodeId, Entry>& entries() const { return one_hop_; }

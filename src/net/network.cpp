@@ -70,10 +70,13 @@ Network::Network(Simulator& sim, const ScenarioConfig& config)
           Duration::from_seconds(clock_rng.normal(0.0, config_.clock_offset_stddev_s)));
     }
 
+    std::string tag{"n"};
+    tag += std::to_string(i);
     auto mac = make_mac(config_.mac, sim_, node->modem(), node->neighbors(),
                         config_.mac_config, rng_.fork(0x3AC000 + i),
-                        config_.logger.with_tag("n" + std::to_string(i)));
+                        config_.logger.with_tag(tag));
     node->set_mac(std::move(mac));
+    if (config_.trace != nullptr) node->mac().set_trace(config_.trace);
 
     if (config_.enable_mobility) {
       Rng mobility_rng = rng_.fork(0x30B000 + i);

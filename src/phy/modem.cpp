@@ -33,7 +33,7 @@ void AcousticModem::transmit(Frame frame) {
   energy_.add_tx_time(dur);
   ++frames_sent_;
 
-  trace_event(TraceEventKind::kTxStart, frame, RxOutcome::kSuccess);
+  trace_event(TraceEventKind::kTxStart, frame, RxOutcome::kSuccess, window);
   channel_->start_transmission(*this, frame, dur);
 
   sim_.at(window.end, [this, frame] {
@@ -41,8 +41,8 @@ void AcousticModem::transmit(Frame frame) {
   });
 }
 
-void AcousticModem::trace_event(TraceEventKind kind, const Frame& frame,
-                                RxOutcome outcome) const {
+void AcousticModem::trace_event(TraceEventKind kind, const Frame& frame, RxOutcome outcome,
+                                TimeInterval window) const {
   if (trace_ == nullptr) return;
   TraceEvent event{};
   event.kind = kind;
@@ -54,6 +54,8 @@ void AcousticModem::trace_event(TraceEventKind kind, const Frame& frame,
   event.seq = frame.seq;
   event.bits = frame.size_bits;
   event.outcome = outcome;
+  event.window_begin = window.begin;
+  event.window_end = window.end;
   trace_->record(event);
 }
 
@@ -109,11 +111,11 @@ void AcousticModem::finish_arrival(std::uint64_t arrival_id) {
 
   if (outcome == RxOutcome::kSuccess) {
     ++frames_received_;
-    trace_event(TraceEventKind::kRxOk, arrival.frame, outcome);
+    trace_event(TraceEventKind::kRxOk, arrival.frame, outcome, arrival.window);
     if (listener_ != nullptr) listener_->on_frame_received(arrival.frame, info);
   } else if (outcome != RxOutcome::kBelowThreshold) {
     ++rx_losses_;
-    trace_event(TraceEventKind::kRxLost, arrival.frame, outcome);
+    trace_event(TraceEventKind::kRxLost, arrival.frame, outcome, arrival.window);
     if (listener_ != nullptr) listener_->on_rx_failure(arrival.frame, outcome, info);
   }
   // kBelowThreshold arrivals are interference-only: never seen by the MAC

@@ -140,7 +140,8 @@ class AcousticModem {
   const ReceptionModel& reception_;
   Rng rng_;
 
-  void trace_event(TraceEventKind kind, const Frame& frame, RxOutcome outcome) const;
+  void trace_event(TraceEventKind kind, const Frame& frame, RxOutcome outcome,
+                   TimeInterval window) const;
 
   AcousticChannel* channel_{nullptr};
   ModemListener* listener_{nullptr};

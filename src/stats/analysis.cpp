@@ -92,6 +92,7 @@ std::map<NodeId, NodeActivity> node_activity(const MemoryTrace& trace) {
       case TraceEventKind::kTxStart: node.frames_sent += 1; break;
       case TraceEventKind::kRxOk: node.frames_received += 1; break;
       case TraceEventKind::kRxLost: node.losses_seen += 1; break;
+      default: break;  // MAC-layer events are not per-frame activity
     }
   }
   return activity;

@@ -38,6 +38,7 @@ MacCounters& MacCounters::operator+=(const MacCounters& o) {
   extra_attempts += o.extra_attempts;
   extra_successes += o.extra_successes;
   total_delivery_latency += o.total_delivery_latency;
+  latency_samples += o.latency_samples;
   last_delivery_time = std::max(last_delivery_time, o.last_delivery_time);
   return *this;
 }

@@ -53,7 +53,8 @@ struct MacCounters {
   std::uint64_t extra_successes{0};
 
   // --- latency ----------------------------------------------------------
-  Duration total_delivery_latency{};    ///< enqueue -> delivered, summed
+  Duration total_delivery_latency{};    ///< enqueue -> acked at sender, summed
+  std::uint64_t latency_samples{0};     ///< packets contributing to the sum
   Time last_delivery_time{};            ///< Fig. 8 execution time input
 
   void count_sent(const Frame& frame) {

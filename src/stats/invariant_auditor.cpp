@@ -1,0 +1,254 @@
+#include "stats/invariant_auditor.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace aquamac {
+
+namespace {
+
+[[nodiscard]] bool is_negotiated(FrameType type) {
+  return type == FrameType::kRts || type == FrameType::kCts || type == FrameType::kData ||
+         type == FrameType::kAck;
+}
+
+}  // namespace
+
+std::string_view to_string(InvariantKind kind) {
+  switch (kind) {
+    case InvariantKind::kExtraOverlap: return "extra-overlap";
+    case InvariantKind::kOffSlotStart: return "off-slot-start";
+    case InvariantKind::kAckSlotMismatch: return "ack-slot-mismatch";
+    case InvariantKind::kNeighborDelayDrift: return "neighbor-delay-drift";
+  }
+  return "?";
+}
+
+void InvariantAuditor::record(const TraceEvent& event) {
+  switch (event.kind) {
+    case TraceEventKind::kTxStart: on_tx_start(event); break;
+    case TraceEventKind::kRxOk:
+    case TraceEventKind::kRxLost: on_rx(event); break;
+    case TraceEventKind::kNeighborUpdate: on_neighbor_update(event); break;
+    default: break;  // other MAC events carry context, not obligations
+  }
+}
+
+Time InvariantAuditor::match_tx(const TxKey& key, Time arrival_begin) const {
+  const auto it = tx_times_.find(key);
+  if (it == tx_times_.end()) return arrival_begin;
+  // Channel delays can slightly exceed tau_max (refracted paths); accept
+  // a slot of slack and keep the latest launch not after the arrival.
+  const Duration bound = config_.tau_max + config_.slot_length;
+  Time best{};
+  bool found = false;
+  const std::size_t live = std::min(it->second.count, TxRing::kSlots);
+  for (std::size_t i = 0; i < live; ++i) {
+    const Time t = it->second.at[i];
+    if (t > arrival_begin || arrival_begin - t > bound) continue;
+    if (!found || t > best) {
+      best = t;
+      found = true;
+    }
+  }
+  return found ? best : arrival_begin;
+}
+
+void InvariantAuditor::on_tx_start(const TraceEvent& event) {
+  tx_times_[TxKey{event.src, static_cast<std::uint8_t>(event.frame_type), event.seq}].push(
+      event.at);
+
+  if (config_.slotted && is_negotiated(event.frame_type)) {
+    // (b): negotiated packets start on slot boundaries (§4.1).
+    checks_ += 1;
+    const Duration offset = event.at - slot_start(slot_index(event.at));
+    if (offset > config_.sync_tolerance) {
+      std::ostringstream detail;
+      detail << "tx at " << event.at.to_string() << " is " << offset.to_string()
+             << " past the slot " << slot_index(event.at) << " boundary";
+      add_violation(Violation{InvariantKind::kOffSlotStart, event.at, event.node,
+                              event.frame_type, event.src, event.dst, event.seq,
+                              detail.str()});
+    }
+
+    // (c): consume a pending Eq.-5 expectation when the Ack launches.
+    if (event.frame_type == FrameType::kAck) {
+      NodeState& state = nodes_[event.node];
+      const TxKey data_key{event.dst, static_cast<std::uint8_t>(FrameType::kData), event.seq};
+      const auto it = state.ack_slot_expect.find(data_key);
+      if (it != state.ack_slot_expect.end()) {
+        checks_ += 1;
+        const std::int64_t actual = slot_index(event.at);
+        if (actual != it->second) {
+          std::ostringstream detail;
+          detail << "ack launched in slot " << actual << ", Eq. (5) expects slot "
+                 << it->second;
+          add_violation(Violation{InvariantKind::kAckSlotMismatch, event.at, event.node,
+                                  event.frame_type, event.src, event.dst, event.seq,
+                                  detail.str()});
+        }
+        state.ack_slot_expect.erase(it);
+      }
+    }
+  }
+}
+
+void InvariantAuditor::on_rx(const TraceEvent& event) {
+  // Hello / Rta / Maint are outside both the negotiated handshake and the
+  // extra phase; they still feed the knowledge maps below via kRxOk.
+  const bool audited_class = is_extra(event.frame_type) || is_negotiated(event.frame_type);
+
+  NodeState& state = nodes_[event.node];
+  ArrivalWindow window{};
+  window.iv = TimeInterval{event.window_begin, event.window_end};
+  window.type = event.frame_type;
+  window.src = event.src;
+  window.dst = event.dst;
+  window.seq = event.seq;
+  window.tx_at = match_tx(
+      TxKey{event.src, static_cast<std::uint8_t>(event.frame_type), event.seq},
+      event.window_begin);
+
+  if (event.kind == TraceEventKind::kRxOk) {
+    // Knowledge accrual: a decoded frame gives this node a measured delay
+    // to its sender (§4.3); a decoded RTS/CTS reveals the exchange.
+    state.knows_since.emplace(event.src, event.at);
+    if (event.frame_type == FrameType::kRts || event.frame_type == FrameType::kCts) {
+      const ExchangeKey key{std::min(event.src, event.dst), std::max(event.src, event.dst),
+                            event.seq};
+      state.heard.emplace(key, event.at);
+    }
+    state.last_rx = window;
+    state.last_rx_valid = true;
+
+    // (c) setup: an arrived DATA addressed here defines the Eq.-5 slot of
+    // the Ack this node will send. Latest arrival wins (retransmissions).
+    if (config_.slotted && event.frame_type == FrameType::kData && event.dst == event.node) {
+      const Duration tau = event.window_begin - window.tx_at;
+      const Duration airtime = event.window_end - event.window_begin;
+      state.ack_slot_expect[TxKey{event.src, static_cast<std::uint8_t>(FrameType::kData),
+                                  event.seq}] =
+          slot_index(window.tx_at) + (airtime + tau).divide_ceil(config_.slot_length);
+    }
+  }
+
+  if (audited_class) {
+    if (is_extra(event.frame_type)) {
+      state.extras.push_back(window);
+      check_extra_overlap(event.node, window, /*added_is_extra=*/true);
+    } else if (event.dst == event.node) {
+      state.negotiated.push_back(window);
+      check_extra_overlap(event.node, window, /*added_is_extra=*/false);
+    }
+  }
+  prune(event.node, event.at);
+}
+
+void InvariantAuditor::check_extra_overlap(NodeId node, const ArrivalWindow& added,
+                                           bool added_is_extra) {
+  NodeState& state = nodes_[node];
+  const auto& others = added_is_extra ? state.negotiated : state.extras;
+  for (const ArrivalWindow& other : others) {
+    if (!added.iv.overlaps(other.iv)) continue;
+    const ArrivalWindow& extra = added_is_extra ? added : other;
+    const ArrivalWindow& negotiated = added_is_extra ? other : added;
+
+    // Scope to the extra sender's knowledge at launch time: it must have
+    // decoded this exchange's negotiation AND have had a measured delay
+    // to this receiver — otherwise the clash was unpredictable (hidden
+    // terminal), which the paper's theorem does not cover.
+    const auto sender_it = nodes_.find(extra.src);
+    if (sender_it == nodes_.end()) continue;
+    const NodeState& sender = sender_it->second;
+    const ExchangeKey key{std::min(negotiated.src, negotiated.dst),
+                          std::max(negotiated.src, negotiated.dst), negotiated.seq};
+    const auto heard_it = sender.heard.find(key);
+    const auto knows_it = sender.knows_since.find(node);
+    checks_ += 1;
+    if (heard_it == sender.heard.end() || heard_it->second > extra.tx_at) continue;
+    if (knows_it == sender.knows_since.end() || knows_it->second > extra.tx_at) continue;
+
+    std::ostringstream detail;
+    detail << to_string(extra.type) << " from " << extra.src << " ["
+           << extra.iv.begin.to_string() << ", " << extra.iv.end.to_string()
+           << ") overlaps negotiated " << to_string(negotiated.type) << " "
+           << negotiated.src << "->" << negotiated.dst << " ["
+           << negotiated.iv.begin.to_string() << ", " << negotiated.iv.end.to_string()
+           << ") at receiver " << node;
+    add_violation(Violation{InvariantKind::kExtraOverlap, added.iv.begin, node, extra.type,
+                            extra.src, negotiated.dst, extra.seq, detail.str()});
+  }
+}
+
+void InvariantAuditor::on_neighbor_update(const TraceEvent& event) {
+  NodeState& state = nodes_[event.node];
+  if (!state.last_rx_valid || state.last_rx.src != event.src ||
+      state.last_rx.seq != event.seq || state.last_rx.type != event.frame_type) {
+    return;
+  }
+  const auto it = tx_times_.find(
+      TxKey{event.src, static_cast<std::uint8_t>(event.frame_type), event.seq});
+  if (it == tx_times_.end()) return;
+
+  // (d): the recorded delay must match clamp(true delay, 0, tau_max) for
+  // at least one recent launch of this frame — a ring because random
+  // backoffs can retransmit within tau_max, making "which launch produced
+  // this arrival" ambiguous from the key alone.
+  const Duration recorded = Duration::nanoseconds(event.a);
+  checks_ += 1;
+  bool any_candidate = false;
+  bool consistent = false;
+  const std::size_t live = std::min(it->second.count, TxRing::kSlots);
+  for (std::size_t i = 0; i < live; ++i) {
+    const Duration true_delay = state.last_rx.iv.begin - it->second.at[i];
+    if (true_delay.is_negative()) continue;
+    any_candidate = true;
+    const Duration clamped = std::clamp(true_delay, Duration::zero(), config_.tau_max);
+    const Duration error =
+        recorded > clamped ? recorded - clamped : clamped - recorded;
+    if (error <= config_.sync_tolerance) {
+      consistent = true;
+      break;
+    }
+  }
+  if (any_candidate && !consistent) {
+    std::ostringstream detail;
+    detail << "recorded delay " << recorded.to_string() << " for neighbor " << event.src
+           << " matches no recent launch within " << config_.sync_tolerance.to_string();
+    add_violation(Violation{InvariantKind::kNeighborDelayDrift, event.at, event.node,
+                            event.frame_type, event.src, event.dst, event.seq,
+                            detail.str()});
+  }
+}
+
+void InvariantAuditor::prune(NodeId node, Time now) {
+  NodeState& state = nodes_[node];
+  // Arrival windows stop mattering once nothing in flight can still reach
+  // back into them; extra plans never reach past a couple of slots beyond
+  // the negotiated Ack, so this horizon is generous.
+  const Duration horizon = 2 * (config_.slot_length + config_.tau_max);
+  while (!state.negotiated.empty() && state.negotiated.front().iv.end + horizon < now) {
+    state.negotiated.pop_front();
+  }
+  while (!state.extras.empty() && state.extras.front().iv.end + horizon < now) {
+    state.extras.pop_front();
+  }
+  // The heard-exchange map only grows; trim it occasionally on long runs.
+  if (state.heard.size() > 4096) {
+    const Duration heard_horizon = config_.slot_length * 64;
+    std::erase_if(state.heard,
+                  [&](const auto& kv) { return kv.second + heard_horizon < now; });
+  }
+}
+
+void InvariantAuditor::add_violation(Violation violation) {
+  violations_.push_back(std::move(violation));
+  if (config_.hard_fail) {
+    const Violation& v = violations_.back();
+    throw std::runtime_error("invariant violation [" + std::string{to_string(v.kind)} +
+                             "] at node " + std::to_string(v.node) + ": " + v.detail);
+  }
+}
+
+}  // namespace aquamac

@@ -1,0 +1,168 @@
+#pragma once
+// Runtime protocol-invariant auditor.
+//
+// A TraceSink that replays one run's combined PHY + MAC event stream and
+// checks the paper's structural guarantees online, per receiver:
+//
+//   (a) kExtraOverlap — no extra packet (EXR/EXC/EXDATA/EXACK) overlaps a
+//       *negotiated* packet at its intended receiver (§4's theorem). The
+//       check is scoped to what the extra's sender could know: a clash is
+//       a violation only when the sender had decoded the negotiation
+//       (RTS/CTS of that exchange) and had already measured its delay to
+//       the garbled receiver before launching — hidden terminals cannot
+//       violate a prediction they never saw.
+//   (b) kOffSlotStart — negotiated packets (RTS/CTS/DATA/ACK) start on
+//       slot boundaries (§4.1). Slotted protocols only.
+//   (c) kAckSlotMismatch — the Ack's slot equals Eq. (5):
+//       ts(Data) + ceil((TD + tau) / |ts|). Slotted protocols only.
+//   (d) kNeighborDelayDrift — a neighbor-table delay recorded from a
+//       reception is consistent with the channel's true propagation delay
+//       (tx start -> arrival begin) within the sync tolerance, after the
+//       MAC's [0, tau_max] clamp.
+//
+// Violations are recorded with full context; hard_fail promotes the first
+// one to a std::runtime_error, which is how the soak tests use it. The
+// auditor is a per-run sink: node ids collide across merged parallel
+// traces, so attach one auditor per run (ScenarioConfig::trace), not to a
+// merged stream.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/trace.hpp"
+#include "util/time.hpp"
+
+namespace aquamac {
+
+enum class InvariantKind : std::uint8_t {
+  kExtraOverlap,
+  kOffSlotStart,
+  kAckSlotMismatch,
+  kNeighborDelayDrift,
+};
+
+[[nodiscard]] std::string_view to_string(InvariantKind kind);
+
+class InvariantAuditor final : public TraceSink {
+ public:
+  struct Config {
+    bool slotted{true};        ///< enables (b) and (c)
+    Duration slot_length{};    ///< |ts| = omega + tau_max (§4.1)
+    Duration omega{};          ///< control-packet airtime
+    Duration tau_max{};        ///< MAC clamp bound for (d)
+    Duration sync_tolerance{}; ///< allowed |recorded - true| delay error
+    bool hard_fail{false};     ///< throw on the first violation
+  };
+
+  struct Violation {
+    InvariantKind kind{InvariantKind::kExtraOverlap};
+    Time at{};
+    NodeId node{kNoNode};
+    FrameType frame_type{FrameType::kHello};
+    NodeId src{kNoNode};
+    NodeId dst{kNoNode};
+    std::uint64_t seq{0};
+    std::string detail;
+  };
+
+  explicit InvariantAuditor(Config config) : config_{config} {}
+
+  void record(const TraceEvent& event) override;
+
+  [[nodiscard]] const std::vector<Violation>& violations() const { return violations_; }
+  /// Total individual invariant evaluations performed (a liveness check:
+  /// zero violations out of zero checks proves nothing).
+  [[nodiscard]] std::uint64_t checks() const { return checks_; }
+
+ private:
+  /// Transmissions keyed by (src, type, seq); a short ring of recent
+  /// launches because retransmissions reuse the key.
+  struct TxKey {
+    NodeId src{kNoNode};
+    std::uint8_t type{0};
+    std::uint64_t seq{0};
+    bool operator==(const TxKey&) const = default;
+  };
+  struct TxKeyHash {
+    std::size_t operator()(const TxKey& k) const {
+      std::uint64_t h = (static_cast<std::uint64_t>(k.src) << 8) | k.type;
+      h ^= k.seq + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+  struct TxRing {
+    static constexpr std::size_t kSlots = 4;
+    Time at[kSlots]{};
+    std::size_t count{0};
+    void push(Time t) { at[count++ % kSlots] = t; }
+  };
+
+  /// A decodable arrival window at one receiver.
+  struct ArrivalWindow {
+    TimeInterval iv{};
+    FrameType type{FrameType::kHello};
+    NodeId src{kNoNode};
+    NodeId dst{kNoNode};
+    std::uint64_t seq{0};
+    Time tx_at{};  ///< matched launch time (window begin when unmatched)
+  };
+
+  /// (lo node, hi node, seq) of a negotiated exchange.
+  struct ExchangeKey {
+    NodeId lo{kNoNode};
+    NodeId hi{kNoNode};
+    std::uint64_t seq{0};
+    bool operator==(const ExchangeKey&) const = default;
+  };
+  struct ExchangeKeyHash {
+    std::size_t operator()(const ExchangeKey& k) const {
+      std::uint64_t h = (static_cast<std::uint64_t>(k.lo) << 32) | k.hi;
+      h ^= k.seq + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  struct NodeState {
+    std::deque<ArrivalWindow> negotiated;  ///< addressed-to-this-node windows
+    std::deque<ArrivalWindow> extras;      ///< extra-class windows (any dst)
+    /// Earliest decode of each exchange's RTS/CTS at this node.
+    std::unordered_map<ExchangeKey, Time, ExchangeKeyHash> heard;
+    /// Earliest successful reception from each sender: from then on this
+    /// node has a measured delay to that sender (§4.3).
+    std::unordered_map<NodeId, Time> knows_since;
+    /// Last decodable arrival, pending its kNeighborUpdate for check (d).
+    ArrivalWindow last_rx{};
+    bool last_rx_valid{false};
+    /// Expected Eq.-5 Ack slot keyed by the DATA's (sender, kData, seq):
+    /// filled when the DATA arrives, consumed when this node launches the
+    /// Ack.
+    std::unordered_map<TxKey, std::int64_t, TxKeyHash> ack_slot_expect;
+  };
+
+  void on_tx_start(const TraceEvent& event);
+  void on_rx(const TraceEvent& event);
+  void on_neighbor_update(const TraceEvent& event);
+  void check_extra_overlap(NodeId node, const ArrivalWindow& added, bool added_is_extra);
+  void add_violation(Violation violation);
+  void prune(NodeId node, Time now);
+
+  [[nodiscard]] std::int64_t slot_index(Time t) const {
+    return (t - Time::zero()).divide_floor(config_.slot_length);
+  }
+  [[nodiscard]] Time slot_start(std::int64_t index) const {
+    return Time::zero() + config_.slot_length * index;
+  }
+  /// Latest launch in the ring consistent with this arrival begin.
+  [[nodiscard]] Time match_tx(const TxKey& key, Time arrival_begin) const;
+
+  Config config_;
+  std::unordered_map<TxKey, TxRing, TxKeyHash> tx_times_;
+  std::unordered_map<NodeId, NodeState> nodes_;
+  std::vector<Violation> violations_;
+  std::uint64_t checks_{0};
+};
+
+}  // namespace aquamac

@@ -3,14 +3,16 @@
 namespace aquamac {
 
 double jain_fairness(const std::vector<double>& values) {
-  if (values.empty()) return 0.0;
+  // All-equal inputs (including all-zero, and vacuously the empty set)
+  // score 1.0: an idle scenario is perfectly fair, not maximally unfair.
+  if (values.empty()) return 1.0;
   double sum = 0.0;
   double sum_sq = 0.0;
   for (double v : values) {
     sum += v;
     sum_sq += v * v;
   }
-  if (sum_sq == 0.0) return 0.0;
+  if (sum_sq == 0.0) return 1.0;
   return sum * sum / (static_cast<double>(values.size()) * sum_sq);
 }
 
@@ -51,9 +53,9 @@ RunStats compute_run_stats(const MacCounters& total, double total_energy_j,
   stats.piggyback_bits = total.piggyback_info_bits;
   stats.total_bits_sent = total.total_bits_sent();
 
-  if (total.packets_sent_ok > 0) {
+  if (total.latency_samples > 0) {
     stats.mean_latency_s = total.total_delivery_latency.to_seconds() /
-                           static_cast<double>(total.packets_sent_ok);
+                           static_cast<double>(total.latency_samples);
   }
   if (total.last_delivery_time > traffic_start) {
     stats.execution_time_s = (total.last_delivery_time - traffic_start).to_seconds();

@@ -70,7 +70,8 @@ struct RunStats {
   double mean_e2e_latency_s{0.0};
 };
 
-/// Jain's fairness index: (sum x)^2 / (n * sum x^2); 0 for empty input.
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2); 1.0 for empty or
+/// all-zero input (all-equal shares are perfectly fair).
 [[nodiscard]] double jain_fairness(const std::vector<double>& values);
 
 /// Folds summed per-node counters + energy into a RunStats.

@@ -1,6 +1,7 @@
 #include "stats/trace.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <ostream>
 #include <sstream>
 
@@ -11,6 +12,13 @@ std::string_view to_string(TraceEventKind kind) {
     case TraceEventKind::kTxStart: return "TX";
     case TraceEventKind::kRxOk: return "RX";
     case TraceEventKind::kRxLost: return "LOST";
+    case TraceEventKind::kMacState: return "STATE";
+    case TraceEventKind::kSlotBoundary: return "SLOT";
+    case TraceEventKind::kContentionWin: return "WIN";
+    case TraceEventKind::kContentionLoss: return "LOSE";
+    case TraceEventKind::kExtraNegotiated: return "EXNEG";
+    case TraceEventKind::kExtraScheduled: return "EXPLAN";
+    case TraceEventKind::kNeighborUpdate: return "NBR";
   }
   return "?";
 }
@@ -31,6 +39,8 @@ std::string TraceEvent::to_csv_row() const {
   } else {
     os << ",";
   }
+  os << ',' << window_begin.count_ns() << ',' << window_end.count_ns() << ',' << a << ','
+     << b << ',' << value;
   return os.str();
 }
 
@@ -54,7 +64,7 @@ bool MemoryTrace::is_time_ordered() const {
 }
 
 CsvTrace::CsvTrace(std::ostream& os) : os_{os} {
-  os_ << "t_ns,event,node,frame,src,dst,seq,bits,loss\n";
+  os_ << "t_ns,event,node,frame,src,dst,seq,bits,loss,win_begin_ns,win_end_ns,a,b,value\n";
 }
 
 void CsvTrace::record(const TraceEvent& event) { os_ << event.to_csv_row() << '\n'; }
@@ -76,6 +86,40 @@ void HashTrace::record(const TraceEvent& event) {
   mix(event.seq);
   mix(event.bits);
   mix(static_cast<std::uint64_t>(event.outcome));
+  mix(static_cast<std::uint64_t>(event.window_begin.count_ns()));
+  mix(static_cast<std::uint64_t>(event.window_end.count_ns()));
+  mix(static_cast<std::uint64_t>(event.a));
+  mix(static_cast<std::uint64_t>(event.b));
+  mix(std::bit_cast<std::uint64_t>(event.value));
+}
+
+TraceSinkFactory memory_trace_factory() {
+  return [](std::size_t /*run_index*/) { return std::make_unique<MemoryTrace>(); };
+}
+
+void merge_traces(const std::vector<std::unique_ptr<MemoryTrace>>& runs, TraceSink& out) {
+  struct Key {
+    Time at;
+    std::size_t run;
+    std::size_t idx;
+  };
+  std::vector<Key> keys;
+  std::size_t total = 0;
+  for (const auto& run : runs) {
+    if (run != nullptr) total += run->size();
+  }
+  keys.reserve(total);
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    if (runs[r] == nullptr) continue;
+    const auto& events = runs[r]->events();
+    for (std::size_t i = 0; i < events.size(); ++i) keys.push_back(Key{events[i].at, r, i});
+  }
+  std::sort(keys.begin(), keys.end(), [](const Key& x, const Key& y) {
+    if (x.at != y.at) return x.at < y.at;
+    if (x.run != y.run) return x.run < y.run;
+    return x.idx < y.idx;
+  });
+  for (const Key& key : keys) out.record(runs[key.run]->events()[key.idx]);
 }
 
 }  // namespace aquamac

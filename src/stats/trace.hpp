@@ -2,13 +2,23 @@
 // Structured event tracing.
 //
 // A TraceSink receives one record per PHY-level event (transmit start,
-// successful reception, reception failure) network-wide, in simulation
-// order. Sinks: in-memory (tests, analysis), CSV (plotting), and a FNV
-// hash reducer used by the reproducibility tests — two runs of the same
-// (scenario, seed) must produce bit-identical traces.
+// successful reception, reception failure) and per MAC-level event (state
+// transitions, slot boundaries, contention outcomes, extra-communication
+// negotiation, neighbor-table updates) network-wide, in simulation order.
+// Sinks: in-memory (tests, analysis), CSV (plotting), a FNV hash reducer
+// used by the reproducibility tests — two runs of the same
+// (scenario, seed) must produce bit-identical traces — and the
+// InvariantAuditor (stats/invariant_auditor.hpp).
+//
+// Parallel harness runs buffer per-run MemoryTraces (one per task, built
+// by a TraceSinkFactory) and merge them after the join with
+// merge_traces(), ordered by (sim time, run index, intra-run order), so
+// the merged stream is bit-identical for every jobs value.
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,9 +29,18 @@
 namespace aquamac {
 
 enum class TraceEventKind : std::uint8_t {
+  // --- PHY events (emitted by AcousticModem) ---------------------------
   kTxStart,
   kRxOk,
   kRxLost,
+  // --- MAC events (emitted through MacProtocol::trace_mac) -------------
+  kMacState,         ///< handshake FSM transition; a = from, b = to
+  kSlotBoundary,     ///< slotted MAC acted on a slot boundary; a = slot index
+  kContentionWin,    ///< receiver granted CTS; src = winner, value = rp
+  kContentionLoss,   ///< sender lost a contention round (§3.1)
+  kExtraNegotiated,  ///< EXC granted; window = validity of the grant
+  kExtraScheduled,   ///< EXDATA launch planned; window = its air time (Eq. 6)
+  kNeighborUpdate,   ///< delay table refresh; src = neighbor, a = delay ns
 };
 
 [[nodiscard]] std::string_view to_string(TraceEventKind kind);
@@ -36,6 +55,17 @@ struct TraceEvent {
   std::uint64_t seq{0};
   std::uint32_t bits{0};
   RxOutcome outcome{RxOutcome::kSuccess};  ///< meaningful for kRxLost
+
+  /// Air window (PHY events: [tx begin, tx end) or the arrival window at
+  /// this receiver) or validity/plan window (kExtraNegotiated /
+  /// kExtraScheduled). Zero for events without a window.
+  Time window_begin{};
+  Time window_end{};
+  /// Kind-specific integers (see TraceEventKind comments).
+  std::int64_t a{0};
+  std::int64_t b{0};
+  /// Kind-specific real value (kContentionWin: the winning rp).
+  double value{0.0};
 
   [[nodiscard]] std::string to_csv_row() const;
 };
@@ -96,5 +126,18 @@ class TeeTrace final : public TraceSink {
  private:
   std::vector<TraceSink*> sinks_;
 };
+
+/// Builds the per-run buffer sink for parallel-harness run `run_index`.
+using TraceSinkFactory = std::function<std::unique_ptr<MemoryTrace>(std::size_t run_index)>;
+
+/// The default factory: a plain MemoryTrace per run.
+[[nodiscard]] TraceSinkFactory memory_trace_factory();
+
+/// Replays per-run buffered traces into `out`, ordered by
+/// (sim time, run index, intra-run order). The order is a pure function
+/// of the buffered events, so serial and parallel executions of the same
+/// run set produce bit-identical merged streams. Null buffers are
+/// skipped.
+void merge_traces(const std::vector<std::unique_ptr<MemoryTrace>>& runs, TraceSink& out);
 
 }  // namespace aquamac

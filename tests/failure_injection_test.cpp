@@ -6,6 +6,7 @@
 
 #include "harness/runner.hpp"
 #include "harness/scenario.hpp"
+#include "stats/trace.hpp"
 #include "testbed.hpp"
 
 namespace aquamac {
@@ -166,6 +167,68 @@ TEST(FailureInjection, MassFailureDegradesButNeverWedges) {
   EXPECT_GT(wounded.packets_delivered, 0u) << "the surviving half keeps working";
   // Conservation still holds network-wide.
   EXPECT_LE(wounded.packets_delivered, wounded.packets_offered);
+}
+
+// Trips the sender's modem the instant the receiver starts radiating the
+// first Ack, and revives it after every echo of that Ack has faded
+// (> tau_max), so exactly that Ack is lost and the retry handshake can
+// complete.
+class FirstAckKiller final : public TraceSink {
+ public:
+  FirstAckKiller(Simulator& sim, AcousticModem& victim) : sim_{sim}, victim_{victim} {}
+
+  void record(const TraceEvent& event) override {
+    if (fired_ || event.kind != TraceEventKind::kTxStart ||
+        event.frame_type != FrameType::kAck) {
+      return;
+    }
+    fired_ = true;
+    victim_.set_operational(false);
+    AcousticModem* victim = &victim_;
+    sim_.at(event.window_end + Duration::seconds(2),
+            [victim] { victim->set_operational(true); });
+  }
+
+  [[nodiscard]] bool fired() const { return fired_; }
+
+ private:
+  Simulator& sim_;
+  AcousticModem& victim_;
+  bool fired_{false};
+};
+
+TEST(FailureInjection, ForcedAckLossKeepsLatencyAccountingMatched) {
+  // Regression for the mean-latency divisor: the latency sum and its
+  // sample count are accrued at the same site, so an ACK loss that
+  // stretches one packet's delivery over a retry must still leave
+  // latency_samples == packets_sent_ok, with the single sample covering
+  // the whole retry span.
+  TestBed bed;
+  const NodeId s = bed.add_node(MacKind::kEwMac, Vec3{0, 0, 1'000});
+  const NodeId r = bed.add_node(MacKind::kEwMac, Vec3{0, 0, 0});
+  FirstAckKiller killer{bed.sim(), bed.node(s).modem()};
+  bed.node(r).modem().set_trace(&killer);
+  bed.hello_and_settle();
+  bed.mac(s).enqueue_packet(r, 2'048);
+  bed.sim().run_until(Time::from_seconds(300.0));
+
+  // The identical exchange without the kill switch, as a latency baseline.
+  TestBed control;
+  const NodeId cs = control.add_node(MacKind::kEwMac, Vec3{0, 0, 1'000});
+  const NodeId cr = control.add_node(MacKind::kEwMac, Vec3{0, 0, 0});
+  control.hello_and_settle();
+  control.mac(cs).enqueue_packet(cr, 2'048);
+  control.sim().run_until(Time::from_seconds(300.0));
+  ASSERT_EQ(control.counters(cs).packets_sent_ok, 1u);
+  ASSERT_EQ(control.counters(cs).latency_samples, 1u);
+
+  ASSERT_TRUE(killer.fired()) << "no Ack ever flew";
+  const MacCounters& sc = bed.counters(s);
+  ASSERT_EQ(sc.packets_sent_ok, 1u) << "the retry must eventually deliver";
+  EXPECT_EQ(sc.latency_samples, sc.packets_sent_ok);
+  EXPECT_GT(sc.total_delivery_latency,
+            control.counters(cs).total_delivery_latency + testbed::default_slot())
+      << "the lost Ack must show up in the one packet's latency";
 }
 
 TEST(FailureInjection, MultiHopLosesDownstreamOfDeadRelay) {

@@ -47,8 +47,11 @@ TEST(Jain, TotalCaptureIsOneOverN) {
 }
 
 TEST(Jain, DegenerateInputs) {
-  EXPECT_DOUBLE_EQ(jain_fairness({}), 0.0);
-  EXPECT_DOUBLE_EQ(jain_fairness({0.0, 0.0}), 0.0);
+  // An idle scenario (everyone delivered the same amount: zero) is
+  // perfectly fair, not maximally unfair — returning 0 would drag sweep
+  // means down at loads where no protocol delivers anything.
+  EXPECT_DOUBLE_EQ(jain_fairness({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({0.0, 0.0}), 1.0);
   EXPECT_DOUBLE_EQ(jain_fairness({7.0}), 1.0);
 }
 

@@ -26,6 +26,7 @@ MacCounters synthetic_counters() {
   c.bits_sent[frame_type_index(FrameType::kHello)] = 60 * 64;
   c.retransmitted_bits = 5 * 64;
   c.total_delivery_latency = Duration::seconds(160);
+  c.latency_samples = 80;
   c.last_delivery_time = Time::from_seconds(250.0);
   return c;
 }
@@ -45,7 +46,7 @@ TEST(Metrics, ComputeRunStatsEquations) {
   EXPECT_EQ(stats.control_bits, (90u + 85u + 80u) * 64u);
   EXPECT_EQ(stats.maintenance_bits, 10u * 500u + 60u * 64u);
   EXPECT_EQ(stats.retransmitted_bits, 5u * 64u);
-  // Latency: 160 s over 80 acked packets.
+  // Latency: 160 s over the 80 packets that contributed samples.
   EXPECT_NEAR(stats.mean_latency_s, 2.0, 1e-12);
   // Execution time relative to traffic start.
   EXPECT_NEAR(stats.execution_time_s, 240.0, 1e-12);
@@ -71,6 +72,29 @@ TEST(Metrics, CountersAdditive) {
   EXPECT_EQ(a.frames_sent[frame_type_index(FrameType::kRts)], 180u);
   EXPECT_EQ(a.last_delivery_time, Time::from_seconds(250.0)) << "max, not sum";
   EXPECT_EQ(a.total_delivery_latency, Duration::seconds(320));
+  EXPECT_EQ(a.latency_samples, 160u);
+}
+
+TEST(Metrics, MeanLatencyUsesSampleCountNotSentOk) {
+  // Regression: mean latency used to divide by packets_sent_ok while the
+  // latency sum was accumulated over a different packet set, so any
+  // divergence between the two (e.g. ACK losses burning a packet's retry
+  // budget after a successful earlier delivery) skewed the mean. The
+  // divisor must be the count matched to the summed samples.
+  MacCounters c{};
+  c.packets_sent_ok = 10;
+  c.total_delivery_latency = Duration::seconds(8);
+  c.latency_samples = 4;
+  const RunStats stats = compute_run_stats(c, 0.0, 1, Duration::seconds(100),
+                                           Duration::seconds(100), Time::zero());
+  EXPECT_NEAR(stats.mean_latency_s, 2.0, 1e-12);
+
+  // No samples at all: safe zero even though packets_sent_ok is nonzero.
+  MacCounters none{};
+  none.packets_sent_ok = 10;
+  const RunStats empty = compute_run_stats(none, 0.0, 1, Duration::seconds(100),
+                                           Duration::seconds(100), Time::zero());
+  EXPECT_EQ(empty.mean_latency_s, 0.0);
 }
 
 TEST(Harness, MeanOfAverages) {

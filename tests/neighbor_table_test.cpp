@@ -26,11 +26,21 @@ TEST(NeighborTable, LatestUpdateWins) {
 
 TEST(NeighborTable, MaxKnownDelay) {
   NeighborTable table;
-  EXPECT_EQ(table.max_known_delay(), Duration::zero());
+  // An empty table has no delay to report — not a zero delay, which a
+  // caller could mistake for "a neighbor at distance 0".
+  EXPECT_FALSE(table.max_known_delay().has_value());
   table.update(1, Duration::milliseconds(300), Time::zero());
   table.update(2, Duration::milliseconds(900), Time::zero());
   table.update(3, Duration::milliseconds(500), Time::zero());
-  EXPECT_EQ(table.max_known_delay(), Duration::milliseconds(900));
+  ASSERT_TRUE(table.max_known_delay().has_value());
+  EXPECT_EQ(*table.max_known_delay(), Duration::milliseconds(900));
+}
+
+TEST(NeighborTable, MaxKnownDelayEmptyAfterExpiry) {
+  NeighborTable table;
+  table.update(1, Duration::milliseconds(300), Time::from_seconds(1.0));
+  table.expire_older_than(Time::from_seconds(10.0));
+  EXPECT_FALSE(table.max_known_delay().has_value());
 }
 
 TEST(NeighborTable, NeighborIdsSorted) {

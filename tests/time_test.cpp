@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace aquamac {
 namespace {
 
@@ -47,6 +49,35 @@ TEST(Duration, DivideFloorAndCeil) {
   // time zero in tests).
   EXPECT_EQ(Duration::milliseconds(-25).divide_floor(slot), -3);
   EXPECT_EQ(Duration::milliseconds(-25).divide_ceil(slot), -2);
+}
+
+TEST(Duration, DivideFloorCeilProperties) {
+  // Exhaustive sweep over several divisors and numerators straddling
+  // zero. For every (x, slot) the defining bracket inequalities must
+  // hold, ceil must be floor's mirror (the Eq.-5 implementation relies
+  // on divide_ceil(x) == -divide_floor(-x)), and the two must agree
+  // exactly on whole multiples and differ by one everywhere else.
+  const std::int64_t divisors[] = {1, 3, 7, 1'000, 999'983};
+  for (const std::int64_t slot_ns : divisors) {
+    const Duration slot = Duration::nanoseconds(slot_ns);
+    const std::int64_t step = std::max<std::int64_t>(std::int64_t{1}, slot_ns / 7);
+    for (std::int64_t n = -3 * slot_ns - 2; n <= 3 * slot_ns + 2; n += step) {
+      const Duration x = Duration::nanoseconds(n);
+      const std::int64_t f = x.divide_floor(slot);
+      const std::int64_t c = x.divide_ceil(slot);
+      ASSERT_LE(slot * f, x) << n << " / " << slot_ns;
+      ASSERT_GT(slot * (f + 1), x) << n << " / " << slot_ns;
+      ASSERT_GE(slot * c, x) << n << " / " << slot_ns;
+      ASSERT_LT(slot * (c - 1), x) << n << " / " << slot_ns;
+      ASSERT_EQ(c, -((-x).divide_floor(slot))) << n << " / " << slot_ns;
+      ASSERT_EQ(f, -((-x).divide_ceil(slot))) << n << " / " << slot_ns;
+      if (n % slot_ns == 0) {
+        ASSERT_EQ(f, c) << "exact multiple: " << n << " / " << slot_ns;
+      } else {
+        ASSERT_EQ(c, f + 1) << n << " / " << slot_ns;
+      }
+    }
+  }
 }
 
 TEST(Duration, Eq5SlotCountExample) {

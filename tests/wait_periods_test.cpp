@@ -54,6 +54,29 @@ TEST(WaitPeriodsTest, PeriodsShrinkWithDensity) {
             far.sender_rts_to_cts.length().to_seconds());
 }
 
+TEST(WaitPeriodsTest, Eq5AckSlotMatchesCeilFormula) {
+  // Eq. (5) across a geometry/payload sweep: the Ack slot is always the
+  // DATA slot (RTS slot + 2) advanced by ceil((TD + tau) / |ts|).
+  for (const double distance_m : {150.0, 300.0, 750.0, 1'400.0, 1'499.0}) {
+    for (const std::uint32_t data_bits : {256u, 1'024u, 2'048u, 8'192u}) {
+      const WaitPeriodInputs in = table2_inputs(3, distance_m, data_bits);
+      const WaitPeriods p = compute_wait_periods(in);
+      EXPECT_EQ(p.ack_slot,
+                3 + 2 + (in.data_airtime + in.tau_pair).divide_ceil(in.slot_length))
+          << distance_m << " m, " << data_bits << " bits";
+    }
+  }
+}
+
+TEST(WaitPeriodsTest, Eq5ExactMultipleDoesNotOvershoot) {
+  // When TD + tau lands exactly on a slot boundary, the ceil must not
+  // round up an extra slot.
+  WaitPeriodInputs in = table2_inputs(0, 1'400.0, 2'048);
+  in.tau_pair = in.slot_length * 2 - in.data_airtime;
+  const WaitPeriods p = compute_wait_periods(in);
+  EXPECT_EQ(p.ack_slot, 0 + 2 + 2);
+}
+
 TEST(WaitPeriodsTest, BigDataPushesAckSlot) {
   const WaitPeriods small = compute_wait_periods(table2_inputs(0, 1'000.0, 1'024));
   const WaitPeriods large = compute_wait_periods(table2_inputs(0, 1'000.0, 24'000));

@@ -4,8 +4,10 @@
 //   aquamac_sim --mac CS-MAC --reception sinr --trace run.csv
 //   aquamac_sim --help
 //
-// Prints the full metric block; optionally writes a per-event PHY trace
-// in CSV for external analysis/plotting.
+// Prints the full metric block; optionally writes a per-event PHY + MAC
+// trace (transmissions, receptions, FSM transitions, contention
+// outcomes, extra-phase windows, neighbor updates) in CSV for external
+// analysis/plotting.
 
 #include <fstream>
 #include <iostream>
@@ -129,7 +131,7 @@ int main(int argc, char** argv) {
                     {"kill-fraction", "0", "fraction of nodes that die 60 s into traffic"},
                     {"batch", "false", "batch workload instead of Poisson (Figs. 8/9 mode)"},
                     {"batch-packets", "40", "packets injected at start in batch mode"},
-                    {"trace", "", "write a per-event PHY trace CSV to this path"},
+                    {"trace", "", "write a per-event PHY + MAC trace CSV to this path"},
                     {"config", "", "load scenario defaults from a key=value file first"},
                     {"save-config", "", "write the effective scenario to this path"},
                     {"verbose", "false", "per-node debug logging to stderr"},
