@@ -1,0 +1,144 @@
+// Spatial-index scaling: runs the density-preserving grid3d scale
+// scenario at N in {50, 200, 1000, 2000} with the channel's spatial
+// receiver index on and off, asserts the two event streams are
+// bit-identical (HashTrace digest), and records the wall-clock speedup
+// in BENCH_scale.json. This is the perf ledger for the channel's
+// receiver lookup: track speedup_n2000 across commits.
+//
+//   AQUAMAC_FAST=1 ./bench_scale      # N <= 200 only (smoke)
+//   AQUAMAC_SCALE_MAC=sfama ./bench_scale
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "harness/runner.hpp"
+#include "stats/trace.hpp"
+#include "util/json_writer.hpp"
+
+namespace {
+
+using namespace aquamac;
+
+struct Cell {
+  std::size_t nodes{0};
+  double indexed_wall_s{0.0};
+  double brute_wall_s{0.0};
+  std::uint64_t indexed_digest{0};
+  std::uint64_t brute_digest{0};
+  [[nodiscard]] double speedup() const {
+    return indexed_wall_s > 0.0 ? brute_wall_s / indexed_wall_s : 0.0;
+  }
+  [[nodiscard]] bool identical() const { return indexed_digest == brute_digest; }
+};
+
+/// One full simulation with the trace digested; returns (wall_s, digest).
+std::pair<double, std::uint64_t> timed_run(ScenarioConfig config) {
+  HashTrace hash;
+  config.trace = &hash;
+  const auto begin = std::chrono::steady_clock::now();
+  (void)run_scenario(config);
+  const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - begin;
+  return {wall.count(), hash.digest()};
+}
+
+}  // namespace
+
+int main() {
+  using namespace aquamac;
+  bench::print_header("Spatial-index scaling",
+                      "channel receiver lookup at scale (not a paper figure)");
+
+  MacKind mac = MacKind::kEwMac;
+  if (const char* env = std::getenv("AQUAMAC_SCALE_MAC")) {
+    if (std::string{env} == "sfama") mac = MacKind::kSFama;
+    if (std::string{env} == "macau") mac = MacKind::kMacaU;
+  }
+
+  std::vector<std::size_t> sizes{50, 200, 1000, 2000};
+  if (const char* fast = std::getenv("AQUAMAC_FAST"); fast != nullptr && fast[0] == '1') {
+    sizes = {50, 200};
+  }
+
+  std::cout << "mac " << to_string(mac) << ", grid3d, 60 s horizon, mobility on\n";
+  std::cout << "     N   index-on s  index-off s   speedup  bit-identical\n";
+
+  std::vector<Cell> cells;
+  bool all_identical = true;
+  for (const std::size_t n : sizes) {
+    ScenarioConfig config = grid3d_scenario(n, /*seed=*/7);
+    config.mac = mac;
+
+    Cell cell;
+    cell.nodes = n;
+    config.channel.use_spatial_index = true;
+    std::tie(cell.indexed_wall_s, cell.indexed_digest) = timed_run(config);
+    config.channel.use_spatial_index = false;
+    std::tie(cell.brute_wall_s, cell.brute_digest) = timed_run(config);
+
+    all_identical = all_identical && cell.identical();
+    std::cout.width(6);
+    std::cout << n << "   " << cell.indexed_wall_s << "      " << cell.brute_wall_s
+              << "      " << cell.speedup() << "x      "
+              << (cell.identical() ? "yes" : "NO") << "\n";
+    cells.push_back(cell);
+  }
+
+  const Cell& largest = cells.back();
+  std::cout << "\nspeedup at N=" << largest.nodes << ": " << largest.speedup()
+            << "x    all digests identical: " << (all_identical ? "yes" : "NO") << "\n";
+
+  if (const char* off = std::getenv("AQUAMAC_NO_BENCH_JSON");
+      off == nullptr || off[0] != '1') {
+    const std::string path = bench::bench_output_dir() + "/BENCH_scale.json";
+    std::ofstream os{path};
+    if (!os) {
+      std::cerr << "warning: cannot open " << path << " for writing\n";
+    } else {
+      JsonWriter json{os};
+      json.begin_object();
+      json.key("bench").value("scale");
+      json.key("schema").value("aquamac-bench-v1");
+      json.key("mac").value(to_string(mac));
+      json.key("bit_identical").value(all_identical ? 1.0 : 0.0);
+      json.key("speedup_largest_n").value(largest.speedup());
+      json.key("xs").begin_array();
+      for (const Cell& cell : cells) json.value(static_cast<double>(cell.nodes));
+      json.end_array();
+      // Series nest metric -> protocol -> values like every other bench,
+      // so scripts/plot_results.py can plot them unchanged.
+      const std::string mac_name{to_string(mac)};
+      json.key("series").begin_object();
+      json.key("indexed_wall_s").begin_object();
+      json.key(mac_name).begin_array();
+      for (const Cell& cell : cells) json.value(cell.indexed_wall_s);
+      json.end_array();
+      json.end_object();
+      json.key("brute_wall_s").begin_object();
+      json.key(mac_name).begin_array();
+      for (const Cell& cell : cells) json.value(cell.brute_wall_s);
+      json.end_array();
+      json.end_object();
+      json.key("speedup").begin_object();
+      json.key(mac_name).begin_array();
+      for (const Cell& cell : cells) json.value(cell.speedup());
+      json.end_array();
+      json.end_object();
+      json.end_object();
+      json.end_object();
+      os << "\n";
+      std::cout << "[bench json] wrote " << path << "\n";
+    }
+  }
+
+  if (!all_identical) {
+    std::cerr << "ERROR: spatial index changed the event stream\n";
+    return 1;
+  }
+  return 0;
+}

@@ -35,4 +35,27 @@ double transmission_loss_db(double distance_m, double freq_khz, Spreading spread
   return geometric + absorptive;
 }
 
+double max_range_for_loss_db(double loss_budget_db, double freq_khz, Spreading spreading) {
+  constexpr double kMinRangeM = 1.0;
+  constexpr double kMaxRangeM = 1e7;
+  if (transmission_loss_db(kMinRangeM, freq_khz, spreading) >= loss_budget_db) {
+    return kMinRangeM;
+  }
+  if (transmission_loss_db(kMaxRangeM, freq_khz, spreading) <= loss_budget_db) {
+    return kMaxRangeM;
+  }
+  double lo = kMinRangeM;  // TL(lo) < budget
+  double hi = kMaxRangeM;  // TL(hi) > budget
+  while (hi - lo > 1e-3) {
+    const double mid = 0.5 * (lo + hi);
+    if (transmission_loss_db(mid, freq_khz, spreading) <= loss_budget_db) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  // hi is just past the crossing: conservative for cutoff-radius use.
+  return hi;
+}
+
 }  // namespace aquamac

@@ -35,4 +35,12 @@ enum class Spreading { kCylindrical, kPractical, kSpherical };
 [[nodiscard]] double transmission_loss_db(double distance_m, double freq_khz,
                                           Spreading spreading = Spreading::kPractical);
 
+/// Inverse link budget: the largest distance whose transmission loss does
+/// not exceed `loss_budget_db`, found by bisection (TL is strictly
+/// increasing in distance). Conservative: the returned radius is at or
+/// just past the crossing, so every point with TL <= budget lies inside
+/// it. Clamped to [1 m, 1e7 m]; budgets below TL(1 m) return 1 m.
+[[nodiscard]] double max_range_for_loss_db(double loss_budget_db, double freq_khz,
+                                           Spreading spreading = Spreading::kPractical);
+
 }  // namespace aquamac

@@ -1,10 +1,39 @@
 #include "channel/acoustic_channel.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <memory>
 #include <stdexcept>
 
+#include "channel/absorption.hpp"
+
 namespace aquamac {
+
+namespace {
+
+double effective_floor_for(const ChannelConfig& config, double noise_level_db) {
+  return std::max(config.interference_floor_db,
+                  noise_level_db - kNegligibleInterferenceMarginDb);
+}
+
+/// Max distance at which any attached modem can still register as
+/// interference. kRangeBased bounds reach by configured range; kLevelBased
+/// by inverting the link budget at the effective floor. Propagation path
+/// length is >= the Euclidean chord (bellhop arcs bow outward), and TL is
+/// monotone in length, so a Euclidean radius from the straight-line budget
+/// conservatively covers curved-path reach too.
+double interference_cutoff_for(const ChannelConfig& config, double effective_floor_db) {
+  switch (config.mode) {
+    case DeliveryMode::kRangeBased:
+      return config.interference_range_m;
+    case DeliveryMode::kLevelBased:
+      return max_range_for_loss_db(config.source_level_db - effective_floor_db,
+                                   config.freq_khz, config.spreading);
+  }
+  return config.interference_range_m;
+}
+
+}  // namespace
 
 AcousticChannel::AcousticChannel(Simulator& sim, const PropagationModel& propagation,
                                  ChannelConfig config)
@@ -13,6 +42,9 @@ AcousticChannel::AcousticChannel(Simulator& sim, const PropagationModel& propaga
       config_{config},
       noise_level_db_{aquamac::noise_level_db(config.freq_khz, config.bandwidth_hz,
                                               config.noise)},
+      effective_floor_db_{effective_floor_for(config_, noise_level_db_)},
+      interference_cutoff_m_{interference_cutoff_for(config_, effective_floor_db_)},
+      spatial_index_{interference_cutoff_m_},
       path_cache_{propagation, config.freq_khz, config.enable_surface_echo} {
   if (config_.interference_range_m < config_.comm_range_m) {
     throw std::invalid_argument("interference_range_m must be >= comm_range_m");
@@ -27,7 +59,12 @@ void AcousticChannel::attach(AcousticModem& modem) {
   }
   modems_.push_back(&modem);
   modem.set_channel(this);
+  if (config_.use_spatial_index) spatial_index_.insert(modem);
   if (config_.cache_paths) path_cache_.ensure_capacity(modem.id());
+}
+
+void AcousticChannel::on_position_changed(const AcousticModem& modem) {
+  if (config_.use_spatial_index) spatial_index_.refresh(modem);
 }
 
 void AcousticChannel::start_transmission(const AcousticModem& sender, const Frame& frame,
@@ -46,7 +83,16 @@ void AcousticChannel::start_transmission(const AcousticModem& sender, const Fram
   // lambda (previously each lambda carried its own Frame copy).
   const auto shared_frame = std::make_shared<const Frame>(frame);
 
-  for (AcousticModem* receiver : modems_) {
+  // Candidate set: the 27-cell neighbourhood is a superset of every modem
+  // within the interference cutoff, in attach order — the same modems the
+  // brute-force scan would accept, visited in the same relative order.
+  const std::vector<AcousticModem*>* receivers = &modems_;
+  if (config_.use_spatial_index) {
+    spatial_index_.candidates(sender.position(), candidates_);
+    receivers = &candidates_;
+  }
+
+  for (AcousticModem* receiver : *receivers) {
     if (receiver == &sender) continue;
 
     const PropagationModel::Path path =
@@ -68,7 +114,7 @@ void AcousticChannel::start_transmission(const AcousticModem& sender, const Fram
         threshold = decodable ? -1e9 : 1e9;
         break;
       case DeliveryMode::kLevelBased:
-        reaches = rx_level >= config_.interference_floor_db;
+        reaches = rx_level >= effective_floor_db_;
         decodable = rx_level >= config_.detection_threshold_db;
         break;
     }
@@ -93,7 +139,7 @@ void AcousticChannel::start_transmission(const AcousticModem& sender, const Fram
               : surface_echo_path(propagation_, sender.position(), receiver->position(),
                                   config_.freq_khz, config_.surface_reflection_loss_db);
       const double echo_level = config_.source_level_db - echo.loss_db;
-      if (echo_level >= config_.interference_floor_db && echo.delay > path.delay) {
+      if (echo_level >= effective_floor_db_ && echo.delay > path.delay) {
         const TimeInterval echo_window{now + echo.delay, now + echo.delay + airtime};
         sim_.at(echo_window.begin, [receiver, shared_frame, echo_level, echo_window,
                                     noise = noise_level_db_] {

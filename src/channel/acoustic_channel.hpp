@@ -18,6 +18,7 @@
 #include "channel/noise.hpp"
 #include "channel/propagation.hpp"
 #include "channel/propagation_cache.hpp"
+#include "channel/spatial_index.hpp"
 #include "phy/frame.hpp"
 #include "phy/modem.hpp"
 #include "sim/simulator.hpp"
@@ -26,6 +27,13 @@
 namespace aquamac {
 
 enum class DeliveryMode { kRangeBased, kLevelBased };
+
+/// kLevelBased interference floor is raised to (band noise - this margin):
+/// an arrival 30 dB under the noise floor moves the noise-plus-interference
+/// power sum by < 0.005 dB and cannot flip any SINR decision, so modeling
+/// it would only burn events. This bounds the mode's interference reach —
+/// the cutoff radius the spatial index cells derive from.
+inline constexpr double kNegligibleInterferenceMarginDb = 30.0;
 
 struct ChannelConfig {
   double freq_khz{10.0};
@@ -53,6 +61,21 @@ struct ChannelConfig {
   /// bit-identical with the cache on or off; the knob exists for A/B
   /// benchmarking and tests.
   bool cache_paths{true};
+
+  /// Spreading law of the propagation model driving this channel. Network
+  /// threads it into the model it builds; the kLevelBased cutoff-radius
+  /// derivation inverts the same law, so the two must agree when a channel
+  /// and model are wired by hand.
+  Spreading spreading{Spreading::kPractical};
+
+  /// Per-transmission receiver lookup through SpatialReceiverIndex (cell
+  /// size = the interference cutoff radius) instead of scanning every
+  /// attached modem. The candidate set is a conservative superset filtered
+  /// by the exact reach predicate in attach order, so deliveries, traces
+  /// and audits are bit-identical with the index on or off; the knob
+  /// exists for A/B benchmarking (bench_scale) and the differential
+  /// oracle tests.
+  bool use_spatial_index{true};
 };
 
 /// Ground-truth record of one transmission, for tests and invariants
@@ -86,6 +109,10 @@ class AcousticChannel {
   /// Invoked by AcousticModem::transmit. Positions are sampled now.
   void start_transmission(const AcousticModem& sender, const Frame& frame, Duration airtime);
 
+  /// Invoked by AcousticModem::set_position after a real move, keeping the
+  /// spatial index coherent under mobility (epoch-gated re-bin).
+  void on_position_changed(const AcousticModem& modem);
+
   /// Ground-truth path between two points (harness / tests only).
   [[nodiscard]] PropagationModel::Path path_between(const Vec3& a, const Vec3& b) const {
     return propagation_.compute(a, b, config_.freq_khz);
@@ -105,12 +132,29 @@ class AcousticChannel {
   [[nodiscard]] std::uint64_t path_cache_hits() const { return path_cache_.hits(); }
   [[nodiscard]] std::uint64_t path_cache_misses() const { return path_cache_.misses(); }
 
+  /// Radius beyond which no attached modem can register even as
+  /// interference; sizes the spatial-index cells. kRangeBased: the
+  /// configured interference range. kLevelBased: inverse link budget at
+  /// the effective interference floor.
+  [[nodiscard]] double interference_cutoff_m() const { return interference_cutoff_m_; }
+
+  /// kLevelBased floor actually applied to arrivals:
+  /// max(config.interference_floor_db, noise - kNegligibleInterferenceMarginDb).
+  [[nodiscard]] double effective_interference_floor_db() const { return effective_floor_db_; }
+
+  /// Mobility-triggered spatial re-binnings (diagnostics / tests).
+  [[nodiscard]] std::uint64_t spatial_rebins() const { return spatial_index_.rebins(); }
+
  private:
   Simulator& sim_;
   const PropagationModel& propagation_;
   ChannelConfig config_;
   double noise_level_db_;
+  double effective_floor_db_;
+  double interference_cutoff_m_;
   std::vector<AcousticModem*> modems_;
+  SpatialReceiverIndex spatial_index_;
+  std::vector<AcousticModem*> candidates_;  ///< query workspace
   PropagationCache path_cache_;
   AuditFn audit_{};
   std::uint64_t transmissions_{0};

@@ -47,6 +47,22 @@ ReceptionKind reception_from_string(const std::string& name) {
   throw std::invalid_argument("unknown reception kind: " + name);
 }
 
+std::string_view to_string(Spreading spreading) {
+  switch (spreading) {
+    case Spreading::kCylindrical: return "cylindrical";
+    case Spreading::kPractical: return "practical";
+    case Spreading::kSpherical: return "spherical";
+  }
+  return "?";
+}
+
+Spreading spreading_from_string(const std::string& name) {
+  if (name == "cylindrical") return Spreading::kCylindrical;
+  if (name == "practical") return Spreading::kPractical;
+  if (name == "spherical") return Spreading::kSpherical;
+  throw std::invalid_argument("unknown spreading: " + name);
+}
+
 std::string_view to_string(TrafficMode mode) {
   return mode == TrafficMode::kPoisson ? "poisson" : "batch";
 }
@@ -108,6 +124,7 @@ void save_scenario(const ScenarioConfig& config, std::ostream& os) {
   os << "bit-rate-bps = " << config.bit_rate_bps << "\n";
   os << "sound-speed-mps = " << config.sound_speed_mps << "\n";
   os << "propagation = " << to_string(config.propagation) << "\n";
+  os << "spreading = " << to_string(config.channel.spreading) << "\n";
   os << "reception = " << to_string(config.reception) << "\n";
   os << "shipping = " << config.channel.noise.shipping << "\n";
   os << "wind-mps = " << config.channel.noise.wind_mps << "\n";
@@ -145,6 +162,7 @@ void save_scenario(const ScenarioConfig& config, std::ostream& os) {
   os << "surface-echo = " << (config.channel.enable_surface_echo ? "true" : "false") << "\n";
   os << "reflection-loss-db = " << config.channel.surface_reflection_loss_db << "\n";
   os << "cache-paths = " << (config.channel.cache_paths ? "true" : "false") << "\n";
+  os << "spatial-index = " << (config.channel.use_spatial_index ? "true" : "false") << "\n";
 }
 
 void save_scenario_file(const ScenarioConfig& config, const std::string& path) {
@@ -301,6 +319,12 @@ ScenarioConfig load_scenario(std::istream& is, ScenarioConfig base) {
        }},
       {"cache-paths", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
          c.channel.cache_paths = parse_bool(k, v);
+       }},
+      {"spreading", [](ScenarioConfig& c, const std::string&, const std::string& v) {
+         c.channel.spreading = spreading_from_string(v);
+       }},
+      {"spatial-index", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.channel.use_spatial_index = parse_bool(k, v);
        }},
   };
 

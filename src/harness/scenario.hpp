@@ -21,6 +21,19 @@ namespace aquamac {
 /// 12 nodes in a 2x2x2 km grid, 60 s of traffic, no mobility.
 [[nodiscard]] ScenarioConfig small_test_scenario();
 
+/// Large-scale scenario on a cubic lattice with jitter. The region side
+/// grows as cbrt(node_count) so node density — and with it the expected
+/// neighbour count inside the 1.5 km acoustic sphere (~12) — stays fixed
+/// at every N; aggregate offered load scales with N so per-node load is
+/// constant. Mobility on. Fully determined by (node_count, seed).
+[[nodiscard]] ScenarioConfig grid3d_scenario(std::size_t node_count, std::uint64_t seed);
+
+/// Same density-preserving sizing as grid3d_scenario but with nodes drawn
+/// uniformly at random over the volume (seeded), exercising irregular
+/// cell occupancy in the spatial index.
+[[nodiscard]] ScenarioConfig random_volume_scenario(std::size_t node_count,
+                                                    std::uint64_t seed);
+
 /// InvariantAuditor configuration matching a scenario: replicates the
 /// Network's tau_max derivation and the slotted MACs' |ts| = omega +
 /// tau_max so the auditor checks the same arithmetic the protocols use.

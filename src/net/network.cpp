@@ -4,20 +4,25 @@
 #include <stdexcept>
 
 #include "channel/sound_speed.hpp"
+#include "util/logging.hpp"
 
 namespace aquamac {
 
 namespace {
 
 std::unique_ptr<PropagationModel> make_propagation(const ScenarioConfig& config) {
+  // channel.spreading is threaded into the model so the channel's cutoff
+  // derivation inverts the same law the model applies.
   switch (config.propagation) {
     case PropagationKind::kStraightLine:
-      return std::make_unique<StraightLinePropagation>(config.sound_speed_mps);
+      return std::make_unique<StraightLinePropagation>(config.sound_speed_mps,
+                                                       config.channel.spreading);
     case PropagationKind::kBellhopLite:
       // Mild downward-refracting gradient (0.017 1/s is the canonical
       // deep-isothermal value) anchored at the configured surface speed.
       return std::make_unique<BellhopLitePropagation>(
-          std::make_shared<LinearProfile>(config.sound_speed_mps, 0.017));
+          std::make_shared<LinearProfile>(config.sound_speed_mps, 0.017),
+          config.channel.spreading);
   }
   throw std::invalid_argument("unhandled PropagationKind");
 }
@@ -41,6 +46,10 @@ Network::Network(Simulator& sim, const ScenarioConfig& config)
   propagation_ = make_propagation(config_);
   reception_ = make_reception(config_);
   channel_ = std::make_unique<AcousticChannel>(sim_, *propagation_, config_.channel);
+  AQUAMAC_LOG(config_.logger, LogLevel::kInfo)
+      << "channel: interference cutoff " << channel_->interference_cutoff_m()
+      << " m, effective floor " << channel_->effective_interference_floor_db()
+      << " dB, spatial index " << (config_.channel.use_spatial_index ? "on" : "off");
 
   // Slot sizing: tau_max is the max-range propagation delay (§4.1) unless
   // the caller overrode the MacConfig default.

@@ -14,6 +14,13 @@ AcousticModem::AcousticModem(Simulator& sim, NodeId id, ModemConfig config,
 
 bool AcousticModem::transmitting() const { return sim_.now() < current_tx_end_; }
 
+void AcousticModem::set_position(const Vec3& pos) {
+  if (pos == position_) return;
+  position_ = pos;
+  ++position_epoch_;
+  if (channel_ != nullptr) channel_->on_position_changed(*this);
+}
+
 void AcousticModem::transmit(Frame frame) {
   if (channel_ == nullptr) throw std::logic_error("modem not attached to a channel");
   if (!operational_) return;  // dead nodes radiate nothing

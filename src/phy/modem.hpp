@@ -81,11 +81,10 @@ class AcousticModem {
   /// two nodes' offsets — exactly how real desynchronization enters.
   void set_clock_offset(Duration offset) { clock_offset_ = offset; }
   [[nodiscard]] Duration clock_offset() const { return clock_offset_; }
-  void set_position(const Vec3& pos) {
-    if (pos == position_) return;
-    position_ = pos;
-    ++position_epoch_;
-  }
+  /// Moves the modem. Real moves bump the position epoch and notify the
+  /// channel so its spatial index re-bins this modem before any later
+  /// transmission queries it (defined in modem.cpp: needs AcousticChannel).
+  void set_position(const Vec3& pos);
   [[nodiscard]] const Vec3& position() const { return position_; }
   /// Bumped every time the position actually changes (mobility updates).
   /// PropagationCache entries record the epochs they were computed at, so

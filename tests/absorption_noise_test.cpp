@@ -89,6 +89,40 @@ TEST(Noise, BandLevelAddsBandwidth) {
   EXPECT_NEAR(noise_level_db(10.0, 1.0, params), psd, 1e-9);
 }
 
+TEST(MaxRange, InvertsTransmissionLossExactly) {
+  // Round trip against the forward model: for a spread of distances,
+  // budgets set to TL(d) must invert back to d (bisection tolerance 1e-3
+  // m, conservative side).
+  for (const Spreading spreading :
+       {Spreading::kCylindrical, Spreading::kPractical, Spreading::kSpherical}) {
+    for (const double d : {10.0, 150.0, 1'500.0, 12'000.0, 80'000.0}) {
+      for (const double f : {1.0, 10.0, 25.0}) {
+        const double budget = transmission_loss_db(d, f, spreading);
+        const double r = max_range_for_loss_db(budget, f, spreading);
+        EXPECT_NEAR(r, d, 2e-3) << "d=" << d << " f=" << f;
+        EXPECT_GE(r, d - 1e-9) << "cutoff must err outward, never inward";
+      }
+    }
+  }
+}
+
+TEST(MaxRange, ClampsDegenerateBudgets) {
+  // A budget smaller than TL at the 1 m reference clamps to 1 m; an
+  // unspendable budget clamps to the 10^7 m ceiling.
+  EXPECT_DOUBLE_EQ(max_range_for_loss_db(-50.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(max_range_for_loss_db(1e9, 10.0), 1e7);
+}
+
+TEST(MaxRange, MonotoneInBudgetAndSpreading) {
+  EXPECT_LT(max_range_for_loss_db(60.0, 10.0), max_range_for_loss_db(80.0, 10.0));
+  // Spherical spreading loses energy fastest, so it reaches least far.
+  const double budget = 90.0;
+  EXPECT_LT(max_range_for_loss_db(budget, 10.0, Spreading::kSpherical),
+            max_range_for_loss_db(budget, 10.0, Spreading::kPractical));
+  EXPECT_LT(max_range_for_loss_db(budget, 10.0, Spreading::kPractical),
+            max_range_for_loss_db(budget, 10.0, Spreading::kCylindrical));
+}
+
 TEST(Noise, WenzBallparkAt10kHz) {
   // Wenz curves: moderate shipping, calm sea at 10 kHz is in the vicinity
   // of 30 dB re uPa^2/Hz.

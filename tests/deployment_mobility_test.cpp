@@ -3,6 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
+#include "channel/acoustic_channel.hpp"
+#include "channel/reception.hpp"
+#include "phy/modem.hpp"
+#include "sim/simulator.hpp"
+
 namespace aquamac {
 namespace {
 
@@ -123,6 +131,55 @@ TEST(Mobility, ReflectsAtBounds) {
     EXPECT_GE(mobility.position().y, 0.0);
     EXPECT_LE(mobility.position().y, 100.0);
   }
+}
+
+// Regression for the spatial index under mobility: a node that crosses a
+// cell boundary mid-simulation must be re-binned before its next
+// reception — a stale grid would silently drop in-range receivers (or
+// deliver to out-of-range ones).
+TEST(Mobility, CellCrossingMoverIsRebinnedBeforeNextReception) {
+  struct CountingListener final : ModemListener {
+    std::size_t received = 0;
+    void on_frame_received(const Frame&, const RxInfo&) override { ++received; }
+    void on_tx_done(const Frame&) override {}
+  };
+
+  Simulator sim;
+  StraightLinePropagation propagation{1'500.0};
+  DeterministicCollisionModel reception;
+  ChannelConfig config{};  // kRangeBased, 1.5 km range, index on
+  AcousticChannel channel{sim, propagation, config};
+
+  AcousticModem sender{sim, 0, ModemConfig{}, reception, Rng{1}};
+  AcousticModem mover{sim, 1, ModemConfig{}, reception, Rng{2}};
+  CountingListener sender_listener;
+  CountingListener mover_listener;
+  sender.set_listener(&sender_listener);
+  mover.set_listener(&mover_listener);
+  sender.set_position(Vec3{0, 0, 0});
+  // Far outside the sender's 3x3x3 cell neighbourhood (and its range).
+  mover.set_position(Vec3{6'000, 0, 0});
+  channel.attach(sender);
+  channel.attach(mover);
+
+  Frame frame{};
+  frame.type = FrameType::kRts;
+  frame.dst = 1;
+  frame.size_bits = 64;
+
+  // Out of range: nothing arrives.
+  sim.at(Time::from_seconds(1.0), [&] { sender.transmit(frame); });
+  // The mover drifts into range (two cells closer) mid-simulation...
+  sim.at(Time::from_seconds(10.0), [&] { mover.set_position(Vec3{1'000, 0, 0}); });
+  // ...and the very next transmission must reach it.
+  sim.at(Time::from_seconds(20.0), [&] { sender.transmit(frame); });
+  // Moving back out must make it unreachable again.
+  sim.at(Time::from_seconds(30.0), [&] { mover.set_position(Vec3{6'000, 0, 0}); });
+  sim.at(Time::from_seconds(40.0), [&] { sender.transmit(frame); });
+  sim.run();
+
+  EXPECT_EQ(mover_listener.received, 1u);
+  EXPECT_EQ(channel.spatial_rebins(), 2u);
 }
 
 TEST(Mobility, RandomKindCoversAllThreeModels) {

@@ -1,0 +1,74 @@
+// Scale smoke: the N=1000 density-preserving scenario must build, run a
+// short horizon with the spatial index on and the invariant auditor in
+// hard-fail mode, and stay clean. This is the CI guard that large-N
+// machinery (scenario generators, index, auditor) keeps working without
+// paying full bench cost.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "harness/runner.hpp"
+#include "harness/scenario.hpp"
+#include "net/network.hpp"
+#include "stats/invariant_auditor.hpp"
+
+namespace aquamac {
+namespace {
+
+TEST(ScaleSmoke, Grid3dThousandNodesAuditsCleanWithIndexOn) {
+  ScenarioConfig config = grid3d_scenario(1'000, /*seed=*/3);
+  config.sim_time = Duration::seconds(15);
+  ASSERT_TRUE(config.channel.use_spatial_index);
+
+  InvariantAuditor::Config audit = auditor_config_for(config);
+  audit.hard_fail = true;
+  InvariantAuditor auditor{audit};
+  config.trace = &auditor;
+
+  RunStats stats{};
+  try {
+    stats = run_scenario(config);
+  } catch (const std::runtime_error& e) {
+    FAIL() << "auditor violation at N=1000: " << e.what();
+  }
+  EXPECT_EQ(stats.node_count, 1'000u);
+  EXPECT_GT(stats.packets_offered, 0u);
+  EXPECT_GT(auditor.checks(), 0u);
+}
+
+TEST(ScaleSmoke, ScaleScenariosPreserveDensity) {
+  // The point of the generators: density (hence local contention) must
+  // not change with N, only the region and aggregate load.
+  const ScenarioConfig small = grid3d_scenario(200, 1);
+  const ScenarioConfig large = grid3d_scenario(1'600, 1);
+  const double density_small = 200.0 / (small.deployment.width_m * small.deployment.length_m *
+                                        small.deployment.depth_m);
+  const double density_large = 1'600.0 / (large.deployment.width_m *
+                                          large.deployment.length_m *
+                                          large.deployment.depth_m);
+  EXPECT_NEAR(density_small, density_large, density_small * 1e-9);
+  // 8x the nodes -> 2x the side.
+  EXPECT_NEAR(large.deployment.width_m, 2.0 * small.deployment.width_m,
+              small.deployment.width_m * 1e-9);
+  EXPECT_DOUBLE_EQ(large.traffic.offered_load_kbps / 1'600.0,
+                   small.traffic.offered_load_kbps / 200.0);
+}
+
+TEST(ScaleSmoke, RandomVolumeScenarioIsSeedDeterministic) {
+  ScenarioConfig a = random_volume_scenario(120, 5);
+  ScenarioConfig b = random_volume_scenario(120, 5);
+  a.sim_time = Duration::seconds(10);
+  b.sim_time = Duration::seconds(10);
+  Simulator sim_a;
+  Network net_a{sim_a, a};
+  Simulator sim_b;
+  Network net_b{sim_b, b};
+  for (std::size_t i = 0; i < 120; ++i) {
+    EXPECT_EQ(net_a.node(static_cast<NodeId>(i)).modem().position(),
+              net_b.node(static_cast<NodeId>(i)).modem().position());
+  }
+}
+
+}  // namespace
+}  // namespace aquamac

@@ -1,0 +1,204 @@
+// SpatialReceiverIndex unit and property tests: the 27-cell candidate
+// query must be a superset of the true in-range receiver set for any
+// cloud and any query point (including nodes exactly on range and cell
+// boundaries), must preserve attach order, and must follow movers
+// through epoch-gated refresh. Plus the channel-level cutoff wiring:
+// kLevelBased derives its interference cutoff by inverting the link
+// budget at the effective floor.
+
+#include "channel/spatial_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "channel/absorption.hpp"
+#include "channel/acoustic_channel.hpp"
+#include "channel/noise.hpp"
+#include "channel/reception.hpp"
+#include "phy/modem.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace aquamac {
+namespace {
+
+/// Owns the Simulator/reception plumbing AcousticModem construction needs.
+class SpatialIndexTest : public ::testing::Test {
+ protected:
+  AcousticModem& make_modem(NodeId id, Vec3 position) {
+    auto modem =
+        std::make_unique<AcousticModem>(sim_, id, ModemConfig{}, reception_, Rng{900 + id});
+    modem->set_position(position);
+    modems_.push_back(std::move(modem));
+    return *modems_.back();
+  }
+
+  Simulator sim_;
+  DeterministicCollisionModel reception_;
+  std::vector<std::unique_ptr<AcousticModem>> modems_;
+};
+
+TEST_F(SpatialIndexTest, CandidatesCoverInRangeSetOnRandomClouds) {
+  Rng rng{42};
+  for (int trial = 0; trial < 20; ++trial) {
+    const double range = rng.uniform(50.0, 3'000.0);
+    SpatialReceiverIndex index{range};
+    modems_.clear();
+    const std::size_t n = 5 + rng.below(60);
+    for (std::size_t i = 0; i < n; ++i) {
+      AcousticModem& modem = make_modem(static_cast<NodeId>(i),
+                                        Vec3{rng.uniform(-5'000.0, 5'000.0),
+                                             rng.uniform(-5'000.0, 5'000.0),
+                                             rng.uniform(-5'000.0, 5'000.0)});
+      index.insert(modem);
+    }
+    for (int query = 0; query < 10; ++query) {
+      const Vec3 center{rng.uniform(-5'000.0, 5'000.0), rng.uniform(-5'000.0, 5'000.0),
+                        rng.uniform(-5'000.0, 5'000.0)};
+      std::vector<AcousticModem*> candidates;
+      index.candidates(center, candidates);
+
+      std::unordered_set<const AcousticModem*> candidate_set(candidates.begin(),
+                                                             candidates.end());
+      EXPECT_EQ(candidate_set.size(), candidates.size()) << "duplicate candidates";
+      for (const auto& modem : modems_) {
+        if (center.distance_to(modem->position()) <= range) {
+          EXPECT_TRUE(candidate_set.contains(modem.get()))
+              << "trial " << trial << ": in-range modem " << modem->id()
+              << " missing from candidates";
+        }
+      }
+      // Attach-order contract: candidate ids ascend because insertion
+      // order here is id order.
+      EXPECT_TRUE(std::is_sorted(
+          candidates.begin(), candidates.end(),
+          [](const AcousticModem* a, const AcousticModem* b) { return a->id() < b->id(); }));
+    }
+  }
+}
+
+TEST_F(SpatialIndexTest, ExactBoundaryNodesAreCandidates) {
+  const double range = 1'500.0;
+  SpatialReceiverIndex index{range};
+  // Exactly on the range sphere, exactly on cell boundaries (coordinates
+  // at integer multiples of the cell size), and at the query point itself.
+  index.insert(make_modem(0, Vec3{range, 0, 0}));
+  index.insert(make_modem(1, Vec3{0, range, 0}));
+  index.insert(make_modem(2, Vec3{range, range, range}));
+  index.insert(make_modem(3, Vec3{0, 0, 0}));
+  index.insert(make_modem(4, Vec3{-range, 0, 0}));
+
+  std::vector<AcousticModem*> candidates;
+  index.candidates(Vec3{0, 0, 0}, candidates);
+  EXPECT_EQ(candidates.size(), 5u);
+
+  // A query centered just inside a cell boundary still sees neighbours a
+  // full range away on the other side.
+  index.candidates(Vec3{range - 1e-9, 0, 0}, candidates);
+  std::unordered_set<const AcousticModem*> set(candidates.begin(), candidates.end());
+  EXPECT_TRUE(set.contains(modems_[3].get()));
+  EXPECT_TRUE(set.contains(modems_[0].get()));
+}
+
+TEST_F(SpatialIndexTest, RefreshRebinsOnlyOnRealCellCrossings) {
+  SpatialReceiverIndex index{100.0};
+  AcousticModem& mover = make_modem(0, Vec3{50, 50, 50});
+  index.insert(mover);
+  EXPECT_EQ(index.rebins(), 0u);
+
+  // Move within the same cell: epoch advances, binning does not.
+  mover.set_position(Vec3{60, 50, 50});
+  index.refresh(mover);
+  EXPECT_EQ(index.rebins(), 0u);
+
+  // Cross a cell boundary: one re-bin, and queries follow the move.
+  mover.set_position(Vec3{260, 50, 50});
+  index.refresh(mover);
+  EXPECT_EQ(index.rebins(), 1u);
+  std::vector<AcousticModem*> candidates;
+  index.candidates(Vec3{50, 50, 50}, candidates);
+  EXPECT_TRUE(candidates.empty()) << "stale binning: mover left this neighbourhood";
+  index.candidates(Vec3{250, 50, 50}, candidates);
+  ASSERT_EQ(candidates.size(), 1u);
+
+  // Same epoch again: refresh is a no-op.
+  index.refresh(mover);
+  EXPECT_EQ(index.rebins(), 1u);
+
+  // Unknown modems are ignored (moves before attach).
+  AcousticModem& stranger = make_modem(1, Vec3{0, 0, 0});
+  index.refresh(stranger);
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST_F(SpatialIndexTest, InsertTwiceThrows) {
+  SpatialReceiverIndex index{100.0};
+  AcousticModem& modem = make_modem(0, Vec3{});
+  index.insert(modem);
+  EXPECT_THROW(index.insert(modem), std::logic_error);
+}
+
+TEST_F(SpatialIndexTest, DegenerateCellSizeIsClamped) {
+  SpatialReceiverIndex index{0.0};
+  EXPECT_EQ(index.cell_size_m(), 1.0);
+}
+
+// --- channel-level cutoff wiring ------------------------------------
+
+TEST(ChannelCutoff, RangeBasedCutoffIsInterferenceRange) {
+  Simulator sim;
+  StraightLinePropagation propagation{1'500.0};
+  ChannelConfig config{};
+  config.interference_range_m = 2'000.0;
+  config.comm_range_m = 1'500.0;
+  AcousticChannel channel{sim, propagation, config};
+  EXPECT_DOUBLE_EQ(channel.interference_cutoff_m(), 2'000.0);
+}
+
+TEST(ChannelCutoff, LevelBasedCutoffInvertsLinkBudgetAtEffectiveFloor) {
+  Simulator sim;
+  StraightLinePropagation propagation{1'500.0};
+  ChannelConfig config{};
+  config.mode = DeliveryMode::kLevelBased;
+  AcousticChannel channel{sim, propagation, config};
+
+  const double noise = noise_level_db(config.freq_khz, config.bandwidth_hz, config.noise);
+  const double expected_floor =
+      std::max(config.interference_floor_db, noise - kNegligibleInterferenceMarginDb);
+  EXPECT_DOUBLE_EQ(channel.effective_interference_floor_db(), expected_floor);
+
+  // At the cutoff the link budget is exactly spent (up to the bisection
+  // tolerance); a metre farther it is overspent.
+  const double cutoff = channel.interference_cutoff_m();
+  const double budget = config.source_level_db - expected_floor;
+  EXPECT_GE(transmission_loss_db(cutoff + 1.0, config.freq_khz, config.spreading), budget);
+  EXPECT_LE(transmission_loss_db(cutoff - 1.0, config.freq_khz, config.spreading), budget);
+
+  // Every reachable receiver (rx level >= floor) lies inside the cutoff:
+  // the predicate the spatial cells are sized for.
+  const double rx_at_cutoff =
+      config.source_level_db - transmission_loss_db(cutoff, config.freq_khz, config.spreading);
+  EXPECT_NEAR(rx_at_cutoff, expected_floor, 1e-2);
+}
+
+TEST(ChannelCutoff, RaisedFloorWinsWhenConfiguredFloorIsBelowNoise) {
+  // Default numbers: band noise ~70 dB, configured floor 40 dB -> the
+  // effective floor is noise - 30, not the configured value.
+  Simulator sim;
+  StraightLinePropagation propagation{1'500.0};
+  ChannelConfig config{};
+  config.mode = DeliveryMode::kLevelBased;
+  config.interference_floor_db = 0.0;
+  AcousticChannel channel{sim, propagation, config};
+  const double noise = noise_level_db(config.freq_khz, config.bandwidth_hz, config.noise);
+  EXPECT_DOUBLE_EQ(channel.effective_interference_floor_db(),
+                   noise - kNegligibleInterferenceMarginDb);
+  EXPECT_LT(channel.interference_cutoff_m(), 1e7);
+}
+
+}  // namespace
+}  // namespace aquamac
