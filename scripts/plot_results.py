@@ -7,12 +7,16 @@ Accepts either:
     row per x;
   * BENCH_*.json files emitted by the bench binaries (schema
     aquamac-bench-v1): pick the metric with --metric (defaults to the
-    file's first series).
+    file's first series);
+  * BENCH_fault.json degradation curves (schema aquamac-bench-fault-v1):
+    one sweep per fault axis — pick the axis with --axis (defaults to
+    the file's first axis, drift_ppm).
 
 Usage:
     tools/aquamac_compare --x load --metric throughput --csv fig6.csv
     scripts/plot_results.py fig6.csv --ylabel "Throughput (kbps)" -o fig6.png
     scripts/plot_results.py BENCH_fig6_throughput_load.json --metric throughput_kbps
+    scripts/plot_results.py BENCH_fault.json --axis outage_per_hour
 
 Requires matplotlib (not needed for the simulation itself).
 """
@@ -37,11 +41,34 @@ def load_csv(path):
     return header[0], xs, series
 
 
-def load_bench_json(path, metric=None):
+def load_fault_json(doc, path, metric=None, axis=None):
+    axes = doc.get("axes", {})
+    if not axes:
+        raise SystemExit(f"{path}: no axes")
+    if axis is None:
+        axis = next(iter(axes))
+    if axis not in axes:
+        raise SystemExit(f"{path}: no axis {axis!r}; available: {', '.join(axes)}")
+    all_series = axes[axis].get("series", {})
+    if metric is None:
+        metric = next(iter(all_series))
+    if metric not in all_series:
+        raise SystemExit(
+            f"{path}: no metric {metric!r}; available: {', '.join(all_series)}"
+        )
+    if not doc.get("monotone_ok"):
+        print(f"warning: {path} recorded a failed monotone gate", file=sys.stderr)
+    return axis, axes[axis]["xs"], all_series[metric], metric
+
+
+def load_bench_json(path, metric=None, axis=None):
     with open(path) as handle:
         doc = json.load(handle)
-    if doc.get("schema") != "aquamac-bench-v1":
-        raise SystemExit(f"{path}: unknown schema {doc.get('schema')!r}")
+    schema = doc.get("schema")
+    if schema == "aquamac-bench-fault-v1":
+        return load_fault_json(doc, path, metric, axis)
+    if schema != "aquamac-bench-v1":
+        raise SystemExit(f"{path}: unknown schema {schema!r}")
     all_series = doc.get("series", {})
     if not all_series:
         raise SystemExit(f"{path}: no series")
@@ -59,9 +86,9 @@ def load_bench_json(path, metric=None):
     return "x", doc["xs"], all_series[metric], metric
 
 
-def load(path, metric=None):
+def load(path, metric=None, axis=None):
     if path.endswith(".json"):
-        return load_bench_json(path, metric)
+        return load_bench_json(path, metric, axis)
     x_name, xs, series = load_csv(path)
     return x_name, xs, series, None
 
@@ -71,6 +98,7 @@ STYLES = {
     "ROPA": dict(marker="^", linestyle="-."),
     "CS-MAC": dict(marker="o", linestyle=":"),
     "EW-MAC": dict(marker="*", linestyle="-"),
+    "MACA-U": dict(marker="v", linestyle="--"),
 }
 
 
@@ -87,6 +115,11 @@ def main():
         default=None,
         help="series to plot from a BENCH_*.json (default: its first metric)",
     )
+    parser.add_argument(
+        "--axis",
+        default=None,
+        help="fault axis to plot from a BENCH_fault.json (default: its first axis)",
+    )
     parser.add_argument("--xlabel", default=None)
     parser.add_argument("--ylabel", default=None)
     parser.add_argument("--title", default=None)
@@ -100,7 +133,7 @@ def main():
     except ImportError:
         raise SystemExit("matplotlib is required: pip install matplotlib")
 
-    x_name, xs, series, metric = load(args.input, args.metric)
+    x_name, xs, series, metric = load(args.input, args.metric, args.axis)
     fig, ax = plt.subplots(figsize=(6, 4.2))
     for name, ys in series.items():
         ax.plot(xs, ys, label=name, **STYLES.get(name, dict(marker=".")))

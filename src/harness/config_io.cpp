@@ -163,6 +163,28 @@ void save_scenario(const ScenarioConfig& config, std::ostream& os) {
   os << "reflection-loss-db = " << config.channel.surface_reflection_loss_db << "\n";
   os << "cache-paths = " << (config.channel.cache_paths ? "true" : "false") << "\n";
   os << "spatial-index = " << (config.channel.use_spatial_index ? "true" : "false") << "\n";
+  os << "\n# fault injection (all zero = strict no-op)\n";
+  os << "fault-drift-ppm = " << config.fault.drift_ppm_stddev << "\n";
+  os << "fault-drift-jitter-s = " << config.fault.drift_jitter_stddev_s << "\n";
+  os << "fault-jitter-interval-s = " << config.fault.drift_jitter_interval.to_seconds() << "\n";
+  os << "fault-outage-per-hour = " << config.fault.outage_rate_per_hour << "\n";
+  os << "fault-outage-mean-s = " << config.fault.outage_mean_duration.to_seconds() << "\n";
+  os << "fault-duty-cycle = " << config.fault.duty_cycle << "\n";
+  os << "fault-duty-period-s = " << config.fault.duty_period.to_seconds() << "\n";
+  os << "fault-ge-p-bad = " << config.fault.ge_p_bad << "\n";
+  os << "fault-ge-p-good = " << config.fault.ge_p_good << "\n";
+  os << "fault-ge-loss-bad = " << config.fault.ge_loss_bad << "\n";
+  os << "fault-ge-loss-good = " << config.fault.ge_loss_good << "\n";
+  os << "fault-ge-step-s = " << config.fault.ge_step.to_seconds() << "\n";
+  os << "fault-storm-per-hour = " << config.fault.storm_rate_per_hour << "\n";
+  os << "fault-storm-mean-s = " << config.fault.storm_mean_duration.to_seconds() << "\n";
+  os << "fault-storm-loss = " << config.fault.storm_loss_prob << "\n";
+  os << "\n# protocol hardening\n";
+  os << "neighbor-max-age-s = " << config.mac_config.neighbor_max_age.to_seconds() << "\n";
+  os << "dead-neighbor-threshold = " << config.mac_config.dead_neighbor_threshold << "\n";
+  os << "dead-probe-interval-s = " << config.mac_config.dead_probe_interval.to_seconds()
+     << "\n";
+  os << "guard-slack-s = " << config.mac_config.guard_slack.to_seconds() << "\n";
 }
 
 void save_scenario_file(const ScenarioConfig& config, const std::string& path) {
@@ -325,6 +347,74 @@ ScenarioConfig load_scenario(std::istream& is, ScenarioConfig base) {
        }},
       {"spatial-index", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
          c.channel.use_spatial_index = parse_bool(k, v);
+       }},
+      {"fault-drift-ppm", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.fault.drift_ppm_stddev = parse_double(k, v);
+       }},
+      {"fault-drift-jitter-s",
+       [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.fault.drift_jitter_stddev_s = parse_double(k, v);
+       }},
+      {"fault-jitter-interval-s",
+       [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.fault.drift_jitter_interval = Duration::from_seconds(parse_double(k, v));
+       }},
+      {"fault-outage-per-hour",
+       [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.fault.outage_rate_per_hour = parse_double(k, v);
+       }},
+      {"fault-outage-mean-s",
+       [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.fault.outage_mean_duration = Duration::from_seconds(parse_double(k, v));
+       }},
+      {"fault-duty-cycle", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.fault.duty_cycle = parse_double(k, v);
+       }},
+      {"fault-duty-period-s",
+       [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.fault.duty_period = Duration::from_seconds(parse_double(k, v));
+       }},
+      {"fault-ge-p-bad", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.fault.ge_p_bad = parse_double(k, v);
+       }},
+      {"fault-ge-p-good", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.fault.ge_p_good = parse_double(k, v);
+       }},
+      {"fault-ge-loss-bad", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.fault.ge_loss_bad = parse_double(k, v);
+       }},
+      {"fault-ge-loss-good",
+       [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.fault.ge_loss_good = parse_double(k, v);
+       }},
+      {"fault-ge-step-s", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.fault.ge_step = Duration::from_seconds(parse_double(k, v));
+       }},
+      {"fault-storm-per-hour",
+       [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.fault.storm_rate_per_hour = parse_double(k, v);
+       }},
+      {"fault-storm-mean-s",
+       [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.fault.storm_mean_duration = Duration::from_seconds(parse_double(k, v));
+       }},
+      {"fault-storm-loss", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.fault.storm_loss_prob = parse_double(k, v);
+       }},
+      {"neighbor-max-age-s",
+       [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.mac_config.neighbor_max_age = Duration::from_seconds(parse_double(k, v));
+       }},
+      {"dead-neighbor-threshold",
+       [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.mac_config.dead_neighbor_threshold = static_cast<std::uint32_t>(parse_uint(k, v));
+       }},
+      {"dead-probe-interval-s",
+       [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.mac_config.dead_probe_interval = Duration::from_seconds(parse_double(k, v));
+       }},
+      {"guard-slack-s", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.mac_config.guard_slack = Duration::from_seconds(parse_double(k, v));
        }},
   };
 

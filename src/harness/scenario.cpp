@@ -1,6 +1,8 @@
 #include "harness/scenario.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <optional>
 #include <sstream>
 
 namespace aquamac {
@@ -132,13 +134,59 @@ InvariantAuditor::Config auditor_config_for(const ScenarioConfig& config) {
       config.bit_rate_bps);
   audit.slot_length = audit.omega + tau_max;
   audit.slotted = config.mac == MacKind::kEwMac || config.mac == MacKind::kSFama;
-  // Perfect synchronization (§3.1) admits exact checks; with clock skew
-  // enabled the measured delays absorb offset *differences*, so the
-  // tolerance must cover the far tails of the difference distribution.
-  audit.sync_tolerance = config.clock_offset_stddev_s > 0.0
-                             ? Duration::from_seconds(16.0 * config.clock_offset_stddev_s)
-                             : Duration::zero();
+  // Perfect synchronization (§3.1) admits exact checks; with clock
+  // imperfection enabled, measured delays absorb the *difference* of the
+  // two endpoints' errors, so the tolerance is the exact worst-case
+  // spread this (seed, fault plan) realizes — not a fixed multiplier
+  // that could false-alarm on an unlucky draw or mask a real violation.
+  audit.sync_tolerance = realized_clock_uncertainty(config);
+  // A node returning from an outage needs about one full exchange to
+  // re-learn delays before the invariants apply to it again.
+  audit.rejoin_grace = 2 * (audit.slot_length + audit.tau_max);
   return audit;
+}
+
+Duration realized_clock_uncertainty(const ScenarioConfig& config) {
+  const bool has_offset = config.clock_offset_stddev_s > 0.0;
+  const bool has_drift = config.fault.drift_enabled();
+  if (!has_offset && !has_drift) return Duration::zero();
+
+  // Replicate the Network's exact realization: static offsets come from
+  // Rng{seed}.fork(0xC10C0 + i) (drawn only when the stddev is positive),
+  // drift/jitter from the FaultPlan's dedicated streams. fork() is const,
+  // so this replication can never perturb the run it describes.
+  const Rng root{config.seed};
+  const Time horizon = Time::zero() + config.hello_window + config.sim_time;
+  std::optional<FaultPlan> plan;
+  if (has_drift) plan.emplace(config.fault, config.node_count, horizon, root);
+
+  Duration lo_all = Duration::zero();
+  Duration hi_all = Duration::zero();
+  for (std::size_t i = 0; i < config.node_count; ++i) {
+    Duration offset{};
+    if (has_offset) {
+      Rng clock_rng = root.fork(0xC10C0 + i);
+      offset = Duration::from_seconds(clock_rng.normal(0.0, config.clock_offset_stddev_s));
+    }
+    Duration lo = offset;
+    Duration hi = offset;
+    if (plan) {
+      const auto [drift_lo, drift_hi] = plan->clock_error_range(static_cast<NodeId>(i));
+      lo += drift_lo;
+      hi += drift_hi;
+    }
+    if (i == 0) {
+      lo_all = lo;
+      hi_all = hi;
+    } else {
+      lo_all = std::min(lo_all, lo);
+      hi_all = std::max(hi_all, hi);
+    }
+  }
+  // A pair's measured-delay error is bounded by the spread of the two
+  // endpoint errors; the microsecond margin absorbs the integer-ns
+  // quantization of the replicated arithmetic.
+  return (hi_all - lo_all) + Duration::microseconds(1);
 }
 
 std::string describe_scenario(const ScenarioConfig& config) {

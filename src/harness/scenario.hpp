@@ -39,6 +39,16 @@ namespace aquamac {
 /// tau_max so the auditor checks the same arithmetic the protocols use.
 [[nodiscard]] InvariantAuditor::Config auditor_config_for(const ScenarioConfig& config);
 
+/// Worst-case spread of clock error any (sender, receiver) pair can
+/// realize under this exact (seed, fault plan): replicates the Network's
+/// per-node static offset draws and the FaultPlan's drift/jitter
+/// realization, and returns max over nodes of (offset + max drift error)
+/// minus min over nodes of (offset + min drift error) — the exact bound
+/// on any measured-delay error, so auditor tolerances and guard-slack
+/// sizing neither false-alarm nor mask real violations. Zero when the
+/// scenario has no clock imperfection at all.
+[[nodiscard]] Duration realized_clock_uncertainty(const ScenarioConfig& config);
+
 /// Human-readable parameter sheet (bench_table2_parameters).
 [[nodiscard]] std::string describe_scenario(const ScenarioConfig& config);
 

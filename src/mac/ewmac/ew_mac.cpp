@@ -19,6 +19,26 @@ void EwMac::handle_packet_enqueued() {
   if (state_ == State::kIdle) schedule_attempt(0);
 }
 
+void EwMac::handle_reset() {
+  // Outage rejoin: every pending timer and handshake belief predates the
+  // outage, so none of it can be trusted.
+  sim_.cancel(attempt_event_);
+  attempt_event_ = EventHandle{};
+  sim_.cancel(timeout_event_);
+  timeout_event_ = EventHandle{};
+  sim_.cancel(decide_event_);
+  decide_event_ = EventHandle{};
+  sim_.cancel(grant_expiry_event_);
+  grant_expiry_event_ = EventHandle{};
+  candidates_.clear();
+  extra_.reset();
+  grant_.reset();
+  expected_data_from_ = kNoNode;
+  schedule_ = ScheduleBook{};
+  set_state(State::kIdle);
+  if (head() != nullptr) schedule_attempt(0);
+}
+
 double EwMac::make_priority(const Packet& packet) {
   // §3.1: rp is random but grows with the sender's wait time, so starved
   // senders eventually win contention. The random tiebreak keeps equal
@@ -85,6 +105,10 @@ void EwMac::attempt_rts() {
         }
         trace_mac(ev);
       }
+      // This timeout fires only on true silence: overhearing j's own
+      // negotiation cancels it (contention_lost), so no CTS and nothing
+      // overheard means the destination may be gone.
+      if (const Packet* p = head()) record_handshake_silence(p->dst);
       fail_and_backoff();
     }
   });
@@ -292,7 +316,7 @@ void EwMac::contention_lost(const Frame& negotiation, const RxInfo& info) {
     // before the data's leading edge (period V).
     const std::int64_t c = heard_slot;
     plan.ack_slot_start = slot_start(c + 1 + data_slots(d_neg, tau_jk));
-    const Duration bound = tau_jk - tau_ij - omega() - config_.guard;
+    const Duration bound = tau_jk - tau_ij - omega() - config_.guard - config_.guard_slack;
     if (!bound.is_negative()) {
       const Time base = slot_start(c + 1);
       // Try a few launch offsets within [0, bound] until the arrival is
@@ -314,7 +338,8 @@ void EwMac::contention_lost(const Frame& negotiation, const RxInfo& info) {
     const std::int64_t t = heard_slot;
     plan.ack_slot_start = slot_start(t + 2 + data_slots(d_neg, tau_jk));
     const Time candidate = sim_.now() + config_.guard;
-    const Time arrival_deadline = slot_start(t + 1) + tau_jk - config_.guard;
+    const Time arrival_deadline =
+        slot_start(t + 1) + tau_jk - config_.guard - config_.guard_slack;
     if (candidate + tau_ij + omega() <= arrival_deadline &&
         clear_at_neighbors(candidate, omega(), plan.j)) {
       exr_time = candidate;
@@ -374,24 +399,32 @@ void EwMac::on_exc(const Frame& frame, const RxInfo&) {
 
   // Eq. (6): launch EXDATA so its leading edge reaches j right after j's
   // negotiated exchange no longer needs the channel.
+  // guard_slack hardens every deadline below against clock error: the
+  // launch moves later by the slack and predicted windows are widened by
+  // twice the slack, so any drift below it cannot create an overlap the
+  // synchronized schedule would not have had (extra packets only shrink
+  // their feasible windows, preserving the overlap theorem).
   Time tx_time{};
   if (extra_->j_is_receiver) {
     // Arrival begins as j finishes transmitting Ack(j,k).
-    tx_time = extra_->ack_slot_start + omega() - extra_->tau_ij;
+    tx_time = extra_->ack_slot_start + omega() + config_.guard_slack - extra_->tau_ij;
   } else {
     // Arrival begins after j finishes *receiving* Ack(k,j).
-    tx_time = extra_->ack_slot_start + extra_->tau_jk + omega() + config_.guard - extra_->tau_ij;
+    tx_time = extra_->ack_slot_start + extra_->tau_jk + omega() + config_.guard +
+              config_.guard_slack - extra_->tau_ij;
   }
 
   // Shift past any predicted neighbor reception we would garble.
+  const Duration pad = 2 * config_.guard_slack;
   for (int pass = 0; pass < 2; ++pass) {
     for (const auto& w : schedule_.windows()) {
       if (w.kind != BusyKind::kReceiving || w.neighbor == extra_->j) continue;
       const auto tau_in = neighbors_.delay_to(w.neighbor);
       if (!tau_in) continue;
+      const TimeInterval wide{w.interval.begin - pad, w.interval.end + pad};
       const TimeInterval arrival{tx_time + *tau_in, tx_time + *tau_in + my_dur};
-      if (arrival.overlaps(w.interval)) {
-        tx_time = w.interval.end + config_.guard - *tau_in;
+      if (arrival.overlaps(wide)) {
+        tx_time = wide.end + config_.guard - *tau_in;
       }
     }
   }
@@ -463,7 +496,7 @@ void EwMac::on_exr(const Frame& frame, const RxInfo&) {
   if (state_ == State::kWaitData) {
     // We are the receiver of a negotiated exchange: the EXC must be fully
     // radiated before our peer's data starts arriving (period V).
-    if (sim_.now() + omega() + config_.guard > neg_data_begin_) return;
+    if (sim_.now() + omega() + config_.guard + config_.guard_slack > neg_data_begin_) return;
     expiry = neg_ack_slot_start_ + slot_length() * 3;
   } else if (state_ == State::kWaitCts) {
     // We are a negotiating sender: period III lasts until the CTS we are
@@ -473,7 +506,7 @@ void EwMac::on_exr(const Frame& frame, const RxInfo&) {
     const auto tau = neighbors_.delay_to(packet->dst);
     if (!tau) return;
     const Time cts_arrival = slot_start(slot_index(sim_.now()) + 1) + *tau;
-    if (sim_.now() + omega() + config_.guard > cts_arrival) return;
+    if (sim_.now() + omega() + config_.guard + config_.guard_slack > cts_arrival) return;
     const std::int64_t ack_slot =
         slot_index(sim_.now()) + 2 + data_slots(data_airtime(packet->bits), *tau);
     expiry = slot_start(ack_slot) + *tau + omega() + slot_length() * 3;
@@ -563,12 +596,16 @@ void EwMac::predict_exchange(const Frame& frame, const RxInfo& info) {
 }
 
 bool EwMac::clear_at_neighbors(Time tx_begin, Duration dur, NodeId exempt) const {
+  // Widen every predicted window by twice the guard slack: both our clock
+  // and the predicted node's clock may each be wrong by up to the slack.
+  const Duration pad = 2 * config_.guard_slack;
   for (const auto& w : schedule_.windows()) {
     if (w.kind != BusyKind::kReceiving || w.neighbor == exempt) continue;
     const auto tau = neighbors_.delay_to(w.neighbor);
     if (!tau) continue;  // unknown delay => outside our reach in practice
+    const TimeInterval wide{w.interval.begin - pad, w.interval.end + pad};
     const TimeInterval arrival{tx_begin + *tau, tx_begin + *tau + dur};
-    if (arrival.overlaps(w.interval)) return false;
+    if (arrival.overlaps(wide)) return false;
   }
   return true;
 }

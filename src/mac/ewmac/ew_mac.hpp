@@ -39,6 +39,7 @@ class EwMac final : public SlottedMac {
  protected:
   void handle_frame(const Frame& frame, const RxInfo& info) override;
   void handle_packet_enqueued() override;
+  void handle_reset() override;
 
  private:
   enum class State {

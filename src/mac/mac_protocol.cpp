@@ -18,13 +18,79 @@ MacProtocol::MacProtocol(Simulator& sim, AcousticModem& modem, NeighborTable& ne
 void MacProtocol::enqueue_packet(NodeId dst, std::uint32_t payload_bits, E2eHeader e2e) {
   counters_.packets_offered += 1;
   counters_.bits_offered += payload_bits;
-  if (queue_.size() >= config_.queue_limit) {
+  // Fast-drop toward a neighbor currently declared dead: burning the full
+  // retry budget on a node that cannot answer starves live traffic.
+  if (queue_.size() >= config_.queue_limit || neighbor_dead(dst)) {
     counters_.packets_dropped += 1;
     if (drop_handler_) drop_handler_(dst, e2e);
     return;
   }
   queue_.push_back(Packet{next_packet_id_++, dst, payload_bits, sim_.now(), 0, e2e});
   handle_packet_enqueued();
+}
+
+bool MacProtocol::neighbor_dead(NodeId node) const {
+  if (config_.dead_neighbor_threshold == 0) return false;
+  const auto it = peer_health_.find(node);
+  return it != peer_health_.end() && it->second.dead;
+}
+
+void MacProtocol::record_handshake_silence(NodeId dst) {
+  if (config_.dead_neighbor_threshold == 0 || dst == kBroadcast || dst == kNoNode) return;
+  PeerHealth& health = peer_health_[dst];
+  if (health.dead) return;
+  health.silent_failures += 1;
+  if (health.silent_failures < config_.dead_neighbor_threshold) return;
+  health.dead = true;
+  if (trace_ != nullptr) {
+    TraceEvent event{};
+    event.kind = TraceEventKind::kNeighborDead;
+    event.src = dst;
+    event.a = config_.dead_neighbor_threshold;
+    trace_mac(event);
+  }
+  // Reinstatement probe: after the interval, give the neighbor another
+  // chance and re-announce ourselves. If it is still silent the next K
+  // handshakes re-declare it dead, so probing is periodic until it talks.
+  const std::uint64_t generation = health_generation_;
+  const NodeId probed = dst;
+  sim_.in(config_.dead_probe_interval, [this, probed, generation] {
+    if (generation != health_generation_) return;  // reset_mac_state() ran
+    const auto it = peer_health_.find(probed);
+    if (it == peer_health_.end() || !it->second.dead) return;
+    it->second.dead = false;
+    it->second.silent_failures = 0;
+    if (trace_ != nullptr) {
+      TraceEvent event{};
+      event.kind = TraceEventKind::kNeighborProbe;
+      event.src = probed;
+      trace_mac(event);
+    }
+    broadcast_hello();
+  });
+}
+
+void MacProtocol::age_neighbors() {
+  if (config_.neighbor_max_age.is_zero()) return;
+  const std::vector<NodeId> evicted =
+      neighbors_.evict_older_than(config_.neighbor_max_age, sim_.now());
+  for (const NodeId neighbor : evicted) {
+    peer_health_.erase(neighbor);
+    if (trace_ != nullptr) {
+      TraceEvent event{};
+      event.kind = TraceEventKind::kNeighborEvicted;
+      event.src = neighbor;
+      event.a = config_.neighbor_max_age.count_ns();
+      trace_mac(event);
+    }
+  }
+}
+
+void MacProtocol::reset_mac_state() {
+  neighbors_ = NeighborTable{};
+  peer_health_.clear();
+  health_generation_ += 1;
+  handle_reset();
 }
 
 void MacProtocol::broadcast_hello() {
@@ -90,9 +156,12 @@ void MacProtocol::complete_head_packet(bool via_extra) {
 void MacProtocol::drop_head_packet() {
   if (queue_.empty()) return;
   counters_.packets_dropped += 1;
-  const Packet& packet = queue_.front();
-  if (drop_handler_) drop_handler_(packet.dst, packet.e2e);
+  const Packet packet = queue_.front();
   queue_.pop_front();
+  if (drop_handler_) drop_handler_(packet.dst, packet.e2e);
+  // Exhausting a whole retry budget without one answer is the strongest
+  // silence signal every protocol shares.
+  record_handshake_silence(packet.dst);
 }
 
 bool MacProtocol::deliver_data(const Frame& frame) {
@@ -119,6 +188,12 @@ void MacProtocol::on_frame_received(const Frame& frame, const RxInfo& raw_info) 
   // §4.3: every packet carries its sending timestamp; refresh the one-hop
   // delay for the sender regardless of destination.
   neighbors_.update(frame.src, info.measured_delay, sim_.now());
+  // Proof of life: any decodable frame from a node clears its silence
+  // count and any standing death sentence.
+  if (config_.dead_neighbor_threshold > 0) {
+    const auto it = peer_health_.find(frame.src);
+    if (it != peer_health_.end()) it->second = PeerHealth{};
+  }
   if (trace_ != nullptr) {
     TraceEvent event{};
     event.kind = TraceEventKind::kNeighborUpdate;

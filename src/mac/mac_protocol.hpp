@@ -64,6 +64,20 @@ struct MacConfig {
   // --- EW-MAC ablation switches (bench_ablation_ewmac) ----------------
   bool enable_extra{true};     ///< allow EXR/EXC/EXDATA/EXACK phase
   bool enable_priority{true};  ///< wait-time-weighted rp vs pure random
+
+  // --- robustness / hardening (all defaults preserve legacy behavior) --
+  /// Age out neighbor delays not refreshed within this window (the
+  /// Network sweeps periodically); zero = trust entries forever.
+  Duration neighbor_max_age{};
+  /// Declare a neighbor dead after K consecutive silent handshakes (no
+  /// CTS, no overheard negotiation); zero disables detection.
+  std::uint32_t dead_neighbor_threshold{0};
+  /// How long after declaring a neighbor dead to probe for reinstatement.
+  Duration dead_probe_interval{Duration::seconds(30)};
+  /// Extra safety margin under measured clock uncertainty: EW-MAC shrinks
+  /// its extra-packet windows by this much so drift below the slack can
+  /// never violate the overlap theorem. Zero = paper behavior.
+  Duration guard_slack{};
 };
 
 /// End-to-end header carried across hops in multi-hop mode (§3.1/Fig. 1).
@@ -115,6 +129,20 @@ class MacProtocol : public ModemListener {
   /// negotiation, neighbor-table updates).
   void set_trace(TraceSink* trace) { trace_ = trace; }
 
+  /// Ages out neighbor entries older than `neighbor_max_age` (traced as
+  /// kNeighborEvicted); the Network calls this on a periodic sweep. No-op
+  /// when the knob is zero.
+  void age_neighbors();
+
+  /// Full MAC amnesia after an outage: wipes the neighbor table and peer
+  /// health, invalidates pending probes, and lets the protocol cancel its
+  /// in-flight handshake state (handle_reset). The node must re-learn
+  /// delays via HELLO/piggyback before trusting anything again.
+  void reset_mac_state();
+
+  /// Whether dead-neighbor detection currently considers `node` dead.
+  [[nodiscard]] bool neighbor_dead(NodeId node) const;
+
   [[nodiscard]] NodeId id() const { return modem_.id(); }
   [[nodiscard]] MacCounters& counters() { return counters_; }
   [[nodiscard]] const MacCounters& counters() const { return counters_; }
@@ -144,6 +172,14 @@ class MacProtocol : public ModemListener {
   virtual void handle_tx_done(const Frame& frame) { (void)frame; }
   /// A packet joined the queue (queue may have been empty: kick the FSM).
   virtual void handle_packet_enqueued() {}
+  /// reset_mac_state() hook: cancel timers, forget handshakes, restart.
+  virtual void handle_reset() {}
+
+  /// One consecutive silent handshake toward `dst` (no CTS and nothing
+  /// overheard). At `dead_neighbor_threshold` the neighbor is declared
+  /// dead (traced) and a reinstatement probe is scheduled. Any reception
+  /// from the node clears the count (proof of life).
+  void record_handshake_silence(NodeId dst);
 
   /// Builds a control frame of the protocol's control size (+piggyback
   /// for negotiation types).
@@ -198,6 +234,16 @@ class MacProtocol : public ModemListener {
   std::unordered_map<NodeId, std::uint64_t> delivered_seq_high_;
   DeliveryHandler delivery_handler_{};
   DropHandler drop_handler_{};
+
+ private:
+  struct PeerHealth {
+    std::uint32_t silent_failures{0};
+    bool dead{false};
+  };
+  std::unordered_map<NodeId, PeerHealth> peer_health_;
+  /// Bumped by reset_mac_state(); pending probe events compare it so a
+  /// reset invalidates them without tracking handles.
+  std::uint64_t health_generation_{0};
 };
 
 }  // namespace aquamac

@@ -29,6 +29,27 @@ std::vector<NodeId> NeighborTable::neighbor_ids() const {
   return ids;
 }
 
+std::optional<Time> NeighborTable::last_updated(NodeId neighbor) const {
+  const auto it = one_hop_.find(neighbor);
+  if (it == one_hop_.end()) return std::nullopt;
+  return it->second.updated;
+}
+
+std::vector<NodeId> NeighborTable::evict_older_than(Duration age, Time now) {
+  const Time horizon = now - age;
+  std::vector<NodeId> evicted;
+  for (const auto& [id, entry] : one_hop_) {
+    if (entry.updated < horizon) evicted.push_back(id);
+  }
+  for (const NodeId id : evicted) one_hop_.erase(id);
+  for (auto& [via, fars] : two_hop_) {
+    std::erase_if(fars, [horizon](const auto& kv) { return kv.second.updated < horizon; });
+  }
+  std::erase_if(two_hop_, [](const auto& kv) { return kv.second.empty(); });
+  std::sort(evicted.begin(), evicted.end());
+  return evicted;
+}
+
 void NeighborTable::expire_older_than(Time horizon) {
   std::erase_if(one_hop_, [horizon](const auto& kv) { return kv.second.updated < horizon; });
   for (auto& [via, fars] : two_hop_) {

@@ -45,8 +45,18 @@ class NeighborTable {
   [[nodiscard]] std::vector<NodeId> neighbor_ids() const;
   [[nodiscard]] const std::unordered_map<NodeId, Entry>& entries() const { return one_hop_; }
 
+  /// When the entry for `neighbor` was last refreshed; nullopt if unknown.
+  [[nodiscard]] std::optional<Time> last_updated(NodeId neighbor) const;
+
   /// Drops entries not refreshed since `horizon` (mobile networks).
   void expire_older_than(Time horizon);
+
+  /// Ages out one-hop entries older than `age` at `now` (and sweeps the
+  /// two-hop map the same way); returns the evicted one-hop ids, sorted,
+  /// so the MAC can trace each eviction. Unlike expire_older_than this
+  /// reports *what* was dropped — a long-dead neighbor's delay must not
+  /// be trusted forever, but its eviction must be observable.
+  std::vector<NodeId> evict_older_than(Duration age, Time now);
 
   /// Payload size of a full one-hop table broadcast.
   [[nodiscard]] std::uint32_t one_hop_info_bits() const {

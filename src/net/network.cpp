@@ -128,6 +128,25 @@ Network::Network(Simulator& sim, const ScenarioConfig& config)
   traffic_start_ = Time::zero() + config_.hello_window;
   horizon_ = traffic_start_ + config_.sim_time;
 
+  if (config_.fault.enabled()) {
+    // The plan forks dedicated streams off the root RNG (fork is const),
+    // so its construction never perturbs any stream drawn above.
+    fault_plan_ = std::make_unique<FaultPlan>(config_.fault, config_.node_count, horizon_, rng_);
+    for (std::size_t i = 0; i < config_.node_count; ++i) {
+      const auto id = static_cast<NodeId>(i);
+      if (config_.fault.drift_enabled()) {
+        nodes_[i]->modem().set_clock_drift_ppm(fault_plan_->drift_ppm(id));
+      }
+    }
+    if (fault_plan_->channel_impairment_enabled()) {
+      FaultPlan* plan = fault_plan_.get();
+      for (auto& node : nodes_) {
+        node->modem().set_impairment(
+            [plan](NodeId receiver, Time at) { return plan->arrival_lost(receiver, at); });
+      }
+    }
+  }
+
   // Traffic sources: the aggregate offered load is split across nodes
   // that have at least one uphill neighbor (Fig. 1 semantics).
   const double node_rate = per_node_packet_rate(config_.traffic, router_->source_count());
@@ -202,10 +221,94 @@ void Network::start_traffic() {
   for (auto& node : nodes_) node->mac().start();
 }
 
+void Network::trace_fault(TraceEventKind kind, NodeId node, std::int64_t a,
+                          std::int64_t b) const {
+  if (config_.trace == nullptr) return;
+  TraceEvent event{};
+  event.kind = kind;
+  event.at = sim_.now();
+  event.node = node;
+  event.a = a;
+  event.b = b;
+  config_.trace->record(event);
+}
+
+void Network::schedule_faults() {
+  if (fault_plan_ == nullptr) return;
+  const FaultConfig& fc = fault_plan_->config();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const auto id = static_cast<NodeId>(i);
+    AcousticModem* modem = &nodes_[i]->modem();
+    MacProtocol* mac = &nodes_[i]->mac();
+
+    for (const TimeInterval& iv : fault_plan_->down_intervals(id)) {
+      if (iv.begin >= horizon_) break;
+      sim_.at(iv.begin, [this, id, modem] {
+        trace_fault(TraceEventKind::kFaultNodeDown, id);
+        modem->set_operational(false);
+      });
+      if (iv.end >= horizon_) continue;  // never rejoins within this run
+      sim_.at(iv.end, [this, id, modem, mac] {
+        modem->set_operational(true);
+        mac->reset_mac_state();
+        trace_fault(TraceEventKind::kFaultNodeUp, id);
+        // Re-announce so neighbors refresh their delay to us and we start
+        // re-learning theirs from whatever we overhear.
+        mac->broadcast_hello();
+      });
+    }
+
+    const std::vector<Duration>& steps = fault_plan_->jitter_steps(id);
+    for (std::size_t k = 0; k < steps.size(); ++k) {
+      const Time when = Time::zero() + fc.drift_jitter_interval * static_cast<std::int64_t>(k + 1);
+      if (when >= horizon_) break;
+      const Duration step = steps[k];
+      sim_.at(when, [this, id, modem, step] {
+        modem->add_clock_jitter(step);
+        trace_fault(TraceEventKind::kFaultClockStep, id, step.count_ns(),
+                    modem->clock_offset().count_ns());
+      });
+    }
+
+    if (config_.trace != nullptr) {
+      for (const TimeInterval& iv : fault_plan_->ge_bad_intervals(id)) {
+        if (iv.begin >= horizon_) break;
+        sim_.at(iv.begin, [this, id] { trace_fault(TraceEventKind::kFaultBurstBegin, id); });
+        if (iv.end < horizon_) {
+          sim_.at(iv.end, [this, id] { trace_fault(TraceEventKind::kFaultBurstEnd, id); });
+        }
+      }
+    }
+  }
+
+  if (config_.trace != nullptr) {
+    for (const TimeInterval& iv : fault_plan_->storms()) {
+      if (iv.begin >= horizon_) break;
+      sim_.at(iv.begin, [this] { trace_fault(TraceEventKind::kFaultStormBegin, kNoNode); });
+      if (iv.end < horizon_) {
+        sim_.at(iv.end, [this] { trace_fault(TraceEventKind::kFaultStormEnd, kNoNode); });
+      }
+    }
+  }
+}
+
+void Network::schedule_aging() {
+  const Duration age = config_.mac_config.neighbor_max_age;
+  if (age.is_zero()) return;
+  const Duration step =
+      std::max(Duration::nanoseconds(age.count_ns() / 2), Duration::seconds(1));
+  sim_.in(step, [this, step] {
+    for (auto& node : nodes_) node->mac().age_neighbors();
+    if (sim_.now() + step <= horizon_) schedule_aging();
+  });
+}
+
 RunStats Network::run() {
   schedule_hello_phase();
   schedule_mobility();
   start_traffic();
+  schedule_faults();
+  schedule_aging();
   if (config_.node_failure_fraction > 0.0) {
     Rng failure_rng = rng_.fork(0xDEAD);
     const auto casualties = static_cast<std::size_t>(

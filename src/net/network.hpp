@@ -10,6 +10,7 @@
 #include "channel/acoustic_channel.hpp"
 #include "channel/propagation.hpp"
 #include "channel/reception.hpp"
+#include "fault/fault_plan.hpp"
 #include "mac/mac_factory.hpp"
 #include "net/deployment.hpp"
 #include "net/node.hpp"
@@ -79,6 +80,11 @@ struct ScenarioConfig {
   /// neighbors measure propagation delays.
   double clock_offset_stddev_s{0.0};
 
+  /// Time-varying fault injection (drift, outages, burst loss, storms).
+  /// With every knob at zero no FaultPlan is constructed and the run is
+  /// bit-identical to a configuration without the subsystem.
+  FaultConfig fault{};
+
   /// Optional structured PHY trace (not owned).
   TraceSink* trace{nullptr};
 
@@ -125,6 +131,9 @@ class Network {
   /// Aggregated statistics at the current simulation time.
   [[nodiscard]] RunStats stats() const;
 
+  /// The realized fault timeline; null when config.fault is all-zero.
+  [[nodiscard]] const FaultPlan* fault_plan() const { return fault_plan_.get(); }
+
   /// Diagnostic: mean one-hop degree of the as-built deployment.
   [[nodiscard]] double deployed_mean_degree() const;
 
@@ -132,6 +141,10 @@ class Network {
   void schedule_hello_phase();
   void schedule_mobility();
   void start_traffic();
+  void schedule_faults();
+  void schedule_aging();
+  void trace_fault(TraceEventKind kind, NodeId node, std::int64_t a = 0,
+                   std::int64_t b = 0) const;
 
   Simulator& sim_;
   ScenarioConfig config_;
@@ -145,6 +158,7 @@ class Network {
   std::vector<std::unique_ptr<RelayAgent>> relays_;  ///< multi-hop mode only
   std::vector<std::unique_ptr<TrafficSource>> sources_;
   std::vector<Vec3> initial_positions_;
+  std::unique_ptr<FaultPlan> fault_plan_;  ///< null when faults disabled
 
   Time traffic_start_{};
   Time horizon_{};

@@ -32,7 +32,7 @@ void AcousticModem::transmit(Frame frame) {
   if (frame.size_bits == 0) throw std::logic_error("transmit of zero-size frame");
 
   frame.src = id_;
-  frame.sent_at = sim_.now() + clock_offset_;
+  frame.sent_at = sim_.now() + clock_error_at(sim_.now());
   const Duration dur = airtime(frame.size_bits);
   const TimeInterval window{sim_.now(), sim_.now() + dur};
   tx_windows_.push_back(window);
@@ -77,6 +77,10 @@ void AcousticModem::begin_arrival(const Frame& frame, double rx_level_db, TimeIn
 }
 
 void AcousticModem::finish_arrival(std::uint64_t arrival_id) {
+  // A node that went down mid-window loses the arrival outright: the
+  // ledger entry stays (it still interferes historically) but no decision
+  // is made and the MAC hears nothing.
+  if (!operational_) return;
   const auto it = std::find_if(arrivals_.begin(), arrivals_.end(),
                                [arrival_id](const Arrival& a) { return a.id == arrival_id; });
   assert(it != arrivals_.end() && "arrival pruned before its end event");
@@ -99,7 +103,11 @@ void AcousticModem::finish_arrival(std::uint64_t arrival_id) {
     }
   }
 
-  const RxOutcome outcome = reception_.decide(ctx, rng_);
+  RxOutcome outcome = reception_.decide(ctx, rng_);
+  if (outcome == RxOutcome::kSuccess && impairment_ &&
+      impairment_(id_, arrival.window.begin)) {
+    outcome = RxOutcome::kChannelError;
+  }
 
   // Active-receive energy: the union of arrival windows, tracked with a
   // watermark so overlapping arrivals are not double-billed.
@@ -113,8 +121,9 @@ void AcousticModem::finish_arrival(std::uint64_t arrival_id) {
   info.arrival_begin = arrival.window.begin;
   info.arrival_end = arrival.window.end;
   info.rx_level_db = arrival.rx_level_db;
-  // The receiver reads its own (possibly offset) clock at arrival.
-  info.measured_delay = (arrival.window.begin + clock_offset_) - arrival.frame.sent_at;
+  // The receiver reads its own (possibly offset + drifted) clock.
+  info.measured_delay =
+      (arrival.window.begin + clock_error_at(arrival.window.begin)) - arrival.frame.sent_at;
 
   if (outcome == RxOutcome::kSuccess) {
     ++frames_received_;

@@ -81,6 +81,20 @@ class AcousticModem {
   /// two nodes' offsets — exactly how real desynchronization enters.
   void set_clock_offset(Duration offset) { clock_offset_ = offset; }
   [[nodiscard]] Duration clock_offset() const { return clock_offset_; }
+  /// Clock *drift*: the offset additionally grows at `ppm` parts per
+  /// million of simulation time (a FaultPlan knob). With drift at zero
+  /// the modem degenerates exactly to the static-offset behavior.
+  void set_clock_drift_ppm(double ppm) { clock_drift_ppm_ = ppm; }
+  [[nodiscard]] double clock_drift_ppm() const { return clock_drift_ppm_; }
+  /// One random-walk jitter step: permanently shifts the static offset
+  /// (the FaultPlan schedules these at its jitter interval).
+  void add_clock_jitter(Duration delta) { clock_offset_ += delta; }
+  /// Total clock error (offset + jitter so far + drift) read at sim time
+  /// `t`; what this node's timestamps and delay readings are skewed by.
+  [[nodiscard]] Duration clock_error_at(Time t) const {
+    if (clock_drift_ppm_ == 0.0) return clock_offset_;
+    return clock_offset_ + Duration::from_seconds(clock_drift_ppm_ * 1e-6 * t.to_seconds());
+  }
   /// Moves the modem. Real moves bump the position epoch and notify the
   /// channel so its spatial index re-bins this modem before any later
   /// transmission queries it (defined in modem.cpp: needs AcousticChannel).
@@ -93,6 +107,12 @@ class AcousticModem {
 
   /// Attached by AcousticChannel::attach; one channel per modem.
   void set_channel(AcousticChannel* channel) { channel_ = channel; }
+
+  /// External impairment hook (FaultPlan burst loss / noise storms):
+  /// consulted once per otherwise-successful arrival; returning true
+  /// downgrades the reception to kChannelError.
+  using ImpairmentFn = std::function<bool(NodeId receiver, Time arrival_begin)>;
+  void set_impairment(ImpairmentFn impairment) { impairment_ = std::move(impairment); }
 
   /// Airtime of a frame of `bits` at this modem's rate.
   [[nodiscard]] Duration airtime(std::uint32_t bits) const {
@@ -156,6 +176,8 @@ class AcousticModem {
   EnergyMeter energy_;
   Time last_rx_accounted_until_{Time::zero()};
   Duration clock_offset_{};
+  double clock_drift_ppm_{0.0};
+  ImpairmentFn impairment_{};
   bool operational_{true};
 
   std::uint64_t frames_sent_{0};

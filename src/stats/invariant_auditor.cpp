@@ -31,8 +31,30 @@ void InvariantAuditor::record(const TraceEvent& event) {
     case TraceEventKind::kRxOk:
     case TraceEventKind::kRxLost: on_rx(event); break;
     case TraceEventKind::kNeighborUpdate: on_neighbor_update(event); break;
+    case TraceEventKind::kFaultNodeDown:
+      nodes_[event.node].down = true;
+      break;
+    case TraceEventKind::kFaultNodeUp: {
+      // The MAC forgot everything on rejoin, so the auditor must too; the
+      // node stays unhealthy for the grace period while it re-learns.
+      NodeState fresh{};
+      fresh.unhealthy_until = event.at + config_.rejoin_grace;
+      nodes_[event.node] = std::move(fresh);
+      break;
+    }
+    case TraceEventKind::kNeighborEvicted:
+      // The evictor no longer has a measured delay to this neighbor, so
+      // knowledge-scoped checks must not hold it to one.
+      nodes_[event.node].knows_since.erase(event.src);
+      break;
     default: break;  // other MAC events carry context, not obligations
   }
+}
+
+bool InvariantAuditor::healthy(NodeId node, Time at) const {
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end()) return true;
+  return !it->second.down && at >= it->second.unhealthy_until;
 }
 
 Time InvariantAuditor::match_tx(const TxKey& key, Time arrival_begin) const {
@@ -59,7 +81,8 @@ void InvariantAuditor::on_tx_start(const TraceEvent& event) {
   tx_times_[TxKey{event.src, static_cast<std::uint8_t>(event.frame_type), event.seq}].push(
       event.at);
 
-  if (config_.slotted && is_negotiated(event.frame_type)) {
+  if (config_.slotted && is_negotiated(event.frame_type) &&
+      healthy(event.node, event.at)) {
     // (b): negotiated packets start on slot boundaries (§4.1).
     checks_ += 1;
     const Duration offset = event.at - slot_start(slot_index(event.at));
@@ -137,7 +160,12 @@ void InvariantAuditor::on_rx(const TraceEvent& event) {
     if (is_extra(event.frame_type)) {
       state.extras.push_back(window);
       check_extra_overlap(event.node, window, /*added_is_extra=*/true);
-    } else if (event.dst == event.node) {
+    } else if (event.dst == event.node && event.frame_type != FrameType::kRts) {
+      // RTS launches are the initiator's private backoff draw — nothing a
+      // prior decode announces — so an extra clashing with a (re)sent RTS
+      // is an ordinary contention collision, not a theorem violation. The
+      // windows the theorem does cover (CTS/DATA/ACK, all implied by the
+      // decoded negotiation) stay under the obligation.
       state.negotiated.push_back(window);
       check_extra_overlap(event.node, window, /*added_is_extra=*/false);
     }
@@ -158,6 +186,11 @@ void InvariantAuditor::check_extra_overlap(NodeId node, const ArrivalWindow& add
     // decoded this exchange's negotiation AND have had a measured delay
     // to this receiver — otherwise the clash was unpredictable (hidden
     // terminal), which the paper's theorem does not cover.
+    // Fault scoping: a clash involving a down/re-learning receiver or an
+    // extra launched by a node in an unhealthy interval is expected noise,
+    // not a theorem violation.
+    if (!healthy(node, added.iv.begin) || !healthy(extra.src, extra.tx_at)) continue;
+
     const auto sender_it = nodes_.find(extra.src);
     if (sender_it == nodes_.end()) continue;
     const NodeState& sender = sender_it->second;
@@ -187,6 +220,8 @@ void InvariantAuditor::on_neighbor_update(const TraceEvent& event) {
       state.last_rx.seq != event.seq || state.last_rx.type != event.frame_type) {
     return;
   }
+  // Either endpoint in an unhealthy interval exempts the reading.
+  if (!healthy(event.node, event.at) || !healthy(event.src, event.at)) return;
   const auto it = tx_times_.find(
       TxKey{event.src, static_cast<std::uint8_t>(event.frame_type), event.seq});
   if (it == tx_times_.end()) return;

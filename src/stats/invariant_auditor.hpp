@@ -54,6 +54,9 @@ class InvariantAuditor final : public TraceSink {
     Duration omega{};          ///< control-packet airtime
     Duration tau_max{};        ///< MAC clamp bound for (d)
     Duration sync_tolerance{}; ///< allowed |recorded - true| delay error
+    /// After a kFaultNodeUp the node is still re-learning its neighborhood;
+    /// checks at that node are suppressed for this long (fault injection).
+    Duration rejoin_grace{};
     bool hard_fail{false};     ///< throw on the first violation
   };
 
@@ -140,11 +143,18 @@ class InvariantAuditor final : public TraceSink {
     /// filled when the DATA arrives, consumed when this node launches the
     /// Ack.
     std::unordered_map<TxKey, std::int64_t, TxKeyHash> ack_slot_expect;
+    /// Fault scoping: a down node is unhealthy, and a rejoined node stays
+    /// unhealthy until the grace period ends (it is re-learning state the
+    /// invariants presume).
+    bool down{false};
+    Time unhealthy_until{};
   };
 
   void on_tx_start(const TraceEvent& event);
   void on_rx(const TraceEvent& event);
   void on_neighbor_update(const TraceEvent& event);
+  /// Whether `node` is in a healthy interval at `at` (unknown nodes are).
+  [[nodiscard]] bool healthy(NodeId node, Time at) const;
   void check_extra_overlap(NodeId node, const ArrivalWindow& added, bool added_is_extra);
   void add_violation(Violation violation);
   void prune(NodeId node, Time now);

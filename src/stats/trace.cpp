@@ -19,6 +19,16 @@ std::string_view to_string(TraceEventKind kind) {
     case TraceEventKind::kExtraNegotiated: return "EXNEG";
     case TraceEventKind::kExtraScheduled: return "EXPLAN";
     case TraceEventKind::kNeighborUpdate: return "NBR";
+    case TraceEventKind::kFaultNodeDown: return "DOWN";
+    case TraceEventKind::kFaultNodeUp: return "UP";
+    case TraceEventKind::kFaultClockStep: return "CLKSTEP";
+    case TraceEventKind::kFaultBurstBegin: return "BURST+";
+    case TraceEventKind::kFaultBurstEnd: return "BURST-";
+    case TraceEventKind::kFaultStormBegin: return "STORM+";
+    case TraceEventKind::kFaultStormEnd: return "STORM-";
+    case TraceEventKind::kNeighborEvicted: return "EVICT";
+    case TraceEventKind::kNeighborDead: return "NBRDEAD";
+    case TraceEventKind::kNeighborProbe: return "PROBE";
   }
   return "?";
 }

@@ -41,6 +41,18 @@ enum class TraceEventKind : std::uint8_t {
   kExtraNegotiated,  ///< EXC granted; window = validity of the grant
   kExtraScheduled,   ///< EXDATA launch planned; window = its air time (Eq. 6)
   kNeighborUpdate,   ///< delay table refresh; src = neighbor, a = delay ns
+  // --- fault-injection events (emitted by Network's FaultPlan) ----------
+  kFaultNodeDown,    ///< node enters an outage/sleep window
+  kFaultNodeUp,      ///< node rejoins; MAC state was reset
+  kFaultClockStep,   ///< clock jitter step; a = step ns, b = new offset ns
+  kFaultBurstBegin,  ///< node's Gilbert-Elliott chain entered the bad state
+  kFaultBurstEnd,    ///< node's Gilbert-Elliott chain returned to good
+  kFaultStormBegin,  ///< network-wide noise storm begins (node = kNoNode)
+  kFaultStormEnd,    ///< network-wide noise storm ends (node = kNoNode)
+  // --- hardening / recovery events (emitted by MacProtocol) -------------
+  kNeighborEvicted,  ///< stale entry aged out; src = neighbor, a = max age ns
+  kNeighborDead,     ///< K consecutive silent handshakes; src = neighbor, a = K
+  kNeighborProbe,    ///< reinstatement probe of a dead neighbor; src = neighbor
 };
 
 [[nodiscard]] std::string_view to_string(TraceEventKind kind);

@@ -114,6 +114,71 @@ TEST(ConfigIo, MissingEqualsThrows) {
   EXPECT_THROW((void)load_scenario(buffer, small_test_scenario()), std::invalid_argument);
 }
 
+TEST(ConfigIo, FaultAndHardeningKeysRoundTrip) {
+  ScenarioConfig original = small_test_scenario();
+  original.fault.drift_ppm_stddev = 1'234.0;
+  original.fault.drift_jitter_stddev_s = 0.0025;
+  original.fault.drift_jitter_interval = Duration::from_seconds(7.5);
+  original.fault.outage_rate_per_hour = 42.0;
+  original.fault.outage_mean_duration = Duration::from_seconds(12.5);
+  original.fault.duty_cycle = 0.85;
+  original.fault.duty_period = Duration::from_seconds(45.0);
+  original.fault.ge_p_bad = 0.07;
+  original.fault.ge_p_good = 0.21;
+  original.fault.ge_loss_bad = 0.88;
+  original.fault.ge_loss_good = 0.02;
+  original.fault.ge_step = Duration::from_seconds(0.25);
+  original.fault.storm_rate_per_hour = 3.5;
+  original.fault.storm_mean_duration = Duration::from_seconds(8.0);
+  original.fault.storm_loss_prob = 0.95;
+  original.mac_config.neighbor_max_age = Duration::from_seconds(60.0);
+  original.mac_config.dead_neighbor_threshold = 5;
+  original.mac_config.dead_probe_interval = Duration::from_seconds(25.0);
+  original.mac_config.guard_slack = Duration::from_seconds(0.015);
+
+  std::stringstream buffer;
+  save_scenario(original, buffer);
+  const ScenarioConfig loaded = load_scenario(buffer, small_test_scenario());
+
+  EXPECT_DOUBLE_EQ(loaded.fault.drift_ppm_stddev, original.fault.drift_ppm_stddev);
+  EXPECT_DOUBLE_EQ(loaded.fault.drift_jitter_stddev_s, original.fault.drift_jitter_stddev_s);
+  EXPECT_EQ(loaded.fault.drift_jitter_interval, original.fault.drift_jitter_interval);
+  EXPECT_DOUBLE_EQ(loaded.fault.outage_rate_per_hour, original.fault.outage_rate_per_hour);
+  EXPECT_EQ(loaded.fault.outage_mean_duration, original.fault.outage_mean_duration);
+  EXPECT_DOUBLE_EQ(loaded.fault.duty_cycle, original.fault.duty_cycle);
+  EXPECT_EQ(loaded.fault.duty_period, original.fault.duty_period);
+  EXPECT_DOUBLE_EQ(loaded.fault.ge_p_bad, original.fault.ge_p_bad);
+  EXPECT_DOUBLE_EQ(loaded.fault.ge_p_good, original.fault.ge_p_good);
+  EXPECT_DOUBLE_EQ(loaded.fault.ge_loss_bad, original.fault.ge_loss_bad);
+  EXPECT_DOUBLE_EQ(loaded.fault.ge_loss_good, original.fault.ge_loss_good);
+  EXPECT_EQ(loaded.fault.ge_step, original.fault.ge_step);
+  EXPECT_DOUBLE_EQ(loaded.fault.storm_rate_per_hour, original.fault.storm_rate_per_hour);
+  EXPECT_EQ(loaded.fault.storm_mean_duration, original.fault.storm_mean_duration);
+  EXPECT_DOUBLE_EQ(loaded.fault.storm_loss_prob, original.fault.storm_loss_prob);
+  EXPECT_EQ(loaded.mac_config.neighbor_max_age, original.mac_config.neighbor_max_age);
+  EXPECT_EQ(loaded.mac_config.dead_neighbor_threshold,
+            original.mac_config.dead_neighbor_threshold);
+  EXPECT_EQ(loaded.mac_config.dead_probe_interval, original.mac_config.dead_probe_interval);
+  EXPECT_EQ(loaded.mac_config.guard_slack, original.mac_config.guard_slack);
+  EXPECT_TRUE(loaded.fault.enabled());
+}
+
+TEST(ConfigIo, DefaultSaveKeepsFaultsDisabled) {
+  // A default round-trip must not accidentally enable fault injection —
+  // the strict no-op guarantee has to survive save/load.
+  std::stringstream buffer;
+  save_scenario(small_test_scenario(), buffer);
+  const ScenarioConfig loaded = load_scenario(buffer, small_test_scenario());
+  EXPECT_FALSE(loaded.fault.enabled());
+  EXPECT_TRUE(loaded.mac_config.guard_slack.is_zero());
+  EXPECT_EQ(loaded.mac_config.dead_neighbor_threshold, 0u);
+}
+
+TEST(ConfigIo, UnknownFaultKeyThrows) {
+  std::stringstream buffer{"fault-drip-ppm = 100\n"};  // typo for fault-drift-ppm
+  EXPECT_THROW((void)load_scenario(buffer, small_test_scenario()), std::invalid_argument);
+}
+
 TEST(ConfigIo, FileRoundTrip) {
   const std::string path = testing::TempDir() + "/aquamac_scenario_test.cfg";
   ScenarioConfig original = small_test_scenario();

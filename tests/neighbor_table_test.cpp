@@ -74,6 +74,42 @@ TEST(NeighborTable, TwoHopLookup) {
   EXPECT_EQ(table.two_hop_size(), 1u);
 }
 
+TEST(NeighborTable, LastUpdatedTracksRefreshes) {
+  NeighborTable table;
+  EXPECT_FALSE(table.last_updated(5).has_value());
+  table.update(5, Duration::milliseconds(700), Time::from_seconds(1.0));
+  ASSERT_TRUE(table.last_updated(5).has_value());
+  EXPECT_EQ(*table.last_updated(5), Time::from_seconds(1.0));
+  table.update(5, Duration::milliseconds(710), Time::from_seconds(4.0));
+  EXPECT_EQ(*table.last_updated(5), Time::from_seconds(4.0));
+}
+
+TEST(NeighborTable, EvictOlderThanReturnsSortedVictims) {
+  NeighborTable table;
+  table.update(9, Duration::milliseconds(1), Time::from_seconds(1.0));
+  table.update(2, Duration::milliseconds(1), Time::from_seconds(2.0));
+  table.update(5, Duration::milliseconds(1), Time::from_seconds(50.0));
+  table.update_two_hop(9, 7, Duration::milliseconds(2), Time::from_seconds(1.0));
+  table.update_two_hop(5, 8, Duration::milliseconds(2), Time::from_seconds(50.0));
+
+  // At t=60 with a 30 s max age, entries refreshed before t=30 go.
+  const std::vector<NodeId> evicted =
+      table.evict_older_than(Duration::seconds(30), Time::from_seconds(60.0));
+  EXPECT_EQ(evicted, (std::vector<NodeId>{2, 9}));
+  EXPECT_FALSE(table.knows(9));
+  EXPECT_FALSE(table.knows(2));
+  EXPECT_TRUE(table.knows(5));
+  EXPECT_FALSE(table.two_hop_delay(9, 7).has_value()) << "two-hop rides the one-hop eviction";
+  EXPECT_TRUE(table.two_hop_delay(5, 8).has_value());
+}
+
+TEST(NeighborTable, EvictOlderThanKeepsFreshTableIntact) {
+  NeighborTable table;
+  table.update(1, Duration::milliseconds(1), Time::from_seconds(10.0));
+  EXPECT_TRUE(table.evict_older_than(Duration::seconds(30), Time::from_seconds(20.0)).empty());
+  EXPECT_TRUE(table.knows(1));
+}
+
 TEST(NeighborTable, InfoBitsScaleWithEntries) {
   // The §5.3 overhead accounting: maintenance payload grows linearly with
   // table size — the mechanism behind Fig. 10's node-count growth.
