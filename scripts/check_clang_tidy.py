@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""clang-tidy wall: run the curated .clang-tidy profile over src/ via
+compile_commands.json and fail on any finding NOT in the committed
+baseline (tools/lint/clang-tidy-baseline.txt).
+
+Findings are matched by a stable fingerprint — sha1 over (relative path,
+check name, whitespace-normalized source line text) — so a finding
+survives unrelated edits above it but a genuinely new finding on an old
+line still trips the wall.
+
+Usage:
+  check_clang_tidy.py [--build-dir build] [--update-baseline] [--jobs N]
+
+Exit codes: 0 wall holds (or clang-tidy unavailable and not --strict),
+1 new findings (or stale baseline with --strict), 2 setup error.
+"""
+
+import argparse
+import concurrent.futures
+import hashlib
+import json
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+BASELINE = REPO / "tools" / "lint" / "clang-tidy-baseline.txt"
+FINDING_RE = re.compile(
+    r"^(?P<path>[^:\s][^:]*):(?P<line>\d+):(?P<col>\d+): "
+    r"(?:warning|error): (?P<msg>.*?) \[(?P<check>[\w.,-]+)\]$")
+
+
+def find_clang_tidy():
+    import os
+    for cand in [os.environ.get("CLANG_TIDY", ""), "clang-tidy",
+                 "clang-tidy-18", "clang-tidy-17", "clang-tidy-16",
+                 "clang-tidy-15", "clang-tidy-14"]:
+        if cand and shutil.which(cand):
+            return shutil.which(cand)
+    return None
+
+
+def fingerprint(relpath: str, check: str, source_line: str) -> str:
+    normalized = " ".join(source_line.split())
+    digest = hashlib.sha1(
+        f"{relpath}\0{check}\0{normalized}".encode()).hexdigest()[:16]
+    return digest
+
+
+def source_line(path: Path, line_no: int) -> str:
+    try:
+        lines = path.read_text(errors="replace").splitlines()
+        return lines[line_no - 1] if 0 < line_no <= len(lines) else ""
+    except OSError:
+        return ""
+
+
+def run_one(clang_tidy: str, build_dir: Path, src: str) -> str:
+    proc = subprocess.run(
+        [clang_tidy, "-p", str(build_dir), "--quiet", src],
+        capture_output=True, text=True)
+    return proc.stdout
+
+
+def collect_findings(clang_tidy: str, build_dir: Path, jobs: int):
+    with open(build_dir / "compile_commands.json") as fh:
+        commands = json.load(fh)
+    sources = sorted({
+        entry["file"] for entry in commands
+        if "/src/" in entry["file"].replace("\\", "/")})
+    if not sources:
+        print("check_clang_tidy: no src/ entries in compile_commands.json",
+              file=sys.stderr)
+        sys.exit(2)
+
+    findings = {}
+    with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+        for out in pool.map(
+                lambda s: run_one(clang_tidy, build_dir, s), sources):
+            for line in out.splitlines():
+                m = FINDING_RE.match(line)
+                if not m:
+                    continue
+                path = Path(m.group("path")).resolve()
+                try:
+                    rel = str(path.relative_to(REPO))
+                except ValueError:
+                    continue  # system header noise
+                if not rel.startswith("src/"):
+                    continue
+                for check in m.group("check").split(","):
+                    text = source_line(path, int(m.group("line")))
+                    fp = fingerprint(rel, check, text)
+                    findings.setdefault(fp, (rel, check, text, m.group("msg")))
+    return findings
+
+
+def load_baseline():
+    baseline = {}
+    if BASELINE.exists():
+        for raw in BASELINE.read_text().splitlines():
+            raw = raw.strip()
+            if not raw or raw.startswith("#"):
+                continue
+            fp = raw.split()[0]
+            baseline[fp] = raw
+    return baseline
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--jobs", type=int, default=4)
+    ap.add_argument("--update-baseline", action="store_true")
+    ap.add_argument("--strict", action="store_true",
+                    help="also fail when clang-tidy is unavailable or the "
+                         "baseline has stale entries")
+    args = ap.parse_args()
+
+    clang_tidy = find_clang_tidy()
+    if clang_tidy is None:
+        print("check_clang_tidy: clang-tidy not found; skipping"
+              " (install clang-tidy or set CLANG_TIDY)")
+        return 1 if args.strict else 0
+
+    build_dir = (REPO / args.build_dir).resolve()
+    if not (build_dir / "compile_commands.json").exists():
+        print(f"check_clang_tidy: {build_dir}/compile_commands.json missing; "
+              "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON",
+              file=sys.stderr)
+        return 2
+
+    findings = collect_findings(clang_tidy, build_dir, args.jobs)
+    baseline = load_baseline()
+
+    if args.update_baseline:
+        header = [l for l in BASELINE.read_text().splitlines()
+                  if l.startswith("#")] if BASELINE.exists() else []
+        body = [f"{fp}  {rel} [{check}] {' '.join(text.split())}"
+                for fp, (rel, check, text, _msg) in sorted(
+                    findings.items(), key=lambda kv: kv[1])]
+        BASELINE.write_text("\n".join(header + body) + "\n")
+        print(f"check_clang_tidy: baseline updated with {len(body)} finding(s)")
+        return 0
+
+    new = {fp: v for fp, v in findings.items() if fp not in baseline}
+    stale = {fp: v for fp, v in baseline.items() if fp not in findings}
+
+    for fp, (rel, check, text, msg) in sorted(new.items(), key=lambda kv: kv[1]):
+        print(f"NEW  {rel} [{check}] {msg}\n     > {text.strip()}")
+    if stale:
+        print(f"check_clang_tidy: {len(stale)} stale baseline entr(y/ies) — "
+              "shrink tools/lint/clang-tidy-baseline.txt:")
+        for fp, line in stale.items():
+            print(f"STALE  {line}")
+
+    print(f"check_clang_tidy: {len(findings)} finding(s), {len(new)} new, "
+          f"{len(baseline)} baselined, {len(stale)} stale")
+    if new:
+        print("check_clang_tidy: FAIL — fix the new findings or (only with "
+              "justification in the PR) add them via --update-baseline")
+        return 1
+    if stale and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Format wall: clang-format --dry-run over the C++ files changed relative
+# to a base ref (default: origin/main, falling back to HEAD~1). Only
+# changed files are checked so the wall never blocks on legacy formatting;
+# stragglers get normalized the first time they are touched.
+#
+# Usage: check_format.sh [base-ref]
+# Env:   CLANG_FORMAT=clang-format-16   STRICT=1 (fail if tool missing)
+set -u
+
+BASE="${1:-}"
+if [ -z "$BASE" ]; then
+  if git rev-parse --verify -q origin/main >/dev/null; then
+    BASE=origin/main
+  else
+    BASE=HEAD~1
+  fi
+fi
+
+CF="${CLANG_FORMAT:-}"
+if [ -z "$CF" ]; then
+  for cand in clang-format clang-format-18 clang-format-17 clang-format-16 \
+              clang-format-15 clang-format-14; do
+    if command -v "$cand" >/dev/null 2>&1; then CF="$cand"; break; fi
+  done
+fi
+if [ -z "$CF" ]; then
+  echo "check_format: clang-format not found; skipping (set CLANG_FORMAT or install it)"
+  [ "${STRICT:-0}" = "1" ] && exit 1
+  exit 0
+fi
+
+mapfile -t files < <(git diff --name-only --diff-filter=ACMR "$BASE"...HEAD -- \
+                       '*.cpp' '*.hpp' '*.cc' '*.h' | grep -v '^tools/lint/testdata/')
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "check_format: no changed C++ files vs $BASE"
+  exit 0
+fi
+
+fail=0
+for f in "${files[@]}"; do
+  [ -f "$f" ] || continue
+  if ! "$CF" --dry-run -Werror "$f" 2>/dev/null; then
+    echo "check_format: NEEDS FORMAT $f"
+    "$CF" --dry-run "$f" 2>&1 | head -20
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_format: FAIL — run: $CF -i <files>"
+  exit 1
+fi
+echo "check_format: ${#files[@]} changed file(s) clean"

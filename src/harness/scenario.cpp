@@ -155,6 +155,7 @@ Duration realized_clock_uncertainty(const ScenarioConfig& config) {
   // Rng{seed}.fork(0xC10C0 + i) (drawn only when the stddev is positive),
   // drift/jitter from the FaultPlan's dedicated streams. fork() is const,
   // so this replication can never perturb the run it describes.
+  // aquamac-lint: allow(rng-root) -- replica of the Network's per-run root stream (same seed)
   const Rng root{config.seed};
   const Time horizon = Time::zero() + config.hello_window + config.sim_time;
   std::optional<FaultPlan> plan;

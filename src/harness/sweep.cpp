@@ -1,5 +1,9 @@
 #include "harness/sweep.hpp"
 
+// aquamac-lint: allow-file(wall-clock) -- harness wall-timing for BENCH_*.json / cell_wall_s
+// Rationale: steady_clock here measures host wall time around whole runs; it is read outside
+// every Simulator and never feeds simulation state, schedules or RNG draws.
+
 #include <algorithm>
 #include <chrono>
 #include <memory>

@@ -322,7 +322,7 @@ void EwMac::contention_lost(const Frame& negotiation, const RxInfo& info) {
       // Try a few launch offsets within [0, bound] until the arrival is
       // clear at every schedulable neighbor.
       for (int step = 0; step < 4 && !feasible; ++step) {
-        const Duration beta = Duration::nanoseconds(bound.count_ns() * step / 4);
+        const Duration beta = bound * step / 4;
         const Time candidate = base + beta;
         if (candidate <= sim_.now()) continue;
         if (clear_at_neighbors(candidate, omega(), plan.j)) {

@@ -24,8 +24,8 @@ std::optional<Duration> NeighborTable::max_known_delay() const {
 std::vector<NodeId> NeighborTable::neighbor_ids() const {
   std::vector<NodeId> ids;
   ids.reserve(one_hop_.size());
+  // std::map iteration: already ascending NodeId.
   for (const auto& [id, entry] : one_hop_) ids.push_back(id);
-  std::sort(ids.begin(), ids.end());
   return ids;
 }
 
@@ -46,7 +46,7 @@ std::vector<NodeId> NeighborTable::evict_older_than(Duration age, Time now) {
     std::erase_if(fars, [horizon](const auto& kv) { return kv.second.updated < horizon; });
   }
   std::erase_if(two_hop_, [](const auto& kv) { return kv.second.empty(); });
-  std::sort(evicted.begin(), evicted.end());
+  // Already ascending: collected in std::map iteration order.
   return evicted;
 }
 

@@ -9,8 +9,8 @@
 // the paper charges them for maintaining and transmitting it (§5.2, §5.3).
 
 #include <cstdint>
+#include <map>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "phy/frame.hpp"
@@ -43,7 +43,10 @@ class NeighborTable {
   [[nodiscard]] std::optional<Duration> max_known_delay() const;
 
   [[nodiscard]] std::vector<NodeId> neighbor_ids() const;
-  [[nodiscard]] const std::unordered_map<NodeId, Entry>& entries() const { return one_hop_; }
+  /// Iteration order is ascending NodeId — a determinism contract, not an
+  /// accident: CS-MAC ships a prefix of this table in its frames, so
+  /// which entries ride along must not depend on hash-bucket layout.
+  [[nodiscard]] const std::map<NodeId, Entry>& entries() const { return one_hop_; }
 
   /// When the entry for `neighbor` was last refreshed; nullopt if unknown.
   [[nodiscard]] std::optional<Time> last_updated(NodeId neighbor) const;
@@ -72,8 +75,12 @@ class NeighborTable {
   }
 
  private:
-  std::unordered_map<NodeId, Entry> one_hop_;
-  std::unordered_map<NodeId, std::unordered_map<NodeId, Entry>> two_hop_;
+  // Ordered maps: every iteration over these feeds frames (CS-MAC
+  // neighbor shipping), traces (eviction events) or scheduling, so the
+  // order must be deterministic and platform-independent. The tables are
+  // small (~12 entries at paper density); the tree overhead is noise.
+  std::map<NodeId, Entry> one_hop_;
+  std::map<NodeId, std::map<NodeId, Entry>> two_hop_;
 };
 
 }  // namespace aquamac

@@ -32,28 +32,28 @@ void InvariantAuditor::record(const TraceEvent& event) {
     case TraceEventKind::kRxLost: on_rx(event); break;
     case TraceEventKind::kNeighborUpdate: on_neighbor_update(event); break;
     case TraceEventKind::kFaultNodeDown:
-      nodes_[event.node].down = true;
+      node_states_[event.node].down = true;
       break;
     case TraceEventKind::kFaultNodeUp: {
       // The MAC forgot everything on rejoin, so the auditor must too; the
       // node stays unhealthy for the grace period while it re-learns.
       NodeState fresh{};
       fresh.unhealthy_until = event.at + config_.rejoin_grace;
-      nodes_[event.node] = std::move(fresh);
+      node_states_[event.node] = std::move(fresh);
       break;
     }
     case TraceEventKind::kNeighborEvicted:
       // The evictor no longer has a measured delay to this neighbor, so
       // knowledge-scoped checks must not hold it to one.
-      nodes_[event.node].knows_since.erase(event.src);
+      node_states_[event.node].knows_since.erase(event.src);
       break;
     default: break;  // other MAC events carry context, not obligations
   }
 }
 
 bool InvariantAuditor::healthy(NodeId node, Time at) const {
-  const auto it = nodes_.find(node);
-  if (it == nodes_.end()) return true;
+  const auto it = node_states_.find(node);
+  if (it == node_states_.end()) return true;
   return !it->second.down && at >= it->second.unhealthy_until;
 }
 
@@ -97,7 +97,7 @@ void InvariantAuditor::on_tx_start(const TraceEvent& event) {
 
     // (c): consume a pending Eq.-5 expectation when the Ack launches.
     if (event.frame_type == FrameType::kAck) {
-      NodeState& state = nodes_[event.node];
+      NodeState& state = node_states_[event.node];
       const TxKey data_key{event.dst, static_cast<std::uint8_t>(FrameType::kData), event.seq};
       const auto it = state.ack_slot_expect.find(data_key);
       if (it != state.ack_slot_expect.end()) {
@@ -122,7 +122,7 @@ void InvariantAuditor::on_rx(const TraceEvent& event) {
   // extra phase; they still feed the knowledge maps below via kRxOk.
   const bool audited_class = is_extra(event.frame_type) || is_negotiated(event.frame_type);
 
-  NodeState& state = nodes_[event.node];
+  NodeState& state = node_states_[event.node];
   ArrivalWindow window{};
   window.iv = TimeInterval{event.window_begin, event.window_end};
   window.type = event.frame_type;
@@ -175,7 +175,7 @@ void InvariantAuditor::on_rx(const TraceEvent& event) {
 
 void InvariantAuditor::check_extra_overlap(NodeId node, const ArrivalWindow& added,
                                            bool added_is_extra) {
-  NodeState& state = nodes_[node];
+  NodeState& state = node_states_[node];
   const auto& others = added_is_extra ? state.negotiated : state.extras;
   for (const ArrivalWindow& other : others) {
     if (!added.iv.overlaps(other.iv)) continue;
@@ -191,8 +191,8 @@ void InvariantAuditor::check_extra_overlap(NodeId node, const ArrivalWindow& add
     // not a theorem violation.
     if (!healthy(node, added.iv.begin) || !healthy(extra.src, extra.tx_at)) continue;
 
-    const auto sender_it = nodes_.find(extra.src);
-    if (sender_it == nodes_.end()) continue;
+    const auto sender_it = node_states_.find(extra.src);
+    if (sender_it == node_states_.end()) continue;
     const NodeState& sender = sender_it->second;
     const ExchangeKey key{std::min(negotiated.src, negotiated.dst),
                           std::max(negotiated.src, negotiated.dst), negotiated.seq};
@@ -215,7 +215,7 @@ void InvariantAuditor::check_extra_overlap(NodeId node, const ArrivalWindow& add
 }
 
 void InvariantAuditor::on_neighbor_update(const TraceEvent& event) {
-  NodeState& state = nodes_[event.node];
+  NodeState& state = node_states_[event.node];
   if (!state.last_rx_valid || state.last_rx.src != event.src ||
       state.last_rx.seq != event.seq || state.last_rx.type != event.frame_type) {
     return;
@@ -258,7 +258,7 @@ void InvariantAuditor::on_neighbor_update(const TraceEvent& event) {
 }
 
 void InvariantAuditor::prune(NodeId node, Time now) {
-  NodeState& state = nodes_[node];
+  NodeState& state = node_states_[node];
   // Arrival windows stop mattering once nothing in flight can still reach
   // back into them; extra plans never reach past a couple of slots beyond
   // the negotiated Ack, so this horizon is generous.

@@ -170,7 +170,7 @@ class InvariantAuditor final : public TraceSink {
 
   Config config_;
   std::unordered_map<TxKey, TxRing, TxKeyHash> tx_times_;
-  std::unordered_map<NodeId, NodeState> nodes_;
+  std::unordered_map<NodeId, NodeState> node_states_;
   std::vector<Violation> violations_;
   std::uint64_t checks_{0};
 };

@@ -45,7 +45,9 @@ void Table::print(std::ostream& os) const {
 
   emit(headers_);
   std::size_t total = 0;
-  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
   for (std::size_t i = 0; i < total; ++i) os << '-';
   os << '\n';
   for (const auto& row : rows_) emit(row);

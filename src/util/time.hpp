@@ -20,9 +20,15 @@ class Duration {
   constexpr Duration() = default;
 
   [[nodiscard]] static constexpr Duration nanoseconds(std::int64_t ns) { return Duration{ns}; }
-  [[nodiscard]] static constexpr Duration microseconds(std::int64_t us) { return Duration{us * 1'000}; }
-  [[nodiscard]] static constexpr Duration milliseconds(std::int64_t ms) { return Duration{ms * 1'000'000}; }
-  [[nodiscard]] static constexpr Duration seconds(std::int64_t s) { return Duration{s * 1'000'000'000}; }
+  [[nodiscard]] static constexpr Duration microseconds(std::int64_t us) {
+    return Duration{us * 1'000};
+  }
+  [[nodiscard]] static constexpr Duration milliseconds(std::int64_t ms) {
+    return Duration{ms * 1'000'000};
+  }
+  [[nodiscard]] static constexpr Duration seconds(std::int64_t s) {
+    return Duration{s * 1'000'000'000};
+  }
 
   /// Quantizes a floating-point second count to whole nanoseconds
   /// (round-to-nearest). This is the single FP -> integer boundary.
@@ -48,6 +54,9 @@ class Duration {
   constexpr Duration operator-(Duration o) const { return Duration{ns_ - o.ns_}; }
   constexpr Duration operator-() const { return Duration{-ns_}; }
   constexpr Duration operator*(std::int64_t k) const { return Duration{ns_ * k}; }
+  /// Exact integer scaling (truncating, like built-in /): lets callers
+  /// write `d * 3 / 4` instead of round-tripping through count_ns().
+  constexpr Duration operator/(std::int64_t k) const { return Duration{ns_ / k}; }
   constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
   constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
 

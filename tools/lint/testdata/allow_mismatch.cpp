@@ -1,0 +1,8 @@
+// An allow() naming the WRONG rule must not suppress the finding.
+#include <chrono>
+
+double still_flagged() {
+  // aquamac-lint: allow(raw-ns) -- wrong rule id on purpose
+  const auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(start.time_since_epoch()).count();
+}

@@ -1,0 +1,17 @@
+// Known-bad (lives under a mac/ path, so the raw-ns rule is in scope):
+// integer-nanosecond arithmetic outside the Duration/Time types.
+#include <cstdint>
+
+struct Duration {
+  std::int64_t count_ns() const { return ns_; }
+  std::int64_t ns_{0};
+};
+
+std::int64_t bad_scaled_backoff(Duration bound, std::int64_t step) {
+  return bound.count_ns() * step / 4;  // arithmetic on raw count_ns()
+}
+
+std::int64_t bad_raw_variable(Duration slot) {
+  const std::int64_t guard_ns = 5'000'000;  // *_ns integer variable
+  return slot.count_ns() + guard_ns;        // and more raw-ns arithmetic
+}

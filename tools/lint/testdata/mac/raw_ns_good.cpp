@@ -1,0 +1,19 @@
+// Known-good: sim-time math stays inside the strong types; count_ns()
+// only crosses the boundary for storage/serialization, never arithmetic.
+#include <cstdint>
+
+struct Duration {
+  std::int64_t count_ns() const { return ns_; }
+  Duration operator+(Duration o) const { return Duration{ns_ + o.ns_}; }
+  Duration operator*(std::int64_t k) const { return Duration{ns_ * k}; }
+  Duration operator/(std::int64_t k) const { return Duration{ns_ / k}; }
+  std::int64_t ns_{0};
+};
+
+Duration good_scaled_backoff(Duration bound, std::int64_t step) {
+  return bound * step / 4;  // Duration arithmetic end to end
+}
+
+std::int64_t good_trace_field(Duration age) {
+  return age.count_ns();  // plain conversion for a trace field: fine
+}

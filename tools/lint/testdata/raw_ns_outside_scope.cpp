@@ -1,0 +1,13 @@
+// Scope check: the raw-ns rule applies only under mac/ and sim/ paths.
+// This file performs raw-ns arithmetic but is OUTSIDE those directories,
+// so the lint must stay quiet (harness/stats code reports raw ns freely).
+#include <cstdint>
+
+struct Duration {
+  std::int64_t count_ns() const { return ns_; }
+  std::int64_t ns_{0};
+};
+
+double mean_ns(Duration a, Duration b) {
+  return static_cast<double>(a.count_ns() + b.count_ns()) / 2.0;
+}

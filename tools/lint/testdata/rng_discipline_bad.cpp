@@ -1,0 +1,16 @@
+// Known-bad: standard-library engines/distributions (implementation-
+// defined streams) instead of the repo's exactly-specified Rng.
+#include <random>
+
+double bad_draw() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(gen);
+}
+
+int bad_draw_int(unsigned seed) {
+  std::mt19937_64 gen(seed);
+  std::uniform_int_distribution<int> dist(0, 10);
+  return dist(gen);
+}

@@ -1,0 +1,13 @@
+// Known-good: all draws through the forked named-stream Rng API.
+#include <cstdint>
+
+struct Rng {
+  std::uint64_t s{0};
+  Rng fork(std::uint64_t stream_id) const { return Rng{s ^ stream_id}; }
+  double uniform01() { return 0.5; }
+};
+
+double good_draw(const Rng& parent) {
+  Rng stream = parent.fork(0xBEEF);
+  return stream.uniform01();
+}

@@ -1,0 +1,14 @@
+// Allowlist behavior: a run's designated root stream is sanctioned.
+#include <cstdint>
+
+struct Rng {
+  std::uint64_t s{0};
+  explicit Rng(std::uint64_t seed) : s{seed} {}
+  Rng fork(std::uint64_t stream_id) const { return Rng{s ^ stream_id}; }
+};
+
+double run(std::uint64_t seed) {
+  // aquamac-lint: allow(rng-root) -- the per-run root stream; everything else forks from it
+  const Rng root{seed};
+  return static_cast<double>(root.fork(1).s);
+}

@@ -1,0 +1,16 @@
+// Known-bad: locally constructed engines bypassing fork() — each one
+// would perturb (or be perturbed by) every other consumer of the seed.
+#include <cstdint>
+
+struct Rng {
+  std::uint64_t s{0};
+  explicit Rng(std::uint64_t seed) : s{seed} {}
+  Rng fork(std::uint64_t stream_id) const { return Rng{s ^ stream_id}; }
+};
+
+double three_bad_roots(std::uint64_t seed) {
+  Rng a{seed};                 // brace init, no fork
+  Rng b(seed + 1);             // paren init, no fork
+  Rng c = Rng{seed + 2};       // copy init, no fork
+  return static_cast<double>(a.s + b.s + c.s);
+}

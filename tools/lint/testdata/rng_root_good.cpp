@@ -1,0 +1,23 @@
+// Known-good: forked streams, Rng-typed parameters/members, and
+// functions returning Rng — none of these are local root constructions.
+#include <cstdint>
+
+struct Rng {
+  std::uint64_t s{0};
+  Rng fork(std::uint64_t stream_id) const { return Rng{s ^ stream_id}; }
+};
+
+// Function declarations returning Rng are not constructions.
+Rng make_stream(std::uint64_t stream_id);
+Rng make_default();
+
+struct Node {
+  Rng rng_;  // member declaration: seeded by whoever constructs Node
+  explicit Node(Rng rng) : rng_{rng} {}
+};
+
+double good(const Rng& parent) {
+  Rng stream = parent.fork(42);
+  const Rng other{parent.fork(43)};
+  return static_cast<double>(stream.s + other.s);
+}

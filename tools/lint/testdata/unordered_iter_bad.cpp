@@ -1,0 +1,34 @@
+// Known-bad: hash-order iteration leaking into observable results —
+// both direct member iteration and iteration through an accessor whose
+// return type the symbol pass resolves to an unordered container.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct Table {
+  std::unordered_map<int, double> delays_;
+  std::unordered_set<int> peers_;
+
+  const std::unordered_map<int, double>& entries() const { return delays_; }
+
+  std::vector<int> ship_first_two() const {
+    std::vector<int> out;
+    for (const auto& [id, delay] : delays_) {  // direct member iteration
+      if (out.size() >= 2) break;
+      out.push_back(id);
+    }
+    return out;
+  }
+};
+
+double sum_via_accessor(const Table& t) {
+  double s = 0.0;
+  for (const auto& [id, delay] : t.entries()) s += delay;  // accessor iteration
+  return s;
+}
+
+int count_peers(const Table& t) {
+  int n = 0;
+  for (const int p : t.peers_) n += p;  // unordered_set iteration
+  return n;
+}

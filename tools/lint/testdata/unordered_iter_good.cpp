@@ -1,0 +1,28 @@
+// Known-good: ordered iteration and lookup-only unordered use.
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+struct Table {
+  std::map<int, double> delays_;                  // ordered: iteration is fine
+  std::unordered_map<int, double> cache_;         // lookup-only: fine
+
+  double lookup(int id) const {
+    const auto it = cache_.find(id);
+    return it == cache_.end() ? 0.0 : it->second;
+  }
+
+  std::vector<int> ids() const {
+    std::vector<int> out;
+    for (const auto& [id, delay] : delays_) out.push_back(id);  // std::map
+    return out;
+  }
+};
+
+// A classic indexed for over a vector must not confuse the range-for scan.
+double sum(const std::vector<double>& xs) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) s += xs[i];
+  for (const double x : xs) s += x;
+  return s;
+}

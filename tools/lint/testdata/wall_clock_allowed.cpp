@@ -1,0 +1,9 @@
+// Allowlist behavior: an annotated wall-clock read is sanctioned.
+#include <chrono>
+
+double harness_wall_seconds() {
+  // aquamac-lint: allow(wall-clock) -- harness wall-timing only; never feeds simulation state
+  const auto start = std::chrono::steady_clock::now();
+  // aquamac-lint: allow(wall-clock) -- harness wall-timing only; never feeds simulation state
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}

@@ -1,0 +1,18 @@
+// Known-bad: every ambient-state read the wall-clock rule must catch.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+double bad_wall_seconds() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::system_clock::now();
+  (void)t1;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+int bad_rand() {
+  std::srand(42);
+  return std::rand();
+}
+
+long bad_time() { return std::time(nullptr); }

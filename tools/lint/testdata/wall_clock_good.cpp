@@ -1,0 +1,19 @@
+// Known-good: simulated-clock code that must NOT trip the wall-clock
+// rule — including identifiers that merely contain clock-ish substrings.
+struct Duration {
+  long long ns{0};
+};
+struct Time {
+  long long ns{0};
+};
+
+Duration sim_elapsed(Time start, Time now) { return Duration{now.ns - start.ns}; }
+
+// A local named `time` and a member function `rand` are legal names; only
+// the std:: qualified calls are ambient state.
+struct Widget {
+  int rand_state{0};
+  int rand_next() { return ++rand_state; }
+};
+
+int use(Widget& w, Time time) { return w.rand_next() + static_cast<int>(time.ns); }
