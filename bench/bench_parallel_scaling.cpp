@@ -1,18 +1,24 @@
 // Parallel harness scaling: runs the same 3-protocol x 4-load x 5-seed
 // sweep with jobs=1 (the serial code path) and jobs=N (default: all
 // cores), verifies the results are bit-identical, and records the
-// wall-clock speedup in BENCH_parallel_scaling.json. This is the perf
-// ledger for the sweep executor: track runs_per_sec and speedup_vs_jobs1
-// across commits.
+// wall-clock speedup in BENCH_parallel_scaling.json. A second section
+// scales the *intra-run* axis instead: one grid3d run at shards K in
+// {1, 2, 4, 8} (conservative PDES), digest-checked against serial.
+// This is the perf ledger for both parallelism layers: track
+// runs_per_sec, speedup_vs_jobs1 and shard_speedup_k8 across commits.
 //
 //   AQUAMAC_JOBS=4 ./bench_parallel_scaling      # pin the worker count
 //   AQUAMAC_SCALE=paper ./bench_parallel_scaling # full-size scenario
 
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "harness/runner.hpp"
+#include "stats/trace.hpp"
 
 namespace {
 
@@ -90,16 +96,67 @@ int main() {
   std::cout << "speedup: " << speedup << "x    bit-identical: "
             << (mismatches == 0 ? "yes" : "NO") << "\n";
 
+  // --- intra-run shard scaling (conservative PDES) --------------------
+  // One large run, same scenario at every K; every sharded digest must
+  // equal the K=1 digest (the engine's bit-identity contract).
+  const bool fast = [] {
+    const char* env = std::getenv("AQUAMAC_FAST");
+    return env != nullptr && env[0] == '1';
+  }();
+  ScenarioConfig shard_base = grid3d_scenario(fast ? 200 : 2'000, /*seed=*/3);
+  shard_base.sim_time = Duration::seconds(fast ? 10 : 30);
+  std::cout << "\nintra-run sharding: grid3d N=" << shard_base.node_count << ", "
+            << shard_base.sim_time.to_seconds() << " s horizon\n";
+
+  const unsigned shard_counts[] = {1, 2, 4, 8};
+  std::vector<double> shard_wall_s;
+  std::uint64_t serial_digest = 0;
+  std::size_t shard_mismatches = 0;
+  for (const unsigned shards : shard_counts) {
+    ScenarioConfig config = shard_base;
+    config.shards = shards;
+    HashTrace hash;
+    config.trace = &hash;
+    const auto begin = std::chrono::steady_clock::now();
+    (void)run_scenario(config);
+    const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - begin;
+    shard_wall_s.push_back(wall.count());
+    if (shards == 1) {
+      serial_digest = hash.digest();
+    } else if (hash.digest() != serial_digest) {
+      ++shard_mismatches;
+    }
+    std::cout << "shards=" << shards << " : " << wall.count() << " s  (digest "
+              << (shards == 1 || hash.digest() == serial_digest ? "ok" : "MISMATCH")
+              << ")\n";
+  }
+  const double shard_speedup =
+      shard_wall_s.back() > 0.0 ? shard_wall_s.front() / shard_wall_s.back() : 0.0;
+  std::cout << "shard speedup (K=8 vs serial): " << shard_speedup << "x    bit-identical: "
+            << (shard_mismatches == 0 ? "yes" : "NO") << "\n";
+
   bench::emit_bench_json(
       "parallel_scaling", parallel,
       {{"throughput_kbps", [](const MeanStats& m) { return m.throughput_kbps; }}},
       {{"serial_wall_s", serial.wall_s},
        {"speedup_vs_jobs1", speedup},
-       {"bit_identical", mismatches == 0 ? 1.0 : 0.0}});
+       {"bit_identical", mismatches == 0 ? 1.0 : 0.0},
+       {"shard_nodes", static_cast<double>(shard_base.node_count)},
+       {"shard_wall_k1", shard_wall_s[0]},
+       {"shard_wall_k2", shard_wall_s[1]},
+       {"shard_wall_k4", shard_wall_s[2]},
+       {"shard_wall_k8", shard_wall_s[3]},
+       {"shard_speedup_k8", shard_speedup},
+       {"shard_bit_identical", shard_mismatches == 0 ? 1.0 : 0.0}});
 
   if (mismatches != 0) {
     std::cerr << "ERROR: " << mismatches << " runs differ between jobs=1 and jobs="
               << parallel.jobs_used << "\n";
+    return 1;
+  }
+  if (shard_mismatches != 0) {
+    std::cerr << "ERROR: " << shard_mismatches
+              << " sharded runs differ from the serial event stream\n";
     return 1;
   }
   return 0;

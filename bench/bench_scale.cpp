@@ -1,9 +1,19 @@
-// Spatial-index scaling: runs the density-preserving grid3d scale
-// scenario at N in {50, 200, 1000, 2000} with the channel's spatial
-// receiver index on and off, asserts the two event streams are
-// bit-identical (HashTrace digest), and records the wall-clock speedup
-// in BENCH_scale.json. This is the perf ledger for the channel's
-// receiver lookup: track speedup_n2000 across commits.
+// Scaling ledger: runs the density-preserving grid3d scale scenario at
+// N in {50, 200, 1000, 2000, 5000, 20000} and records, per N:
+//
+//   - spatial receiver index on vs off (brute force), with a HashTrace
+//     digest oracle asserting the index never changes the event stream
+//     (the brute run is skipped at N >= 5000, where it is pure O(N^2)
+//     overhead — the skip is reported, not silent);
+//   - serial vs sharded conservative-PDES execution (--shards 8), with
+//     the same digest oracle asserting bit-identity, plus the wall-clock
+//     speedup (`sharded_speedup`). The JSON carries a `cores` field:
+//     on a single-core host the speedup is purely algorithmic (K-times
+//     smaller heaps), not parallel, and should be read against it;
+//   - a per-phase breakdown of the serial run (channel delivery vs MAC
+//     processing) via the PhaseHook seam (bench_util.hpp PhaseProfiler).
+//
+// Track speedup_largest_n / sharded_speedup_largest_n across commits.
 //
 //   AQUAMAC_FAST=1 ./bench_scale      # N <= 200 only (smoke)
 //   AQUAMAC_SCALE_MAC=sfama ./bench_scale
@@ -12,12 +22,12 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
-#include <tuple>
-#include <utility>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "harness/runner.hpp"
+#include "net/network.hpp"
 #include "stats/trace.hpp"
 #include "util/json_writer.hpp"
 
@@ -25,24 +35,54 @@ namespace {
 
 using namespace aquamac;
 
+constexpr unsigned kShards = 8;
+constexpr std::size_t kBruteMaxNodes = 2'000;  ///< brute force skipped above
+
 struct Cell {
   std::size_t nodes{0};
   double indexed_wall_s{0.0};
   double brute_wall_s{0.0};
+  double sharded_wall_s{0.0};
   std::uint64_t indexed_digest{0};
   std::uint64_t brute_digest{0};
-  [[nodiscard]] double speedup() const {
-    return indexed_wall_s > 0.0 ? brute_wall_s / indexed_wall_s : 0.0;
+  std::uint64_t sharded_digest{0};
+  double channel_phase_s{0.0};
+  double mac_phase_s{0.0};
+  bool brute_run{false};
+
+  [[nodiscard]] double index_speedup() const {
+    return brute_run && indexed_wall_s > 0.0 ? brute_wall_s / indexed_wall_s : 0.0;
   }
-  [[nodiscard]] bool identical() const { return indexed_digest == brute_digest; }
+  [[nodiscard]] double sharded_speedup() const {
+    return sharded_wall_s > 0.0 ? indexed_wall_s / sharded_wall_s : 0.0;
+  }
+  [[nodiscard]] bool index_identical() const {
+    return !brute_run || indexed_digest == brute_digest;
+  }
+  [[nodiscard]] bool sharded_identical() const { return sharded_digest == indexed_digest; }
 };
 
-/// One full simulation with the trace digested; returns (wall_s, digest).
-std::pair<double, std::uint64_t> timed_run(ScenarioConfig config) {
+struct RunResult {
+  double wall_s{0.0};
+  std::uint64_t digest{0};
+};
+
+/// One full simulation with the trace digested; an optional profiler
+/// (serial runs only) is installed on the channel and every modem.
+RunResult timed_run(ScenarioConfig config, unsigned shards, bench::PhaseProfiler* profiler) {
   HashTrace hash;
   config.trace = &hash;
+  config.shards = shards;
   const auto begin = std::chrono::steady_clock::now();
-  (void)run_scenario(config);
+  Simulator sim{config.logger};
+  Network network{sim, config};
+  if (profiler != nullptr) {
+    network.channel().set_phase_hook(profiler);
+    for (std::size_t i = 0; i < config.node_count; ++i) {
+      network.node(static_cast<NodeId>(i)).modem().set_phase_hook(profiler);
+    }
+  }
+  (void)network.run();
   const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - begin;
   return {wall.count(), hash.digest()};
 }
@@ -51,8 +91,8 @@ std::pair<double, std::uint64_t> timed_run(ScenarioConfig config) {
 
 int main() {
   using namespace aquamac;
-  bench::print_header("Spatial-index scaling",
-                      "channel receiver lookup at scale (not a paper figure)");
+  bench::print_header("Scaling ledger: spatial index + sharded PDES",
+                      "channel lookup and event-loop scaling (not a paper figure)");
 
   MacKind mac = MacKind::kEwMac;
   if (const char* env = std::getenv("AQUAMAC_SCALE_MAC")) {
@@ -60,38 +100,72 @@ int main() {
     if (std::string{env} == "macau") mac = MacKind::kMacaU;
   }
 
-  std::vector<std::size_t> sizes{50, 200, 1000, 2000};
+  std::vector<std::size_t> sizes{50, 200, 1000, 2000, 5'000, 20'000};
   if (const char* fast = std::getenv("AQUAMAC_FAST"); fast != nullptr && fast[0] == '1') {
     sizes = {50, 200};
   }
 
-  std::cout << "mac " << to_string(mac) << ", grid3d, 60 s horizon, mobility on\n";
-  std::cout << "     N   index-on s  index-off s   speedup  bit-identical\n";
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::cout << "mac " << to_string(mac) << ", grid3d, 60 s horizon, mobility on, "
+            << cores << " core(s)\n";
+  std::cout << "     N     serial s  shards" << kShards << " s   shard-x   index-off s   index-x"
+            << "   chan s    mac s   identical\n";
 
   std::vector<Cell> cells;
   bool all_identical = true;
   for (const std::size_t n : sizes) {
     ScenarioConfig config = grid3d_scenario(n, /*seed=*/7);
     config.mac = mac;
+    config.channel.use_spatial_index = true;
 
     Cell cell;
     cell.nodes = n;
-    config.channel.use_spatial_index = true;
-    std::tie(cell.indexed_wall_s, cell.indexed_digest) = timed_run(config);
-    config.channel.use_spatial_index = false;
-    std::tie(cell.brute_wall_s, cell.brute_digest) = timed_run(config);
 
-    all_identical = all_identical && cell.identical();
+    bench::PhaseProfiler profiler;
+    const RunResult serial = timed_run(config, /*shards=*/1, &profiler);
+    cell.indexed_wall_s = serial.wall_s;
+    cell.indexed_digest = serial.digest;
+    cell.channel_phase_s = profiler.seconds(SimPhase::kChannelDelivery);
+    cell.mac_phase_s = profiler.seconds(SimPhase::kMacProcessing);
+
+    const RunResult sharded = timed_run(config, kShards, nullptr);
+    cell.sharded_wall_s = sharded.wall_s;
+    cell.sharded_digest = sharded.digest;
+
+    cell.brute_run = n <= kBruteMaxNodes;
+    if (cell.brute_run) {
+      ScenarioConfig brute = config;
+      brute.channel.use_spatial_index = false;
+      const RunResult result = timed_run(brute, /*shards=*/1, nullptr);
+      cell.brute_wall_s = result.wall_s;
+      cell.brute_digest = result.digest;
+    }
+
+    const bool identical = cell.index_identical() && cell.sharded_identical();
+    all_identical = all_identical && identical;
     std::cout.width(6);
-    std::cout << n << "   " << cell.indexed_wall_s << "      " << cell.brute_wall_s
-              << "      " << cell.speedup() << "x      "
-              << (cell.identical() ? "yes" : "NO") << "\n";
+    std::cout << n << "   " << cell.indexed_wall_s << "   " << cell.sharded_wall_s << "   "
+              << cell.sharded_speedup() << "x   ";
+    if (cell.brute_run) {
+      std::cout << cell.brute_wall_s << "   " << cell.index_speedup() << "x   ";
+    } else {
+      std::cout << "(skipped: O(N^2) above N=" << kBruteMaxNodes << ")   ";
+    }
+    std::cout << cell.channel_phase_s << "   " << cell.mac_phase_s << "   "
+              << (identical ? "yes" : "NO") << "\n";
     cells.push_back(cell);
   }
 
   const Cell& largest = cells.back();
-  std::cout << "\nspeedup at N=" << largest.nodes << ": " << largest.speedup()
-            << "x    all digests identical: " << (all_identical ? "yes" : "NO") << "\n";
+  // Index speedup is reported at the largest N whose brute run existed.
+  double index_speedup_largest = 0.0;
+  for (const Cell& cell : cells) {
+    if (cell.brute_run) index_speedup_largest = cell.index_speedup();
+  }
+  std::cout << "\nindex speedup at largest brute N: " << index_speedup_largest
+            << "x    sharded speedup at N=" << largest.nodes << ": "
+            << largest.sharded_speedup() << "x    all digests identical: "
+            << (all_identical ? "yes" : "NO") << "\n";
 
   if (const char* off = std::getenv("AQUAMAC_NO_BENCH_JSON");
       off == nullptr || off[0] != '1') {
@@ -105,30 +179,33 @@ int main() {
       json.key("bench").value("scale");
       json.key("schema").value("aquamac-bench-v1");
       json.key("mac").value(to_string(mac));
+      json.key("cores").value(static_cast<double>(cores));
+      json.key("shards").value(static_cast<double>(kShards));
       json.key("bit_identical").value(all_identical ? 1.0 : 0.0);
-      json.key("speedup_largest_n").value(largest.speedup());
+      json.key("speedup_largest_n").value(index_speedup_largest);
+      json.key("sharded_speedup_largest_n").value(largest.sharded_speedup());
       json.key("xs").begin_array();
       for (const Cell& cell : cells) json.value(static_cast<double>(cell.nodes));
       json.end_array();
       // Series nest metric -> protocol -> values like every other bench,
-      // so scripts/plot_results.py can plot them unchanged.
+      // so scripts/plot_results.py can plot them unchanged. Skipped brute
+      // cells serialize as 0.0 (see brute_run/kBruteMaxNodes above).
       const std::string mac_name{to_string(mac)};
+      const auto series = [&json, &cells, &mac_name](const std::string& name, auto value) {
+        json.key(name).begin_object();
+        json.key(mac_name).begin_array();
+        for (const Cell& cell : cells) json.value(value(cell));
+        json.end_array();
+        json.end_object();
+      };
       json.key("series").begin_object();
-      json.key("indexed_wall_s").begin_object();
-      json.key(mac_name).begin_array();
-      for (const Cell& cell : cells) json.value(cell.indexed_wall_s);
-      json.end_array();
-      json.end_object();
-      json.key("brute_wall_s").begin_object();
-      json.key(mac_name).begin_array();
-      for (const Cell& cell : cells) json.value(cell.brute_wall_s);
-      json.end_array();
-      json.end_object();
-      json.key("speedup").begin_object();
-      json.key(mac_name).begin_array();
-      for (const Cell& cell : cells) json.value(cell.speedup());
-      json.end_array();
-      json.end_object();
+      series("indexed_wall_s", [](const Cell& c) { return c.indexed_wall_s; });
+      series("brute_wall_s", [](const Cell& c) { return c.brute_wall_s; });
+      series("speedup", [](const Cell& c) { return c.index_speedup(); });
+      series("sharded_wall_s", [](const Cell& c) { return c.sharded_wall_s; });
+      series("sharded_speedup", [](const Cell& c) { return c.sharded_speedup(); });
+      series("channel_phase_s", [](const Cell& c) { return c.channel_phase_s; });
+      series("mac_phase_s", [](const Cell& c) { return c.mac_phase_s; });
       json.end_object();
       json.end_object();
       os << "\n";
@@ -137,7 +214,7 @@ int main() {
   }
 
   if (!all_identical) {
-    std::cerr << "ERROR: spatial index changed the event stream\n";
+    std::cerr << "ERROR: an execution mode changed the event stream\n";
     return 1;
   }
   return 0;

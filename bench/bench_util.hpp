@@ -1,6 +1,8 @@
 #pragma once
 // Shared helpers for the figure benches.
 
+#include <array>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -11,8 +13,37 @@
 #include "harness/scenario.hpp"
 #include "harness/sweep.hpp"
 #include "util/json_writer.hpp"
+#include "util/phase_hook.hpp"
 
 namespace aquamac::bench {
+
+/// Wall-clock implementation of the src-side PhaseHook seam: accumulates
+/// steady_clock time per SimPhase so benches can split a run's cost into
+/// channel delivery vs MAC processing. Serial runs only — begin/end pairs
+/// from concurrent shards would interleave (see util/phase_hook.hpp).
+/// Phases may nest (a MAC handler transmitting from inside
+/// finish_arrival); nested time counts toward both phases.
+class PhaseProfiler final : public PhaseHook {
+ public:
+  void begin(SimPhase phase) override { starts_[index(phase)] = Clock::now(); }
+  void end(SimPhase phase) override {
+    const std::size_t i = index(phase);
+    totals_[i] += std::chrono::duration<double>(Clock::now() - starts_[i]).count();
+  }
+
+  /// Accumulated seconds spent in `phase` so far.
+  [[nodiscard]] double seconds(SimPhase phase) const { return totals_[index(phase)]; }
+
+  void reset() { totals_.fill(0.0); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  static constexpr std::size_t kPhases = 2;
+  static std::size_t index(SimPhase phase) { return static_cast<std::size_t>(phase); }
+
+  std::array<Clock::time_point, kPhases> starts_{};
+  std::array<double, kPhases> totals_{};
+};
 
 /// Seed replications per sweep point; override with AQUAMAC_REPLICATIONS
 /// (AQUAMAC_FAST=1 forces 1, for smoke runs).

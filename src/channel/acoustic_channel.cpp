@@ -45,6 +45,7 @@ AcousticChannel::AcousticChannel(Simulator& sim, const PropagationModel& propaga
       effective_floor_db_{effective_floor_for(config_, noise_level_db_)},
       interference_cutoff_m_{interference_cutoff_for(config_, effective_floor_db_)},
       spatial_index_{interference_cutoff_m_},
+      workspaces_(1),
       path_cache_{propagation, config.freq_khz, config.enable_surface_echo} {
   if (config_.interference_range_m < config_.comm_range_m) {
     throw std::invalid_argument("interference_range_m must be >= comm_range_m");
@@ -69,7 +70,8 @@ void AcousticChannel::on_position_changed(const AcousticModem& modem) {
 
 void AcousticChannel::start_transmission(const AcousticModem& sender, const Frame& frame,
                                          Duration airtime) {
-  ++transmissions_;
+  const PhaseScope phase{phase_hook_, SimPhase::kChannelDelivery};
+  transmissions_.fetch_add(1, std::memory_order_relaxed);
   const Time now = sim_.now();
   TransmissionAudit audit{};
   const bool auditing = static_cast<bool>(audit_);
@@ -86,10 +88,15 @@ void AcousticChannel::start_transmission(const AcousticModem& sender, const Fram
   // Candidate set: the 27-cell neighbourhood is a superset of every modem
   // within the interference cutoff, in attach order — the same modems the
   // brute-force scan would accept, visited in the same relative order.
+  // Each execution context owns its workspace (prepare_parallel sizes the
+  // table before sharded runs start).
   const std::vector<AcousticModem*>* receivers = &modems_;
   if (config_.use_spatial_index) {
-    spatial_index_.candidates(sender.position(), candidates_);
-    receivers = &candidates_;
+    const std::size_t ctx = sim_.context_index();
+    assert(ctx < workspaces_.size() && "call prepare_parallel() after enable_sharding");
+    Workspace& ws = workspaces_[ctx];
+    spatial_index_.candidates(sender.position(), ws.candidates, ws.scratch);
+    receivers = &ws.candidates;
   }
 
   for (AcousticModem* receiver : *receivers) {
@@ -124,8 +131,12 @@ void AcousticChannel::start_transmission(const AcousticModem& sender, const Fram
     if (auditing) {
       audit.reaches.push_back({receiver->id(), window, rx_level, decodable});
     }
-    sim_.at(window.begin, [receiver, shared_frame, rx_level, window,
-                           noise = noise_level_db_, threshold] {
+    // Arrivals execute on the *receiver's* lane: under sharding that routes
+    // them to the receiver's shard queue (cross-shard pushes are covered by
+    // the conservative lookahead, which lower-bounds path.delay).
+    const std::uint32_t rx_lane = receiver->id() + 1;
+    sim_.at_lane(rx_lane, window.begin, [receiver, shared_frame, rx_level, window,
+                                         noise = noise_level_db_, threshold] {
       receiver->begin_arrival(*shared_frame, rx_level, window, noise, threshold);
     });
 
@@ -141,16 +152,27 @@ void AcousticChannel::start_transmission(const AcousticModem& sender, const Fram
       const double echo_level = config_.source_level_db - echo.loss_db;
       if (echo_level >= effective_floor_db_ && echo.delay > path.delay) {
         const TimeInterval echo_window{now + echo.delay, now + echo.delay + airtime};
-        sim_.at(echo_window.begin, [receiver, shared_frame, echo_level, echo_window,
-                                    noise = noise_level_db_] {
-          receiver->begin_arrival(*shared_frame, echo_level, echo_window, noise,
-                                  /*detection_threshold_db=*/1e9);
-        });
+        sim_.at_lane(rx_lane, echo_window.begin,
+                     [receiver, shared_frame, echo_level, echo_window,
+                      noise = noise_level_db_] {
+                       receiver->begin_arrival(*shared_frame, echo_level, echo_window,
+                                               noise,
+                                               /*detection_threshold_db=*/1e9);
+                     });
       }
     }
   }
 
-  if (auditing) audit_(audit);
+  if (auditing) {
+    // Inside a conservative window the audit sink is shared with other
+    // shards; defer_ordered replays it at the barrier in exact serial
+    // order. Outside (serial engine, coordinator), call through directly.
+    if (sim_.in_parallel_region()) {
+      sim_.defer_ordered([this, a = std::move(audit)] { audit_(a); });
+    } else {
+      audit_(audit);
+    }
+  }
 }
 
 }  // namespace aquamac

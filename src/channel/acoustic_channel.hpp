@@ -12,6 +12,8 @@
 //   level clears an interference floor gets the arrival; decodability is
 //   the reception model's business.
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -22,6 +24,7 @@
 #include "phy/frame.hpp"
 #include "phy/modem.hpp"
 #include "sim/simulator.hpp"
+#include "util/phase_hook.hpp"
 #include "util/time.hpp"
 
 namespace aquamac {
@@ -126,7 +129,18 @@ class AcousticChannel {
   using AuditFn = std::function<void(const TransmissionAudit&)>;
   void set_audit(AuditFn audit) { audit_ = std::move(audit); }
 
-  [[nodiscard]] std::uint64_t transmissions() const { return transmissions_; }
+  /// Optional per-phase instrumentation (serial profiling runs only; see
+  /// util/phase_hook.hpp). Null disables.
+  void set_phase_hook(PhaseHook* hook) { phase_hook_ = hook; }
+
+  /// Sizes the per-execution-context query workspaces. Must be called
+  /// (from a non-parallel context) after Simulator::enable_sharding and
+  /// before the first transmission; serial runs need not call it.
+  void prepare_parallel() { workspaces_.resize(sim_.context_count()); }
+
+  [[nodiscard]] std::uint64_t transmissions() const {
+    return transmissions_.load(std::memory_order_relaxed);
+  }
 
   /// Propagation-cache effectiveness counters (diagnostics / benches).
   [[nodiscard]] std::uint64_t path_cache_hits() const { return path_cache_.hits(); }
@@ -146,6 +160,14 @@ class AcousticChannel {
   [[nodiscard]] std::uint64_t spatial_rebins() const { return spatial_index_.rebins(); }
 
  private:
+  /// Per-execution-context query workspace: shard workers run
+  /// start_transmission concurrently, so each context gets its own
+  /// candidate/scratch buffers (indexed by Simulator::context_index).
+  struct Workspace {
+    std::vector<AcousticModem*> candidates;
+    std::vector<std::size_t> scratch;
+  };
+
   Simulator& sim_;
   const PropagationModel& propagation_;
   ChannelConfig config_;
@@ -154,10 +176,11 @@ class AcousticChannel {
   double interference_cutoff_m_;
   std::vector<AcousticModem*> modems_;
   SpatialReceiverIndex spatial_index_;
-  std::vector<AcousticModem*> candidates_;  ///< query workspace
+  std::vector<Workspace> workspaces_;
   PropagationCache path_cache_;
   AuditFn audit_{};
-  std::uint64_t transmissions_{0};
+  PhaseHook* phase_hook_{nullptr};
+  std::atomic<std::uint64_t> transmissions_{0};
 };
 
 }  // namespace aquamac

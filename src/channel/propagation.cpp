@@ -5,6 +5,34 @@
 
 namespace aquamac {
 
+Duration PropagationModel::min_delay(double distance_m, double /*max_depth_m*/) const {
+  // 1700 m/s exceeds the sound speed anywhere in the ocean (Mackenzie
+  // tops out near 1600 m/s at extreme depth), so distance / 1700 bounds
+  // any physically plausible first arrival from below.
+  constexpr double kSpeedCeiling = 1700.0;
+  return Duration::from_seconds(std::max(0.0, distance_m) / kSpeedCeiling);
+}
+
+Duration StraightLinePropagation::min_delay(double distance_m, double /*max_depth_m*/) const {
+  return Duration::from_seconds(std::max(0.0, distance_m) / speed_);
+}
+
+Duration BellhopLitePropagation::min_delay(double distance_m, double max_depth_m) const {
+  const double dist = std::max(0.0, distance_m);
+  // A refracted arc between endpoints in [0, max_depth] can dip past the
+  // endpoint depths by its sagitta; with arc radii c/g >~ 15 km (the
+  // kMinGradient floor in compute()) the dip over interference-scale
+  // ranges is metres, so 5% of the range is a generous widening.
+  const double depth_hi = std::max(0.0, max_depth_m) + 0.05 * dist;
+  // The straight-path fallback integrates the true profile's slowness and
+  // the arc solve uses a linear fit through the endpoint speeds; both stay
+  // within the sampled max over the widened range up to interpolation
+  // error, which the 0.5% factor dominates by orders of magnitude.
+  constexpr double kSafety = 1.005;
+  const double c_max = profile_->max_speed(0.0, depth_hi) * kSafety;
+  return Duration::from_seconds(dist / c_max);
+}
+
 PropagationModel::Path surface_echo_path(const PropagationModel& model, const Vec3& from,
                                          const Vec3& to, double freq_khz,
                                          double reflection_loss_db) {

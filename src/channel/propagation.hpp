@@ -34,6 +34,15 @@ class PropagationModel {
 
   [[nodiscard]] virtual Path compute(const Vec3& from, const Vec3& to,
                                      double freq_khz) const = 0;
+
+  /// Conservative lower bound on the first-arrival delay between any two
+  /// points `distance_m` apart anywhere in the water column down to
+  /// `max_depth_m` (pass the deployment depth; refracted arcs that dip
+  /// slightly past it are covered by the implementations' own margins).
+  /// The sharded engine derives its lookahead from this: every delay
+  /// compute() can produce for such a pair must be >= the bound. The
+  /// default divides by 1700 m/s, above any speed the ocean attains.
+  [[nodiscard]] virtual Duration min_delay(double distance_m, double max_depth_m) const;
 };
 
 /// First-order surface-bounce eigenray via the image-source method: the
@@ -55,6 +64,9 @@ class StraightLinePropagation final : public PropagationModel {
   [[nodiscard]] Path compute(const Vec3& from, const Vec3& to,
                              double freq_khz) const override;
 
+  /// Exact: delay is always distance / speed.
+  [[nodiscard]] Duration min_delay(double distance_m, double max_depth_m) const override;
+
   [[nodiscard]] double sound_speed() const { return speed_; }
 
  private:
@@ -70,6 +82,10 @@ class BellhopLitePropagation final : public PropagationModel {
 
   [[nodiscard]] Path compute(const Vec3& from, const Vec3& to,
                              double freq_khz) const override;
+
+  /// distance / (max profile speed over the depth range, widened for ray
+  /// sagitta, times a small sampling-safety factor).
+  [[nodiscard]] Duration min_delay(double distance_m, double max_depth_m) const override;
 
  private:
   /// Straight-path fallback integrating slowness along the chord; used

@@ -36,15 +36,15 @@ PropagationModel::Path PropagationCache::lookup(std::vector<Entry>& table,
   const std::size_t f = from.id();
   const std::size_t t = to.id();
   if (f >= dim_ || t >= dim_ || table.empty()) {
-    ++misses_;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return compute();
   }
   Entry& entry = table[f * dim_ + t];
   if (entry.from_epoch == from.position_epoch() && entry.to_epoch == to.position_epoch()) {
-    ++hits_;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     return entry.path;
   }
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   entry.path = compute();
   entry.from_epoch = from.position_epoch();
   entry.to_epoch = to.position_epoch();

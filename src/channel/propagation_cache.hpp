@@ -11,6 +11,7 @@
 // moved. Cached values are the bit-identical doubles compute() produced,
 // so caching can never change simulation results.
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -41,8 +42,10 @@ class PropagationCache {
                                                     const AcousticModem& to,
                                                     double reflection_loss_db);
 
-  [[nodiscard]] std::uint64_t hits() const { return hits_; }
-  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
 
   /// Flat-table ceiling: up to (kMaxCachedId+1)^2 entries per table
   /// (~170 MB at 40 B/entry), only ever reached by runs that actually
@@ -66,8 +69,11 @@ class PropagationCache {
   std::size_t dim_{0};  ///< tables are dim_ x dim_, indexed [from * dim_ + to]
   std::vector<Entry> direct_;
   std::vector<Entry> echo_;  ///< empty unless cache_echo_
-  std::uint64_t hits_{0};
-  std::uint64_t misses_{0};
+  /// Counters are touched from concurrent shard workers (entry rows are
+  /// per-sender and senders are shard-owned, so the *entries* need no
+  /// synchronization — only these shared tallies do).
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
 };
 
 }  // namespace aquamac

@@ -17,6 +17,17 @@ double SoundSpeedProfile::mean_slowness(double depth_a_m, double depth_b_m) cons
   return sum / kSegments;
 }
 
+double SoundSpeedProfile::max_speed(double depth_lo_m, double depth_hi_m) const {
+  if (depth_lo_m > depth_hi_m) std::swap(depth_lo_m, depth_hi_m);
+  constexpr int kSegments = 64;
+  const double h = (depth_hi_m - depth_lo_m) / kSegments;
+  double best = std::max(speed_at(depth_lo_m), speed_at(depth_hi_m));
+  for (int i = 1; i < kSegments; ++i) {
+    best = std::max(best, speed_at(depth_lo_m + h * i));
+  }
+  return best;
+}
+
 double SoundSpeedProfile::gradient_at(double depth_m) const {
   constexpr double kStep = 1.0;  // metres
   const double lo = std::max(0.0, depth_m - kStep);

@@ -28,6 +28,12 @@ class SoundSpeedProfile {
 
   /// Local gradient dc/dz (1/s), central difference by default.
   [[nodiscard]] virtual double gradient_at(double depth_m) const;
+
+  /// Maximum sound speed over a depth interval, used by the sharded
+  /// engine's conservative lookahead (delay >= distance / max speed).
+  /// Default: dense sampling including both endpoints; profiles with
+  /// monotone or analytically known extrema override it exactly.
+  [[nodiscard]] virtual double max_speed(double depth_lo_m, double depth_hi_m) const;
 };
 
 /// c(z) = c0. Matches the paper's 1.5 km/s assumption.
@@ -37,6 +43,7 @@ class ConstantProfile final : public SoundSpeedProfile {
   [[nodiscard]] double speed_at(double) const override { return speed_; }
   [[nodiscard]] double mean_slowness(double, double) const override { return 1.0 / speed_; }
   [[nodiscard]] double gradient_at(double) const override { return 0.0; }
+  [[nodiscard]] double max_speed(double, double) const override { return speed_; }
 
  private:
   double speed_;
@@ -50,6 +57,13 @@ class LinearProfile final : public SoundSpeedProfile {
       : c0_{surface_speed_mps}, g_{gradient_per_s} {}
   [[nodiscard]] double speed_at(double depth_m) const override { return c0_ + g_ * depth_m; }
   [[nodiscard]] double gradient_at(double) const override { return g_; }
+  /// Linear in depth: the maximum is at whichever interval endpoint the
+  /// gradient favours.
+  [[nodiscard]] double max_speed(double depth_lo_m, double depth_hi_m) const override {
+    const double a = speed_at(depth_lo_m);
+    const double b = speed_at(depth_hi_m);
+    return a > b ? a : b;
+  }
 
  private:
   double c0_;

@@ -62,24 +62,25 @@ void SpatialReceiverIndex::refresh(const AcousticModem& modem) {
 }
 
 void SpatialReceiverIndex::candidates(const Vec3& center,
-                                      std::vector<AcousticModem*>& out) const {
+                                      std::vector<AcousticModem*>& out,
+                                      std::vector<std::size_t>& scratch) const {
   out.clear();
-  scratch_.clear();
+  scratch.clear();
   const CellKey base = key_for(center);
   for (std::int64_t dx = -1; dx <= 1; ++dx) {
     for (std::int64_t dy = -1; dy <= 1; ++dy) {
       for (std::int64_t dz = -1; dz <= 1; ++dz) {
         const auto it = cells_.find(CellKey{base.x + dx, base.y + dy, base.z + dz});
         if (it == cells_.end()) continue;
-        scratch_.insert(scratch_.end(), it->second.begin(), it->second.end());
+        scratch.insert(scratch.end(), it->second.begin(), it->second.end());
       }
     }
   }
   // Ordinal order == attach order: the channel's brute-force visitation
   // order, which the determinism contract requires.
-  std::sort(scratch_.begin(), scratch_.end());
-  out.reserve(scratch_.size());
-  for (const std::size_t ordinal : scratch_) out.push_back(records_[ordinal].modem);
+  std::sort(scratch.begin(), scratch.end());
+  out.reserve(scratch.size());
+  for (const std::size_t ordinal : scratch) out.push_back(records_[ordinal].modem);
 }
 
 }  // namespace aquamac

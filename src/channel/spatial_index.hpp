@@ -49,8 +49,12 @@ class SpatialReceiverIndex {
 
   /// Collects every indexed modem within `cell_size_m` of `center` (plus
   /// conservative extras from the same cells) into `out`, sorted by
-  /// attach ordinal. `out` is cleared first and reused across calls.
-  void candidates(const Vec3& center, std::vector<AcousticModem*>& out) const;
+  /// attach ordinal. `out` and `scratch` are cleared first and reused
+  /// across calls; the caller owns both so concurrent readers (the
+  /// sharded engine queries from several shard threads) never share
+  /// mutable workspace through the index.
+  void candidates(const Vec3& center, std::vector<AcousticModem*>& out,
+                  std::vector<std::size_t>& scratch) const;
 
   [[nodiscard]] double cell_size_m() const { return cell_size_m_; }
   [[nodiscard]] std::size_t size() const { return records_.size(); }
@@ -92,7 +96,6 @@ class SpatialReceiverIndex {
   /// Cell -> ordinals of the modems currently binned there.
   std::unordered_map<CellKey, std::vector<std::size_t>, CellKeyHash> cells_;
   std::uint64_t rebins_{0};
-  mutable std::vector<std::size_t> scratch_;  ///< query workspace (ordinals)
 };
 
 }  // namespace aquamac

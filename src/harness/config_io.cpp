@@ -112,6 +112,7 @@ void save_scenario(const ScenarioConfig& config, std::ostream& os) {
   os << "node-count = " << config.node_count << "\n";
   os << "seed = " << config.seed << "\n";
   os << "jobs = " << config.jobs << "\n";
+  os << "shards = " << config.shards << "\n";
   os << "sim-time-s = " << config.sim_time.to_seconds() << "\n";
   os << "hello-window-s = " << config.hello_window.to_seconds() << "\n";
   os << "hello-rounds = " << config.hello_rounds << "\n";
@@ -208,6 +209,9 @@ ScenarioConfig load_scenario(std::istream& is, ScenarioConfig base) {
        }},
       {"jobs", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
          c.jobs = static_cast<unsigned>(parse_uint(k, v));
+       }},
+      {"shards", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.shards = std::max<unsigned>(1, static_cast<unsigned>(parse_uint(k, v)));
        }},
       {"sim-time-s", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
          c.sim_time = Duration::from_seconds(parse_double(k, v));

@@ -1,6 +1,7 @@
 #include "net/network.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "channel/sound_speed.hpp"
@@ -62,6 +63,36 @@ Network::Network(Simulator& sim, const ScenarioConfig& config)
   initial_positions_ =
       generate_deployment(config_.deployment, config_.node_count, deployment_rng);
 
+  // Lanes are declared unconditionally (node i -> lane i + 1): serial and
+  // sharded runs must attribute events to the same lanes for their
+  // ordering keys — hence their digests — to be bit-identical.
+  if (config_.node_count + 1 > Simulator::kMaxLanes) {
+    throw std::invalid_argument("node_count exceeds the simulator's lane space");
+  }
+  sim_.set_lane_count(static_cast<std::uint32_t>(config_.node_count) + 1);
+
+  run_trace_ = config_.trace;
+  if (config_.shards > 1) {
+    // Shard cells are the channel's interference cutoff: co-located or
+    // near nodes share a cell (hence a shard), and the cross-shard
+    // minimum distance the lookahead derives from stays macroscopic.
+    shard_plan_ = std::make_unique<ShardPlan>(ShardPlan::build(
+        initial_positions_, config_.shards, channel_->interference_cutoff_m()));
+    ShardingOptions sharding{};
+    sharding.shard_of_node = shard_plan_->shard_of_node();
+    sharding.shards = shard_plan_->shards();
+    sharding.lookahead = [this] { return shard_lookahead(); };
+    sim_.enable_sharding(std::move(sharding));
+    channel_->prepare_parallel();
+    if (config_.trace != nullptr) {
+      deferred_trace_ = std::make_unique<DeferredTraceSink>(sim_, *config_.trace);
+      run_trace_ = deferred_trace_.get();
+    }
+    AQUAMAC_LOG(config_.logger, LogLevel::kInfo)
+        << "sharded engine: " << shard_plan_->shards() << " shards, cell "
+        << shard_plan_->cell_size_m() << " m";
+  }
+
   ModemConfig modem_config{};
   modem_config.bit_rate_bps = config_.bit_rate_bps;
   modem_config.power = config_.power;
@@ -69,10 +100,12 @@ Network::Network(Simulator& sim, const ScenarioConfig& config)
   nodes_.reserve(config_.node_count);
   for (std::size_t i = 0; i < config_.node_count; ++i) {
     const auto id = static_cast<NodeId>(i);
+    // Anything a node's construction schedules belongs to the node's lane.
+    const Simulator::LaneGuard lane{sim_, id + 1};
     auto node = std::make_unique<Node>(sim_, id, initial_positions_[i], modem_config,
                                        *reception_, rng_.fork(0x40DE00 + i));
     channel_->attach(node->modem());
-    if (config_.trace != nullptr) node->modem().set_trace(config_.trace);
+    if (run_trace_ != nullptr) node->modem().set_trace(run_trace_);
     if (config_.clock_offset_stddev_s > 0.0) {
       Rng clock_rng = rng_.fork(0xC10C0 + i);
       node->modem().set_clock_offset(
@@ -85,7 +118,7 @@ Network::Network(Simulator& sim, const ScenarioConfig& config)
                         config_.mac_config, rng_.fork(0x3AC000 + i),
                         config_.logger.with_tag(tag));
     node->set_mac(std::move(mac));
-    if (config_.trace != nullptr) node->mac().set_trace(config_.trace);
+    if (run_trace_ != nullptr) node->mac().set_trace(run_trace_);
 
     if (config_.enable_mobility) {
       Rng mobility_rng = rng_.fork(0x30B000 + i);
@@ -185,7 +218,10 @@ Network::Network(Simulator& sim, const ScenarioConfig& config)
       ++batch;
       ++assigned_extra;
     }
-    source->start(traffic_start_, batch);
+    {
+      const Simulator::LaneGuard lane{sim_, id + 1};
+      source->start(traffic_start_, batch);
+    }
     sources_.push_back(std::move(source));
   }
 }
@@ -197,12 +233,13 @@ void Network::schedule_hello_phase() {
   Rng hello_rng = rng_.fork(0x4E110);
   const double window_s = config_.hello_window.to_seconds();
   const std::uint32_t rounds = std::max<std::uint32_t>(config_.hello_rounds, 1);
-  for (auto& node : nodes_) {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Simulator::LaneGuard lane{sim_, static_cast<std::uint32_t>(i) + 1};
     for (std::uint32_t round = 0; round < rounds; ++round) {
       const double lo = window_s * round / rounds;
       const double hi = window_s * (round + 1) / rounds - 0.05;
       const Time when = Time::from_seconds(hello_rng.uniform(lo, std::max(lo, hi)));
-      MacProtocol* mac = &node->mac();
+      MacProtocol* mac = &nodes_[i]->mac();
       sim_.at(when, [mac] { mac->broadcast_hello(); });
     }
   }
@@ -218,19 +255,22 @@ void Network::schedule_mobility() {
 }
 
 void Network::start_traffic() {
-  for (auto& node : nodes_) node->mac().start();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Simulator::LaneGuard lane{sim_, static_cast<std::uint32_t>(i) + 1};
+    nodes_[i]->mac().start();
+  }
 }
 
 void Network::trace_fault(TraceEventKind kind, NodeId node, std::int64_t a,
                           std::int64_t b) const {
-  if (config_.trace == nullptr) return;
+  if (run_trace_ == nullptr) return;
   TraceEvent event{};
   event.kind = kind;
   event.at = sim_.now();
   event.node = node;
   event.a = a;
   event.b = b;
-  config_.trace->record(event);
+  run_trace_->record(event);
 }
 
 void Network::schedule_faults() {
@@ -238,6 +278,7 @@ void Network::schedule_faults() {
   const FaultConfig& fc = fault_plan_->config();
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     const auto id = static_cast<NodeId>(i);
+    const Simulator::LaneGuard lane{sim_, id + 1};
     AcousticModem* modem = &nodes_[i]->modem();
     MacProtocol* mac = &nodes_[i]->mac();
 
@@ -322,6 +363,7 @@ RunStats Network::run() {
     }
     const Time when = traffic_start_ + config_.node_failure_time;
     for (std::size_t i = 0; i < casualties; ++i) {
+      const Simulator::LaneGuard lane{sim_, ids[i] + 1};
       AcousticModem* modem = &nodes_[ids[i]]->modem();
       sim_.at(when, [modem] { modem->set_operational(false); });
     }
@@ -388,6 +430,27 @@ RunStats Network::stats() const {
 
 double Network::deployed_mean_degree() const {
   return mean_degree(initial_positions_, config_.channel.comm_range_m);
+}
+
+Duration Network::shard_lookahead() const {
+  std::vector<Vec3> positions;
+  positions.reserve(nodes_.size());
+  for (const auto& node : nodes_) positions.push_back(node->modem().position());
+  const double dist = shard_plan_->min_cross_shard_distance(positions);
+  if (!std::isfinite(dist)) {
+    // A single populated shard: no cross-shard influence exists at all,
+    // so any horizon is conservative. One hour keeps windows finite.
+    return Duration::seconds(3600);
+  }
+  // Positions are frozen inside a window (mobility is a global, hence
+  // barrier-time, event and the engine re-queries this after every global
+  // batch), so the model's delay bound applies verbatim; the microsecond
+  // guard just absorbs any residual floating-point slack on top of the
+  // bound's own safety margins.
+  const Duration bound =
+      propagation_->min_delay(dist, config_.deployment.depth_m);
+  const Duration guard = Duration::microseconds(1);
+  return bound > guard ? bound - guard : Duration::nanoseconds(1);
 }
 
 }  // namespace aquamac

@@ -17,7 +17,9 @@
 #include "net/relay.hpp"
 #include "net/routing.hpp"
 #include "net/traffic.hpp"
+#include "sim/shard_plan.hpp"
 #include "sim/simulator.hpp"
+#include "stats/deferred_trace.hpp"
 #include "stats/metrics.hpp"
 #include "stats/trace.hpp"
 
@@ -37,6 +39,13 @@ struct ScenarioConfig {
   /// concurrency); 1 = the serial code path. Results are bit-identical
   /// for every jobs value — each run owns its Simulator/Network/RNG.
   unsigned jobs{0};
+
+  /// Intra-run parallelism: shard the event loop spatially into this many
+  /// conservative-PDES shards (see docs/parallel-des.md). 1 = the serial
+  /// engine. Results are bit-identical for every shards value — the
+  /// sharded engine replays the serial event order exactly — so this is a
+  /// pure wall-clock knob, worthwhile from a few thousand nodes up.
+  unsigned shards{1};
 
   /// Table 2: 300 s of offered traffic after a discovery warm-up.
   Duration sim_time{Duration::seconds(300)};
@@ -137,7 +146,12 @@ class Network {
   /// Diagnostic: mean one-hop degree of the as-built deployment.
   [[nodiscard]] double deployed_mean_degree() const;
 
+  /// The spatial shard plan; null when config.shards <= 1.
+  [[nodiscard]] const ShardPlan* shard_plan() const { return shard_plan_.get(); }
+
  private:
+  /// Conservative lookahead under current modem positions (sharded runs).
+  [[nodiscard]] Duration shard_lookahead() const;
   void schedule_hello_phase();
   void schedule_mobility();
   void start_traffic();
@@ -159,6 +173,11 @@ class Network {
   std::vector<std::unique_ptr<TrafficSource>> sources_;
   std::vector<Vec3> initial_positions_;
   std::unique_ptr<FaultPlan> fault_plan_;  ///< null when faults disabled
+  std::unique_ptr<ShardPlan> shard_plan_;  ///< null when shards <= 1
+  /// Wraps config.trace for sharded runs (barrier-ordered replay); the
+  /// sink modems/MACs/fault tracing actually write to.
+  std::unique_ptr<DeferredTraceSink> deferred_trace_;
+  TraceSink* run_trace_{nullptr};
 
   Time traffic_start_{};
   Time horizon_{};

@@ -77,6 +77,7 @@ void AcousticModem::begin_arrival(const Frame& frame, double rx_level_db, TimeIn
 }
 
 void AcousticModem::finish_arrival(std::uint64_t arrival_id) {
+  const PhaseScope phase{phase_hook_, SimPhase::kMacProcessing};
   // A node that went down mid-window loses the arrival outright: the
   // ledger entry stays (it still interferes historically) but no decision
   // is made and the MAC hears nothing.

@@ -18,6 +18,7 @@
 #include "phy/frame.hpp"
 #include "sim/simulator.hpp"
 #include "stats/trace.hpp"
+#include "util/phase_hook.hpp"
 #include "util/time.hpp"
 #include "util/vec3.hpp"
 
@@ -68,6 +69,9 @@ class AcousticModem {
   void set_listener(ModemListener* listener) { listener_ = listener; }
   /// Optional structured trace of this modem's PHY events.
   void set_trace(TraceSink* trace) { trace_ = trace; }
+  /// Optional per-phase instrumentation around finish_arrival (the MAC
+  /// processing phase; serial profiling runs only — util/phase_hook.hpp).
+  void set_phase_hook(PhaseHook* hook) { phase_hook_ = hook; }
 
   /// Hard node failure (battery death, flooding): a non-operational
   /// modem radiates nothing and hears nothing. Protocols above are not
@@ -165,6 +169,7 @@ class AcousticModem {
   AcousticChannel* channel_{nullptr};
   ModemListener* listener_{nullptr};
   TraceSink* trace_{nullptr};
+  PhaseHook* phase_hook_{nullptr};
   Vec3 position_{};
   std::uint64_t position_epoch_{1};  ///< 0 is reserved for "never cached"
 

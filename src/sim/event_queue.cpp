@@ -14,13 +14,20 @@ void EventQueue::reserve(std::size_t expected_pending) {
 }
 
 EventHandle EventQueue::push(Time when, Callback fn) {
+  const std::uint64_t seq = next_auto_seq_++;
+  return push_keyed(EventKey{when, 0, seq}, /*lane=*/0, /*id=*/seq, std::move(fn));
+}
+
+EventHandle EventQueue::push_keyed(EventKey key, std::uint32_t lane, std::uint64_t id,
+                                   Callback fn) {
   assert(fn && "scheduling a null callback");
-  const std::uint64_t seq = next_seq_++;
-  heap_.push_back(Entry{when, seq});
+  assert(id != 0 && "handle id 0 is reserved for null handles");
+  heap_.push_back(Entry{key, lane, id});
   std::push_heap(heap_.begin(), heap_.end());
-  callbacks_.emplace(seq, std::move(fn));
+  [[maybe_unused]] const bool inserted = callbacks_.emplace(id, std::move(fn)).second;
+  assert(inserted && "duplicate event handle id");
   ++live_count_;
-  return EventHandle{seq};
+  return EventHandle{id};
 }
 
 bool EventQueue::cancel(EventHandle handle) {
@@ -36,24 +43,27 @@ bool EventQueue::cancel(EventHandle handle) {
 void EventQueue::maybe_compact() {
   // Every heap entry has exactly one callback while live, so the dead
   // fraction is heap_.size() - live_count_. Rebuilding costs O(n) and is
-  // only triggered after >= 3n/4 cancels produced the garbage, keeping
-  // cancel O(1) amortized.
-  if (heap_.size() <= kCompactionFloor || heap_.size() <= 4 * live_count_) return;
-  std::erase_if(heap_, [this](const Entry& e) { return !callbacks_.contains(e.seq); });
+  // only triggered after >= n/2 cancels produced the garbage, keeping
+  // cancel O(1) amortized while bounding the dead weight pop() and
+  // next_key() wade through to at most one dead entry per live one.
+  if (heap_.size() <= kCompactionFloor || heap_.size() <= 2 * live_count_) return;
+  std::erase_if(heap_, [this](const Entry& e) { return !callbacks_.contains(e.id); });
   std::make_heap(heap_.begin(), heap_.end());
 }
 
 void EventQueue::drop_cancelled_front() {
-  while (!heap_.empty() && !callbacks_.contains(heap_.front().seq)) {
+  while (!heap_.empty() && !callbacks_.contains(heap_.front().id)) {
     std::pop_heap(heap_.begin(), heap_.end());
     heap_.pop_back();
   }
 }
 
-Time EventQueue::next_time() {
+Time EventQueue::next_time() { return next_key().when; }
+
+const EventKey& EventQueue::next_key() {
   drop_cancelled_front();
   assert(!heap_.empty());
-  return heap_.front().when;
+  return heap_.front().key;
 }
 
 EventQueue::PoppedEvent EventQueue::pop() {
@@ -62,12 +72,24 @@ EventQueue::PoppedEvent EventQueue::pop() {
   std::pop_heap(heap_.begin(), heap_.end());
   const Entry entry = heap_.back();
   heap_.pop_back();
-  auto it = callbacks_.find(entry.seq);
+  auto it = callbacks_.find(entry.id);
   assert(it != callbacks_.end());
-  PoppedEvent popped{entry.when, std::move(it->second)};
+  PoppedEvent popped{entry.key.when, std::move(it->second), entry.key, entry.lane};
   callbacks_.erase(it);
   --live_count_;
   return popped;
+}
+
+std::vector<EventQueue::ExtractedEvent> EventQueue::extract_all() {
+  std::vector<ExtractedEvent> out;
+  out.reserve(live_count_);
+  for (Entry& entry : heap_) {
+    auto it = callbacks_.find(entry.id);
+    if (it == callbacks_.end()) continue;
+    out.push_back(ExtractedEvent{entry.key, entry.lane, entry.id, std::move(it->second)});
+  }
+  clear();
+  return out;
 }
 
 void EventQueue::clear() {

@@ -1,14 +1,25 @@
 #pragma once
 // Cancellable pending-event queue for the discrete-event engine.
 //
-// A binary heap keyed by (time, insertion sequence) gives a total,
-// deterministic order: events scheduled for the same instant fire in the
-// order they were scheduled. Cancellation is lazy — cancelled entries are
-// skipped on pop — with periodic compaction so a cancel-heavy workload
-// (e.g. MAC timers) cannot grow the heap unboundedly: whenever dead
-// entries outnumber live ones 3:1 (past a small floor), the heap is
-// rebuilt from the live entries in O(n), amortized against the cancels
-// that created the garbage.
+// A binary heap keyed by (time, origin lane, per-origin sequence) gives a
+// total, deterministic order. The key is *intrinsic* to the scheduling
+// action — which lane scheduled the event and how many pushes that lane
+// had performed — not to global push interleaving, so the same set of
+// scheduling actions yields the same execution order no matter how many
+// queues or worker threads the engine spreads them over (the property the
+// sharded conservative-PDES engine in Simulator rests on). The legacy
+// push(when, fn) overload attributes everything to lane 0 with an
+// automatic per-queue sequence, which degenerates to the historical
+// (time, insertion order) behaviour for standalone use.
+//
+// Cancellation is lazy — cancelled entries are skipped on pop — with
+// periodic compaction so a cancel-heavy workload (e.g. MAC timers)
+// cannot grow the heap unboundedly: whenever dead entries outnumber live
+// ones (past a small floor), the heap is rebuilt from the live entries in
+// O(n), amortized against the cancels that created the garbage. The 1:1
+// threshold (rather than the previous 3:1) keeps pop latency flat inside
+// the short lookahead windows of sharded execution, where a queue is
+// drained front-first many times per simulated second.
 
 #include <cstdint>
 #include <functional>
@@ -19,8 +30,26 @@
 
 namespace aquamac {
 
+/// Deterministic total ordering key of a scheduled event: fire time, then
+/// the lane (0 = global, node i = lane i+1) whose activity scheduled it,
+/// then that lane's running push count. (origin, origin_seq) pairs are
+/// unique, so the order is total.
+struct EventKey {
+  Time when{};
+  std::uint32_t origin{0};
+  std::uint64_t origin_seq{0};
+
+  constexpr bool operator==(const EventKey&) const = default;
+  constexpr bool operator<(const EventKey& o) const {
+    if (when != o.when) return when < o.when;
+    if (origin != o.origin) return origin < o.origin;
+    return origin_seq < o.origin_seq;
+  }
+};
+
 /// Opaque handle identifying a scheduled event; valid until it fires or is
-/// cancelled. Default-constructed handles are null.
+/// cancelled. Default-constructed handles are null. The id is unrelated to
+/// execution order (Simulator encodes the owning queue in the low bits).
 class EventHandle {
  public:
   constexpr EventHandle() = default;
@@ -30,6 +59,7 @@ class EventHandle {
 
  private:
   friend class EventQueue;
+  friend class Simulator;
   constexpr explicit EventHandle(std::uint64_t id) : id_{id} {}
   std::uint64_t id_{0};
 };
@@ -44,8 +74,14 @@ class EventQueue {
   /// simultaneously pending events (rehash/realloc avoidance only).
   void reserve(std::size_t expected_pending);
 
-  /// Schedules `fn` at absolute time `when`. O(log n).
+  /// Schedules `fn` at absolute time `when`, attributed to lane 0 with an
+  /// automatic per-queue sequence (standalone / single-queue use). O(log n).
   EventHandle push(Time when, Callback fn);
+
+  /// Schedules `fn` under an explicit ordering key; `lane` is the lane the
+  /// event acts on (it becomes the executing context's current lane) and
+  /// `id` the caller-assigned handle id (must be unique and nonzero).
+  EventHandle push_keyed(EventKey key, std::uint32_t lane, std::uint64_t id, Callback fn);
 
   /// Cancels a pending event; returns false if the event already fired,
   /// was already cancelled, or the handle is null. O(1) amortized.
@@ -55,35 +91,52 @@ class EventQueue {
   [[nodiscard]] std::size_t size() const { return live_count_; }
 
   /// Heap entries including not-yet-reclaimed cancelled ones; bounded at
-  /// max(kCompactionFloor, 4 * size()) by compaction. Diagnostics/tests.
+  /// max(kCompactionFloor, 2 * size()) by compaction. Diagnostics/tests.
   [[nodiscard]] std::size_t heap_entries() const { return heap_.size(); }
+
+  /// Cancelled entries still occupying heap slots (heap_entries() minus
+  /// live events). Diagnostics for cancel-heavy MAC workloads.
+  [[nodiscard]] std::size_t cancelled_entries() const { return heap_.size() - live_count_; }
 
   /// Time of the earliest live event. Requires !empty().
   [[nodiscard]] Time next_time();
+  /// Full ordering key of the earliest live event. Requires !empty().
+  [[nodiscard]] const EventKey& next_key();
 
   /// Removes and returns the earliest live event. Requires !empty().
   struct PoppedEvent {
     Time when;
     Callback fn;
+    EventKey key;
+    std::uint32_t lane;
   };
   PoppedEvent pop();
+
+  /// Removes every pending event (used by the sharded engine to scatter a
+  /// pre-sharding backlog across per-shard queues). Keys, lanes and handle
+  /// ids are preserved verbatim; order is unspecified.
+  struct ExtractedEvent {
+    EventKey key;
+    std::uint32_t lane;
+    std::uint64_t id;
+    Callback fn;
+  };
+  std::vector<ExtractedEvent> extract_all();
 
   void clear();
 
   /// Compaction triggers when heap_entries() exceeds both this floor and
-  /// 4x the live count (i.e. >75% of the heap is cancelled garbage).
+  /// 2x the live count (i.e. >50% of the heap is cancelled garbage).
   static constexpr std::size_t kCompactionFloor = 64;
 
  private:
   struct Entry {
-    Time when;
-    std::uint64_t seq;
-    // Ordering for max-heap adapted to min-priority: later time = lower
-    // priority; ties broken by insertion sequence (earlier first).
-    bool operator<(const Entry& o) const {
-      if (when != o.when) return when > o.when;
-      return seq > o.seq;
-    }
+    EventKey key;
+    std::uint32_t lane;
+    std::uint64_t id;
+    // Ordering for max-heap adapted to min-priority: a later key = lower
+    // priority.
+    bool operator<(const Entry& o) const { return o.key < key; }
   };
 
   void drop_cancelled_front();
@@ -91,10 +144,10 @@ class EventQueue {
 
   std::vector<Entry> heap_;  ///< std::push_heap/pop_heap ordering
   // Callbacks stored out-of-heap so Entry stays trivially movable; keyed
-  // by sequence number. A cancelled entry's callback is erased eagerly.
+  // by handle id. A cancelled entry's callback is erased eagerly.
   std::unordered_map<std::uint64_t, Callback> callbacks_;
   std::size_t live_count_{0};
-  std::uint64_t next_seq_{1};
+  std::uint64_t next_auto_seq_{1};  ///< legacy push(): lane-0 sequence + id
 };
 
 }  // namespace aquamac

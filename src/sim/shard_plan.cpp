@@ -1,0 +1,125 @@
+#include "sim/shard_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace aquamac {
+
+namespace {
+
+struct CellKey {
+  std::int64_t x{0};
+  std::int64_t y{0};
+  std::int64_t z{0};
+  bool operator==(const CellKey&) const = default;
+  bool operator<(const CellKey& o) const {
+    if (x != o.x) return x < o.x;
+    if (y != o.y) return y < o.y;
+    return z < o.z;
+  }
+};
+
+struct CellKeyHash {
+  std::size_t operator()(const CellKey& key) const {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const std::int64_t v : {key.x, key.y, key.z}) {
+      h ^= static_cast<std::uint64_t>(v);
+      h *= 1099511628211ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+CellKey key_for(const Vec3& pos, double cell) {
+  return CellKey{static_cast<std::int64_t>(std::floor(pos.x / cell)),
+                 static_cast<std::int64_t>(std::floor(pos.y / cell)),
+                 static_cast<std::int64_t>(std::floor(pos.z / cell))};
+}
+
+}  // namespace
+
+ShardPlan ShardPlan::build(const std::vector<Vec3>& positions, unsigned shards,
+                           double cell_size_m) {
+  if (shards == 0) throw std::invalid_argument("ShardPlan: shards must be >= 1");
+  ShardPlan plan;
+  plan.cell_size_m_ = std::max(1.0, cell_size_m);
+  plan.shards_ = static_cast<unsigned>(
+      std::min<std::size_t>(shards, std::max<std::size_t>(1, positions.size())));
+  plan.shard_of_node_.assign(positions.size(), 0);
+  if (plan.shards_ == 1) return plan;
+
+  // Sort nodes by (cell, node id): lexicographic cell order yields
+  // contiguous spatial slabs; the id tiebreak keeps the order a pure
+  // function of the positions.
+  std::vector<std::size_t> order(positions.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<CellKey> cells(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    cells[i] = key_for(positions[i], plan.cell_size_m_);
+  }
+  std::sort(order.begin(), order.end(), [&cells](std::size_t a, std::size_t b) {
+    if (!(cells[a] == cells[b])) return cells[a] < cells[b];
+    return a < b;
+  });
+
+  // Deal whole cells to shards, advancing once the running count reaches
+  // the proportional target; a cell is never split, so co-located nodes
+  // always share a shard (they would otherwise pin the lookahead at 0).
+  const auto n = positions.size();
+  std::uint32_t shard = 0;
+  std::size_t assigned = 0;
+  for (std::size_t idx = 0; idx < n;) {
+    std::size_t end = idx + 1;
+    while (end < n && cells[order[end]] == cells[order[idx]]) ++end;
+    // Advance to the shard whose quota this cell's start falls into.
+    while (shard + 1 < plan.shards_ &&
+           assigned * plan.shards_ >= (static_cast<std::size_t>(shard) + 1) * n) {
+      ++shard;
+    }
+    for (std::size_t k = idx; k < end; ++k) plan.shard_of_node_[order[k]] = shard;
+    assigned += end - idx;
+    idx = end;
+  }
+  return plan;
+}
+
+double ShardPlan::min_cross_shard_distance(const std::vector<Vec3>& positions) const {
+  if (positions.size() != shard_of_node_.size()) {
+    throw std::invalid_argument("ShardPlan: position count changed since build");
+  }
+  if (shards_ <= 1) return std::numeric_limits<double>::infinity();
+
+  const double cell = cell_size_m_;
+  std::unordered_map<CellKey, std::vector<std::uint32_t>, CellKeyHash> bins;
+  bins.reserve(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    bins[key_for(positions[i], cell)].push_back(static_cast<std::uint32_t>(i));
+  }
+
+  double best_sq = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const CellKey center = key_for(positions[i], cell);
+    for (std::int64_t dx = -1; dx <= 1; ++dx) {
+      for (std::int64_t dy = -1; dy <= 1; ++dy) {
+        for (std::int64_t dz = -1; dz <= 1; ++dz) {
+          const auto it = bins.find(CellKey{center.x + dx, center.y + dy, center.z + dz});
+          if (it == bins.end()) continue;
+          for (const std::uint32_t j : it->second) {
+            if (j <= i || shard_of_node_[j] == shard_of_node_[i]) continue;
+            best_sq = std::min(best_sq, (positions[i] - positions[j]).norm_sq());
+          }
+        }
+      }
+    }
+  }
+  // Any pair closer than one cell side lies within the scanned
+  // neighbourhood, so when the scan found nothing nearer, `cell` itself
+  // is a correct lower bound on the true minimum.
+  const double best = std::sqrt(best_sq);
+  return best < cell ? best : cell;
+}
+
+}  // namespace aquamac

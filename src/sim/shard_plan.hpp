@@ -1,0 +1,51 @@
+#pragma once
+// Spatial shard plan for the conservative-PDES engine.
+//
+// Nodes are binned into cubic grid cells (the same cell size the channel's
+// SpatialReceiverIndex uses — the interference cutoff radius) and whole
+// cells are dealt to K shards in lexicographic cell order, producing
+// size-balanced, spatially contiguous slabs. Spatial contiguity is what
+// makes the conservative lookahead useful: the minimum distance between
+// nodes of *different* shards — hence the minimum cross-shard acoustic
+// delay — is maximized when each shard owns a compact region.
+//
+// min_cross_shard_distance() re-derives that minimum under the current
+// (possibly drifted) positions with a 27-cell neighbourhood scan: any
+// pair closer than one cell side lies in adjacent cells, so the scan is
+// exact below the cell size and the cell size itself is a valid lower
+// bound otherwise.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/vec3.hpp"
+
+namespace aquamac {
+
+class ShardPlan {
+ public:
+  /// Partitions `positions.size()` nodes into `shards` (>= 1) groups.
+  /// `cell_size_m` is clamped below at 1 m.
+  static ShardPlan build(const std::vector<Vec3>& positions, unsigned shards,
+                         double cell_size_m);
+
+  [[nodiscard]] const std::vector<std::uint32_t>& shard_of_node() const {
+    return shard_of_node_;
+  }
+  [[nodiscard]] unsigned shards() const { return shards_; }
+  [[nodiscard]] double cell_size_m() const { return cell_size_m_; }
+
+  /// Minimum Euclidean distance between any two nodes assigned to
+  /// different shards, evaluated at `positions` (same node indexing the
+  /// plan was built with). Exact when below cell_size_m(); otherwise
+  /// returns cell_size_m(), a valid lower bound. Returns +infinity when
+  /// fewer than two shards are populated.
+  [[nodiscard]] double min_cross_shard_distance(const std::vector<Vec3>& positions) const;
+
+ private:
+  std::vector<std::uint32_t> shard_of_node_;
+  unsigned shards_{1};
+  double cell_size_m_{1.0};
+};
+
+}  // namespace aquamac

@@ -1,0 +1,37 @@
+#pragma once
+// Trace sink adapter for the sharded engine.
+//
+// Modems and MACs record trace events while their shard executes inside a
+// conservative window, where the underlying sink (a MemoryTrace or
+// HashTrace shared by the whole run) would be written from several
+// threads at once. This adapter routes each record() through
+// Simulator::defer_ordered when called from a parallel region, so the
+// inner sink receives the events at the window barrier in exact serial
+// key order — the digest a HashTrace accumulates is bit-identical to the
+// serial engine's. Outside parallel regions (serial engine, coordinator
+// global batches) it calls straight through.
+
+#include "sim/simulator.hpp"
+#include "stats/trace.hpp"
+
+namespace aquamac {
+
+class DeferredTraceSink final : public TraceSink {
+ public:
+  DeferredTraceSink(Simulator& sim, TraceSink& inner) : sim_{sim}, inner_{&inner} {}
+
+  void record(const TraceEvent& event) override {
+    if (sim_.in_parallel_region()) {
+      TraceSink* inner = inner_;
+      sim_.defer_ordered([inner, event] { inner->record(event); });
+    } else {
+      inner_->record(event);
+    }
+  }
+
+ private:
+  Simulator& sim_;
+  TraceSink* inner_;
+};
+
+}  // namespace aquamac

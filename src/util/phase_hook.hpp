@@ -1,0 +1,49 @@
+#pragma once
+// Instrumentation seam for per-phase wall-time breakdowns.
+//
+// The hot path of a run splits into two dominant phases: *channel
+// delivery* (candidate lookup + per-receiver path/budget evaluation in
+// AcousticChannel::start_transmission) and *MAC processing* (arrival
+// resolution + protocol FSM work under AcousticModem::finish_arrival).
+// Production code only calls begin()/end() through this interface and
+// never reads a clock itself — src/ stays free of wall-clock use (the
+// aquamac-lint wall-clock rule); the timing implementation lives with
+// the benchmarks (bench/bench_util.hpp PhaseProfiler).
+//
+// Hooks are a profiling aid for *serial* runs: implementations are not
+// required to be thread-safe, so the harness must not install one on a
+// sharded/parallel run it cares about timing-wise (begin/end pairs from
+// concurrent shards would interleave).
+
+namespace aquamac {
+
+enum class SimPhase {
+  kChannelDelivery,  ///< AcousticChannel::start_transmission body
+  kMacProcessing,    ///< AcousticModem::finish_arrival body
+};
+
+class PhaseHook {
+ public:
+  virtual ~PhaseHook() = default;
+  virtual void begin(SimPhase phase) = 0;
+  virtual void end(SimPhase phase) = 0;
+};
+
+/// RAII begin/end pair; a null hook makes the scope free.
+class PhaseScope {
+ public:
+  PhaseScope(PhaseHook* hook, SimPhase phase) : hook_{hook}, phase_{phase} {
+    if (hook_ != nullptr) hook_->begin(phase_);
+  }
+  ~PhaseScope() {
+    if (hook_ != nullptr) hook_->end(phase_);
+  }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  PhaseHook* hook_;
+  SimPhase phase_;
+};
+
+}  // namespace aquamac

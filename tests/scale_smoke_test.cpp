@@ -37,6 +37,42 @@ TEST(ScaleSmoke, Grid3dThousandNodesAuditsCleanWithIndexOn) {
   EXPECT_GT(auditor.checks(), 0u);
 }
 
+TEST(ScaleSmoke, Grid3dThousandNodesShardedMatchesSerialUnderAudit) {
+  // The sharded engine at N=1000 with the auditor in hard-fail mode: the
+  // run must stay invariant-clean AND produce the serial run's exact
+  // statistics (bit-identity contract, see docs/parallel-des.md). This
+  // doubles as the CI ThreadSanitizer smoke for the sharded data paths.
+  ScenarioConfig config = grid3d_scenario(1'000, /*seed=*/3);
+  config.sim_time = Duration::seconds(15);
+
+  auto run_audited = [](ScenarioConfig run_config) {
+    InvariantAuditor::Config audit = auditor_config_for(run_config);
+    audit.hard_fail = true;
+    InvariantAuditor auditor{audit};
+    run_config.trace = &auditor;
+    const RunStats stats = run_scenario(run_config);
+    EXPECT_GT(auditor.checks(), 0u);
+    return stats;
+  };
+
+  ScenarioConfig sharded = config;
+  sharded.shards = 4;
+  RunStats serial_stats{};
+  RunStats sharded_stats{};
+  try {
+    serial_stats = run_audited(config);
+    sharded_stats = run_audited(sharded);
+  } catch (const std::runtime_error& e) {
+    FAIL() << "auditor violation at N=1000: " << e.what();
+  }
+  EXPECT_EQ(serial_stats.packets_offered, sharded_stats.packets_offered);
+  EXPECT_EQ(serial_stats.packets_delivered, sharded_stats.packets_delivered);
+  EXPECT_EQ(serial_stats.throughput_kbps, sharded_stats.throughput_kbps);
+  EXPECT_EQ(serial_stats.mean_latency_s, sharded_stats.mean_latency_s);
+  EXPECT_EQ(serial_stats.total_energy_j, sharded_stats.total_energy_j);
+  EXPECT_EQ(serial_stats.rx_collisions, sharded_stats.rx_collisions);
+}
+
 TEST(ScaleSmoke, ScaleScenariosPreserveDensity) {
   // The point of the generators: density (hence local contention) must
   // not change with N, only the region and aggregate load.

@@ -60,7 +60,8 @@ TEST_F(SpatialIndexTest, CandidatesCoverInRangeSetOnRandomClouds) {
       const Vec3 center{rng.uniform(-5'000.0, 5'000.0), rng.uniform(-5'000.0, 5'000.0),
                         rng.uniform(-5'000.0, 5'000.0)};
       std::vector<AcousticModem*> candidates;
-      index.candidates(center, candidates);
+      std::vector<std::size_t> scratch;
+      index.candidates(center, candidates, scratch);
 
       std::unordered_set<const AcousticModem*> candidate_set(candidates.begin(),
                                                              candidates.end());
@@ -93,12 +94,13 @@ TEST_F(SpatialIndexTest, ExactBoundaryNodesAreCandidates) {
   index.insert(make_modem(4, Vec3{-range, 0, 0}));
 
   std::vector<AcousticModem*> candidates;
-  index.candidates(Vec3{0, 0, 0}, candidates);
+  std::vector<std::size_t> scratch;
+  index.candidates(Vec3{0, 0, 0}, candidates, scratch);
   EXPECT_EQ(candidates.size(), 5u);
 
   // A query centered just inside a cell boundary still sees neighbours a
   // full range away on the other side.
-  index.candidates(Vec3{range - 1e-9, 0, 0}, candidates);
+  index.candidates(Vec3{range - 1e-9, 0, 0}, candidates, scratch);
   std::unordered_set<const AcousticModem*> set(candidates.begin(), candidates.end());
   EXPECT_TRUE(set.contains(modems_[3].get()));
   EXPECT_TRUE(set.contains(modems_[0].get()));
@@ -120,9 +122,10 @@ TEST_F(SpatialIndexTest, RefreshRebinsOnlyOnRealCellCrossings) {
   index.refresh(mover);
   EXPECT_EQ(index.rebins(), 1u);
   std::vector<AcousticModem*> candidates;
-  index.candidates(Vec3{50, 50, 50}, candidates);
+  std::vector<std::size_t> scratch;
+  index.candidates(Vec3{50, 50, 50}, candidates, scratch);
   EXPECT_TRUE(candidates.empty()) << "stale binning: mover left this neighbourhood";
-  index.candidates(Vec3{250, 50, 50}, candidates);
+  index.candidates(Vec3{250, 50, 50}, candidates, scratch);
   ASSERT_EQ(candidates.size(), 1u);
 
   // Same epoch again: refresh is a no-op.

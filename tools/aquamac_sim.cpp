@@ -9,6 +9,7 @@
 // outcomes, extra-phase windows, neighbor updates) in CSV for external
 // analysis/plotting.
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 
@@ -35,6 +36,7 @@ int run(const CliParser& cli) {
   config.clock_offset_stddev_s = cli.get_double("clock-skew");
   config.multi_hop = cli.get_bool("multi-hop");
   config.node_failure_fraction = cli.get_double("kill-fraction");
+  config.shards = static_cast<unsigned>(std::max<std::int64_t>(1, cli.get_int("shards")));
 
   const std::string region = cli.get("region");
   if (region == "table2") {
@@ -129,6 +131,8 @@ int main(int argc, char** argv) {
                                         "imperfection)"},
                     {"multi-hop", "false", "relay traffic to surface sinks (Fig.-1 mode)"},
                     {"kill-fraction", "0", "fraction of nodes that die 60 s into traffic"},
+                    {"shards", "1", "conservative-PDES shards for intra-run parallelism "
+                                    "(results are bit-identical for every value)"},
                     {"batch", "false", "batch workload instead of Poisson (Figs. 8/9 mode)"},
                     {"batch-packets", "40", "packets injected at start in batch mode"},
                     {"trace", "", "write a per-event PHY + MAC trace CSV to this path"},
