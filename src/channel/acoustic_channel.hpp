@@ -141,6 +141,11 @@ class AcousticChannel {
   [[nodiscard]] std::uint64_t transmissions() const {
     return transmissions_.load(std::memory_order_relaxed);
   }
+  /// Checkpoint restore: overwrite the transmission tally (the only piece
+  /// of channel state that is not a rebuildable cache).
+  void set_transmissions(std::uint64_t count) {
+    transmissions_.store(count, std::memory_order_relaxed);
+  }
 
   /// Propagation-cache effectiveness counters (diagnostics / benches).
   [[nodiscard]] std::uint64_t path_cache_hits() const { return path_cache_.hits(); }

@@ -112,6 +112,13 @@ class FaultPlan {
   /// state, so the stream alignment is a pure function of arrival order).
   [[nodiscard]] bool arrival_lost(NodeId receiver, Time at);
 
+  /// Checkpoint encoding. The realized timeline is a pure function of
+  /// (config, node_count, horizon, seed) and is rebuilt by the resume
+  /// path; only the per-receiver loss streams advance during a run, so
+  /// they are the whole of the mutable state.
+  void save_state(StateWriter& writer) const;
+  void restore_state(StateReader& reader);
+
   /// Exact [min, max] of this node's drift + jitter clock-error over
   /// [0, horizon], in the same quantization the modem applies (static
   /// offsets are the caller's to add). The error is piecewise linear in

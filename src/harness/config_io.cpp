@@ -2,10 +2,12 @@
 
 #include <fstream>
 #include <functional>
+#include <limits>
 #include <map>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
 namespace aquamac {
 
@@ -87,6 +89,9 @@ double parse_double(const std::string& key, const std::string& raw) {
 
 std::uint64_t parse_uint(const std::string& key, const std::string& raw) {
   try {
+    // std::stoull accepts a leading '-' by wrapping modulo 2^64, which
+    // would turn "node-count = -1" into a 16-EiB allocation request.
+    if (!raw.empty() && raw.front() == '-') throw std::invalid_argument("negative");
     std::size_t pos = 0;
     const unsigned long long v = std::stoull(raw, &pos);
     if (pos != raw.size()) throw std::invalid_argument("trailing");
@@ -107,6 +112,11 @@ bool parse_bool(const std::string& key, const std::string& raw) {
 }  // namespace
 
 void save_scenario(const ScenarioConfig& config, std::ostream& os) {
+  // max_digits10 makes every double exactly round-trippable; the default
+  // 6-significant-digit stream precision silently perturbed sim-time-s,
+  // freq-khz and the fault rates on save -> load.
+  const std::streamsize saved_precision =
+      os.precision(std::numeric_limits<double>::max_digits10);
   os << "# aquamac scenario\n";
   os << "mac = " << aquamac::to_string(config.mac) << "\n";
   os << "node-count = " << config.node_count << "\n";
@@ -186,6 +196,10 @@ void save_scenario(const ScenarioConfig& config, std::ostream& os) {
   os << "dead-probe-interval-s = " << config.mac_config.dead_probe_interval.to_seconds()
      << "\n";
   os << "guard-slack-s = " << config.mac_config.guard_slack.to_seconds() << "\n";
+  os << "\n# checkpointing\n";
+  os << "checkpoint-every-s = " << config.checkpoint_every.to_seconds() << "\n";
+  os << "checkpoint-path = " << config.checkpoint_path << "\n";
+  os.precision(saved_precision);
 }
 
 void save_scenario_file(const ScenarioConfig& config, const std::string& path) {
@@ -194,9 +208,14 @@ void save_scenario_file(const ScenarioConfig& config, const std::string& path) {
   save_scenario(config, os);
 }
 
-ScenarioConfig load_scenario(std::istream& is, ScenarioConfig base) {
-  ScenarioConfig config = base;
-  using Setter = std::function<void(ScenarioConfig&, const std::string&, const std::string&)>;
+namespace {
+
+using Setter = std::function<void(ScenarioConfig&, const std::string&, const std::string&)>;
+
+/// Key -> setter map shared by load_scenario and scenario_keys, so the
+/// round-trip exhaustiveness test can diff the accepted keys against
+/// whatever save_scenario emits.
+const std::map<std::string, Setter>& setters() {
   static const std::map<std::string, Setter> kSetters = {
       {"mac", [](ScenarioConfig& c, const std::string&, const std::string& v) {
          c.mac = mac_kind_from_string(v);
@@ -420,7 +439,29 @@ ScenarioConfig load_scenario(std::istream& is, ScenarioConfig base) {
       {"guard-slack-s", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
          c.mac_config.guard_slack = Duration::from_seconds(parse_double(k, v));
        }},
+      {"checkpoint-every-s",
+       [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.checkpoint_every = Duration::from_seconds(parse_double(k, v));
+       }},
+      {"checkpoint-path", [](ScenarioConfig& c, const std::string&, const std::string& v) {
+         c.checkpoint_path = v;
+       }},
   };
+  return kSetters;
+}
+
+}  // namespace
+
+std::vector<std::string> scenario_keys() {
+  std::vector<std::string> keys;
+  keys.reserve(setters().size());
+  for (const auto& [key, setter] : setters()) keys.push_back(key);
+  return keys;
+}
+
+ScenarioConfig load_scenario(std::istream& is, ScenarioConfig base) {
+  ScenarioConfig config = base;
+  const std::map<std::string, Setter>& kSetters = setters();
 
   std::string line;
   int line_no = 0;

@@ -7,10 +7,15 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "net/network.hpp"
 
 namespace aquamac {
+
+/// Every key load_scenario accepts, sorted. Exists so the round-trip
+/// exhaustiveness test can prove save_scenario emits exactly this set.
+[[nodiscard]] std::vector<std::string> scenario_keys();
 
 /// Writes every scalar field of `config`, grouped and commented.
 void save_scenario(const ScenarioConfig& config, std::ostream& os);

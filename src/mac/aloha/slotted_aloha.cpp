@@ -1,6 +1,28 @@
 #include "mac/aloha/slotted_aloha.hpp"
 
+#include "sim/checkpoint.hpp"
+
 namespace aquamac {
+
+void SlottedAloha::save_state(StateWriter& writer) const {
+  SlottedMac::save_state(writer);
+  writer.section("s-aloha", [this](StateWriter& w) {
+    w.write_bool(awaiting_ack_);
+    w.write_u64(awaited_packet_);
+    write_handle(w, attempt_event_);
+    write_handle(w, timeout_event_);
+  });
+}
+
+void SlottedAloha::restore_state(StateReader& reader) {
+  SlottedMac::restore_state(reader);
+  reader.section("s-aloha", [this](StateReader& r) {
+    awaiting_ack_ = r.read_bool();
+    awaited_packet_ = r.read_u64();
+    read_handle(r);
+    read_handle(r);
+  });
+}
 
 void SlottedAloha::start() {}
 

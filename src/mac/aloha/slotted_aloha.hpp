@@ -16,6 +16,9 @@ class SlottedAloha final : public SlottedMac {
   [[nodiscard]] std::string_view name() const override { return "S-ALOHA"; }
   void start() override;
 
+  void save_state(StateWriter& writer) const override;
+  void restore_state(StateReader& reader) override;
+
  protected:
   void handle_frame(const Frame& frame, const RxInfo& info) override;
   void handle_tx_done(const Frame& frame) override;

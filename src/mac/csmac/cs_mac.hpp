@@ -31,6 +31,9 @@ class CsMac final : public SlottedMac {
   [[nodiscard]] std::string_view name() const override { return "CS-MAC"; }
   void start() override;
 
+  void save_state(StateWriter& writer) const override;
+  void restore_state(StateReader& reader) override;
+
  protected:
   void handle_frame(const Frame& frame, const RxInfo& info) override;
   void handle_packet_enqueued() override;

@@ -1,6 +1,30 @@
 #include "mac/cwmac/cw_mac.hpp"
 
+#include "sim/checkpoint.hpp"
+
 namespace aquamac {
+
+void CwMac::save_state(StateWriter& writer) const {
+  SlottedMac::save_state(writer);
+  writer.section("cw-mac", [this](StateWriter& w) {
+    w.write_i64(counter_);
+    w.write_bool(awaiting_ack_);
+    w.write_u64(awaited_packet_);
+    write_handle(w, tick_event_);
+    write_handle(w, timeout_event_);
+  });
+}
+
+void CwMac::restore_state(StateReader& reader) {
+  SlottedMac::restore_state(reader);
+  reader.section("cw-mac", [this](StateReader& r) {
+    counter_ = r.read_i64();
+    awaiting_ack_ = r.read_bool();
+    awaited_packet_ = r.read_u64();
+    read_handle(r);
+    read_handle(r);
+  });
+}
 
 void CwMac::start() {}
 

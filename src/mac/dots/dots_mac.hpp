@@ -25,6 +25,9 @@ class DotsMac final : public SlottedMac {
   [[nodiscard]] std::string_view name() const override { return "DOTS"; }
   void start() override;
 
+  void save_state(StateWriter& writer) const override;
+  void restore_state(StateReader& reader) override;
+
   [[nodiscard]] const ScheduleBook& schedule_book() const { return schedule_; }
 
  protected:

@@ -2,7 +2,96 @@
 
 #include <algorithm>
 
+#include "sim/checkpoint.hpp"
+
 namespace aquamac {
+
+void EwMac::save_state(StateWriter& writer) const {
+  SlottedMac::save_state(writer);
+  writer.section("ew-mac", [this](StateWriter& w) {
+    w.write_u32(static_cast<std::uint32_t>(state_));
+    write_handle(w, attempt_event_);
+    write_handle(w, timeout_event_);
+    write_handle(w, decide_event_);
+    w.write_u64(candidates_.size());
+    for (const Candidate& candidate : candidates_) {
+      w.write_u32(candidate.src);
+      w.write_u64(candidate.seq);
+      w.write_duration(candidate.data_duration);
+      w.write_duration(candidate.delay_to_src);
+      w.write_f64(candidate.rp);
+    }
+    w.write_u32(expected_data_from_);
+    w.write_u64(expected_seq_);
+    w.write_time(neg_data_begin_);
+    w.write_time(neg_ack_slot_start_);
+    w.write_bool(extra_.has_value());
+    if (extra_) {
+      w.write_u32(extra_->j);
+      w.write_bool(extra_->j_is_receiver);
+      w.write_u64(extra_->seq);
+      w.write_duration(extra_->tau_ij);
+      w.write_duration(extra_->tau_jk);
+      w.write_duration(extra_->neg_data_duration);
+      w.write_time(extra_->ack_slot_start);
+    }
+    w.write_bool(grant_.has_value());
+    if (grant_) {
+      w.write_u32(grant_->i);
+      w.write_u64(grant_->seq);
+      w.write_time(grant_->expires);
+    }
+    write_handle(w, grant_expiry_event_);
+    schedule_.save_state(w);
+  });
+}
+
+void EwMac::restore_state(StateReader& reader) {
+  SlottedMac::restore_state(reader);
+  reader.section("ew-mac", [this](StateReader& r) {
+    state_ = static_cast<State>(r.read_u32());
+    read_handle(r);
+    read_handle(r);
+    read_handle(r);
+    candidates_.clear();
+    const std::uint64_t count = r.read_u64();
+    for (std::uint64_t k = 0; k < count; ++k) {
+      Candidate candidate{};
+      candidate.src = r.read_u32();
+      candidate.seq = r.read_u64();
+      candidate.data_duration = r.read_duration();
+      candidate.delay_to_src = r.read_duration();
+      candidate.rp = r.read_f64();
+      candidates_.push_back(candidate);
+    }
+    expected_data_from_ = r.read_u32();
+    expected_seq_ = r.read_u64();
+    neg_data_begin_ = r.read_time();
+    neg_ack_slot_start_ = r.read_time();
+    extra_.reset();
+    if (r.read_bool()) {
+      ExtraPlan plan{};
+      plan.j = r.read_u32();
+      plan.j_is_receiver = r.read_bool();
+      plan.seq = r.read_u64();
+      plan.tau_ij = r.read_duration();
+      plan.tau_jk = r.read_duration();
+      plan.neg_data_duration = r.read_duration();
+      plan.ack_slot_start = r.read_time();
+      extra_ = plan;
+    }
+    grant_.reset();
+    if (r.read_bool()) {
+      ExtraGrant grant{};
+      grant.i = r.read_u32();
+      grant.seq = r.read_u64();
+      grant.expires = r.read_time();
+      grant_ = grant;
+    }
+    read_handle(r);
+    schedule_.restore_state(r);
+  });
+}
 
 void EwMac::start() {}
 

@@ -36,6 +36,9 @@ class EwMac final : public SlottedMac {
   /// Exposed for tests: the node's current schedule predictions.
   [[nodiscard]] const ScheduleBook& schedule_book() const { return schedule_; }
 
+  void save_state(StateWriter& writer) const override;
+  void restore_state(StateReader& reader) override;
+
  protected:
   void handle_frame(const Frame& frame, const RxInfo& info) override;
   void handle_packet_enqueued() override;

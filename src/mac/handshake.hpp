@@ -18,6 +18,9 @@
 
 namespace aquamac {
 
+class StateReader;
+class StateWriter;
+
 /// What the neighbor is predicted to be doing in the window.
 enum class BusyKind : std::uint8_t {
   kReceiving,     ///< a negotiated packet arrives at the neighbor
@@ -70,6 +73,11 @@ class ScheduleBook {
   [[nodiscard]] bool empty() const { return windows_.empty(); }
   [[nodiscard]] std::size_t size() const { return windows_.size(); }
   void clear() { windows_.clear(); }
+
+  /// Checkpoint encoding: windows verbatim, in vector order (the order is
+  /// part of the deterministic state — conflicts() scans front to back).
+  void save_state(StateWriter& writer) const;
+  void restore_state(StateReader& reader);
 
  private:
   std::vector<Window> windows_;

@@ -143,6 +143,19 @@ class MacProtocol : public ModemListener {
   /// Whether dead-neighbor detection currently considers `node` dead.
   [[nodiscard]] bool neighbor_dead(NodeId node) const;
 
+  /// Serializes this MAC's complete runtime state as checkpoint sections
+  /// (docs/checkpoint.md): the base writes RNG words, packet queue,
+  /// delivery/health bookkeeping and counters; every protocol override
+  /// appends its FSM section after calling the base. Pending EventHandles
+  /// are encoded only as null/armed bits — resume replays the prefix, so
+  /// live handles are regenerated, and the bit is the invariant part.
+  virtual void save_state(StateWriter& writer) const;
+
+  /// Decodes and assigns the state written by save_state. The resume path
+  /// calls this after replaying to the checkpoint time, then re-encodes
+  /// and requires byte equality, so every field must round-trip exactly.
+  virtual void restore_state(StateReader& reader);
+
   [[nodiscard]] NodeId id() const { return modem_.id(); }
   [[nodiscard]] MacCounters& counters() { return counters_; }
   [[nodiscard]] const MacCounters& counters() const { return counters_; }
@@ -213,6 +226,13 @@ class MacProtocol : public ModemListener {
   /// false (and counts a duplicate) when this (src, seq) was already
   /// delivered — a retransmission after a lost Ack. Callers still Ack.
   bool deliver_data(const Frame& frame);
+
+  /// Checkpoint encoding of an EventHandle: only the armed (non-null) bit
+  /// is invariant across shard counts, so that is all a snapshot carries.
+  /// Replay re-arms the live handles before restore_state runs, so
+  /// read_handle consumes the bit purely for the re-encode equality check.
+  static void write_handle(StateWriter& writer, const EventHandle& handle);
+  static void read_handle(StateReader& reader);
 
   /// Records a MAC-level trace event, stamping `at` and `node`; the
   /// caller fills the kind-specific fields. No-op without a sink.

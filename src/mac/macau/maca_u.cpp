@@ -1,6 +1,30 @@
 #include "mac/macau/maca_u.hpp"
 
+#include "sim/checkpoint.hpp"
+
 namespace aquamac {
+
+void MacaU::save_state(StateWriter& writer) const {
+  SlottedMac::save_state(writer);
+  writer.section("maca-u", [this](StateWriter& w) {
+    w.write_u32(static_cast<std::uint32_t>(state_));
+    write_handle(w, attempt_event_);
+    write_handle(w, timeout_event_);
+    w.write_u32(expected_data_from_);
+    w.write_u64(expected_seq_);
+  });
+}
+
+void MacaU::restore_state(StateReader& reader) {
+  SlottedMac::restore_state(reader);
+  reader.section("maca-u", [this](StateReader& r) {
+    state_ = static_cast<State>(r.read_u32());
+    read_handle(r);
+    read_handle(r);
+    expected_data_from_ = r.read_u32();
+    expected_seq_ = r.read_u64();
+  });
+}
 
 void MacaU::start() {}
 

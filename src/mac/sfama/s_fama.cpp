@@ -1,6 +1,48 @@
 #include "mac/sfama/s_fama.hpp"
 
+#include "sim/checkpoint.hpp"
+
 namespace aquamac {
+
+void SFama::save_state(StateWriter& writer) const {
+  SlottedMac::save_state(writer);
+  writer.section("s-fama", [this](StateWriter& w) {
+    w.write_u32(static_cast<std::uint32_t>(state_));
+    write_handle(w, attempt_event_);
+    write_handle(w, timeout_event_);
+    write_handle(w, decide_event_);
+    w.write_bool(pending_rts_.has_value());
+    if (pending_rts_) {
+      w.write_u32(pending_rts_->src);
+      w.write_u64(pending_rts_->seq);
+      w.write_duration(pending_rts_->data_duration);
+      w.write_duration(pending_rts_->delay_to_src);
+    }
+    w.write_u32(expected_data_from_);
+    w.write_u64(expected_seq_);
+  });
+}
+
+void SFama::restore_state(StateReader& reader) {
+  SlottedMac::restore_state(reader);
+  reader.section("s-fama", [this](StateReader& r) {
+    state_ = static_cast<State>(r.read_u32());
+    read_handle(r);
+    read_handle(r);
+    read_handle(r);
+    pending_rts_.reset();
+    if (r.read_bool()) {
+      PendingRts rts{};
+      rts.src = r.read_u32();
+      rts.seq = r.read_u64();
+      rts.data_duration = r.read_duration();
+      rts.delay_to_src = r.read_duration();
+      pending_rts_ = rts;
+    }
+    expected_data_from_ = r.read_u32();
+    expected_seq_ = r.read_u64();
+  });
+}
 
 void SFama::start() {}
 

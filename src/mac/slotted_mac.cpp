@@ -1,3 +1,17 @@
-// slotted_mac.hpp is header-only; this TU compiles it standalone under
-// the project's warning set.
 #include "mac/slotted_mac.hpp"
+
+#include "sim/checkpoint.hpp"
+
+namespace aquamac {
+
+void SlottedMac::save_state(StateWriter& writer) const {
+  MacProtocol::save_state(writer);
+  writer.section("slotted", [this](StateWriter& w) { w.write_time(quiet_until_); });
+}
+
+void SlottedMac::restore_state(StateReader& reader) {
+  MacProtocol::restore_state(reader);
+  reader.section("slotted", [this](StateReader& r) { quiet_until_ = r.read_time(); });
+}
+
+}  // namespace aquamac

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <numbers>
 
+#include "sim/checkpoint.hpp"
+
 namespace aquamac {
 
 MobilityKind Mobility::random_kind(Rng& rng) {
@@ -49,6 +51,26 @@ void Mobility::advance(Duration dt) {
   reflect(position_.x, velocity_.x, config_.width_m);
   reflect(position_.y, velocity_.y, config_.length_m);
   reflect(position_.z, velocity_.z, config_.depth_m);
+}
+
+void Mobility::save_state(StateWriter& writer) const {
+  writer.write_u8(static_cast<std::uint8_t>(kind_));
+  writer.write_f64(position_.x);
+  writer.write_f64(position_.y);
+  writer.write_f64(position_.z);
+  writer.write_f64(velocity_.x);
+  writer.write_f64(velocity_.y);
+  writer.write_f64(velocity_.z);
+}
+
+void Mobility::restore_state(StateReader& reader) {
+  kind_ = static_cast<MobilityKind>(reader.read_u8());
+  position_.x = reader.read_f64();
+  position_.y = reader.read_f64();
+  position_.z = reader.read_f64();
+  velocity_.x = reader.read_f64();
+  velocity_.y = reader.read_f64();
+  velocity_.z = reader.read_f64();
 }
 
 }  // namespace aquamac

@@ -13,6 +13,9 @@
 
 namespace aquamac {
 
+class StateReader;
+class StateWriter;
+
 enum class MobilityKind : std::uint8_t {
   kStatic,
   kHorizontalDrift,
@@ -44,6 +47,11 @@ class Mobility {
 
   /// Advances by dt, reflecting at the region boundary.
   void advance(Duration dt);
+
+  /// Checkpoint encoding: kind, position and velocity (the config is
+  /// scenario-derived and rebuilt by the resume path).
+  void save_state(StateWriter& writer) const;
+  void restore_state(StateReader& reader);
 
  private:
   MobilityKind kind_{MobilityKind::kStatic};

@@ -66,6 +66,11 @@ class NeighborTable {
     return static_cast<std::uint32_t>(one_hop_.size()) * kBitsPerEntry;
   }
 
+  /// Checkpoint encoding: both maps in their (already deterministic)
+  /// ascending-id order.
+  void save_state(StateWriter& writer) const;
+  void restore_state(StateReader& reader);
+
   // --- two-hop state (ROPA / CS-MAC only) ----------------------------
   void update_two_hop(NodeId via, NodeId far, Duration delay, Time now);
   [[nodiscard]] std::optional<Duration> two_hop_delay(NodeId via, NodeId far) const;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "channel/sound_speed.hpp"
+#include "sim/checkpoint.hpp"
 #include "util/logging.hpp"
 
 namespace aquamac {
@@ -71,7 +72,12 @@ Network::Network(Simulator& sim, const ScenarioConfig& config)
   }
   sim_.set_lane_count(static_cast<std::uint32_t>(config_.node_count) + 1);
 
-  run_trace_ = config_.trace;
+  // The tally sits between producers and config.trace so checkpoints can
+  // record the trace position; it forwards every event verbatim.
+  if (config_.trace != nullptr) {
+    tally_trace_ = std::make_unique<TallyTrace>(*config_.trace);
+    run_trace_ = tally_trace_.get();
+  }
   if (config_.shards > 1) {
     // Shard cells are the channel's interference cutoff: co-located or
     // near nodes share a cell (hence a shard), and the cross-shard
@@ -84,8 +90,10 @@ Network::Network(Simulator& sim, const ScenarioConfig& config)
     sharding.lookahead = [this] { return shard_lookahead(); };
     sim_.enable_sharding(std::move(sharding));
     channel_->prepare_parallel();
-    if (config_.trace != nullptr) {
-      deferred_trace_ = std::make_unique<DeferredTraceSink>(sim_, *config_.trace);
+    if (tally_trace_ != nullptr) {
+      // The tally must sit *inside* the deferral so it sees events in
+      // barrier-ordered (serial-identical) order.
+      deferred_trace_ = std::make_unique<DeferredTraceSink>(sim_, *tally_trace_);
       run_trace_ = deferred_trace_.get();
     }
     AQUAMAC_LOG(config_.logger, LogLevel::kInfo)
@@ -197,7 +205,6 @@ Network::Network(Simulator& sim, const ScenarioConfig& config)
     if (router_->is_sink(id)) continue;
     if (config_.multi_hop && relays_[i]->is_sink()) continue;
     Rng traffic_rng = rng_.fork(0x7AFF00 + i);
-    Rng route_rng = rng_.fork(0x90E700 + i);
     MacProtocol* mac = &nodes_[i]->mac();
     const UphillRouter* router = router_.get();
     TrafficSource::EmitFn emit;
@@ -205,8 +212,13 @@ Network::Network(Simulator& sim, const ScenarioConfig& config)
       RelayAgent* relay_agent = relays_[i].get();
       emit = [relay_agent](std::uint32_t bits) { relay_agent->originate(bits); };
     } else {
-      emit = [mac, router, id, route_rng](std::uint32_t bits) mutable {
-        if (const auto dst = router->pick_destination(id, route_rng)) {
+      // The route stream lives on the Network (not by value in the
+      // closure) so checkpoints can serialize it; route_rngs_[k] pairs
+      // with sources_[k].
+      route_rngs_.push_back(std::make_unique<Rng>(rng_.fork(0x90E700 + i)));
+      Rng* route_rng = route_rngs_.back().get();
+      emit = [mac, router, id, route_rng](std::uint32_t bits) {
+        if (const auto dst = router->pick_destination(id, *route_rng)) {
           mac->enqueue_packet(*dst, bits);
         }
       };
@@ -344,7 +356,9 @@ void Network::schedule_aging() {
   });
 }
 
-RunStats Network::run() {
+RunStats Network::run() { return run(RunBoundaryHooks{}); }
+
+RunStats Network::run(const RunBoundaryHooks& hooks) {
   schedule_hello_phase();
   schedule_mobility();
   start_traffic();
@@ -368,19 +382,38 @@ RunStats Network::run() {
       sim_.at(when, [modem] { modem->set_operational(false); });
     }
   }
+
+  // Advances to `target`, pausing at each pending hook boundary on the
+  // way (splitting run_until at boundary times is non-perturbing; the
+  // batch polling below relies on the same property). Returns false when
+  // a hook asked to stop the run.
+  std::size_t next_boundary = 0;
+  const auto run_to = [this, &hooks, &next_boundary](Time target) {
+    while (next_boundary < hooks.boundaries.size() &&
+           hooks.boundaries[next_boundary] <= target) {
+      const Time boundary = hooks.boundaries[next_boundary];
+      sim_.run_until(boundary);
+      ++next_boundary;
+      if (hooks.on_boundary && !hooks.on_boundary(boundary)) return false;
+    }
+    sim_.run_until(target);
+    return true;
+  };
+
   if (config_.traffic.mode == TrafficMode::kBatch) {
     // Poll in coarse steps; the step only bounds how late we notice
     // completion, not any protocol timing.
     const Duration step = Duration::seconds(5);
-    Time checkpoint = traffic_start_ + Duration::seconds(2);
-    while (checkpoint < horizon_) {
-      sim_.run_until(checkpoint);
-      if (workload_complete()) break;
-      checkpoint += step;
+    Time poll = traffic_start_ + Duration::seconds(2);
+    bool keep_going = true;
+    while (poll < horizon_) {
+      keep_going = run_to(poll);
+      if (!keep_going || workload_complete()) break;
+      poll += step;
     }
-    if (!workload_complete()) sim_.run_until(horizon_);
+    if (keep_going && !workload_complete()) run_to(horizon_);
   } else {
-    sim_.run_until(horizon_);
+    run_to(horizon_);
   }
   return stats();
 }
@@ -430,6 +463,114 @@ RunStats Network::stats() const {
 
 double Network::deployed_mean_degree() const {
   return mean_degree(initial_positions_, config_.channel.comm_range_m);
+}
+
+void Network::save_state(StateWriter& writer) const {
+  writer.section("engine", [this](StateWriter& w) { sim_.save_checkpoint(w); });
+  writer.section("nodes", [this](StateWriter& w) {
+    w.write_u64(nodes_.size());
+    for (const auto& node : nodes_) {
+      node->modem().save_state(w);
+      node->mac().save_state(w);
+      node->neighbors().save_state(w);
+      node->mobility().save_state(w);
+    }
+  });
+  writer.section("traffic", [this](StateWriter& w) {
+    w.write_u64(sources_.size());
+    for (const auto& source : sources_) source->save_state(w);
+    w.write_u64(route_rngs_.size());
+    for (const auto& route_rng : route_rngs_) {
+      for (const std::uint64_t word : route_rng->state()) w.write_u64(word);
+    }
+  });
+  writer.section("faults", [this](StateWriter& w) {
+    w.write_bool(fault_plan_ != nullptr);
+    if (fault_plan_ != nullptr) fault_plan_->save_state(w);
+  });
+  writer.section("channel", [this](StateWriter& w) {
+    w.write_u64(channel_->transmissions());
+  });
+  writer.section("trace", [this](StateWriter& w) {
+    w.write_bool(tally_trace_ != nullptr);
+    if (tally_trace_ != nullptr) {
+      w.write_u64(tally_trace_->count());
+      w.write_u64(tally_trace_->digest());
+    }
+  });
+}
+
+void Network::restore_state(StateReader& reader) {
+  reader.section("engine", [this](StateReader& r) { sim_.restore_checkpoint(r); });
+  reader.section("nodes", [this](StateReader& r) {
+    if (r.read_u64() != nodes_.size()) {
+      throw CheckpointError("checkpoint node count differs from the scenario's");
+    }
+    for (const auto& node : nodes_) {
+      node->modem().restore_state(r);
+      node->mac().restore_state(r);
+      node->neighbors().restore_state(r);
+      node->mobility().restore_state(r);
+    }
+  });
+  reader.section("traffic", [this](StateReader& r) {
+    if (r.read_u64() != sources_.size()) {
+      throw CheckpointError("checkpoint traffic-source count differs from the scenario's");
+    }
+    for (const auto& source : sources_) source->restore_state(r);
+    if (r.read_u64() != route_rngs_.size()) {
+      throw CheckpointError("checkpoint route-stream count differs from the scenario's");
+    }
+    for (const auto& route_rng : route_rngs_) {
+      Rng::State words{};
+      for (std::uint64_t& word : words) word = r.read_u64();
+      route_rng->set_state(words);
+    }
+  });
+  reader.section("faults", [this](StateReader& r) {
+    const bool had_plan = r.read_bool();
+    if (had_plan != (fault_plan_ != nullptr)) {
+      throw CheckpointError("checkpoint fault-plan presence differs from the scenario's");
+    }
+    if (fault_plan_ != nullptr) fault_plan_->restore_state(r);
+  });
+  reader.section("channel", [this](StateReader& r) {
+    channel_->set_transmissions(r.read_u64());
+  });
+  reader.section("trace", [this](StateReader& r) {
+    const bool had_trace = r.read_bool();
+    if (had_trace != (tally_trace_ != nullptr)) {
+      throw CheckpointError("checkpoint trace presence differs from this run's");
+    }
+    if (tally_trace_ != nullptr) {
+      const std::uint64_t count = r.read_u64();
+      const std::uint64_t digest = r.read_u64();
+      tally_trace_->set_state(count, digest);
+    }
+  });
+}
+
+void Network::verify_restore(const std::string& payload) {
+  StateWriter replayed;
+  save_state(replayed);
+  if (replayed.bytes() != payload) {
+    throw CheckpointError("replayed state diverges from checkpoint: " +
+                          describe_payload_difference(payload, replayed.bytes()));
+  }
+  // The byte match proves equality; the decode + re-encode round trip
+  // additionally exercises every restore_state path, so a field a
+  // decoder forgot to assign (or assigns wrongly) cannot hide.
+  StateReader reader{payload};
+  restore_state(reader);
+  if (reader.remaining() != 0) {
+    throw CheckpointError("checkpoint payload has trailing bytes after restore");
+  }
+  StateWriter round_trip;
+  save_state(round_trip);
+  if (round_trip.bytes() != payload) {
+    throw CheckpointError("checkpoint decode/re-encode drift: " +
+                          describe_payload_difference(payload, round_trip.bytes()));
+  }
 }
 
 Duration Network::shard_lookahead() const {

@@ -4,7 +4,9 @@
 // runs it, and aggregates statistics. One Network per run; fully
 // reproducible from (config, config.seed).
 
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "channel/acoustic_channel.hpp"
@@ -97,7 +99,23 @@ struct ScenarioConfig {
   /// Optional structured PHY trace (not owned).
   TraceSink* trace{nullptr};
 
+  /// Periodic checkpointing (docs/checkpoint.md): every multiple of this
+  /// interval the harness snapshots the run to checkpoint_path,
+  /// overwriting the previous snapshot. Zero disables.
+  Duration checkpoint_every{};
+  std::string checkpoint_path{};
+
   Logger logger{Logger::off()};
+};
+
+/// Boundary instrumentation for Network::run: the run pauses at each
+/// listed time (ascending; entries past the horizon never fire) and calls
+/// `on_boundary`; returning false stops the run at that boundary. The
+/// pauses are non-perturbing — splitting run_until at a boundary executes
+/// the same events in the same order as running straight through.
+struct RunBoundaryHooks {
+  std::vector<Time> boundaries;
+  std::function<bool(Time boundary)> on_boundary;
 };
 
 class Network {
@@ -115,6 +133,11 @@ class Network {
   /// stop early once every offered packet has been acknowledged or
   /// dropped, so completion time and energy are measured exactly.
   RunStats run();
+
+  /// run() with boundary hooks (checkpointing, warm-started sweeps). The
+  /// executed event sequence is identical to the hook-free run; stats()
+  /// reflects the stop point when a hook ends the run early.
+  RunStats run(const RunBoundaryHooks& hooks);
 
   /// Sender-side completion: every offered packet acked or dropped.
   [[nodiscard]] bool workload_complete() const;
@@ -149,6 +172,20 @@ class Network {
   /// The spatial shard plan; null when config.shards <= 1.
   [[nodiscard]] const ShardPlan* shard_plan() const { return shard_plan_.get(); }
 
+  /// Encodes the complete runtime state of the run — engine, every node's
+  /// modem/MAC/neighbor/mobility state, traffic and route RNG streams,
+  /// fault-plan loss streams, channel tally and trace position — as the
+  /// checkpoint payload (docs/checkpoint.md). Callable at any boundary
+  /// time (i.e. between events).
+  void save_state(StateWriter& writer) const;
+  /// Decodes a payload produced by save_state, assigning every field.
+  void restore_state(StateReader& reader);
+  /// Digest-verified restore at the checkpoint time: requires this
+  /// (replayed) network's state to byte-match `payload`, then round-trips
+  /// it through restore_state + save_state. Throws CheckpointError naming
+  /// the first diverging section on any mismatch.
+  void verify_restore(const std::string& payload);
+
  private:
   /// Conservative lookahead under current modem positions (sharded runs).
   [[nodiscard]] Duration shard_lookahead() const;
@@ -171,12 +208,19 @@ class Network {
   std::unique_ptr<UphillRouter> router_;
   std::vector<std::unique_ptr<RelayAgent>> relays_;  ///< multi-hop mode only
   std::vector<std::unique_ptr<TrafficSource>> sources_;
+  /// Single-hop routing draw streams, one per traffic source, heap-held
+  /// so the emit lambdas can reference them and checkpoints can reach
+  /// them (a by-value rng captured in a closure would be unserializable).
+  std::vector<std::unique_ptr<Rng>> route_rngs_;
   std::vector<Vec3> initial_positions_;
   std::unique_ptr<FaultPlan> fault_plan_;  ///< null when faults disabled
   std::unique_ptr<ShardPlan> shard_plan_;  ///< null when shards <= 1
   /// Wraps config.trace for sharded runs (barrier-ordered replay); the
   /// sink modems/MACs/fault tracing actually write to.
   std::unique_ptr<DeferredTraceSink> deferred_trace_;
+  /// Counts + digests the event stream ahead of config.trace so
+  /// checkpoints can record the trace position; null without a trace.
+  std::unique_ptr<TallyTrace> tally_trace_;
   TraceSink* run_trace_{nullptr};
 
   Time traffic_start_{};

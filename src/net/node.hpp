@@ -31,6 +31,7 @@ class Node {
 
   void set_mobility(Mobility mobility) { mobility_ = mobility; }
   [[nodiscard]] Mobility& mobility() { return mobility_; }
+  [[nodiscard]] const Mobility& mobility() const { return mobility_; }
 
   /// Advances the drift model and pushes the new position to the modem.
   void advance_position(Duration dt) {

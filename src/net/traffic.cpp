@@ -1,5 +1,7 @@
 #include "net/traffic.hpp"
 
+#include "sim/checkpoint.hpp"
+
 namespace aquamac {
 
 double per_node_packet_rate(const TrafficConfig& config, std::size_t sources) {
@@ -53,6 +55,18 @@ void TrafficSource::schedule_next() {
     emit_(draw_size());
     schedule_next();
   });
+}
+
+void TrafficSource::save_state(StateWriter& writer) const {
+  for (const std::uint64_t word : rng_.state()) writer.write_u64(word);
+  writer.write_u64(generated_);
+}
+
+void TrafficSource::restore_state(StateReader& reader) {
+  Rng::State words{};
+  for (std::uint64_t& word : words) word = reader.read_u64();
+  rng_.set_state(words);
+  generated_ = reader.read_u64();
 }
 
 }  // namespace aquamac

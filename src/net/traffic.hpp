@@ -46,6 +46,11 @@ class TrafficSource {
 
   [[nodiscard]] std::uint64_t generated() const { return generated_; }
 
+  /// Checkpoint encoding: the draw stream and the generated count (the
+  /// pending next-arrival event lives in the engine's event capture).
+  void save_state(StateWriter& writer) const;
+  void restore_state(StateReader& reader);
+
  private:
   void schedule_next();
   [[nodiscard]] std::uint32_t draw_size();

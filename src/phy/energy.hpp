@@ -32,6 +32,12 @@ class EnergyMeter {
   [[nodiscard]] Duration tx_time() const { return tx_time_; }
   [[nodiscard]] Duration rx_time() const { return rx_time_; }
 
+  /// Checkpoint restore: overwrite the accumulated active times.
+  void set_times(Duration tx, Duration rx) {
+    tx_time_ = tx;
+    rx_time_ = rx;
+  }
+
   /// Total energy in joules over an elapsed wall of simulated time; time
   /// not spent transmitting or actively receiving is billed at idle_w.
   [[nodiscard]] double energy_joules(Duration elapsed) const {

@@ -100,4 +100,12 @@ struct Frame {
   [[nodiscard]] std::string to_string() const;
 };
 
+class StateReader;
+class StateWriter;
+
+/// Checkpoint encoding of a full frame, including the neighbor_info
+/// payload (as a has-bit plus entries; restored frames own a fresh copy).
+void save_frame(StateWriter& writer, const Frame& frame);
+[[nodiscard]] Frame read_frame(StateReader& reader);
+
 }  // namespace aquamac

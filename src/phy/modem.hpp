@@ -144,6 +144,14 @@ class AcousticModem {
   [[nodiscard]] std::uint64_t frames_received() const { return frames_received_; }
   [[nodiscard]] std::uint64_t rx_losses() const { return rx_losses_; }
 
+  /// Checkpoint encoding of the modem's mutable runtime state: the
+  /// arrival/tx ledgers, energy and clock accumulators, position (with
+  /// epoch) and the PHY rng (docs/checkpoint.md). restore_state assigns
+  /// the position directly without re-binning the channel — resume is
+  /// replay-based, so the channel index is already consistent.
+  void save_state(StateWriter& writer) const;
+  void restore_state(StateReader& reader);
+
  private:
   struct Arrival {
     std::uint64_t id;

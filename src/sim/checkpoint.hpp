@@ -1,0 +1,122 @@
+#pragma once
+// Versioned binary snapshot format for deterministic checkpoint/resume
+// (docs/checkpoint.md). A checkpoint file is
+//
+//   magic "aquamac-ckpt-v1" | scenario text | checkpoint time |
+//   state payload | FNV-1a digest over everything before it
+//
+// all length-prefixed little-endian. The scenario text is the exact
+// save_scenario stream (round-trips losslessly since the max_digits10
+// fix), so a checkpoint is self-contained: resume rebuilds the network
+// from the embedded scenario, replays the deterministic prefix to the
+// checkpoint time, and then verifies the replayed state byte-for-byte
+// against the payload — any divergence, corruption or version skew is a
+// hard CheckpointError, never a silently different run.
+//
+// The payload itself is a tree of named sections (name + length-framed
+// body), written by StateWriter and decoded by StateReader. Sections
+// make mismatches diagnosable: describe_payload_difference names the
+// first component whose bytes differ instead of "digest mismatch".
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "util/time.hpp"
+
+namespace aquamac {
+
+/// Any checkpoint failure: truncated or corrupted file, version skew,
+/// or replayed state diverging from the stored payload.
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Format magic; bump the suffix on any incompatible layout change.
+inline constexpr std::string_view kCheckpointMagic = "aquamac-ckpt-v1";
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/// FNV-1a over a byte string (same mix HashTrace uses per event).
+[[nodiscard]] std::uint64_t fnv1a(std::string_view bytes,
+                                  std::uint64_t seed = kFnvOffsetBasis);
+
+/// Append-only little-endian encoder for checkpoint payloads.
+class StateWriter {
+ public:
+  void write_u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i64(std::int64_t v);
+  void write_f64(double v);  ///< exact bit pattern, round-trips NaN/-0.0
+  void write_bool(bool v) { write_u8(v ? 1 : 0); }
+  void write_string(std::string_view v);
+  void write_time(Time t);
+  void write_duration(Duration d);
+
+  /// Frames everything `body` writes as a named section. Nestable.
+  void section(std::string_view name, const std::function<void(StateWriter&)>& body);
+
+  [[nodiscard]] const std::string& bytes() const { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked decoder over a payload produced by StateWriter. Every
+/// underflow or section-name mismatch throws CheckpointError.
+class StateReader {
+ public:
+  explicit StateReader(std::string_view bytes) : bytes_{bytes} {}
+
+  [[nodiscard]] std::uint8_t read_u8();
+  [[nodiscard]] std::uint32_t read_u32();
+  [[nodiscard]] std::uint64_t read_u64();
+  [[nodiscard]] std::int64_t read_i64();
+  [[nodiscard]] double read_f64();
+  [[nodiscard]] bool read_bool();
+  [[nodiscard]] std::string read_string();
+  [[nodiscard]] Time read_time();
+  [[nodiscard]] Duration read_duration();
+
+  /// Enters the next section, which must be named `name`; `body` must
+  /// consume its bytes exactly (anything else is a layout drift bug).
+  void section(std::string_view name, const std::function<void(StateReader&)>& body);
+
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  [[nodiscard]] std::string_view take(std::size_t n);
+
+  std::string_view bytes_;
+  std::size_t pos_{0};
+};
+
+/// One snapshot: the exact scenario it was taken from, the simulation
+/// time it captures, and the encoded state payload.
+struct Checkpoint {
+  std::string scenario_text;
+  Time at{};
+  std::string payload;
+};
+
+/// Serializes `ckpt` in the aquamac-ckpt-v1 container format.
+void write_checkpoint(std::ostream& os, const Checkpoint& ckpt);
+void write_checkpoint_file(const Checkpoint& ckpt, const std::string& path);
+
+/// Parses and digest-verifies a container; throws CheckpointError on
+/// version skew, corruption or truncation.
+[[nodiscard]] Checkpoint read_checkpoint(std::istream& is);
+[[nodiscard]] Checkpoint read_checkpoint_file(const std::string& path);
+
+/// Names the first top-level section whose bytes differ between two
+/// payloads (for actionable divergence errors). Empty if identical.
+[[nodiscard]] std::string describe_payload_difference(std::string_view expected,
+                                                      std::string_view actual);
+
+}  // namespace aquamac

@@ -92,6 +92,16 @@ std::vector<EventQueue::ExtractedEvent> EventQueue::extract_all() {
   return out;
 }
 
+std::vector<EventQueue::LiveEvent> EventQueue::live_events() const {
+  std::vector<LiveEvent> out;
+  out.reserve(live_count_);
+  for (const Entry& entry : heap_) {
+    if (!callbacks_.contains(entry.id)) continue;
+    out.push_back(LiveEvent{entry.key, entry.lane});
+  }
+  return out;
+}
+
 void EventQueue::clear() {
   heap_.clear();
   callbacks_.clear();

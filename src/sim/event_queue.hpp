@@ -123,6 +123,16 @@ class EventQueue {
   };
   std::vector<ExtractedEvent> extract_all();
 
+  /// Ordering keys and lanes of every live (non-cancelled) event, in
+  /// unspecified order; checkpointing sorts them by key. Handle ids are
+  /// deliberately omitted — they embed the owning queue index, which
+  /// differs across shard counts, while the key set does not. O(heap).
+  struct LiveEvent {
+    EventKey key;
+    std::uint32_t lane;
+  };
+  [[nodiscard]] std::vector<LiveEvent> live_events() const;
+
   void clear();
 
   /// Compaction triggers when heap_entries() exceeds both this floor and

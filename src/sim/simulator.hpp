@@ -42,6 +42,8 @@
 
 namespace aquamac {
 
+class StateReader;
+class StateWriter;
 class ThreadPool;
 
 /// Configuration of the sharded conservative-PDES engine.
@@ -186,6 +188,23 @@ class Simulator {
   [[nodiscard]] std::uint64_t windows_executed() const { return windows_executed_; }
 
   [[nodiscard]] const Logger& logger() const { return logger_; }
+
+  // --- checkpointing ---------------------------------------------------
+
+  /// Serializes the engine component of a checkpoint: clock, executed
+  /// event count, per-lane sequence counters, and the intrinsic (time,
+  /// origin, seq, lane) keys of every live pending event, sorted by key.
+  /// The encoding is shard-count-invariant: handle ids (which embed the
+  /// owning queue index) and windows_executed_ are deliberately excluded,
+  /// so a K=4 run snapshots byte-identically to the serial run it mirrors.
+  void save_checkpoint(StateWriter& writer) const;
+
+  /// Decodes an engine component and verifies it against current state.
+  /// Restore works by replaying the deterministic prefix to the
+  /// checkpoint time (callbacks are closures and cannot be serialized),
+  /// so after replay the live event set must already match the snapshot
+  /// exactly; any mismatch throws CheckpointError naming the component.
+  void restore_checkpoint(StateReader& reader) const;
 
   /// Queue-index bits in a handle id; bounds shards at kMaxQueues - 1.
   static constexpr unsigned kQueueBits = 8;

@@ -13,6 +13,9 @@
 
 namespace aquamac {
 
+class StateReader;
+class StateWriter;
+
 inline constexpr std::size_t kFrameTypeCount = 11;
 
 [[nodiscard]] constexpr std::size_t frame_type_index(FrameType t) {
@@ -77,6 +80,10 @@ struct MacCounters {
   }
 
   MacCounters& operator+=(const MacCounters& o);
+
+  /// Checkpoint encoding of every counter field (sim/checkpoint.hpp).
+  void save_state(StateWriter& writer) const;
+  void restore_state(StateReader& reader);
 };
 
 }  // namespace aquamac

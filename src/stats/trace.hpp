@@ -121,10 +121,42 @@ class HashTrace final : public TraceSink {
  public:
   void record(const TraceEvent& event) override;
   [[nodiscard]] std::uint64_t digest() const { return hash_; }
+  /// Checkpoint restore: resume accumulating from a saved digest.
+  void set_digest(std::uint64_t hash) { hash_ = hash; }
 
  private:
   void mix(std::uint64_t value);
   std::uint64_t hash_{1469598103934665603ULL};
+};
+
+/// Pass-through sink that forwards every event to an inner sink while
+/// accumulating a count and running HashTrace digest — the run's trace
+/// position, captured by checkpoints (docs/checkpoint.md). In sharded
+/// runs it must sit *inside* the DeferredTraceSink so it sees events in
+/// barrier-ordered (serial-identical) order.
+class TallyTrace final : public TraceSink {
+ public:
+  explicit TallyTrace(TraceSink& inner) : inner_{&inner} {}
+
+  void record(const TraceEvent& event) override {
+    hash_.record(event);
+    ++count_;
+    inner_->record(event);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t digest() const { return hash_.digest(); }
+
+  /// Checkpoint restore: overwrite the accumulated position.
+  void set_state(std::uint64_t count, std::uint64_t digest) {
+    count_ = count;
+    hash_.set_digest(digest);
+  }
+
+ private:
+  TraceSink* inner_;
+  HashTrace hash_;
+  std::uint64_t count_{0};
 };
 
 /// Fans one event stream out to several sinks.

@@ -105,11 +105,18 @@ class Rng {
     return mean + stddev * r * std::cos(2.0 * std::numbers::pi * u2);
   }
 
+  /// Raw engine words, for checkpointing (sim/checkpoint.hpp). A stream
+  /// restored via set_state continues with exactly the draws the saved
+  /// stream would have produced.
+  using State = std::array<std::uint64_t, 4>;
+  [[nodiscard]] const State& state() const { return state_; }
+  void set_state(const State& state) { state_ = state; }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t v, int k) {
     return (v << k) | (v >> (64 - k));
   }
-  std::array<std::uint64_t, 4> state_{};
+  State state_{};
 };
 
 }  // namespace aquamac

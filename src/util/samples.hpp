@@ -1,20 +1,37 @@
 #pragma once
 // Order statistics over a sample set: mean/stddev/min/max/percentiles.
 // Used by the trace analysis for latency distributions.
+//
+// `values()` exposes the samples in insertion order (trace analysis
+// relies on it), so the order statistics must never sort `values_` in
+// place. percentile() sorts into a separate cache instead, guarded by a
+// mutex so concurrent const readers sharing one Samples (e.g. sweep
+// workers under --jobs) are race-free; min()/max() scan unsorted.
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace aquamac {
 
 class Samples {
  public:
-  void add(double value) {
-    values_.push_back(value);
-    sorted_ = false;
+  Samples() = default;
+  // The cache mutex is not copyable; copies share no cache state.
+  Samples(const Samples& other) : values_{other.values_} {}
+  Samples& operator=(const Samples& other) {
+    if (this != &other) {
+      values_ = other.values_;
+      const std::lock_guard<std::mutex> lock{sort_mutex_};
+      sorted_cache_.clear();
+    }
+    return *this;
   }
+
+  void add(double value) { values_.push_back(value); }
 
   [[nodiscard]] std::size_t count() const { return values_.size(); }
   [[nodiscard]] bool empty() const { return values_.empty(); }
@@ -36,38 +53,37 @@ class Samples {
   }
 
   [[nodiscard]] double min() const {
-    ensure_sorted();
-    return values_.empty() ? 0.0 : values_.front();
+    if (values_.empty()) return 0.0;
+    return *std::min_element(values_.begin(), values_.end());
   }
   [[nodiscard]] double max() const {
-    ensure_sorted();
-    return values_.empty() ? 0.0 : values_.back();
+    if (values_.empty()) return 0.0;
+    return *std::max_element(values_.begin(), values_.end());
   }
 
   /// Linear-interpolated percentile, p in [0, 100].
   [[nodiscard]] double percentile(double p) const {
     if (values_.empty()) return 0.0;
     if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile out of [0, 100]");
-    ensure_sorted();
-    const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+    const std::lock_guard<std::mutex> lock{sort_mutex_};
+    if (sorted_cache_.size() != values_.size()) {
+      sorted_cache_ = values_;
+      std::sort(sorted_cache_.begin(), sorted_cache_.end());
+    }
+    const double rank = p / 100.0 * static_cast<double>(sorted_cache_.size() - 1);
     const auto lo = static_cast<std::size_t>(rank);
-    const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+    const std::size_t hi = std::min(lo + 1, sorted_cache_.size() - 1);
     const double frac = rank - static_cast<double>(lo);
-    return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+    return sorted_cache_[lo] * (1.0 - frac) + sorted_cache_[hi] * frac;
   }
 
+  /// Samples in insertion order; never reordered by the order statistics.
   [[nodiscard]] const std::vector<double>& values() const { return values_; }
 
  private:
-  void ensure_sorted() const {
-    if (!sorted_) {
-      std::sort(values_.begin(), values_.end());
-      sorted_ = true;
-    }
-  }
-
-  mutable std::vector<double> values_;
-  mutable bool sorted_{false};
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_cache_;
+  mutable std::mutex sort_mutex_;
 };
 
 }  // namespace aquamac

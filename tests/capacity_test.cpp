@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "harness/runner.hpp"
 #include "harness/scenario.hpp"
 #include "util/samples.hpp"
@@ -141,6 +144,46 @@ TEST(SamplesTest, AddAfterPercentileResorts) {
   EXPECT_DOUBLE_EQ(samples.percentile(50.0), 10.0);
   samples.add(0.0);
   EXPECT_DOUBLE_EQ(samples.min(), 0.0);
+}
+
+TEST(SamplesTest, OrderStatisticsPreserveInsertionOrder) {
+  // percentile() used to sort values_ in place behind const, silently
+  // reordering the insertion-order sequence values() documents (the
+  // trace analysis pairs it with event order) — and racing when sweep
+  // workers shared one const Samples. Order statistics must sort a
+  // separate cache.
+  Samples samples;
+  const std::vector<double> inserted{5.0, 1.0, 4.0, 2.0, 3.0};
+  for (double v : inserted) samples.add(v);
+  EXPECT_DOUBLE_EQ(samples.percentile(50.0), 3.0);
+  EXPECT_DOUBLE_EQ(samples.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(samples.min(), 1.0);
+  EXPECT_EQ(samples.values(), inserted) << "const query reordered the samples";
+  samples.add(0.5);
+  EXPECT_DOUBLE_EQ(samples.percentile(0.0), 0.5) << "cache not refreshed after add";
+  EXPECT_EQ(samples.values().back(), 0.5);
+}
+
+TEST(SamplesParallel, ConcurrentConstReadersAreRaceFree) {
+  // The regression the ThreadSanitizer job pins: many threads reading
+  // percentiles from one shared const Samples, as sweep workers do.
+  Samples samples;
+  for (int i = 999; i >= 0; --i) samples.add(static_cast<double>(i));
+  const Samples& shared = samples;
+  std::vector<std::thread> readers;
+  readers.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    readers.emplace_back([&shared] {
+      for (int k = 0; k <= 100; ++k) {
+        EXPECT_NEAR(shared.percentile(static_cast<double>(k)),
+                    static_cast<double>(k) / 100.0 * 999.0, 1e-9);
+      }
+      EXPECT_DOUBLE_EQ(shared.min(), 0.0);
+      EXPECT_DOUBLE_EQ(shared.max(), 999.0);
+    });
+  }
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(shared.values().front(), 999.0) << "insertion order disturbed";
 }
 
 }  // namespace

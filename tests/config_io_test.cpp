@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "harness/runner.hpp"
 #include "harness/scenario.hpp"
@@ -188,6 +192,84 @@ TEST(ConfigIo, FileRoundTrip) {
   EXPECT_EQ(loaded.seed, 321u);
   EXPECT_THROW((void)load_scenario_file("/nonexistent/path.cfg", small_test_scenario()),
                std::invalid_argument);
+}
+
+TEST(ConfigIo, DoublesRoundTripExactly) {
+  // save_scenario must emit max_digits10 significant digits: the stream
+  // default of 6 silently perturbed every non-round double (sim-time-s,
+  // freq-khz, fault rates) on save -> load, so a "replayed" scenario was
+  // not the scenario that ran.
+  ScenarioConfig original = small_test_scenario();
+  original.sim_time = Duration::from_seconds(123.456789012345);
+  original.channel.freq_khz = 10.123456789012345;
+  original.traffic.offered_load_kbps = 1.0 / 3.0;
+  original.fault.storm_loss_prob = 0.123456789012345;
+
+  std::stringstream buffer;
+  save_scenario(original, buffer);
+  const ScenarioConfig loaded = load_scenario(buffer, small_test_scenario());
+
+  EXPECT_EQ(loaded.sim_time, original.sim_time) << "lost nanoseconds";
+  EXPECT_EQ(loaded.channel.freq_khz, original.channel.freq_khz) << "bit-exact, not approx";
+  EXPECT_EQ(loaded.traffic.offered_load_kbps, original.traffic.offered_load_kbps);
+  EXPECT_EQ(loaded.fault.storm_loss_prob, original.fault.storm_loss_prob);
+}
+
+TEST(ConfigIo, NegativeIntegerRejected) {
+  // std::stoull accepts a leading '-' by wrapping modulo 2^64; the parser
+  // must reject it before "node-count = -1" becomes 2^64 - 1 nodes.
+  for (const std::string line : {"node-count = -1\n", "seed = -3\n", "batch-packets = -7\n"}) {
+    SCOPED_TRACE(line);
+    std::stringstream buffer{line};
+    try {
+      (void)load_scenario(buffer, small_test_scenario());
+      FAIL() << "expected throw";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string{e.what()}.find("expected an integer"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(ConfigIo, SavedKeysAndAcceptedKeysMatchExactly) {
+  // Two-way exhaustiveness: every key save_scenario emits must be
+  // loadable, and every key load_scenario accepts must be emitted —
+  // otherwise a knob silently fails to survive the round trip.
+  std::stringstream buffer;
+  save_scenario(small_test_scenario(), buffer);
+
+  std::vector<std::string> written;
+  std::string line;
+  while (std::getline(buffer, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    const auto end = line.find_last_not_of(" \t", eq - 1);
+    const auto begin = line.find_first_not_of(" \t");
+    written.push_back(line.substr(begin, end - begin + 1));
+  }
+  std::sort(written.begin(), written.end());
+  EXPECT_EQ(written.size(), std::set<std::string>(written.begin(), written.end()).size())
+      << "duplicate keys written";
+
+  const std::vector<std::string> accepted = scenario_keys();  // sorted
+  EXPECT_EQ(written, accepted);
+
+  // The checkpoint knobs are part of the contract.
+  EXPECT_NE(std::find(accepted.begin(), accepted.end(), "checkpoint-every-s"), accepted.end());
+  EXPECT_NE(std::find(accepted.begin(), accepted.end(), "checkpoint-path"), accepted.end());
+}
+
+TEST(ConfigIo, CheckpointKnobsRoundTrip) {
+  ScenarioConfig original = small_test_scenario();
+  original.checkpoint_every = Duration::from_seconds(2.5);
+  original.checkpoint_path = "/tmp/run.ckpt";
+  std::stringstream buffer;
+  save_scenario(original, buffer);
+  const ScenarioConfig loaded = load_scenario(buffer, small_test_scenario());
+  EXPECT_EQ(loaded.checkpoint_every, original.checkpoint_every);
+  EXPECT_EQ(loaded.checkpoint_path, original.checkpoint_path);
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "harness/checkpoint_run.hpp"
 #include "harness/config_io.hpp"
 #include "harness/runner.hpp"
 #include "harness/scenario.hpp"
@@ -78,8 +79,20 @@ int run(const CliParser& cli) {
     std::cout << "wrote scenario to " << cli.get("save-config") << "\n";
   }
 
-  std::cout << describe_scenario(config) << "\n";
-  const RunStats stats = run_scenario(config);
+  RunStats stats;
+  if (cli.has("resume-from")) {
+    // The snapshot embeds the exact capture scenario; the command line
+    // contributes only execution-surface state (trace/log sinks, shards).
+    const Checkpoint ckpt = read_checkpoint_file(cli.get("resume-from"));
+    std::cout << "resuming from " << cli.get("resume-from") << " at " << ckpt.at.to_string()
+              << " (digest-verified replay)\n\n";
+    stats = resume_scenario(ckpt, config);
+  } else {
+    config.checkpoint_every = Duration::from_seconds(cli.get_double("checkpoint-every-s"));
+    config.checkpoint_path = cli.get("checkpoint-out");
+    std::cout << describe_scenario(config) << "\n";
+    stats = run_scenario_checkpointing(config);
+  }
 
   std::cout << "Results\n-------\n"
             << "throughput        " << stats.throughput_kbps << " kbps\n"
@@ -136,6 +149,11 @@ int main(int argc, char** argv) {
                     {"batch", "false", "batch workload instead of Poisson (Figs. 8/9 mode)"},
                     {"batch-packets", "40", "packets injected at start in batch mode"},
                     {"trace", "", "write a per-event PHY + MAC trace CSV to this path"},
+                    {"checkpoint-every-s", "0", "snapshot the run to --checkpoint-out every N "
+                                                "sim seconds (0 = off)"},
+                    {"checkpoint-out", "", "checkpoint file path (overwritten each snapshot)"},
+                    {"resume-from", "", "resume from this checkpoint file (digest-verified "
+                                        "replay; the scenario comes from the snapshot)"},
                     {"config", "", "load scenario defaults from a key=value file first"},
                     {"save-config", "", "write the effective scenario to this path"},
                     {"verbose", "false", "per-node debug logging to stderr"},
