@@ -10,13 +10,18 @@ Accepts either:
     file's first series);
   * BENCH_fault.json degradation curves (schema aquamac-bench-fault-v1):
     one sweep per fault axis — pick the axis with --axis (defaults to
-    the file's first axis, drift_ppm).
+    the file's first axis, drift_ppm);
+  * BENCH_multihop.json routing comparisons (schema
+    aquamac-bench-multihop-v1): grouped bars of one metric per routing
+    kind — pick the experiment with --axis (grid or outage) and the
+    metric with --metric (defaults to delivery_ratio).
 
 Usage:
     tools/aquamac_compare --x load --metric throughput --csv fig6.csv
     scripts/plot_results.py fig6.csv --ylabel "Throughput (kbps)" -o fig6.png
     scripts/plot_results.py BENCH_fig6_throughput_load.json --metric throughput_kbps
     scripts/plot_results.py BENCH_fault.json --axis outage_per_hour
+    scripts/plot_results.py BENCH_multihop.json --axis outage --metric delivery_ratio
 
 Requires matplotlib (not needed for the simulation itself).
 """
@@ -58,13 +63,45 @@ def load_fault_json(doc, path, metric=None, axis=None):
         )
     if not doc.get("monotone_ok"):
         print(f"warning: {path} recorded a failed monotone gate", file=sys.stderr)
-    return axis, axes[axis]["xs"], all_series[metric], metric
+    return axis, axes[axis]["xs"], all_series[metric], metric, None
+
+
+def load_multihop_json(doc, path, metric=None, axis=None):
+    """Categorical schema: experiment -> series -> metric -> routing kind.
+
+    Returned as one bar per routing kind; `ticks` carries the kind names.
+    """
+    experiments = {k: v for k, v in doc.items() if isinstance(v, dict) and "series" in v}
+    if not experiments:
+        raise SystemExit(f"{path}: no experiments")
+    if axis is None:
+        axis = next(iter(experiments))
+    if axis not in experiments:
+        raise SystemExit(
+            f"{path}: no experiment {axis!r}; available: {', '.join(experiments)}"
+        )
+    all_series = experiments[axis]["series"]
+    if metric is None:
+        metric = "delivery_ratio" if "delivery_ratio" in all_series else next(iter(all_series))
+    if metric not in all_series:
+        raise SystemExit(
+            f"{path}: no metric {metric!r}; available: {', '.join(all_series)}"
+        )
+    by_kind = all_series[metric]
+    if axis == "grid" and not experiments[axis].get("dv_delivery_ok"):
+        print(f"warning: {path} recorded a failed grid delivery gate", file=sys.stderr)
+    if axis == "outage" and not experiments[axis].get("dv_beats_greedy"):
+        print(f"warning: {path} recorded dv not beating greedy", file=sys.stderr)
+    ticks = list(by_kind)
+    return axis, list(range(len(ticks))), {metric: list(by_kind.values())}, metric, ticks
 
 
 def load_bench_json(path, metric=None, axis=None):
     with open(path) as handle:
         doc = json.load(handle)
     schema = doc.get("schema")
+    if schema == "aquamac-bench-multihop-v1":
+        return load_multihop_json(doc, path, metric, axis)
     if schema == "aquamac-bench-fault-v1":
         return load_fault_json(doc, path, metric, axis)
     if schema != "aquamac-bench-v1":
@@ -83,14 +120,14 @@ def load_bench_json(path, metric=None, axis=None):
     if wall is not None and jobs is not None:
         print(f"{doc.get('bench')}: {doc.get('total_runs')} runs in {wall:.3g} s "
               f"(jobs={jobs})")
-    return "x", doc["xs"], all_series[metric], metric
+    return "x", doc["xs"], all_series[metric], metric, None
 
 
 def load(path, metric=None, axis=None):
     if path.endswith(".json"):
         return load_bench_json(path, metric, axis)
     x_name, xs, series = load_csv(path)
-    return x_name, xs, series, None
+    return x_name, xs, series, None, None
 
 
 STYLES = {
@@ -133,10 +170,16 @@ def main():
     except ImportError:
         raise SystemExit("matplotlib is required: pip install matplotlib")
 
-    x_name, xs, series, metric = load(args.input, args.metric, args.axis)
+    x_name, xs, series, metric, ticks = load(args.input, args.metric, args.axis)
     fig, ax = plt.subplots(figsize=(6, 4.2))
-    for name, ys in series.items():
-        ax.plot(xs, ys, label=name, **STYLES.get(name, dict(marker=".")))
+    if ticks is not None:
+        for name, ys in series.items():
+            ax.bar(xs, ys, width=0.6, label=name)
+        ax.set_xticks(xs)
+        ax.set_xticklabels(ticks)
+    else:
+        for name, ys in series.items():
+            ax.plot(xs, ys, label=name, **STYLES.get(name, dict(marker=".")))
     ax.set_xlabel(args.xlabel or x_name)
     ax.set_ylabel(args.ylabel or metric or "metric")
     if args.title:

@@ -167,6 +167,8 @@ void save_scenario(const ScenarioConfig& config, std::ostream& os) {
   os << "multi-hop = " << (config.multi_hop ? "true" : "false") << "\n";
   os << "sink-fraction = " << config.sink_fraction << "\n";
   os << "hop-limit = " << static_cast<unsigned>(config.hop_limit) << "\n";
+  os << "routing = " << to_string(config.routing) << "\n";
+  os << "routing-beacon-s = " << config.routing_beacon.to_seconds() << "\n";
   os << "\n# failure injection\n";
   os << "node-failure-fraction = " << config.node_failure_fraction << "\n";
   os << "node-failure-time-s = " << config.node_failure_time.to_seconds() << "\n";
@@ -346,6 +348,12 @@ const std::map<std::string, Setter>& setters() {
        }},
       {"hop-limit", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
          c.hop_limit = static_cast<std::uint8_t>(parse_uint(k, v));
+       }},
+      {"routing", [](ScenarioConfig& c, const std::string&, const std::string& v) {
+         c.routing = routing_kind_from_string(v);
+       }},
+      {"routing-beacon-s", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.routing_beacon = Duration::from_seconds(parse_double(k, v));
        }},
       {"node-failure-fraction",
        [](ScenarioConfig& c, const std::string& k, const std::string& v) {

@@ -143,6 +143,10 @@ InvariantAuditor::Config auditor_config_for(const ScenarioConfig& config) {
   // A node returning from an outage needs about one full exchange to
   // re-learn delays before the invariants apply to it again.
   audit.rejoin_grace = 2 * (audit.slot_length + audit.tau_max);
+  // Routing checks stay quiet through a DV re-convergence wave: triggered
+  // updates are rate-limited to one per 2 s per node plus up to 1 s of
+  // jitter, and packets already in flight need a few hop cycles to drain.
+  audit.route_grace = Duration::seconds(5) + 4 * (audit.slot_length + audit.tau_max);
   return audit;
 }
 

@@ -53,6 +53,7 @@ void MacProtocol::record_handshake_silence(NodeId dst) {
     event.a = config_.dead_neighbor_threshold;
     trace_mac(event);
   }
+  if (neighbor_down_hook_) neighbor_down_hook_(dst);
   // Reinstatement probe: after the interval, give the neighbor another
   // chance and re-announce ourselves. If it is still silent the next K
   // handshakes re-declare it dead, so probing is periodic until it talks.
@@ -87,6 +88,7 @@ void MacProtocol::age_neighbors() {
       event.a = config_.neighbor_max_age.count_ns();
       trace_mac(event);
     }
+    if (neighbor_down_hook_) neighbor_down_hook_(neighbor);
   }
 }
 
@@ -134,7 +136,8 @@ Frame MacProtocol::make_data_for(FrameType type, const Packet& packet) const {
   return frame;
 }
 
-void MacProtocol::transmit(const Frame& frame) {
+void MacProtocol::transmit(Frame frame) {
+  if (stamp_hook_) stamp_hook_(frame);
   counters_.count_sent(frame);
   if (frame.control() && frame.type != FrameType::kHello) {
     const auto entries = std::min<std::uint32_t>(
@@ -208,6 +211,8 @@ void MacProtocol::on_frame_received(const Frame& frame, const RxInfo& raw_info) 
     event.a = info.measured_delay.count_ns();
     trace_mac(event);
   }
+  // Route-ad ingestion rides on the same reception the delay table uses.
+  if (observe_hook_) observe_hook_(frame, info.measured_delay);
   // Frames shipping neighbor info (CS-MAC negotiation packets) feed the
   // two-hop table of everyone who hears them.
   if (frame.neighbor_info) {

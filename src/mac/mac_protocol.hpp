@@ -119,6 +119,22 @@ class MacProtocol : public ModemListener {
   using DropHandler = std::function<void(NodeId dst, const E2eHeader& e2e)>;
   void set_drop_handler(DropHandler handler) { drop_handler_ = std::move(handler); }
 
+  // --- routing piggyback hooks (DvRouter, docs/routing.md) -------------
+  /// Stamps protocol-independent piggyback fields (the DV route ad) onto
+  /// every frame this MAC transmits, just before it hits the modem.
+  using FrameStampHook = std::function<void(Frame& frame)>;
+  void set_frame_stamp_hook(FrameStampHook hook) { stamp_hook_ = std::move(hook); }
+
+  /// Observes every decodable received/overheard frame together with the
+  /// clamped measured one-hop delay to its sender (route-ad ingestion).
+  using FrameObserveHook = std::function<void(const Frame& frame, Duration measured_delay)>;
+  void set_frame_observe_hook(FrameObserveHook hook) { observe_hook_ = std::move(hook); }
+
+  /// Fired when dead-neighbor detection declares `neighbor` dead or aging
+  /// evicts it — the routing layer invalidates routes through it.
+  using NeighborDownHook = std::function<void(NodeId neighbor)>;
+  void set_neighbor_down_hook(NeighborDownHook hook) { neighbor_down_hook_ = std::move(hook); }
+
   /// Deployment-time neighbor discovery (§4.3): broadcasts a Hello whose
   /// timestamp lets every receiver compute the propagation delay. No-op
   /// when the modem is mid-transmission.
@@ -203,8 +219,9 @@ class MacProtocol : public ModemListener {
   /// the end-to-end header all come from the packet).
   [[nodiscard]] Frame make_data_for(FrameType type, const Packet& packet) const;
 
-  /// Counts and radiates. The modem stamps src and sent_at.
-  void transmit(const Frame& frame);
+  /// Counts and radiates. The modem stamps src and sent_at; the routing
+  /// stamp hook (if any) fills the piggybacked route ad first.
+  void transmit(Frame frame);
 
   /// Airtime of one control packet on this modem (omega, §3.1).
   [[nodiscard]] Duration omega() const { return modem_.airtime(control_frame_bits()); }
@@ -254,6 +271,9 @@ class MacProtocol : public ModemListener {
   std::unordered_map<NodeId, std::uint64_t> delivered_seq_high_;
   DeliveryHandler delivery_handler_{};
   DropHandler drop_handler_{};
+  FrameStampHook stamp_hook_{};
+  FrameObserveHook observe_hook_{};
+  NeighborDownHook neighbor_down_hook_{};
 
  private:
   struct PeerHealth {

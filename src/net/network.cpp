@@ -155,19 +155,86 @@ Network::Network(Simulator& sim, const ScenarioConfig& config)
     std::vector<bool> is_sink(config_.node_count, false);
     for (std::size_t i = 0; i < sink_count; ++i) is_sink[by_depth[i]] = true;
 
+    if (config_.routing == RoutingKind::kDv) {
+      // Per-node DV state plus the MAC piggyback hooks: every outgoing
+      // frame is stamped with the node's best route, every decodable
+      // reception is ingested, and dead/evicted neighbors invalidate the
+      // routes that ran through them (docs/routing.md).
+      dv_routers_.reserve(config_.node_count);
+      beacon_rngs_.reserve(config_.node_count);
+      dv_trigger_after_.assign(config_.node_count, Time::zero());
+      for (std::size_t i = 0; i < config_.node_count; ++i) {
+        const auto id = static_cast<NodeId>(i);
+        dv_routers_.push_back(std::make_unique<DvRouter>(id, is_sink[id]));
+        beacon_rngs_.push_back(std::make_unique<Rng>(rng_.fork(0xBEAC00 + i)));
+        DvRouter* dv = dv_routers_.back().get();
+        MacProtocol* mac = &nodes_[i]->mac();
+        mac->set_frame_stamp_hook([dv](Frame& frame) { dv->stamp(frame); });
+        mac->set_frame_observe_hook([this, dv](const Frame& frame, Duration measured_delay) {
+          dv->observe(frame, measured_delay, sim_.now());
+        });
+        mac->set_neighbor_down_hook([dv](NodeId neighbor) { dv->neighbor_down(neighbor); });
+        dv->set_route_change_hook([this, id] { on_route_change(id); });
+      }
+    }
+
     relays_.reserve(config_.node_count);
-    const UphillRouter* router = router_.get();
     for (std::size_t i = 0; i < config_.node_count; ++i) {
       const auto id = static_cast<NodeId>(i);
-      relays_.push_back(std::make_unique<RelayAgent>(
-          sim_, nodes_[i]->mac(), id, is_sink[id],
-          [router](NodeId self) { return router->shallowest_candidate(self); },
-          config_.hop_limit));
+      RelayAgent::NextHopFn next_hop;
+      switch (config_.routing) {
+        case RoutingKind::kGreedy: {
+          const UphillRouter* router = router_.get();
+          next_hop = [router](NodeId self) { return router->shallowest_candidate(self); };
+          break;
+        }
+        case RoutingKind::kTree:
+          next_hop = [this](NodeId self) -> std::optional<NodeId> {
+            if (route_table_ == nullptr) return std::nullopt;
+            return route_table_->next_hop(self);
+          };
+          break;
+        case RoutingKind::kDv: {
+          DvRouter* dv = dv_routers_[i].get();
+          next_hop = [dv](NodeId) { return dv->next_hop(); };
+          break;
+        }
+      }
+      relays_.push_back(std::make_unique<RelayAgent>(sim_, nodes_[i]->mac(), id, is_sink[id],
+                                                     std::move(next_hop), config_.hop_limit));
+      RelayAgent* relay_agent = relays_.back().get();
+      if (run_trace_ != nullptr) relay_agent->set_trace(run_trace_);
+      // The static tree is every mode's hop-stretch yardstick.
+      relay_agent->set_tree_hops([this](NodeId node) -> std::uint32_t {
+        if (route_table_ == nullptr || !route_table_->reachable(node)) return 0;
+        return route_table_->hops(node);
+      });
+      if (config_.routing == RoutingKind::kTree) {
+        relay_agent->set_advertised_hops([this](NodeId node) -> std::uint32_t {
+          if (route_table_ == nullptr || !route_table_->reachable(node)) return 0;
+          return route_table_->hops(node);
+        });
+      } else if (config_.routing == RoutingKind::kDv) {
+        DvRouter* dv = dv_routers_[i].get();
+        relay_agent->set_advertised_hops([dv](NodeId) -> std::uint32_t {
+          const DvRouter::Entry* best = dv->best();
+          return best != nullptr ? best->hops : 0;
+        });
+      }
     }
   }
 
   traffic_start_ = Time::zero() + config_.hello_window;
   horizon_ = traffic_start_ + config_.sim_time;
+
+  if (config_.multi_hop) {
+    // The tree is built once discovery has run: a global (lane-0) event
+    // at traffic start, so sharded runs read every neighbor table at a
+    // barrier. Lane 0 sorts ahead of node lanes at the same timestamp, so
+    // the first originations already see the routes.
+    const Simulator::LaneGuard lane{sim_, 0};
+    sim_.at(traffic_start_, [this] { rebuild_route_table(); });
+  }
 
   if (config_.fault.enabled()) {
     // The plan forks dedicated streams off the root RNG (fork is const),
@@ -293,6 +360,7 @@ void Network::schedule_faults() {
     const Simulator::LaneGuard lane{sim_, id + 1};
     AcousticModem* modem = &nodes_[i]->modem();
     MacProtocol* mac = &nodes_[i]->mac();
+    DvRouter* dv = dv_routers_.empty() ? nullptr : dv_routers_[i].get();
 
     for (const TimeInterval& iv : fault_plan_->down_intervals(id)) {
       if (iv.begin >= horizon_) break;
@@ -301,9 +369,14 @@ void Network::schedule_faults() {
         modem->set_operational(false);
       });
       if (iv.end >= horizon_) continue;  // never rejoins within this run
-      sim_.at(iv.end, [this, id, modem, mac] {
+      sim_.at(iv.end, [this, id, modem, mac, dv] {
         modem->set_operational(true);
         mac->reset_mac_state();
+        // Routing amnesia rides along: stale routes through neighbors
+        // whose state moved on during the outage must not survive; a
+        // rejoining sink bumps its sequence so the network re-learns it
+        // as fresh state (docs/routing.md).
+        if (dv != nullptr) dv->reset_routes();
         trace_fault(TraceEventKind::kFaultNodeUp, id);
         // Re-announce so neighbors refresh their delay to us and we start
         // re-learning theirs from whatever we overhear.
@@ -345,6 +418,79 @@ void Network::schedule_faults() {
   }
 }
 
+void Network::rebuild_route_table() {
+  std::vector<std::map<NodeId, Duration>> delays(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (const auto& [neighbor, entry] : nodes_[i]->neighbors().entries()) {
+      delays[i][neighbor] = entry.delay;
+    }
+  }
+  std::vector<bool> sinks(nodes_.size(), false);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) sinks[i] = relays_[i]->is_sink();
+  route_table_ = std::make_unique<RouteTable>(RouteTable::build(delays, sinks));
+  AQUAMAC_LOG(config_.logger, LogLevel::kInfo)
+      << "route table: " << route_table_->routed_count() << "/"
+      << (nodes_.size() -
+          static_cast<std::size_t>(std::count(sinks.begin(), sinks.end(), true)))
+      << " non-sink nodes routed";
+}
+
+void Network::schedule_dv_beacons() {
+  if (dv_routers_.empty()) return;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const auto id = static_cast<NodeId>(i);
+    const Simulator::LaneGuard lane{sim_, id + 1};
+    schedule_next_beacon(id);
+  }
+}
+
+void Network::schedule_next_beacon(NodeId id) {
+  // Each round waits beacon * uniform(0.75, 1.25): periodic enough to
+  // carry the sinks' sequence waves, jittered enough that the network's
+  // beacons never synchronize into collision bursts.
+  const Duration wait = Duration::from_seconds(config_.routing_beacon.to_seconds() *
+                                               beacon_rngs_[id]->uniform(0.75, 1.25));
+  sim_.in(wait, [this, id] {
+    DvRouter& dv = *dv_routers_[id];
+    if (dv.is_sink()) dv.bump_own_seq();
+    // A route whose via carried no ad for ~3.5 beacon rounds is stale: on
+    // settled paths the via's sequence wave re-stamps the entry every
+    // round, so only silently-partitioned (or routeless) vias expire.
+    const Duration ttl = Duration::from_seconds(config_.routing_beacon.to_seconds() * 3.5);
+    if (sim_.now() > Time::zero() + ttl) dv.expire_stale(sim_.now() - ttl);
+    nodes_[id]->mac().broadcast_hello();
+    if (sim_.now() < horizon_) schedule_next_beacon(id);
+  });
+}
+
+void Network::on_route_change(NodeId id) {
+  const DvRouter& dv = *dv_routers_[id];
+  if (run_trace_ != nullptr) {
+    TraceEvent event{};
+    event.kind = TraceEventKind::kRouteUpdate;
+    event.at = sim_.now();
+    event.node = id;
+    const DvRouter::Entry* best = dv.best();
+    if (best != nullptr) {
+      event.src = best->via;
+      event.dst = dv.best_sink();
+      event.a = best->cost.count_ns();
+      event.b = best->hops;
+    } else {
+      event.b = -1;  // route lost
+    }
+    run_trace_->record(event);
+  }
+  // DSDV triggered update: re-advertise the change soon so convergence
+  // runs at per-hop frame latency, not at the beacon period. Rate-limited
+  // per node so convergence waves cannot storm the contention MAC.
+  if (sim_.now() < dv_trigger_after_[id]) return;
+  dv_trigger_after_[id] = sim_.now() + Duration::seconds(2);
+  MacProtocol* mac = &nodes_[id]->mac();
+  const Duration delay = Duration::from_seconds(beacon_rngs_[id]->uniform(0.2, 1.0));
+  sim_.in(delay, [mac] { mac->broadcast_hello(); });
+}
+
 void Network::schedule_aging() {
   const Duration age = config_.mac_config.neighbor_max_age;
   if (age.is_zero()) return;
@@ -364,6 +510,7 @@ RunStats Network::run(const RunBoundaryHooks& hooks) {
   start_traffic();
   schedule_faults();
   schedule_aging();
+  schedule_dv_beacons();
   if (config_.node_failure_fraction > 0.0) {
     Rng failure_rng = rng_.fork(0xDEAD);
     const auto casualties = static_cast<std::size_t>(
@@ -457,6 +604,18 @@ RunStats Network::stats() const {
       stats.mean_hops = static_cast<double>(relay_total.total_hops) / arrived;
       stats.mean_e2e_latency_s = relay_total.total_e2e_latency.to_seconds() / arrived;
     }
+    stats.e2e_forwarded = relay_total.forwarded;
+    stats.e2e_dropped_no_route = relay_total.dropped_no_route;
+    stats.e2e_dropped_hop_limit = relay_total.dropped_hop_limit;
+    stats.e2e_dropped_mac = relay_total.dropped_mac;
+    if (relay_total.total_tree_hops > 0) {
+      stats.hop_stretch = static_cast<double>(relay_total.total_stretch_hops) /
+                          static_cast<double>(relay_total.total_tree_hops);
+    }
+    if (relay_total.total_hops > 0) {
+      stats.mean_per_hop_latency_s = relay_total.total_e2e_latency.to_seconds() /
+                                     static_cast<double>(relay_total.total_hops);
+    }
   }
   return stats;
 }
@@ -487,6 +646,20 @@ void Network::save_state(StateWriter& writer) const {
   writer.section("faults", [this](StateWriter& w) {
     w.write_bool(fault_plan_ != nullptr);
     if (fault_plan_ != nullptr) fault_plan_->save_state(w);
+  });
+  writer.section("routing", [this](StateWriter& w) {
+    w.write_bool(!relays_.empty());
+    if (!relays_.empty()) {
+      for (const auto& relay_agent : relays_) relay_agent->save_state(w);
+    }
+    w.write_bool(!dv_routers_.empty());
+    if (!dv_routers_.empty()) {
+      for (const auto& dv : dv_routers_) dv->save_state(w);
+      for (const auto& beacon_rng : beacon_rngs_) {
+        for (const std::uint64_t word : beacon_rng->state()) w.write_u64(word);
+      }
+      for (const Time after : dv_trigger_after_) w.write_time(after);
+    }
   });
   writer.section("channel", [this](StateWriter& w) {
     w.write_u64(channel_->transmissions());
@@ -533,6 +706,22 @@ void Network::restore_state(StateReader& reader) {
       throw CheckpointError("checkpoint fault-plan presence differs from the scenario's");
     }
     if (fault_plan_ != nullptr) fault_plan_->restore_state(r);
+  });
+  reader.section("routing", [this](StateReader& r) {
+    if (r.read_bool() != !relays_.empty()) {
+      throw CheckpointError("checkpoint relay presence differs from the scenario's");
+    }
+    for (const auto& relay_agent : relays_) relay_agent->restore_state(r);
+    if (r.read_bool() != !dv_routers_.empty()) {
+      throw CheckpointError("checkpoint DV-router presence differs from the scenario's");
+    }
+    for (const auto& dv : dv_routers_) dv->restore_state(r);
+    for (const auto& beacon_rng : beacon_rngs_) {
+      Rng::State words{};
+      for (std::uint64_t& word : words) word = r.read_u64();
+      beacon_rng->set_state(words);
+    }
+    for (Time& after : dv_trigger_after_) after = r.read_time();
   });
   reader.section("channel", [this](StateReader& r) {
     channel_->set_transmissions(r.read_u64());

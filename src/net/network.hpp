@@ -15,8 +15,10 @@
 #include "fault/fault_plan.hpp"
 #include "mac/mac_factory.hpp"
 #include "net/deployment.hpp"
+#include "net/dv_router.hpp"
 #include "net/node.hpp"
 #include "net/relay.hpp"
+#include "net/route_table.hpp"
 #include "net/routing.hpp"
 #include "net/traffic.hpp"
 #include "sim/shard_plan.hpp"
@@ -79,6 +81,17 @@ struct ScenarioConfig {
   bool multi_hop{false};
   double sink_fraction{0.1};
   std::uint8_t hop_limit{16};
+
+  /// Which routing layer names next hops in multi-hop mode
+  /// (docs/routing.md). The static shortest-delay tree is the default;
+  /// kGreedy keeps the original depth-greedy rule as a baseline
+  /// comparator; kDv runs the distance-vector protocol with piggybacked
+  /// advertisements and route maintenance.
+  RoutingKind routing{RoutingKind::kTree};
+  /// DV beacon period: every node broadcasts a (route-ad-carrying) HELLO
+  /// on this cadence, and sinks bump their sequence number each round —
+  /// the mechanism that flushes stale routes after faults.
+  Duration routing_beacon{Duration::seconds(10)};
 
   /// Hard node failures: at `node_failure_time` after traffic start, a
   /// random `node_failure_fraction` of nodes goes permanently silent.
@@ -159,6 +172,13 @@ class Network {
   [[nodiscard]] const RelayAgent* relay(NodeId id) const {
     return relays_.empty() ? nullptr : relays_.at(id).get();
   }
+  /// The static shortest-delay tree (multi-hop mode; built at traffic
+  /// start from the NeighborTable estimates, null before then).
+  [[nodiscard]] const RouteTable* route_table() const { return route_table_.get(); }
+  /// Per-node DV state (routing == kDv only; null otherwise).
+  [[nodiscard]] const DvRouter* dv_router(NodeId id) const {
+    return dv_routers_.empty() ? nullptr : dv_routers_.at(id).get();
+  }
 
   /// Aggregated statistics at the current simulation time.
   [[nodiscard]] RunStats stats() const;
@@ -194,6 +214,16 @@ class Network {
   void start_traffic();
   void schedule_faults();
   void schedule_aging();
+  /// Builds the static shortest-delay tree from the neighbor tables as
+  /// they stand now (a lane-0 event at traffic start).
+  void rebuild_route_table();
+  /// DV periodic beacons: per-node jittered HELLO broadcasts; sinks bump
+  /// their sequence number each round.
+  void schedule_dv_beacons();
+  void schedule_next_beacon(NodeId id);
+  /// DvRouter change hook: traces kRouteUpdate and schedules a
+  /// rate-limited triggered-update HELLO.
+  void on_route_change(NodeId id);
   void trace_fault(TraceEventKind kind, NodeId node, std::int64_t a = 0,
                    std::int64_t b = 0) const;
 
@@ -207,6 +237,14 @@ class Network {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unique_ptr<UphillRouter> router_;
   std::vector<std::unique_ptr<RelayAgent>> relays_;  ///< multi-hop mode only
+  /// Static shortest-delay tree (multi-hop; null until traffic start).
+  std::unique_ptr<RouteTable> route_table_;
+  std::vector<std::unique_ptr<DvRouter>> dv_routers_;  ///< kDv mode only
+  /// Beacon/trigger jitter streams, one per node (kDv mode), heap-held so
+  /// scheduling lambdas can reference them and checkpoints can reach them.
+  std::vector<std::unique_ptr<Rng>> beacon_rngs_;
+  /// Triggered-update rate limit: no triggered HELLO before this time.
+  std::vector<Time> dv_trigger_after_;
   std::vector<std::unique_ptr<TrafficSource>> sources_;
   /// Single-hop routing draw streams, one per traffic source, heap-held
   /// so the emit lambdas can reference them and checkpoints can reach

@@ -1,5 +1,7 @@
 #include "net/relay.hpp"
 
+#include "sim/checkpoint.hpp"
+
 namespace aquamac {
 
 RelayCounters& RelayCounters::operator+=(const RelayCounters& o) {
@@ -11,6 +13,8 @@ RelayCounters& RelayCounters::operator+=(const RelayCounters& o) {
   dropped_mac += o.dropped_mac;
   total_e2e_latency += o.total_e2e_latency;
   total_hops += o.total_hops;
+  total_stretch_hops += o.total_stretch_hops;
+  total_tree_hops += o.total_tree_hops;
   return *this;
 }
 
@@ -28,6 +32,20 @@ RelayAgent::RelayAgent(Simulator& sim, MacProtocol& mac, NodeId self, bool is_si
   });
 }
 
+void RelayAgent::trace_relay(TraceEventKind kind, std::uint64_t e2e_id, NodeId origin,
+                             std::int64_t a, std::int64_t b) const {
+  if (trace_ == nullptr) return;
+  TraceEvent event{};
+  event.kind = kind;
+  event.at = sim_.now();
+  event.node = self_;
+  event.src = origin;
+  event.seq = e2e_id;
+  event.a = a;
+  event.b = b;
+  trace_->record(event);
+}
+
 void RelayAgent::originate(std::uint32_t payload_bits) {
   const auto hop = next_hop_(self_);
   if (!hop) {
@@ -41,6 +59,8 @@ void RelayAgent::originate(std::uint32_t payload_bits) {
   e2e.e2e_id = (static_cast<std::uint64_t>(self_) << 32) | next_e2e_id_++;
   e2e.created_at = sim_.now();
   counters_.originated += 1;
+  trace_relay(TraceEventKind::kRelayOriginate, e2e.e2e_id, self_, 1,
+              advertised_hops_ ? advertised_hops_(self_) : 0);
   mac_.enqueue_packet(*hop, payload_bits, e2e);
 }
 
@@ -50,6 +70,12 @@ void RelayAgent::on_delivery(const Frame& frame) {
     counters_.arrived_at_sink += 1;
     counters_.total_e2e_latency += sim_.now() - frame.created_at;
     counters_.total_hops += frame.hop_count;
+    const std::uint32_t tree = tree_hops_ ? tree_hops_(frame.origin) : 0;
+    if (tree > 0) {
+      counters_.total_tree_hops += tree;
+      counters_.total_stretch_hops += frame.hop_count;
+    }
+    trace_relay(TraceEventKind::kRelayArrive, frame.e2e_id, frame.origin, frame.hop_count, 0);
     return;
   }
   forward(frame);
@@ -72,7 +98,37 @@ void RelayAgent::forward(const Frame& frame) {
   e2e.e2e_id = frame.e2e_id;
   e2e.created_at = frame.created_at;
   counters_.forwarded += 1;
+  trace_relay(TraceEventKind::kRelayForward, e2e.e2e_id, e2e.origin, e2e.hop_count,
+              advertised_hops_ ? advertised_hops_(self_) : 0);
   mac_.enqueue_packet(*hop, frame.data_bits, e2e);
+}
+
+void RelayAgent::save_state(StateWriter& writer) const {
+  writer.write_u64(next_e2e_id_);
+  writer.write_u64(counters_.originated);
+  writer.write_u64(counters_.arrived_at_sink);
+  writer.write_u64(counters_.forwarded);
+  writer.write_u64(counters_.dropped_no_route);
+  writer.write_u64(counters_.dropped_hop_limit);
+  writer.write_u64(counters_.dropped_mac);
+  writer.write_duration(counters_.total_e2e_latency);
+  writer.write_u64(counters_.total_hops);
+  writer.write_u64(counters_.total_stretch_hops);
+  writer.write_u64(counters_.total_tree_hops);
+}
+
+void RelayAgent::restore_state(StateReader& reader) {
+  next_e2e_id_ = reader.read_u64();
+  counters_.originated = reader.read_u64();
+  counters_.arrived_at_sink = reader.read_u64();
+  counters_.forwarded = reader.read_u64();
+  counters_.dropped_no_route = reader.read_u64();
+  counters_.dropped_hop_limit = reader.read_u64();
+  counters_.dropped_mac = reader.read_u64();
+  counters_.total_e2e_latency = reader.read_duration();
+  counters_.total_hops = reader.read_u64();
+  counters_.total_stretch_hops = reader.read_u64();
+  counters_.total_tree_hops = reader.read_u64();
 }
 
 }  // namespace aquamac

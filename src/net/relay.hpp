@@ -3,8 +3,9 @@
 // information to surface sinks via multi-hop transmission").
 //
 // One RelayAgent sits above each node's MAC. Origins stamp an E2eHeader;
-// every intermediate delivery re-enqueues the packet toward the next
-// shallower hop; sinks absorb and account. The MAC below stays exactly
+// every intermediate delivery re-enqueues the packet toward the next hop
+// named by the routing layer (greedy, static tree or DvRouter —
+// docs/routing.md); sinks absorb and account. The MAC below stays exactly
 // the paper's one-hop protocol — relaying is pure composition through the
 // MAC's delivery/drop handlers.
 
@@ -22,20 +23,28 @@ struct RelayCounters {
   std::uint64_t originated{0};       ///< packets stamped at this origin
   std::uint64_t arrived_at_sink{0};  ///< packets absorbed here as sink
   std::uint64_t forwarded{0};        ///< intermediate re-enqueues
-  std::uint64_t dropped_no_route{0}; ///< no shallower neighbor available
+  std::uint64_t dropped_no_route{0}; ///< routing layer named no next hop
   std::uint64_t dropped_hop_limit{0};
   std::uint64_t dropped_mac{0};      ///< MAC exhausted retries on a hop
   Duration total_e2e_latency{};      ///< summed over sink arrivals
   std::uint64_t total_hops{0};       ///< summed over sink arrivals
+  /// Hop-stretch accumulators, summed only over arrivals whose origin the
+  /// static tree can route, so the ratio compares like with like:
+  /// realized hops (numerator) over tree hops (denominator).
+  std::uint64_t total_stretch_hops{0};
+  std::uint64_t total_tree_hops{0};
 
   RelayCounters& operator+=(const RelayCounters& o);
 };
 
 class RelayAgent {
  public:
-  /// `is_sink`: this node absorbs packets. `next_hop`: shallowest-first
-  /// forwarding choice, nullopt when no shallower neighbor exists.
+  /// Routing-layer next hop for this node; nullopt when no route exists.
   using NextHopFn = std::function<std::optional<NodeId>(NodeId self)>;
+  /// Hop count the routing layer currently advertises for `node` (0 when
+  /// unknown): the static-tree depth for stretch accounting and the
+  /// auditor's advertised-route-length bound.
+  using RouteHopsFn = std::function<std::uint32_t(NodeId node)>;
 
   RelayAgent(Simulator& sim, MacProtocol& mac, NodeId self, bool is_sink, NextHopFn next_hop,
              std::uint8_t hop_limit = 16);
@@ -43,12 +52,27 @@ class RelayAgent {
   /// Origin-side entry: stamps the header and enqueues the first hop.
   void originate(std::uint32_t payload_bits);
 
+  /// Optional structured trace of relay events (kRelayOriginate /
+  /// kRelayForward / kRelayArrive), feeding the routing invariants.
+  void set_trace(TraceSink* trace) { trace_ = trace; }
+  /// Static-tree hop counts, for the hop-stretch numerator at sinks.
+  void set_tree_hops(RouteHopsFn fn) { tree_hops_ = std::move(fn); }
+  /// Currently advertised route length at a node (auditor bound).
+  void set_advertised_hops(RouteHopsFn fn) { advertised_hops_ = std::move(fn); }
+
   [[nodiscard]] const RelayCounters& counters() const { return counters_; }
   [[nodiscard]] bool is_sink() const { return is_sink_; }
+
+  /// Checkpoint encoding of the relay bookkeeping (counters + the origin
+  /// id allocator); part of the Network's "routing" section.
+  void save_state(StateWriter& writer) const;
+  void restore_state(StateReader& reader);
 
  private:
   void on_delivery(const Frame& frame);
   void forward(const Frame& frame);
+  void trace_relay(TraceEventKind kind, std::uint64_t e2e_id, NodeId origin, std::int64_t a,
+                   std::int64_t b) const;
 
   Simulator& sim_;
   MacProtocol& mac_;
@@ -58,6 +82,9 @@ class RelayAgent {
   std::uint8_t hop_limit_;
   std::uint64_t next_e2e_id_{1};
   RelayCounters counters_;
+  TraceSink* trace_{nullptr};
+  RouteHopsFn tree_hops_{};
+  RouteHopsFn advertised_hops_{};
 };
 
 }  // namespace aquamac

@@ -1,0 +1,89 @@
+#include "net/route_table.hpp"
+
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace aquamac {
+
+Duration route_link_cost(Duration measured_delay) {
+  const Duration floor = Duration::nanoseconds(1);
+  return measured_delay > floor ? measured_delay : floor;
+}
+
+RouteTable RouteTable::build(const std::vector<std::map<NodeId, Duration>>& delays,
+                             const std::vector<bool>& is_sink) {
+  if (delays.size() != is_sink.size()) {
+    throw std::invalid_argument("RouteTable: delays/is_sink size mismatch");
+  }
+  const std::size_t n = delays.size();
+
+  RouteTable table;
+  table.entries_.assign(n, Entry{});
+  table.sink_ = is_sink;
+
+  // Reverse adjacency: who can transmit *to* node u, at what link cost.
+  // Dijkstra relaxes from a settled receiver u back to its possible
+  // senders v, since convergecast routes point from senders to receivers.
+  std::vector<std::vector<std::pair<NodeId, Duration>>> senders_of(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (const auto& [u, delay] : delays[v]) {
+      if (u >= n || static_cast<std::size_t>(u) == v) continue;
+      senders_of[u].emplace_back(static_cast<NodeId>(v), route_link_cost(delay));
+    }
+  }
+
+  // Multi-source Dijkstra. The frontier is ordered by (cost, id) so the
+  // pop sequence — and with it every tie-break — is a pure function of
+  // the input graph. Because link costs are floored strictly positive, a
+  // node's parent always settles at strictly lower cost, which makes the
+  // next-hop chains loop-free by construction.
+  std::set<std::pair<Duration, NodeId>> frontier;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!is_sink[i]) continue;
+    Entry& e = table.entries_[i];
+    e.reachable = true;
+    e.cost = Duration::zero();
+    e.hops = 0;
+    e.next_hop = kNoNode;
+    frontier.emplace(Duration::zero(), static_cast<NodeId>(i));
+  }
+  std::vector<bool> settled(n, false);
+  while (!frontier.empty()) {
+    const auto [cost, u] = *frontier.begin();
+    frontier.erase(frontier.begin());
+    if (settled[u]) continue;
+    settled[u] = true;
+    for (const auto& [v, w] : senders_of[u]) {
+      if (is_sink[v] || settled[v]) continue;
+      Entry& e = table.entries_[v];
+      const Duration candidate = cost + w;
+      if (!e.reachable || candidate < e.cost ||
+          (candidate == e.cost && u < e.next_hop)) {
+        const bool cost_changed = !e.reachable || candidate < e.cost;
+        e.reachable = true;
+        e.cost = candidate;
+        e.hops = table.entries_[u].hops + 1;
+        e.next_hop = u;
+        if (cost_changed) frontier.emplace(candidate, v);
+      }
+    }
+  }
+  return table;
+}
+
+std::optional<NodeId> RouteTable::next_hop(NodeId node) const {
+  const Entry& e = entries_.at(node);
+  if (!e.reachable || e.next_hop == kNoNode) return std::nullopt;
+  return e.next_hop;
+}
+
+std::size_t RouteTable::routed_count() const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (!sink_[i] && entries_[i].reachable) ++count;
+  }
+  return count;
+}
+
+}  // namespace aquamac

@@ -1,0 +1,63 @@
+#pragma once
+// Static shortest-delay convergecast tree (docs/routing.md).
+//
+// RouteTable::build runs a deterministic multi-source Dijkstra from the
+// sink set over the measured one-hop delay graph (each node's
+// NeighborTable estimates) and records, per node, the next hop toward the
+// nearest sink, the total path delay, and the hop count. Ties are broken
+// by lower parent id, which is the same rule DvRouter converges to, so
+// the two can be compared entry-for-entry (routing_differential_test).
+//
+// The table is a pure value: building it never touches the simulator, so
+// property tests can hammer it on synthetic topologies.
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "phy/frame.hpp"
+#include "util/time.hpp"
+
+namespace aquamac {
+
+/// Minimum edge weight used by both RouteTable and DvRouter. Measured
+/// delays of exactly zero (co-located nodes, clamped clock skew) would
+/// allow zero-cost cycles; flooring every link keeps path cost strictly
+/// increasing hop over hop, which is what makes the tree provably
+/// loop-free.
+[[nodiscard]] Duration route_link_cost(Duration measured_delay);
+
+class RouteTable {
+ public:
+  struct Entry {
+    NodeId next_hop{kNoNode};  ///< kNoNode: sink or unreachable
+    Duration cost{};           ///< total path delay to the nearest sink
+    std::uint32_t hops{0};
+    bool reachable{false};
+  };
+
+  /// `delays[i]` is node i's measured one-hop delay map (who i can
+  /// transmit to, at what propagation delay); `is_sink[i]` marks the
+  /// convergecast roots. Both indexed by dense NodeId.
+  [[nodiscard]] static RouteTable build(const std::vector<std::map<NodeId, Duration>>& delays,
+                                        const std::vector<bool>& is_sink);
+
+  /// Next hop toward the nearest sink; nullopt for sinks themselves and
+  /// for nodes with no path to any sink.
+  [[nodiscard]] std::optional<NodeId> next_hop(NodeId node) const;
+  [[nodiscard]] bool reachable(NodeId node) const { return entries_.at(node).reachable; }
+  [[nodiscard]] bool is_sink(NodeId node) const { return sink_.at(node); }
+  [[nodiscard]] Duration cost(NodeId node) const { return entries_.at(node).cost; }
+  [[nodiscard]] std::uint32_t hops(NodeId node) const { return entries_.at(node).hops; }
+  [[nodiscard]] const Entry& entry(NodeId node) const { return entries_.at(node); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Number of non-sink nodes with a route (bench/test coverage metric).
+  [[nodiscard]] std::size_t routed_count() const;
+
+ private:
+  std::vector<Entry> entries_;
+  std::vector<bool> sink_;
+};
+
+}  // namespace aquamac

@@ -1,6 +1,25 @@
 #include "net/routing.hpp"
 
+#include <stdexcept>
+#include <string>
+
 namespace aquamac {
+
+std::string_view to_string(RoutingKind kind) {
+  switch (kind) {
+    case RoutingKind::kGreedy: return "greedy";
+    case RoutingKind::kTree: return "tree";
+    case RoutingKind::kDv: return "dv";
+  }
+  return "?";
+}
+
+RoutingKind routing_kind_from_string(std::string_view name) {
+  if (name == "greedy") return RoutingKind::kGreedy;
+  if (name == "tree") return RoutingKind::kTree;
+  if (name == "dv") return RoutingKind::kDv;
+  throw std::invalid_argument("unknown routing kind: " + std::string(name));
+}
 
 UphillRouter::UphillRouter(const std::vector<Vec3>& positions, double range_m) {
   candidates_.resize(positions.size());

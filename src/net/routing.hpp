@@ -7,6 +7,7 @@
 // shallower in-range neighbor act as sinks and generate no traffic.
 
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "phy/frame.hpp"
@@ -14,6 +15,20 @@
 #include "util/vec3.hpp"
 
 namespace aquamac {
+
+/// Which routing layer feeds next hops to the relay agents in multi-hop
+/// mode (docs/routing.md):
+///   kGreedy — the original depth-greedy shallowest-neighbor rule,
+///             computed from deployment ground truth (baseline);
+///   kTree   — static shortest-delay spanning tree built from the
+///             NeighborTable delay estimates at traffic start (default);
+///   kDv     — the DvRouter distance-vector protocol with piggybacked
+///             advertisements and route maintenance under faults.
+enum class RoutingKind : std::uint8_t { kGreedy, kTree, kDv };
+
+[[nodiscard]] std::string_view to_string(RoutingKind kind);
+/// Parses "greedy" / "tree" / "dv"; throws std::invalid_argument.
+[[nodiscard]] RoutingKind routing_kind_from_string(std::string_view name);
 
 class UphillRouter {
  public:

@@ -52,6 +52,12 @@ void save_frame(StateWriter& writer, const Frame& frame) {
   writer.write_u8(frame.hop_count);
   writer.write_u64(frame.e2e_id);
   writer.write_time(frame.created_at);
+  writer.write_bool(frame.route_valid);
+  writer.write_u32(frame.route_sink);
+  writer.write_u32(frame.route_seq);
+  writer.write_duration(frame.route_cost);
+  writer.write_u32(frame.route_hops);
+  writer.write_u32(frame.route_next_hop);
   writer.write_bool(frame.neighbor_info != nullptr);
   if (frame.neighbor_info != nullptr) {
     writer.write_u64(frame.neighbor_info->size());
@@ -79,6 +85,12 @@ Frame read_frame(StateReader& reader) {
   frame.hop_count = reader.read_u8();
   frame.e2e_id = reader.read_u64();
   frame.created_at = reader.read_time();
+  frame.route_valid = reader.read_bool();
+  frame.route_sink = reader.read_u32();
+  frame.route_seq = reader.read_u32();
+  frame.route_cost = reader.read_duration();
+  frame.route_hops = reader.read_u32();
+  frame.route_next_hop = reader.read_u32();
   if (reader.read_bool()) {
     std::vector<NeighborInfo> entries;
     const std::uint64_t count = reader.read_u64();

@@ -90,6 +90,20 @@ struct Frame {
   /// Origin enqueue time, for end-to-end latency.
   Time created_at{};
 
+  // --- piggybacked route advertisement (DvRouter, docs/routing.md) ----
+  /// Every frame a DV-routed node transmits carries its current best
+  /// convergecast route; receivers fold it into their tables together
+  /// with the frame's measured one-hop delay. route_next_hop is the
+  /// advertiser's own next hop, which receivers use for split-horizon
+  /// filtering. route_valid = false when the sender has no route (or the
+  /// scenario does not run the DV protocol at all).
+  bool route_valid{false};
+  NodeId route_sink{kNoNode};
+  std::uint32_t route_seq{0};
+  Duration route_cost{};
+  std::uint32_t route_hops{0};
+  NodeId route_next_hop{kNoNode};
+
   /// kMaint payload: the sender's one-hop table, from which receivers
   /// build two-hop state (ROPA / CS-MAC). The encoded size is already
   /// reflected in size_bits; the pointer is the simulator-level content.

@@ -21,6 +21,8 @@ std::string_view to_string(InvariantKind kind) {
     case InvariantKind::kOffSlotStart: return "off-slot-start";
     case InvariantKind::kAckSlotMismatch: return "ack-slot-mismatch";
     case InvariantKind::kNeighborDelayDrift: return "neighbor-delay-drift";
+    case InvariantKind::kPacketRevisit: return "packet-revisit";
+    case InvariantKind::kHopCountExceedsRoute: return "hop-count-exceeds-route";
   }
   return "?";
 }
@@ -47,6 +49,14 @@ void InvariantAuditor::record(const TraceEvent& event) {
       // knowledge-scoped checks must not hold it to one.
       node_states_[event.node].knows_since.erase(event.src);
       break;
+    case TraceEventKind::kRouteUpdate:
+      // Routing churn: open the route_grace window for checks (e)/(f).
+      any_route_update_ = true;
+      last_route_update_ = event.at;
+      break;
+    case TraceEventKind::kRelayOriginate: on_relay_originate(event); break;
+    case TraceEventKind::kRelayForward: on_relay_forward(event); break;
+    case TraceEventKind::kRelayArrive: on_relay_arrive(event); break;
     default: break;  // other MAC events carry context, not obligations
   }
 }
@@ -255,6 +265,73 @@ void InvariantAuditor::on_neighbor_update(const TraceEvent& event) {
                             event.frame_type, event.src, event.dst, event.seq,
                             detail.str()});
   }
+}
+
+bool InvariantAuditor::routes_settled(Time at) const {
+  return !any_route_update_ || last_route_update_ + config_.route_grace <= at;
+}
+
+void InvariantAuditor::on_relay_originate(const TraceEvent& event) {
+  Flight flight{};
+  flight.origin_at = event.at;
+  flight.advertised_hops = event.b > 0 ? static_cast<std::uint32_t>(event.b) : 0;
+  flight.visited.push_back(event.node);
+  flights_[event.seq] = std::move(flight);
+  prune_flights(event.at);
+}
+
+void InvariantAuditor::on_relay_forward(const TraceEvent& event) {
+  const auto it = flights_.find(event.seq);
+  if (it == flights_.end()) return;  // originated before attach, or pruned
+  Flight& flight = it->second;
+  const bool revisit =
+      std::find(flight.visited.begin(), flight.visited.end(), event.node) !=
+      flight.visited.end();
+  if (!revisit) flight.visited.push_back(event.node);
+  // (e): scoped to settled routes and healthy forwarders — a loop during
+  // DV re-convergence (or through a rejoining node) is expected churn.
+  if (!healthy(event.node, event.at) || !routes_settled(event.at)) return;
+  checks_ += 1;
+  if (revisit) {
+    std::ostringstream detail;
+    detail << "packet " << event.seq << " from origin " << event.src
+           << " forwarded through node " << event.node << " twice (hop "
+           << event.a << ")";
+    add_violation(Violation{InvariantKind::kPacketRevisit, event.at, event.node,
+                            event.frame_type, event.src, event.dst, event.seq,
+                            detail.str()});
+  }
+}
+
+void InvariantAuditor::on_relay_arrive(const TraceEvent& event) {
+  const auto it = flights_.find(event.seq);
+  if (it == flights_.end()) return;
+  const Flight flight = it->second;
+  flights_.erase(it);
+  if (!healthy(event.node, event.at)) return;
+  if (flight.advertised_hops == 0) return;  // origin advertised no length
+  // (f) holds only when no route changed network-wide during the flight:
+  // a mid-flight reroute legitimately lengthens the realized path.
+  if (any_route_update_ && last_route_update_ >= flight.origin_at) return;
+  checks_ += 1;
+  if (event.a > static_cast<std::int64_t>(flight.advertised_hops)) {
+    std::ostringstream detail;
+    detail << "packet " << event.seq << " arrived after " << event.a
+           << " hops, origin " << event.src << " advertised a " << flight.advertised_hops
+           << "-hop route";
+    add_violation(Violation{InvariantKind::kHopCountExceedsRoute, event.at, event.node,
+                            event.frame_type, event.src, event.dst, event.seq,
+                            detail.str()});
+  }
+}
+
+void InvariantAuditor::prune_flights(Time now) {
+  if (flights_.size() <= 4096) return;
+  // Dropped packets never arrive; shed flights old enough that nothing
+  // could still be relaying them (generous multiple of a per-hop cycle).
+  const Duration horizon = 256 * (config_.slot_length + config_.tau_max);
+  std::erase_if(flights_,
+                [&](const auto& kv) { return kv.second.origin_at + horizon < now; });
 }
 
 void InvariantAuditor::prune(NodeId node, Time now) {

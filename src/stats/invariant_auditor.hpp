@@ -19,6 +19,14 @@
 //       reception is consistent with the channel's true propagation delay
 //       (tx start -> arrival begin) within the sync tolerance, after the
 //       MAC's [0, tau_max] clamp.
+//   (e) kPacketRevisit — no relayed packet is forwarded through the same
+//       node twice (docs/routing.md: the tree is loop-free by
+//       construction; DV loops are transient). Checked only while routes
+//       are settled: any kRouteUpdate opens a route_grace window during
+//       which revisits are expected churn, not violations.
+//   (f) kHopCountExceedsRoute — a packet's final hop count at the sink
+//       never exceeds the route length its origin advertised at launch,
+//       provided no route changed anywhere in the network mid-flight.
 //
 // Violations are recorded with full context; hard_fail promotes the first
 // one to a std::runtime_error, which is how the soak tests use it. The
@@ -42,6 +50,8 @@ enum class InvariantKind : std::uint8_t {
   kOffSlotStart,
   kAckSlotMismatch,
   kNeighborDelayDrift,
+  kPacketRevisit,
+  kHopCountExceedsRoute,
 };
 
 [[nodiscard]] std::string_view to_string(InvariantKind kind);
@@ -57,6 +67,10 @@ class InvariantAuditor final : public TraceSink {
     /// After a kFaultNodeUp the node is still re-learning its neighborhood;
     /// checks at that node are suppressed for this long (fault injection).
     Duration rejoin_grace{};
+    /// Routing checks (e)/(f) are suppressed for this long after any
+    /// kRouteUpdate: DV re-convergence legitimately produces transient
+    /// loops and detours until the sequence wave flushes stale routes.
+    Duration route_grace{};
     bool hard_fail{false};     ///< throw on the first violation
   };
 
@@ -150,9 +164,22 @@ class InvariantAuditor final : public TraceSink {
     Time unhealthy_until{};
   };
 
+  /// One relayed packet in flight, keyed by its e2e id.
+  struct Flight {
+    Time origin_at{};
+    std::uint32_t advertised_hops{0};  ///< origin's route length (0 = unknown)
+    std::vector<NodeId> visited;       ///< origin + every forwarder so far
+  };
+
   void on_tx_start(const TraceEvent& event);
   void on_rx(const TraceEvent& event);
   void on_neighbor_update(const TraceEvent& event);
+  void on_relay_originate(const TraceEvent& event);
+  void on_relay_forward(const TraceEvent& event);
+  void on_relay_arrive(const TraceEvent& event);
+  /// Whether the routing layer has been quiet for route_grace at `at`.
+  [[nodiscard]] bool routes_settled(Time at) const;
+  void prune_flights(Time now);
   /// Whether `node` is in a healthy interval at `at` (unknown nodes are).
   [[nodiscard]] bool healthy(NodeId node, Time at) const;
   void check_extra_overlap(NodeId node, const ArrivalWindow& added, bool added_is_extra);
@@ -171,6 +198,12 @@ class InvariantAuditor final : public TraceSink {
   Config config_;
   std::unordered_map<TxKey, TxRing, TxKeyHash> tx_times_;
   std::unordered_map<NodeId, NodeState> node_states_;
+  /// In-flight relayed packets for checks (e)/(f). Dropped packets never
+  /// see their kRelayArrive, so the map is bounded by periodic pruning.
+  std::unordered_map<std::uint64_t, Flight> flights_;
+  /// Latest kRouteUpdate anywhere (network-wide churn marker).
+  Time last_route_update_{};
+  bool any_route_update_{false};
   std::vector<Violation> violations_;
   std::uint64_t checks_{0};
 };

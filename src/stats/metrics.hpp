@@ -68,6 +68,16 @@ struct RunStats {
   double e2e_delivery_ratio{0.0};
   double mean_hops{0.0};
   double mean_e2e_latency_s{0.0};
+  // Routing-layer breakdown (docs/routing.md):
+  std::uint64_t e2e_forwarded{0};
+  std::uint64_t e2e_dropped_no_route{0};  ///< routing named no next hop
+  std::uint64_t e2e_dropped_hop_limit{0};
+  std::uint64_t e2e_dropped_mac{0};       ///< a hop exhausted MAC retries
+  /// Realized hops / static-tree hops, over arrivals whose origin the
+  /// tree can route (1.0 = shortest-delay paths; greedy/DV detours > 1).
+  double hop_stretch{0.0};
+  /// mean_e2e_latency_s / mean_hops: queueing+contention cost per hop.
+  double mean_per_hop_latency_s{0.0};
 };
 
 /// Jain's fairness index: (sum x)^2 / (n * sum x^2); 1.0 for empty or

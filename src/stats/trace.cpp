@@ -29,6 +29,10 @@ std::string_view to_string(TraceEventKind kind) {
     case TraceEventKind::kNeighborEvicted: return "EVICT";
     case TraceEventKind::kNeighborDead: return "NBRDEAD";
     case TraceEventKind::kNeighborProbe: return "PROBE";
+    case TraceEventKind::kRouteUpdate: return "ROUTE";
+    case TraceEventKind::kRelayOriginate: return "RELAYSRC";
+    case TraceEventKind::kRelayForward: return "RELAYFWD";
+    case TraceEventKind::kRelayArrive: return "RELAYDST";
   }
   return "?";
 }

@@ -53,6 +53,14 @@ enum class TraceEventKind : std::uint8_t {
   kNeighborEvicted,  ///< stale entry aged out; src = neighbor, a = max age ns
   kNeighborDead,     ///< K consecutive silent handshakes; src = neighbor, a = K
   kNeighborProbe,    ///< reinstatement probe of a dead neighbor; src = neighbor
+  // --- routing events (DvRouter / RelayAgent, docs/routing.md) ----------
+  kRouteUpdate,      ///< best route changed; src = next hop, dst = sink,
+                     ///< a = cost ns, b = hops (b = -1: route lost)
+  kRelayOriginate,   ///< e2e packet stamped; seq = e2e id, b = advertised hops
+  kRelayForward,     ///< e2e packet re-enqueued; seq = e2e id, src = origin,
+                     ///< a = hop count after this hop, b = advertised hops here
+  kRelayArrive,      ///< e2e packet absorbed by a sink; seq = e2e id,
+                     ///< src = origin, a = final hop count
 };
 
 [[nodiscard]] std::string_view to_string(TraceEventKind kind);

@@ -35,6 +35,8 @@ TEST(ConfigIo, RoundTripPreservesEveryScalar) {
   original.multi_hop = true;
   original.sink_fraction = 0.2;
   original.hop_limit = 7;
+  original.routing = RoutingKind::kDv;
+  original.routing_beacon = Duration::from_seconds(17.5);
 
   std::stringstream buffer;
   save_scenario(original, buffer);
@@ -59,6 +61,8 @@ TEST(ConfigIo, RoundTripPreservesEveryScalar) {
   EXPECT_EQ(loaded.multi_hop, original.multi_hop);
   EXPECT_DOUBLE_EQ(loaded.sink_fraction, original.sink_fraction);
   EXPECT_EQ(loaded.hop_limit, original.hop_limit);
+  EXPECT_EQ(loaded.routing, original.routing);
+  EXPECT_EQ(loaded.routing_beacon, original.routing_beacon);
 }
 
 TEST(ConfigIo, LoadedScenarioRunsIdenticallyToOriginal) {

@@ -149,6 +149,94 @@ TEST(InvariantAuditor, NeighborDelayDriftFlagged) {
   EXPECT_EQ(auditor.violations()[0].kind, InvariantKind::kNeighborDelayDrift);
 }
 
+// --- routing invariants (e)/(f): synthetic relay streams ---------------
+
+TraceEvent relay_event(TraceEventKind kind, double t_s, NodeId node, NodeId origin,
+                       std::uint64_t e2e, std::int64_t a, std::int64_t b) {
+  TraceEvent event{};
+  event.kind = kind;
+  event.at = Time::from_seconds(t_s);
+  event.node = node;
+  event.src = origin;
+  event.seq = e2e;
+  event.a = a;
+  event.b = b;
+  return event;
+}
+
+TraceEvent route_update(double t_s, NodeId node) {
+  TraceEvent event{};
+  event.kind = TraceEventKind::kRouteUpdate;
+  event.at = Time::from_seconds(t_s);
+  event.node = node;
+  return event;
+}
+
+TEST(InvariantAuditor, PacketRevisitFlagged) {
+  InvariantAuditor auditor{synthetic_config()};
+  auditor.record(relay_event(TraceEventKind::kRelayOriginate, 0.0, 5, 5, 42, 1, 3));
+  auditor.record(relay_event(TraceEventKind::kRelayForward, 1.0, 4, 5, 42, 2, 2));
+  auditor.record(relay_event(TraceEventKind::kRelayForward, 2.0, 3, 5, 42, 3, 1));
+  EXPECT_TRUE(auditor.violations().empty());
+  // The packet comes back through node 4: a routing loop.
+  auditor.record(relay_event(TraceEventKind::kRelayForward, 3.0, 4, 5, 42, 4, 2));
+  ASSERT_EQ(auditor.violations().size(), 1u);
+  EXPECT_EQ(auditor.violations()[0].kind, InvariantKind::kPacketRevisit);
+  EXPECT_EQ(auditor.violations()[0].node, 4u);
+  EXPECT_EQ(auditor.violations()[0].seq, 42u);
+}
+
+TEST(InvariantAuditor, RevisitDuringRouteChurnIsExempt) {
+  InvariantAuditor::Config config = synthetic_config();
+  config.route_grace = Duration::seconds(10);
+  InvariantAuditor auditor{config};
+  auditor.record(relay_event(TraceEventKind::kRelayOriginate, 0.0, 5, 5, 42, 1, 3));
+  auditor.record(relay_event(TraceEventKind::kRelayForward, 1.0, 4, 5, 42, 2, 2));
+  // A route changed somewhere: the next ten seconds are re-convergence.
+  auditor.record(route_update(1.5, 3));
+  auditor.record(relay_event(TraceEventKind::kRelayForward, 2.0, 3, 5, 42, 3, 1));
+  auditor.record(relay_event(TraceEventKind::kRelayForward, 3.0, 4, 5, 42, 4, 2));
+  EXPECT_TRUE(auditor.violations().empty()) << "loop during churn must be exempt";
+  // Once the grace window passes, a fresh loop is a violation again.
+  auditor.record(relay_event(TraceEventKind::kRelayOriginate, 20.0, 5, 5, 43, 1, 3));
+  auditor.record(relay_event(TraceEventKind::kRelayForward, 21.0, 4, 5, 43, 2, 2));
+  auditor.record(relay_event(TraceEventKind::kRelayForward, 22.0, 4, 5, 43, 3, 2));
+  ASSERT_EQ(auditor.violations().size(), 1u);
+  EXPECT_EQ(auditor.violations()[0].kind, InvariantKind::kPacketRevisit);
+}
+
+TEST(InvariantAuditor, HopCountWithinAdvertisedRoutePasses) {
+  InvariantAuditor auditor{synthetic_config()};
+  auditor.record(relay_event(TraceEventKind::kRelayOriginate, 0.0, 5, 5, 42, 1, 2));
+  auditor.record(relay_event(TraceEventKind::kRelayForward, 1.0, 4, 5, 42, 2, 1));
+  auditor.record(relay_event(TraceEventKind::kRelayArrive, 2.0, 0, 5, 42, 2, 0));
+  EXPECT_TRUE(auditor.violations().empty());
+  EXPECT_GE(auditor.checks(), 1u);
+}
+
+TEST(InvariantAuditor, HopCountExceedingAdvertisedRouteFlagged) {
+  InvariantAuditor auditor{synthetic_config()};
+  auditor.record(relay_event(TraceEventKind::kRelayOriginate, 0.0, 5, 5, 42, 1, 2));
+  auditor.record(relay_event(TraceEventKind::kRelayForward, 1.0, 4, 5, 42, 2, 1));
+  auditor.record(relay_event(TraceEventKind::kRelayForward, 2.0, 3, 5, 42, 3, 1));
+  auditor.record(relay_event(TraceEventKind::kRelayForward, 3.0, 2, 5, 42, 4, 1));
+  auditor.record(relay_event(TraceEventKind::kRelayArrive, 4.0, 0, 5, 42, 4, 0));
+  ASSERT_EQ(auditor.violations().size(), 1u);
+  EXPECT_EQ(auditor.violations()[0].kind, InvariantKind::kHopCountExceedsRoute);
+  EXPECT_EQ(auditor.violations()[0].seq, 42u);
+}
+
+TEST(InvariantAuditor, HopCountAfterMidFlightRerouteIsExempt) {
+  InvariantAuditor auditor{synthetic_config()};
+  auditor.record(relay_event(TraceEventKind::kRelayOriginate, 0.0, 5, 5, 42, 1, 2));
+  // The network re-routed while the packet was in flight: a longer
+  // realized path is legitimate.
+  auditor.record(route_update(1.5, 3));
+  auditor.record(relay_event(TraceEventKind::kRelayForward, 2.0, 3, 5, 42, 3, 1));
+  auditor.record(relay_event(TraceEventKind::kRelayArrive, 4.0, 0, 5, 42, 4, 0));
+  EXPECT_TRUE(auditor.violations().empty());
+}
+
 TEST(InvariantAuditor, HardFailThrowsOnFirstViolation) {
   InvariantAuditor::Config config = synthetic_config();
   config.hard_fail = true;
@@ -200,6 +288,61 @@ TEST(AuditorSoak, HardFailGridEwMacSFamaMacaU) {
       }
     }
   }
+}
+
+// The multi-hop CI soak (matched by the same "AuditorSoak" regex): relay
+// traffic across all three routing layers with a hard-fail auditor, so
+// the routing invariants (e)/(f) run against live simulations, not just
+// the synthetic fixtures above.
+TEST(AuditorSoakMultiHop, HardFailAllRoutingKindsClean) {
+  for (const RoutingKind routing :
+       {RoutingKind::kGreedy, RoutingKind::kTree, RoutingKind::kDv}) {
+    ScenarioConfig config = small_test_scenario();
+    config.mac = MacKind::kEwMac;
+    config.multi_hop = true;
+    config.routing = routing;
+    config.sim_time = Duration::seconds(150);
+    config.traffic.offered_load_kbps = 0.5;
+    InvariantAuditor::Config audit = auditor_config_for(config);
+    audit.hard_fail = true;
+    InvariantAuditor auditor{audit};
+    config.trace = &auditor;
+    RunStats stats{};
+    try {
+      stats = run_scenario(config);
+    } catch (const std::runtime_error& e) {
+      FAIL() << to_string(routing) << ": " << e.what();
+    }
+    EXPECT_GT(stats.e2e_originated, 0u) << to_string(routing);
+    EXPECT_GT(stats.e2e_arrived_at_sink, 0u) << to_string(routing);
+    EXPECT_GT(auditor.checks(), 0u) << to_string(routing);
+  }
+}
+
+TEST(AuditorSoakMultiHop, HardFailDvUnderOutagesClean) {
+  // Route maintenance under fire: outages kill relays, DV invalidates and
+  // re-converges, and every transient loop must fall inside the
+  // route_grace churn windows the auditor scopes itself to.
+  ScenarioConfig config = small_test_scenario();
+  config.mac = MacKind::kEwMac;
+  config.multi_hop = true;
+  config.routing = RoutingKind::kDv;
+  config.seed = 5;
+  config.sim_time = Duration::seconds(200);
+  config.traffic.offered_load_kbps = 0.5;
+  config.fault.outage_rate_per_hour = 40.0;
+  config.fault.outage_mean_duration = Duration::seconds(10);
+  config.mac_config.neighbor_max_age = Duration::seconds(45);
+  config.mac_config.dead_neighbor_threshold = 3;
+  InvariantAuditor::Config audit = auditor_config_for(config);
+  audit.hard_fail = true;
+  InvariantAuditor auditor{audit};
+  config.trace = &auditor;
+  RunStats stats{};
+  ASSERT_NO_THROW(stats = run_scenario(config));
+  EXPECT_TRUE(auditor.violations().empty());
+  EXPECT_GT(stats.e2e_arrived_at_sink, 0u) << "the faulted relay mesh still delivers";
+  EXPECT_GT(auditor.checks(), 0u);
 }
 
 }  // namespace

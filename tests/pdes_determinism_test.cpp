@@ -186,6 +186,71 @@ TEST(PdesDeterminism, DigestInvariantAcrossShardCounts) {
   }
 }
 
+// --- multi-hop DV routing across the sharded engine --------------------
+
+void expect_same_multihop_run(const RunOutput& serial, const RunOutput& sharded) {
+  expect_same_run(serial, sharded);
+  EXPECT_GT(serial.stats.e2e_originated, 0u) << "no multi-hop traffic proves nothing";
+  EXPECT_EQ(serial.stats.e2e_originated, sharded.stats.e2e_originated);
+  EXPECT_EQ(serial.stats.e2e_arrived_at_sink, sharded.stats.e2e_arrived_at_sink);
+  EXPECT_EQ(serial.stats.e2e_forwarded, sharded.stats.e2e_forwarded);
+  EXPECT_EQ(serial.stats.e2e_dropped_no_route, sharded.stats.e2e_dropped_no_route);
+  EXPECT_EQ(serial.stats.e2e_dropped_mac, sharded.stats.e2e_dropped_mac);
+  EXPECT_EQ(serial.stats.mean_e2e_latency_s, sharded.stats.mean_e2e_latency_s);
+  EXPECT_EQ(serial.stats.hop_stretch, sharded.stats.hop_stretch);
+}
+
+TEST(PdesDeterminism, DvRoutingDigestInvariantAcrossShardCounts) {
+  // The routing layer adds cross-node state flow (piggybacked ads ingested
+  // at reception, beacon timers per lane, triggered updates): all of it
+  // must replay identically under the windowed engine.
+  ScenarioConfig config = grid3d_scenario(96, 23);
+  config.mac = MacKind::kEwMac;
+  config.multi_hop = true;
+  config.routing = RoutingKind::kDv;
+  config.sim_time = Duration::seconds(12);
+  const RunOutput serial = run_with_shards(config, 1);
+  for (const unsigned shards : {2u, 4u, 8u}) {
+    SCOPED_TRACE("shards = " + std::to_string(shards));
+    expect_same_multihop_run(serial, run_with_shards(config, shards));
+  }
+}
+
+TEST(PdesDeterminism, DvRoutingUnderFaultPlanBitIdentical) {
+  // Route maintenance in anger: outages kill relays (neighbor_down,
+  // invalidations, triggered updates, sequence waves on rejoin) while the
+  // sharded engine runs the event loop concurrently.
+  ScenarioConfig config = grid3d_scenario(96, 29);
+  config.mac = MacKind::kCsMac;
+  config.multi_hop = true;
+  config.routing = RoutingKind::kDv;
+  config.sim_time = Duration::seconds(12);
+  config.fault.outage_rate_per_hour = 40.0;
+  config.fault.outage_mean_duration = Duration::seconds(4);
+  config.fault.ge_p_bad = 0.05;
+  config.fault.ge_loss_bad = 0.5;
+  expect_same_multihop_run(run_with_shards(config, 1), run_with_shards(config, 4));
+}
+
+TEST(PdesDeterminism, DvRoutingBitIdenticalAcrossJobs) {
+  ScenarioConfig base = grid3d_scenario(64, 37);
+  base.mac = MacKind::kSFama;
+  base.multi_hop = true;
+  base.routing = RoutingKind::kDv;
+  base.sim_time = Duration::seconds(10);
+  const std::vector<RunStats> serial = run_replicated_parallel(base, 2, 1);
+  const std::vector<RunStats> parallel = run_replicated_parallel(base, 2, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t k = 0; k < serial.size(); ++k) {
+    SCOPED_TRACE("replication " + std::to_string(k));
+    EXPECT_EQ(serial[k].e2e_originated, parallel[k].e2e_originated);
+    EXPECT_EQ(serial[k].e2e_arrived_at_sink, parallel[k].e2e_arrived_at_sink);
+    EXPECT_EQ(serial[k].e2e_forwarded, parallel[k].e2e_forwarded);
+    EXPECT_EQ(serial[k].mean_e2e_latency_s, parallel[k].mean_e2e_latency_s);
+    EXPECT_EQ(serial[k].total_energy_j, parallel[k].total_energy_j);
+  }
+}
+
 // --- level 3: the audit stream ----------------------------------------
 
 /// Flattens a TransmissionAudit into integers so whole sequences compare

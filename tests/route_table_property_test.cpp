@@ -1,0 +1,171 @@
+// Property test for the static shortest-delay tree (docs/routing.md):
+// on randomized topologies — sparse, dense, disconnected, zero-delay and
+// asymmetric links — every RouteTable must be loop-free (walking next
+// hops from any node terminates at a sink within node_count steps) and
+// cost-monotone toward the sink (each hop strictly decreases the
+// remaining path cost, the floor in route_link_cost making "strictly"
+// achievable even across zero-delay links). Seeded like
+// event_queue_property_test: every topology derives from one aquamac::Rng
+// stream, so failures replay exactly.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "net/route_table.hpp"
+#include "util/rng.hpp"
+
+namespace aquamac {
+namespace {
+
+struct Topology {
+  std::vector<std::map<NodeId, Duration>> delays;
+  std::vector<bool> is_sink;
+};
+
+/// One random topology: n in [4, 44), sink count in [1, n/4], directed
+/// link probability p in {sparse, medium, dense}, delays in [0, 2 s]
+/// with a slug of exact zeros (co-located nodes / clamped clock skew).
+Topology random_topology(Rng& rng) {
+  Topology topo;
+  const std::size_t n = 4 + static_cast<std::size_t>(rng.below(40));
+  topo.delays.resize(n);
+  topo.is_sink.assign(n, false);
+  const std::size_t sink_count = 1 + static_cast<std::size_t>(rng.below(std::max<std::uint64_t>(1, n / 4)));
+  for (std::size_t s = 0; s < sink_count; ++s) {
+    topo.is_sink[static_cast<std::size_t>(rng.below(n))] = true;
+  }
+  const double link_prob = 0.05 + 0.25 * static_cast<double>(rng.below(3));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (rng.uniform(0.0, 1.0) >= link_prob) continue;
+      // One link in eight is exactly zero delay — the degenerate case the
+      // route_link_cost floor exists for.
+      const Duration delay = rng.below(8) == 0
+                                 ? Duration::zero()
+                                 : Duration::from_seconds(rng.uniform(0.0, 2.0));
+      topo.delays[i][static_cast<NodeId>(j)] = delay;
+    }
+  }
+  return topo;
+}
+
+/// Walks the next-hop chain from `start`; fails the test on a loop (more
+/// than n steps), a hop into an unreachable node, or a cost that fails to
+/// strictly decrease. Returns the number of hops walked.
+std::uint32_t walk_to_sink(const RouteTable& table, const Topology& topo, NodeId start) {
+  NodeId at = start;
+  std::uint32_t steps = 0;
+  Duration remaining = table.cost(start);
+  while (!topo.is_sink[at]) {
+    const auto hop = table.next_hop(at);
+    EXPECT_TRUE(hop.has_value()) << "reachable node " << at << " names no next hop";
+    if (!hop) return steps;
+    EXPECT_TRUE(topo.is_sink[*hop] || table.reachable(*hop))
+        << "node " << at << " routes into unreachable node " << *hop;
+    // The hop must be a real link this node measured.
+    EXPECT_TRUE(topo.delays[at].contains(*hop))
+        << "node " << at << " routes to " << *hop << " without a link";
+    const Duration next_cost = table.cost(*hop);
+    EXPECT_LT(next_cost, remaining)
+        << "cost not strictly decreasing at " << at << " -> " << *hop;
+    remaining = next_cost;
+    at = *hop;
+    steps += 1;
+    EXPECT_LE(steps, topo.delays.size()) << "next-hop chain from " << start << " loops";
+    if (steps > topo.delays.size()) return steps;
+  }
+  return steps;
+}
+
+TEST(RouteTableProperty, LoopFreeAndCostMonotoneOnRandomTopologies) {
+  Rng root{0x20ACE5};
+  for (int round = 0; round < 200; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    Rng rng = root.fork(static_cast<std::uint64_t>(round));
+    const Topology topo = random_topology(rng);
+    const RouteTable table = RouteTable::build(topo.delays, topo.is_sink);
+    ASSERT_EQ(table.size(), topo.delays.size());
+
+    for (std::size_t i = 0; i < topo.delays.size(); ++i) {
+      const auto id = static_cast<NodeId>(i);
+      if (topo.is_sink[i]) {
+        // Sinks are roots: no next hop, zero cost, zero hops.
+        EXPECT_FALSE(table.next_hop(id).has_value());
+        EXPECT_EQ(table.cost(id), Duration::zero());
+        EXPECT_EQ(table.hops(id), 0u);
+        EXPECT_TRUE(table.is_sink(id));
+        continue;
+      }
+      if (!table.reachable(id)) {
+        EXPECT_FALSE(table.next_hop(id).has_value());
+        continue;
+      }
+      // Loop freedom + strict cost monotonicity, and the advertised hop
+      // count equals the realized walk length.
+      const std::uint32_t steps = walk_to_sink(table, topo, id);
+      EXPECT_EQ(steps, table.hops(id)) << "hop count disagrees with the walk";
+      EXPECT_GE(table.cost(id), Duration::nanoseconds(static_cast<std::int64_t>(steps)))
+          << "cost below the per-link floor times path length";
+    }
+  }
+}
+
+TEST(RouteTableProperty, RebuildIsDeterministic) {
+  Rng root{0x20ACE6};
+  for (int round = 0; round < 50; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    Rng rng = root.fork(static_cast<std::uint64_t>(round));
+    const Topology topo = random_topology(rng);
+    const RouteTable a = RouteTable::build(topo.delays, topo.is_sink);
+    const RouteTable b = RouteTable::build(topo.delays, topo.is_sink);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const auto id = static_cast<NodeId>(i);
+      EXPECT_EQ(a.entry(id).next_hop, b.entry(id).next_hop);
+      EXPECT_EQ(a.entry(id).cost, b.entry(id).cost);
+      EXPECT_EQ(a.entry(id).hops, b.entry(id).hops);
+      EXPECT_EQ(a.entry(id).reachable, b.entry(id).reachable);
+    }
+  }
+}
+
+TEST(RouteTableProperty, DisconnectedComponentIsUnreachableNotLooping) {
+  // Two components; sinks only in the first. The second must come back
+  // unreachable — never routed into a loop or across the gap.
+  std::vector<std::map<NodeId, Duration>> delays(6);
+  const Duration d = Duration::milliseconds(100);
+  delays[1][0] = d;  // component A: 1 -> 0 (sink)
+  delays[2][1] = d;  //              2 -> 1
+  delays[4][3] = d;  // component B: 4 -> 3, 3 -> 4 (mutual, sinkless)
+  delays[3][4] = d;
+  delays[5][4] = d;  //              5 -> 4
+  const RouteTable table = RouteTable::build(delays, {true, false, false, false, false, false});
+  EXPECT_TRUE(table.reachable(1));
+  EXPECT_TRUE(table.reachable(2));
+  EXPECT_EQ(table.hops(2), 2u);
+  for (const NodeId id : {NodeId{3}, NodeId{4}, NodeId{5}}) {
+    EXPECT_FALSE(table.reachable(id)) << "node " << id;
+    EXPECT_FALSE(table.next_hop(id).has_value()) << "node " << id;
+  }
+}
+
+TEST(RouteTableProperty, EqualCostTieBreaksTowardLowerParentId) {
+  // Node 3 reaches sinks 0 and 1 through parents 1 and 2 at identical
+  // cost; the tie must deterministically pick the lower parent id.
+  std::vector<std::map<NodeId, Duration>> delays(4);
+  const Duration d = Duration::milliseconds(200);
+  delays[2][0] = d;  // 2 -> sink 0
+  delays[1][0] = d;  // 1 -> sink 0
+  delays[3][1] = d;
+  delays[3][2] = d;
+  const RouteTable table = RouteTable::build(delays, {true, false, false, false});
+  ASSERT_TRUE(table.reachable(3));
+  EXPECT_EQ(table.next_hop(3), std::optional<NodeId>{1});
+  EXPECT_EQ(table.hops(3), 2u);
+}
+
+}  // namespace
+}  // namespace aquamac

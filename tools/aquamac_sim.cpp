@@ -36,6 +36,8 @@ int run(const CliParser& cli) {
   config.enable_mobility = cli.get_bool("mobility");
   config.clock_offset_stddev_s = cli.get_double("clock-skew");
   config.multi_hop = cli.get_bool("multi-hop");
+  config.routing = routing_kind_from_string(cli.get("routing"));
+  config.routing_beacon = Duration::from_seconds(cli.get_double("routing-beacon-s"));
   config.node_failure_fraction = cli.get_double("kill-fraction");
   config.shards = static_cast<unsigned>(std::max<std::int64_t>(1, cli.get_int("shards")));
 
@@ -115,7 +117,12 @@ int run(const CliParser& cli) {
     std::cout << "e2e delivery      " << stats.e2e_delivery_ratio << " ("
               << stats.e2e_arrived_at_sink << "/" << stats.e2e_originated << ")\n"
               << "mean hops         " << stats.mean_hops << "\n"
-              << "e2e latency       " << stats.mean_e2e_latency_s << " s\n";
+              << "e2e latency       " << stats.mean_e2e_latency_s << " s\n"
+              << "hop stretch       " << stats.hop_stretch << "\n"
+              << "per-hop latency   " << stats.mean_per_hop_latency_s << " s\n"
+              << "routing drops     " << stats.e2e_dropped_no_route << " no-route, "
+              << stats.e2e_dropped_hop_limit << " hop-limit, " << stats.e2e_dropped_mac
+              << " mac\n";
   }
   return 0;
 }
@@ -143,6 +150,13 @@ int main(int argc, char** argv) {
                     {"clock-skew", "0", "per-node clock offset stddev in seconds (sync "
                                         "imperfection)"},
                     {"multi-hop", "false", "relay traffic to surface sinks (Fig.-1 mode)"},
+                    {"routing", "tree", "multi-hop next-hop source: greedy (depth rule), "
+                                        "tree (static shortest-delay) or dv "
+                                        "(distance-vector; docs/routing.md)"},
+                    {"routing-beacon-s", "10", "DV beacon period in seconds; beacons carry "
+                                               "the sinks' sequence waves but contend like "
+                                               "any other frame, so dense single-cluster "
+                                               "deployments want this larger"},
                     {"kill-fraction", "0", "fraction of nodes that die 60 s into traffic"},
                     {"shards", "1", "conservative-PDES shards for intra-run parallelism "
                                     "(results are bit-identical for every value)"},
