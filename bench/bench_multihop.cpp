@@ -92,6 +92,10 @@ struct Series {
   config.fault.outage_mean_duration = Duration::seconds(45);
   config.mac_config.dead_neighbor_threshold = 3;
   config.mac_config.max_retries = 2;
+  // Pin the naive depth-greedy baseline: without this the dead-neighbor
+  // blacklist (ROADMAP 2c) lets greedy route around outages too, which
+  // is exactly the behavior the dv>greedy gate uses greedy to contrast.
+  config.greedy_blacklist = false;
   return config;
 }
 

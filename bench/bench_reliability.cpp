@@ -1,0 +1,279 @@
+// Hop-by-hop reliability degradation curves (docs/reliability.md): the
+// custody/ARQ relay layer vs the plain drop-on-MAC-failure relay on the
+// redundant-sibling corridor, swept across Gilbert-Elliott channel loss
+// and (separately) a combined outage + interference-storm fault plan.
+//
+// Two experiments:
+//  - loss: GE burst loss swept by P(good->bad); both modes run the same
+//    seeds with the InvariantAuditor attached in hard-fail mode (the
+//    custody invariants: no duplicate sink delivery, retries bounded).
+//    Gates (exit 1 otherwise):
+//      * ARQ delivery is monotone non-increasing in the loss rate
+//        (within a small replication-noise epsilon);
+//      * ARQ delivery strictly exceeds the no-ARQ baseline at every
+//        nonzero loss point;
+//      * the ARQ run's HashTrace digest is identical for shards 1 and 2
+//        at a representative loss point (reliability timers are
+//        lane-local, so sharding must not perturb the schedule).
+//  - storm: relay outages + interference storms, reported (no gate —
+//    outage survival is bench_multihop's DV-vs-greedy gate; here the
+//    comparison isolates what custody adds on top).
+//
+// Emits BENCH_reliability.json (schema aquamac-bench-reliability-v1;
+// render with scripts/plot_results.py).
+//
+//   AQUAMAC_FAST=1 ./bench_reliability   # 2 replications
+
+#include <cmath>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "harness/runner.hpp"
+#include "stats/invariant_auditor.hpp"
+#include "stats/trace.hpp"
+
+namespace {
+
+using namespace aquamac;
+
+/// Loss-sweep axis: P(good -> bad) per 100 ms GE step. With the default
+/// P(bad -> good) = 0.3 and loss-in-bad 0.9, the stationary frame-loss
+/// rates are about 0 / 0.13 / 0.30 / 0.45.
+const std::vector<double> kGeSweep{0.0, 0.05, 0.15, 0.3};
+
+/// Mean per-cell numbers over the seed replications.
+struct Series {
+  double delivery{0.0};
+  double e2e_latency_s{0.0};
+  double retransmissions{0.0};
+  double failovers{0.0};
+  double dead_letters{0.0};
+  double duplicates_suppressed{0.0};
+  double queue_highwater{0.0};
+};
+
+/// The bench_multihop redundant-sibling corridor (five relay layers of
+/// two siblings each under one sink layer) with DV routing, so the ARQ's
+/// failover always has a genuine alternate hop to consult.
+[[nodiscard]] ScenarioConfig corridor_scenario(std::uint64_t seed) {
+  ScenarioConfig config = small_test_scenario();
+  config.seed = seed;
+  config.node_count = 10;
+  config.deployment.kind = DeploymentKind::kLayeredColumn;
+  config.deployment.width_m = 400.0;
+  config.deployment.length_m = 400.0;
+  config.deployment.depth_m = 5'000.0;
+  config.deployment.layer_spacing_m = 1'000.0;
+  config.deployment.jitter_m = 50.0;
+  config.enable_mobility = false;
+  config.multi_hop = true;
+  config.routing = RoutingKind::kDv;
+  config.sim_time = Duration::seconds(1'200);
+  config.traffic.offered_load_kbps = 0.3;
+  config.mac_config.max_retries = 2;
+  config.mac_config.dead_neighbor_threshold = 3;
+  return config;
+}
+
+[[nodiscard]] ScenarioConfig with_arq(ScenarioConfig config) {
+  config.reliability.max_retries = 3;
+  config.reliability.queue_limit = 16;
+  return config;
+}
+
+/// Mean series over `replications` seeded runs, each with a hard-fail
+/// auditor attached (custody_retry_bound comes from the scenario, so the
+/// duplicate-delivery / retry-bound checks arm exactly when the ARQ is
+/// on). Throws on an invariant violation.
+Series mean_series(ScenarioConfig config, unsigned replications) {
+  Series s;
+  const std::uint64_t base_seed = config.seed;
+  for (unsigned k = 0; k < replications; ++k) {
+    config.seed = base_seed + k;
+    InvariantAuditor::Config audit = auditor_config_for(config);
+    audit.hard_fail = true;
+    InvariantAuditor auditor{audit};
+    config.trace = &auditor;
+    const RunStats stats = run_scenario(config);
+    s.delivery += stats.e2e_delivery_ratio;
+    s.e2e_latency_s += stats.mean_e2e_latency_s;
+    s.retransmissions += static_cast<double>(stats.e2e_retransmissions);
+    s.failovers += static_cast<double>(stats.e2e_failovers);
+    s.dead_letters += static_cast<double>(stats.e2e_dead_letter_exhausted +
+                                          stats.e2e_dead_letter_overflow +
+                                          stats.e2e_dead_letter_no_route);
+    s.duplicates_suppressed += static_cast<double>(stats.e2e_duplicates_suppressed);
+    s.queue_highwater += static_cast<double>(stats.relay_queue_highwater);
+  }
+  const auto n = static_cast<double>(replications);
+  s.delivery /= n;
+  s.e2e_latency_s /= n;
+  s.retransmissions /= n;
+  s.failovers /= n;
+  s.dead_letters /= n;
+  s.duplicates_suppressed /= n;
+  s.queue_highwater /= n;
+  return s;
+}
+
+[[nodiscard]] std::uint64_t digest_with_shards(ScenarioConfig config, unsigned shards) {
+  HashTrace trace;
+  config.trace = &trace;
+  config.shards = shards;
+  (void)run_scenario(config);
+  return trace.digest();
+}
+
+void print_rows(const std::string& label, const std::vector<double>& xs,
+                const std::vector<Series>& arq, const std::vector<Series>& noarq) {
+  std::cout << label << "\n  x        arq_dlv  noarq_dlv  rtx     fover   deadltr  dup  qhw\n";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::cout << "  " << xs[i] << "\t" << arq[i].delivery << "\t" << noarq[i].delivery
+              << "\t" << arq[i].retransmissions << "\t" << arq[i].failovers << "\t"
+              << arq[i].dead_letters << "\t" << arq[i].duplicates_suppressed << "\t"
+              << arq[i].queue_highwater << "\n";
+  }
+  std::cout << "\n";
+}
+
+void write_series(JsonWriter& json, const std::string& key, const std::vector<Series>& rows) {
+  const std::vector<std::pair<std::string, double Series::*>> metrics{
+      {"delivery_ratio", &Series::delivery},
+      {"mean_e2e_latency_s", &Series::e2e_latency_s},
+      {"retransmissions", &Series::retransmissions},
+      {"failovers", &Series::failovers},
+      {"dead_letters", &Series::dead_letters},
+      {"duplicates_suppressed", &Series::duplicates_suppressed},
+      {"queue_highwater", &Series::queue_highwater},
+  };
+  json.key(key).begin_object();
+  for (const auto& [metric, member] : metrics) {
+    json.key(metric).begin_array();
+    for (const Series& s : rows) json.value(s.*member);
+    json.end_array();
+  }
+  json.end_object();
+}
+
+}  // namespace
+
+int main() {
+  using namespace aquamac;
+  bench::print_header("Hop-by-hop reliability degradation",
+                      "custody ARQ vs plain relay under burst loss (not a paper figure)");
+
+  const bool fast = [] {
+    const char* env = std::getenv("AQUAMAC_FAST");
+    return env != nullptr && env[0] == '1';
+  }();
+  const unsigned reps = fast ? 2 : std::max(4u, bench::replications(3));
+
+  // Monotonicity tolerance: adjacent sweep points may invert by up to
+  // this much from replication noise without failing the gate.
+  const double kEps = 0.02;
+
+  std::vector<Series> loss_arq, loss_noarq;
+  std::vector<Series> storm_arq, storm_noarq;
+  std::uint64_t digest1 = 0, digest2 = 0;
+  try {
+    std::cout << "GE loss sweep, corridor N=10 (replications " << reps << ")\n";
+    for (const double p_bad : kGeSweep) {
+      ScenarioConfig base = corridor_scenario(7);
+      base.fault.ge_p_bad = p_bad;
+      base.fault.ge_loss_bad = 0.9;
+      loss_arq.push_back(mean_series(with_arq(base), reps));
+      loss_noarq.push_back(mean_series(base, reps));
+    }
+    print_rows("loss sweep", kGeSweep, loss_arq, loss_noarq);
+
+    std::cout << "outage + storm plan, corridor N=10 (replications " << reps << ")\n";
+    {
+      ScenarioConfig base = corridor_scenario(13);
+      base.fault.outage_rate_per_hour = 30.0;
+      base.fault.outage_mean_duration = Duration::seconds(45);
+      base.fault.storm_rate_per_hour = 6.0;
+      base.fault.storm_mean_duration = Duration::seconds(60);
+      base.fault.storm_loss_prob = 0.8;
+      storm_arq.push_back(mean_series(with_arq(base), reps));
+      storm_noarq.push_back(mean_series(base, reps));
+    }
+    print_rows("outage+storm", {0.0}, storm_arq, storm_noarq);
+
+    // Shard invariance at a representative lossy point: backoff timers
+    // live on the node's own lane, so the digest must not move.
+    ScenarioConfig rep_point = with_arq(corridor_scenario(7));
+    rep_point.fault.ge_p_bad = 0.15;
+    rep_point.fault.ge_loss_bad = 0.9;
+    digest1 = digest_with_shards(rep_point, 1);
+    digest2 = digest_with_shards(rep_point, 2);
+  } catch (const std::exception& e) {
+    std::cerr << "ERROR: auditor violation: " << e.what() << "\n";
+    return 1;
+  }
+
+  bool monotone_ok = true;
+  for (std::size_t i = 1; i < loss_arq.size(); ++i) {
+    if (loss_arq[i].delivery > loss_arq[i - 1].delivery + kEps) {
+      monotone_ok = false;
+      std::cerr << "ERROR: ARQ delivery rises " << loss_arq[i - 1].delivery << " -> "
+                << loss_arq[i].delivery << " between loss points " << kGeSweep[i - 1]
+                << " and " << kGeSweep[i] << "\n";
+    }
+  }
+  bool beats_baseline = true;
+  for (std::size_t i = 0; i < kGeSweep.size(); ++i) {
+    if (kGeSweep[i] == 0.0) continue;
+    if (loss_arq[i].delivery <= loss_noarq[i].delivery) {
+      beats_baseline = false;
+      std::cerr << "ERROR: ARQ delivery " << loss_arq[i].delivery << " not above no-ARQ "
+                << loss_noarq[i].delivery << " at loss point " << kGeSweep[i] << "\n";
+    }
+  }
+  const bool shard_ok = digest1 == digest2 && digest1 != HashTrace{}.digest();
+  if (!shard_ok) {
+    std::cerr << "ERROR: ARQ trace digest differs across shard counts (" << digest1
+              << " vs " << digest2 << ")\n";
+  }
+  std::cout << "gates: monotone " << (monotone_ok ? "ok" : "FAIL") << ", arq>noarq "
+            << (beats_baseline ? "ok" : "FAIL") << ", shard-invariant "
+            << (shard_ok ? "ok" : "FAIL") << "\n";
+
+  if (const char* off = std::getenv("AQUAMAC_NO_BENCH_JSON");
+      off == nullptr || off[0] != '1') {
+    const std::string path = bench::bench_output_dir() + "/BENCH_reliability.json";
+    std::ofstream os{path};
+    if (!os) {
+      std::cerr << "warning: cannot open " << path << " for writing\n";
+    } else {
+      JsonWriter json{os};
+      json.begin_object();
+      json.key("bench").value("reliability");
+      json.key("schema").value("aquamac-bench-reliability-v1");
+      json.key("replications").value(static_cast<double>(reps));
+      json.key("loss").begin_object();
+      json.key("xs").begin_array();
+      for (const double x : kGeSweep) json.value(x);
+      json.end_array();
+      json.key("monotone_ok").value(monotone_ok ? 1.0 : 0.0);
+      json.key("beats_baseline_ok").value(beats_baseline ? 1.0 : 0.0);
+      write_series(json, "arq", loss_arq);
+      write_series(json, "noarq", loss_noarq);
+      json.end_object();
+      json.key("storm").begin_object();
+      write_series(json, "arq", storm_arq);
+      write_series(json, "noarq", storm_noarq);
+      json.end_object();
+      json.key("shard_invariant").value(shard_ok ? 1.0 : 0.0);
+      json.end_object();
+      os << "\n";
+      std::cout << "[bench json] wrote " << path << "\n";
+    }
+  }
+
+  return monotone_ok && beats_baseline && shard_ok ? 0 : 1;
+}

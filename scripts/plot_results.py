@@ -14,7 +14,11 @@ Accepts either:
   * BENCH_multihop.json routing comparisons (schema
     aquamac-bench-multihop-v1): grouped bars of one metric per routing
     kind — pick the experiment with --axis (grid or outage) and the
-    metric with --metric (defaults to delivery_ratio).
+    metric with --metric (defaults to delivery_ratio);
+  * BENCH_reliability.json ARQ degradation curves (schema
+    aquamac-bench-reliability-v1): one line per arm (arq vs noarq) —
+    pick the experiment with --axis (loss or storm) and the metric
+    with --metric (defaults to delivery_ratio).
 
 Usage:
     tools/aquamac_compare --x load --metric throughput --csv fig6.csv
@@ -96,6 +100,39 @@ def load_multihop_json(doc, path, metric=None, axis=None):
     return axis, list(range(len(ticks))), {metric: list(by_kind.values())}, metric, ticks
 
 
+def load_reliability_json(doc, path, metric=None, axis=None):
+    """ARQ-vs-baseline schema: experiment -> {arq, noarq} -> metric -> ys.
+
+    Plots one line per arm so the degradation gap is visible; defaults to
+    the loss sweep's delivery_ratio.
+    """
+    experiments = {k: v for k, v in doc.items() if isinstance(v, dict) and "arq" in v}
+    if not experiments:
+        raise SystemExit(f"{path}: no experiments")
+    if axis is None:
+        axis = "loss" if "loss" in experiments else next(iter(experiments))
+    if axis not in experiments:
+        raise SystemExit(
+            f"{path}: no experiment {axis!r}; available: {', '.join(experiments)}"
+        )
+    exp = experiments[axis]
+    arms = {k: v for k, v in exp.items() if isinstance(v, dict)}
+    if metric is None:
+        metric = "delivery_ratio"
+    first = next(iter(arms.values()))
+    if metric not in first:
+        raise SystemExit(
+            f"{path}: no metric {metric!r}; available: {', '.join(first)}"
+        )
+    for gate in ("monotone_ok", "beats_baseline_ok"):
+        if gate in exp and not exp[gate]:
+            print(f"warning: {path} recorded a failed {gate} gate", file=sys.stderr)
+    if not doc.get("shard_invariant", 1):
+        print(f"warning: {path} recorded a shard-variant run", file=sys.stderr)
+    xs = exp.get("xs", list(range(len(first[metric]))))
+    return axis, xs, {arm: ys[metric] for arm, ys in arms.items()}, metric, None
+
+
 def load_bench_json(path, metric=None, axis=None):
     with open(path) as handle:
         doc = json.load(handle)
@@ -104,6 +141,8 @@ def load_bench_json(path, metric=None, axis=None):
         return load_multihop_json(doc, path, metric, axis)
     if schema == "aquamac-bench-fault-v1":
         return load_fault_json(doc, path, metric, axis)
+    if schema == "aquamac-bench-reliability-v1":
+        return load_reliability_json(doc, path, metric, axis)
     if schema != "aquamac-bench-v1":
         raise SystemExit(f"{path}: unknown schema {schema!r}")
     all_series = doc.get("series", {})

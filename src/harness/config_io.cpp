@@ -169,6 +169,15 @@ void save_scenario(const ScenarioConfig& config, std::ostream& os) {
   os << "hop-limit = " << static_cast<unsigned>(config.hop_limit) << "\n";
   os << "routing = " << to_string(config.routing) << "\n";
   os << "routing-beacon-s = " << config.routing_beacon.to_seconds() << "\n";
+  os << "greedy-blacklist = " << (config.greedy_blacklist ? "true" : "false") << "\n";
+  os << "\n# reliability (hop-by-hop custody ARQ; retries 0 = off)\n";
+  os << "reliability-retries = " << config.reliability.max_retries << "\n";
+  os << "reliability-queue-limit = " << config.reliability.queue_limit << "\n";
+  os << "reliability-drop-policy = " << to_string(config.reliability.drop_policy) << "\n";
+  os << "reliability-backoff-base-s = " << config.reliability.backoff_base.to_seconds()
+     << "\n";
+  os << "reliability-backoff-max-s = " << config.reliability.backoff_max.to_seconds() << "\n";
+  os << "reliability-failover = " << (config.reliability.failover ? "true" : "false") << "\n";
   os << "\n# failure injection\n";
   os << "node-failure-fraction = " << config.node_failure_fraction << "\n";
   os << "node-failure-time-s = " << config.node_failure_time.to_seconds() << "\n";
@@ -198,6 +207,7 @@ void save_scenario(const ScenarioConfig& config, std::ostream& os) {
   os << "dead-probe-interval-s = " << config.mac_config.dead_probe_interval.to_seconds()
      << "\n";
   os << "guard-slack-s = " << config.mac_config.guard_slack.to_seconds() << "\n";
+  os << "neighbor-ewma = " << config.mac_config.neighbor_ewma << "\n";
   os << "\n# checkpointing\n";
   os << "checkpoint-every-s = " << config.checkpoint_every.to_seconds() << "\n";
   os << "checkpoint-path = " << config.checkpoint_path << "\n";
@@ -355,6 +365,33 @@ const std::map<std::string, Setter>& setters() {
       {"routing-beacon-s", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
          c.routing_beacon = Duration::from_seconds(parse_double(k, v));
        }},
+      {"greedy-blacklist", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.greedy_blacklist = parse_bool(k, v);
+       }},
+      {"reliability-retries",
+       [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.reliability.max_retries = static_cast<std::uint32_t>(parse_uint(k, v));
+       }},
+      {"reliability-queue-limit",
+       [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.reliability.queue_limit = static_cast<std::uint32_t>(parse_uint(k, v));
+       }},
+      {"reliability-drop-policy",
+       [](ScenarioConfig& c, const std::string&, const std::string& v) {
+         c.reliability.drop_policy = relay_drop_policy_from_string(v);
+       }},
+      {"reliability-backoff-base-s",
+       [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.reliability.backoff_base = Duration::from_seconds(parse_double(k, v));
+       }},
+      {"reliability-backoff-max-s",
+       [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.reliability.backoff_max = Duration::from_seconds(parse_double(k, v));
+       }},
+      {"reliability-failover",
+       [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.reliability.failover = parse_bool(k, v);
+       }},
       {"node-failure-fraction",
        [](ScenarioConfig& c, const std::string& k, const std::string& v) {
          c.node_failure_fraction = parse_double(k, v);
@@ -446,6 +483,9 @@ const std::map<std::string, Setter>& setters() {
        }},
       {"guard-slack-s", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
          c.mac_config.guard_slack = Duration::from_seconds(parse_double(k, v));
+       }},
+      {"neighbor-ewma", [](ScenarioConfig& c, const std::string& k, const std::string& v) {
+         c.mac_config.neighbor_ewma = parse_double(k, v);
        }},
       {"checkpoint-every-s",
        [](ScenarioConfig& c, const std::string& k, const std::string& v) {

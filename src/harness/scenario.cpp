@@ -147,6 +147,9 @@ InvariantAuditor::Config auditor_config_for(const ScenarioConfig& config) {
   // updates are rate-limited to one per 2 s per node plus up to 1 s of
   // jitter, and packets already in flight need a few hop cycles to drain.
   audit.route_grace = Duration::seconds(5) + 4 * (audit.slot_length + audit.tau_max);
+  // Reliability checks (duplicate sink delivery, retry bound) bind only
+  // when the scenario runs the custody/ARQ layer.
+  audit.custody_retry_bound = config.reliability.max_retries;
   return audit;
 }
 

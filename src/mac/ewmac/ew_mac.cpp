@@ -379,6 +379,17 @@ void EwMac::contention_lost(const Frame& negotiation, const RxInfo& info) {
     return;
   }
 
+  // The extra plan's launch windows (EXR deadline, EXDATA slot) are all
+  // derived from the negotiated exchange's pair delay. When the
+  // negotiation carried none (fresh table after an outage), the real
+  // schedule is whatever the participants measure in flight — betting on
+  // the tau_max fallback risks landing the extra on a real window, so
+  // fall back to ordinary backoff instead.
+  if (negotiation.pair_delay.is_zero()) {
+    fail_and_backoff();
+    return;
+  }
+
   const bool j_is_receiver = negotiation.type == FrameType::kCts;
   const Duration tau_ij = info.measured_delay;
   const Duration tau_jk =
@@ -542,8 +553,15 @@ void EwMac::on_exc(const Frame& frame, const RxInfo&) {
       abandon_extra();
       return;
     }
+    // Re-validate against the schedule book as it stands *now*: a
+    // negotiation overheard after the launch was planned predicts
+    // receptions the plan never saw, and launching into one garbles a
+    // real window.
+    if (!clear_at_neighbors(sim_.now(), my_dur, j)) {
+      abandon_extra();
+      return;
+    }
     Frame exdata = make_data_for(FrameType::kExData, *head());
-    (void)j;
     transmit(exdata);
     const Time deadline =
         sim_.now() + my_dur + tau_ij + tau_ij + omega() + omega() + 4 * config_.guard;
@@ -649,7 +667,16 @@ void EwMac::on_exdata(const Frame& frame) {
 // ---------------------------------------------------------------------
 
 void EwMac::predict_exchange(const Frame& frame, const RxInfo& info) {
-  const Duration tau_pair = frame.pair_delay.is_zero() ? config_.tau_max : frame.pair_delay;
+  // A zero pair delay means the negotiation carried no measurement (fresh
+  // table after an outage rejoin or first contact). The participants will
+  // schedule the Ack from the delay they measure in flight — which an
+  // overhearer cannot reproduce, so the prediction must cover every slot
+  // the true delay could select. The old tau_max fallback predicted only
+  // the *latest* candidate slot, leaving the real Ack window unprotected
+  // whenever the true delay picked an earlier one (an extra scheduled
+  // into the mispredicted gap then garbles a real reception).
+  const bool tau_known = !frame.pair_delay.is_zero();
+  const Duration tau_pair = tau_known ? frame.pair_delay : config_.tau_max;
   const Duration d = frame.data_duration;
   const std::int64_t heard_slot = slot_index(info.arrival_begin);
 
@@ -658,29 +685,51 @@ void EwMac::predict_exchange(const Frame& frame, const RxInfo& info) {
     const NodeId k = frame.dst;  // receiver (if it grants)
     const Time cts_tx = slot_start(heard_slot + 1);
     const Time data_tx = slot_start(heard_slot + 2);
-    const std::int64_t ack_slot = heard_slot + 2 + data_slots(d, tau_pair);
-    const Time ack_tx = slot_start(ack_slot);
     schedule_.add(k, TimeInterval{cts_tx, cts_tx + omega()}, BusyKind::kTransmitting);
-    schedule_.add(j, TimeInterval{cts_tx + tau_pair, cts_tx + tau_pair + omega()},
-                  BusyKind::kReceiving);
     schedule_.add(j, TimeInterval{data_tx, data_tx + d}, BusyKind::kTransmitting);
-    schedule_.add(k, TimeInterval{data_tx + tau_pair, data_tx + tau_pair + d},
-                  BusyKind::kReceiving);
-    schedule_.add(k, TimeInterval{ack_tx, ack_tx + omega()}, BusyKind::kTransmitting);
-    schedule_.add(j, TimeInterval{ack_tx + tau_pair, ack_tx + tau_pair + omega()},
-                  BusyKind::kReceiving);
+    if (tau_known) {
+      const Time ack_tx = slot_start(heard_slot + 2 + data_slots(d, tau_pair));
+      schedule_.add(j, TimeInterval{cts_tx + tau_pair, cts_tx + tau_pair + omega()},
+                    BusyKind::kReceiving);
+      schedule_.add(k, TimeInterval{data_tx + tau_pair, data_tx + tau_pair + d},
+                    BusyKind::kReceiving);
+      schedule_.add(k, TimeInterval{ack_tx, ack_tx + omega()}, BusyKind::kTransmitting);
+      schedule_.add(j, TimeInterval{ack_tx + tau_pair, ack_tx + tau_pair + omega()},
+                    BusyKind::kReceiving);
+    } else {
+      const Time first_ack = slot_start(heard_slot + 2 + data_slots(d, Duration::zero()));
+      const Time last_ack = slot_start(heard_slot + 2 + data_slots(d, config_.tau_max));
+      schedule_.add(j, TimeInterval{cts_tx, cts_tx + config_.tau_max + omega()},
+                    BusyKind::kReceiving);
+      schedule_.add(k, TimeInterval{data_tx, data_tx + config_.tau_max + d},
+                    BusyKind::kReceiving);
+      schedule_.add(k, TimeInterval{first_ack, last_ack + omega()},
+                    BusyKind::kTransmitting);
+      schedule_.add(j, TimeInterval{first_ack, last_ack + config_.tau_max + omega()},
+                    BusyKind::kReceiving);
+    }
   } else if (frame.type == FrameType::kCts) {
     const NodeId j = frame.src;  // receiver
     const NodeId k = frame.dst;  // sender
     const Time data_tx = slot_start(heard_slot + 1);
-    const std::int64_t ack_slot = heard_slot + 1 + data_slots(d, tau_pair);
-    const Time ack_tx = slot_start(ack_slot);
     schedule_.add(k, TimeInterval{data_tx, data_tx + d}, BusyKind::kTransmitting);
-    schedule_.add(j, TimeInterval{data_tx + tau_pair, data_tx + tau_pair + d},
-                  BusyKind::kReceiving);
-    schedule_.add(j, TimeInterval{ack_tx, ack_tx + omega()}, BusyKind::kTransmitting);
-    schedule_.add(k, TimeInterval{ack_tx + tau_pair, ack_tx + tau_pair + omega()},
-                  BusyKind::kReceiving);
+    if (tau_known) {
+      const Time ack_tx = slot_start(heard_slot + 1 + data_slots(d, tau_pair));
+      schedule_.add(j, TimeInterval{data_tx + tau_pair, data_tx + tau_pair + d},
+                    BusyKind::kReceiving);
+      schedule_.add(j, TimeInterval{ack_tx, ack_tx + omega()}, BusyKind::kTransmitting);
+      schedule_.add(k, TimeInterval{ack_tx + tau_pair, ack_tx + tau_pair + omega()},
+                    BusyKind::kReceiving);
+    } else {
+      const Time first_ack = slot_start(heard_slot + 1 + data_slots(d, Duration::zero()));
+      const Time last_ack = slot_start(heard_slot + 1 + data_slots(d, config_.tau_max));
+      schedule_.add(j, TimeInterval{data_tx, data_tx + config_.tau_max + d},
+                    BusyKind::kReceiving);
+      schedule_.add(j, TimeInterval{first_ack, last_ack + omega()},
+                    BusyKind::kTransmitting);
+      schedule_.add(k, TimeInterval{first_ack, last_ack + config_.tau_max + omega()},
+                    BusyKind::kReceiving);
+    }
   }
 }
 

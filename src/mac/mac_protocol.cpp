@@ -139,6 +139,10 @@ Frame MacProtocol::make_data_for(FrameType type, const Packet& packet) const {
 void MacProtocol::transmit(Frame frame) {
   if (stamp_hook_) stamp_hook_(frame);
   counters_.count_sent(frame);
+  // The DV route ad is real piggybacked payload on every carrying frame;
+  // charge it to the overhead ledger (ROADMAP 2a) instead of idealizing
+  // the control plane as free bits.
+  if (frame.route_valid) counters_.piggyback_info_bits += kRouteAdBits;
   if (frame.control() && frame.type != FrameType::kHello) {
     const auto entries = std::min<std::uint32_t>(
         static_cast<std::uint32_t>(neighbors_.size()), config_.control_info_cap);
@@ -157,7 +161,11 @@ void MacProtocol::complete_head_packet(bool via_extra) {
   // never diverge (mean = total_delivery_latency / latency_samples).
   counters_.total_delivery_latency += sim_.now() - queue_.front().enqueued;
   counters_.latency_samples += 1;
+  const NodeId dst = queue_.front().dst;
+  const E2eHeader e2e = queue_.front().e2e;
   queue_.pop_front();
+  // Custody release fires after the pop so the handler sees fresh state.
+  if (sent_handler_) sent_handler_(dst, e2e);
 }
 
 void MacProtocol::drop_head_packet() {
@@ -194,7 +202,7 @@ void MacProtocol::on_frame_received(const Frame& frame, const RxInfo& raw_info) 
 
   // §4.3: every packet carries its sending timestamp; refresh the one-hop
   // delay for the sender regardless of destination.
-  neighbors_.update(frame.src, info.measured_delay, sim_.now());
+  neighbors_.update(frame.src, info.measured_delay, sim_.now(), config_.neighbor_ewma);
   // Proof of life: any decodable frame from a node clears its silence
   // count and any standing death sentence.
   if (config_.dead_neighbor_threshold > 0) {
@@ -211,8 +219,11 @@ void MacProtocol::on_frame_received(const Frame& frame, const RxInfo& raw_info) 
     event.a = info.measured_delay.count_ns();
     trace_mac(event);
   }
-  // Route-ad ingestion rides on the same reception the delay table uses.
-  if (observe_hook_) observe_hook_(frame, info.measured_delay);
+  // Route-ad ingestion rides on the same reception the delay table uses,
+  // and sees the *smoothed* table entry so DV costs inherit the EWMA.
+  if (observe_hook_) {
+    observe_hook_(frame, neighbors_.delay_to(frame.src).value_or(info.measured_delay));
+  }
   // Frames shipping neighbor info (CS-MAC negotiation packets) feed the
   // two-hop table of everyone who hears them.
   if (frame.neighbor_info) {

@@ -78,6 +78,12 @@ struct MacConfig {
   /// its extra-packet windows by this much so drift below the slack can
   /// never violate the overlap theorem. Zero = paper behavior.
   Duration guard_slack{};
+  /// EWMA smoothing factor for one-hop delay measurements: each new
+  /// sample moves the stored delay by `alpha * (sample - stored)`. 1.0
+  /// (the default) overwrites with the raw sample — legacy behavior —
+  /// while smaller values damp single noisy samples under mobility
+  /// before DV costs or the relay backoff trust them (ROADMAP 2b).
+  double neighbor_ewma{1.0};
 };
 
 /// End-to-end header carried across hops in multi-hop mode (§3.1/Fig. 1).
@@ -118,6 +124,11 @@ class MacProtocol : public ModemListener {
   /// loss accounting).
   using DropHandler = std::function<void(NodeId dst, const E2eHeader& e2e)>;
   void set_drop_handler(DropHandler handler) { drop_handler_ = std::move(handler); }
+
+  /// Invoked when the head packet is acknowledged by its one-hop receiver
+  /// (the relay reliability layer releases custody on it).
+  using SentHandler = std::function<void(NodeId dst, const E2eHeader& e2e)>;
+  void set_sent_handler(SentHandler handler) { sent_handler_ = std::move(handler); }
 
   // --- routing piggyback hooks (DvRouter, docs/routing.md) -------------
   /// Stamps protocol-independent piggyback fields (the DV route ad) onto
@@ -271,6 +282,7 @@ class MacProtocol : public ModemListener {
   std::unordered_map<NodeId, std::uint64_t> delivered_seq_high_;
   DeliveryHandler delivery_handler_{};
   DropHandler drop_handler_{};
+  SentHandler sent_handler_{};
   FrameStampHook stamp_hook_{};
   FrameObserveHook observe_hook_{};
   NeighborDownHook neighbor_down_hook_{};

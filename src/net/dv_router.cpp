@@ -112,6 +112,28 @@ std::optional<NodeId> DvRouter::next_hop() const {
   return route->via;
 }
 
+std::optional<NodeId> DvRouter::next_hop_excluding(NodeId exclude) const {
+  if (is_sink_) return std::nullopt;
+  // Same (cost, via, sink) tie-break as refresh_best, restricted to
+  // routes that do not go through `exclude` — the failover second-best.
+  NodeId chosen = kNoNode;
+  for (const auto& [sink, entry] : entries_) {
+    if (!entry.valid || entry.via == exclude) continue;
+    if (chosen == kNoNode) {
+      chosen = sink;
+      continue;
+    }
+    const Entry& incumbent = entries_.at(chosen);
+    if (entry.cost < incumbent.cost ||
+        (entry.cost == incumbent.cost &&
+         (entry.via < incumbent.via || (entry.via == incumbent.via && sink < chosen)))) {
+      chosen = sink;
+    }
+  }
+  if (chosen == kNoNode) return std::nullopt;
+  return entries_.at(chosen).via;
+}
+
 const DvRouter::Entry* DvRouter::best() const {
   if (best_sink_ == kNoNode) return nullptr;
   return &entries_.at(best_sink_);

@@ -86,6 +86,10 @@ class DvRouter {
 
   /// Next hop of the best route; nullopt for sinks and routeless nodes.
   [[nodiscard]] std::optional<NodeId> next_hop() const;
+  /// Best next hop whose route does not go through `exclude` (the relay
+  /// failover alternate after MAC drops toward `exclude`); nullopt when
+  /// every valid route uses it.
+  [[nodiscard]] std::optional<NodeId> next_hop_excluding(NodeId exclude) const;
   /// The best route itself; nullptr when no valid route exists.
   [[nodiscard]] const Entry* best() const;
   [[nodiscard]] NodeId best_sink() const { return best_sink_; }

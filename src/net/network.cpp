@@ -179,13 +179,26 @@ Network::Network(Simulator& sim, const ScenarioConfig& config)
     }
 
     relays_.reserve(config_.node_count);
+    if (config_.reliability.enabled()) relay_rngs_.reserve(config_.node_count);
     for (std::size_t i = 0; i < config_.node_count; ++i) {
       const auto id = static_cast<NodeId>(i);
       RelayAgent::NextHopFn next_hop;
       switch (config_.routing) {
         case RoutingKind::kGreedy: {
           const UphillRouter* router = router_.get();
-          next_hop = [router](NodeId self) { return router->shallowest_candidate(self); };
+          if (config_.greedy_blacklist && config_.mac_config.dead_neighbor_threshold > 0) {
+            // ROADMAP 2c: the depth rule learns from the PR 4 probe
+            // signal — neighbors the MAC currently declares dead are
+            // skipped, so greedy stops feeding a relay through its
+            // outages. Reinstatement probes clear the blacklist entry.
+            const MacProtocol* mac = &nodes_[i]->mac();
+            next_hop = [router, mac](NodeId self) {
+              return router->shallowest_candidate(
+                  self, [mac](NodeId n) { return mac->neighbor_dead(n); });
+            };
+          } else {
+            next_hop = [router](NodeId self) { return router->shallowest_candidate(self); };
+          }
           break;
         }
         case RoutingKind::kTree:
@@ -201,9 +214,36 @@ Network::Network(Simulator& sim, const ScenarioConfig& config)
         }
       }
       relays_.push_back(std::make_unique<RelayAgent>(sim_, nodes_[i]->mac(), id, is_sink[id],
-                                                     std::move(next_hop), config_.hop_limit));
+                                                     std::move(next_hop), config_.hop_limit,
+                                                     config_.reliability));
       RelayAgent* relay_agent = relays_.back().get();
       if (run_trace_ != nullptr) relay_agent->set_trace(run_trace_);
+      if (config_.reliability.enabled()) {
+        relay_rngs_.push_back(std::make_unique<Rng>(rng_.fork(0xBACC00 + i)));
+        relay_agent->set_backoff_rng(relay_rngs_.back().get());
+        const MacProtocol* mac = &nodes_[i]->mac();
+        const UphillRouter* router = router_.get();
+        switch (config_.routing) {
+          case RoutingKind::kDv: {
+            DvRouter* dv = dv_routers_[i].get();
+            relay_agent->set_alt_next_hop([dv](NodeId, NodeId exclude) {
+              return dv->next_hop_excluding(exclude);
+            });
+            break;
+          }
+          case RoutingKind::kGreedy:
+          case RoutingKind::kTree:
+            // Alternate = best depth-rule candidate avoiding the failed
+            // hop (and dead neighbors): still strictly uphill, so the
+            // failover path cannot loop even off the tree.
+            relay_agent->set_alt_next_hop([router, mac](NodeId self, NodeId exclude) {
+              return router->shallowest_candidate(self, [mac, exclude](NodeId n) {
+                return n == exclude || mac->neighbor_dead(n);
+              });
+            });
+            break;
+        }
+      }
       // The static tree is every mode's hop-stretch yardstick.
       relay_agent->set_tree_hops([this](NodeId node) -> std::uint32_t {
         if (route_table_ == nullptr || !route_table_->reachable(node)) return 0;
@@ -616,6 +656,13 @@ RunStats Network::stats() const {
       stats.mean_per_hop_latency_s = relay_total.total_e2e_latency.to_seconds() /
                                      static_cast<double>(relay_total.total_hops);
     }
+    stats.e2e_retransmissions = relay_total.retransmissions;
+    stats.e2e_failovers = relay_total.failovers;
+    stats.e2e_dead_letter_exhausted = relay_total.dead_letter_exhausted;
+    stats.e2e_dead_letter_overflow = relay_total.dead_letter_overflow;
+    stats.e2e_dead_letter_no_route = relay_total.dead_letter_no_route;
+    stats.e2e_duplicates_suppressed = relay_total.duplicates_suppressed;
+    stats.relay_queue_highwater = relay_total.queue_highwater;
   }
   return stats;
 }
@@ -651,6 +698,10 @@ void Network::save_state(StateWriter& writer) const {
     w.write_bool(!relays_.empty());
     if (!relays_.empty()) {
       for (const auto& relay_agent : relays_) relay_agent->save_state(w);
+    }
+    w.write_bool(!relay_rngs_.empty());
+    for (const auto& relay_rng : relay_rngs_) {
+      for (const std::uint64_t word : relay_rng->state()) w.write_u64(word);
     }
     w.write_bool(!dv_routers_.empty());
     if (!dv_routers_.empty()) {
@@ -712,6 +763,14 @@ void Network::restore_state(StateReader& reader) {
       throw CheckpointError("checkpoint relay presence differs from the scenario's");
     }
     for (const auto& relay_agent : relays_) relay_agent->restore_state(r);
+    if (r.read_bool() != !relay_rngs_.empty()) {
+      throw CheckpointError("checkpoint relay-rng presence differs from the scenario's");
+    }
+    for (const auto& relay_rng : relay_rngs_) {
+      Rng::State words{};
+      for (std::uint64_t& word : words) word = r.read_u64();
+      relay_rng->set_state(words);
+    }
     if (r.read_bool() != !dv_routers_.empty()) {
       throw CheckpointError("checkpoint DV-router presence differs from the scenario's");
     }

@@ -93,6 +93,17 @@ struct ScenarioConfig {
   /// the mechanism that flushes stale routes after faults.
   Duration routing_beacon{Duration::seconds(10)};
 
+  /// Hop-by-hop reliability layer (docs/reliability.md): bounded custody
+  /// queues, seeded retry backoff and next-hop failover in the relay
+  /// agents. Disabled by default (max_retries 0) — legacy behavior.
+  ReliabilityConfig reliability{};
+  /// Greedy-baseline dead-neighbor blacklist (ROADMAP 2c): when on, the
+  /// depth rule skips neighbors the MAC currently declares dead (only
+  /// meaningful with mac_config.dead_neighbor_threshold > 0, so default
+  /// scenarios are unchanged). Off pins the naive always-same-hop greedy
+  /// baseline benches compare against.
+  bool greedy_blacklist{true};
+
   /// Hard node failures: at `node_failure_time` after traffic start, a
   /// random `node_failure_fraction` of nodes goes permanently silent.
   double node_failure_fraction{0.0};
@@ -243,6 +254,9 @@ class Network {
   /// Beacon/trigger jitter streams, one per node (kDv mode), heap-held so
   /// scheduling lambdas can reference them and checkpoints can reach them.
   std::vector<std::unique_ptr<Rng>> beacon_rngs_;
+  /// Relay backoff jitter streams, one per node (multi-hop mode with the
+  /// reliability layer enabled), heap-held for the same reasons.
+  std::vector<std::unique_ptr<Rng>> relay_rngs_;
   /// Triggered-update rate limit: no triggered HELLO before this time.
   std::vector<Time> dv_trigger_after_;
   std::vector<std::unique_ptr<TrafficSource>> sources_;

@@ -52,6 +52,17 @@ std::optional<NodeId> UphillRouter::shallowest_candidate(NodeId src) const {
   return best;
 }
 
+std::optional<NodeId> UphillRouter::shallowest_candidate(NodeId src,
+                                                         const NodeFilter& blocked) const {
+  const auto& options = candidates_.at(src);
+  std::optional<NodeId> best;
+  for (const NodeId candidate : options) {
+    if (blocked && blocked(candidate)) continue;
+    if (!best || depths_[candidate] < depths_[*best]) best = candidate;
+  }
+  return best;
+}
+
 std::size_t UphillRouter::source_count() const {
   std::size_t n = 0;
   for (const auto& options : candidates_) {

@@ -6,6 +6,7 @@
 // the way the paper's many-senders evaluation requires. Nodes with no
 // shallower in-range neighbor act as sinks and generate no traffic.
 
+#include <functional>
 #include <optional>
 #include <string_view>
 #include <vector>
@@ -40,6 +41,14 @@ class UphillRouter {
   /// Deterministic greedy next hop: the shallowest in-range neighbor
   /// (multi-hop forwarding toward the surface, Fig. 1).
   [[nodiscard]] std::optional<NodeId> shallowest_candidate(NodeId src) const;
+
+  /// Nodes the filter returns true for are skipped (dead-neighbor
+  /// blacklist, ROADMAP 2c, or retry failover exclusion). Greedy routes
+  /// stay acyclic under any filter: every hop still strictly decreases
+  /// depth. Nullopt when every candidate is blocked.
+  using NodeFilter = std::function<bool(NodeId node)>;
+  [[nodiscard]] std::optional<NodeId> shallowest_candidate(NodeId src,
+                                                           const NodeFilter& blocked) const;
 
   [[nodiscard]] const std::vector<NodeId>& candidates(NodeId src) const {
     return candidates_.at(src);

@@ -19,6 +19,11 @@ using NodeId = std::uint32_t;
 inline constexpr NodeId kNoNode = 0xFFFFFFFFu;
 inline constexpr NodeId kBroadcast = 0xFFFFFFFEu;
 
+/// Encoded size of one piggybacked DV route advertisement (sink id 16,
+/// sequence 32, quantized cost 32, hop count 8, next-hop id 16 bits):
+/// charged to the overhead ledger per route-carrying frame (ROADMAP 2a).
+inline constexpr std::uint32_t kRouteAdBits = 104;
+
 enum class FrameType : std::uint8_t {
   kHello,   ///< deployment-time neighbor discovery (§4.3)
   kRts,

@@ -23,6 +23,8 @@ std::string_view to_string(InvariantKind kind) {
     case InvariantKind::kNeighborDelayDrift: return "neighbor-delay-drift";
     case InvariantKind::kPacketRevisit: return "packet-revisit";
     case InvariantKind::kHopCountExceedsRoute: return "hop-count-exceeds-route";
+    case InvariantKind::kDuplicateSinkDelivery: return "duplicate-sink-delivery";
+    case InvariantKind::kRetryExceedsBound: return "retry-exceeds-bound";
   }
   return "?";
 }
@@ -57,6 +59,19 @@ void InvariantAuditor::record(const TraceEvent& event) {
     case TraceEventKind::kRelayOriginate: on_relay_originate(event); break;
     case TraceEventKind::kRelayForward: on_relay_forward(event); break;
     case TraceEventKind::kRelayArrive: on_relay_arrive(event); break;
+    case TraceEventKind::kRelayRetry: on_relay_retry(event); break;
+    case TraceEventKind::kRelayRequeue:
+      // A failover retransmission (b = 1) legitimately leaves the
+      // advertised route, so check (f) no longer bounds this flight.
+      if (event.b == 1) {
+        const auto it = flights_.find(event.seq);
+        if (it != flights_.end()) it->second.advertised_hops = 0;
+      }
+      break;
+    case TraceEventKind::kRelayDeadLetter:
+      // Custody abandoned: this copy is gone; stop tracking the flight.
+      flights_.erase(event.seq);
+      break;
     default: break;  // other MAC events carry context, not obligations
   }
 }
@@ -90,6 +105,15 @@ Time InvariantAuditor::match_tx(const TxKey& key, Time arrival_begin) const {
 void InvariantAuditor::on_tx_start(const TraceEvent& event) {
   tx_times_[TxKey{event.src, static_cast<std::uint8_t>(event.frame_type), event.seq}].push(
       event.at);
+
+  // Every RTS launch (re)starts its exchange's attempt: the retry
+  // timeout exceeds the CTS round trip, so all decodes of the previous
+  // attempt land before this launch and the scoping in check (a) cannot
+  // misclassify them as current.
+  if (event.frame_type == FrameType::kRts) {
+    attempt_started_[ExchangeKey{std::min(event.src, event.dst),
+                                 std::max(event.src, event.dst), event.seq}] = event.at;
+  }
 
   if (config_.slotted && is_negotiated(event.frame_type) &&
       healthy(event.node, event.at)) {
@@ -150,7 +174,7 @@ void InvariantAuditor::on_rx(const TraceEvent& event) {
     if (event.frame_type == FrameType::kRts || event.frame_type == FrameType::kCts) {
       const ExchangeKey key{std::min(event.src, event.dst), std::max(event.src, event.dst),
                             event.seq};
-      state.heard.emplace(key, event.at);
+      state.heard[key].push(event.at);
     }
     state.last_rx = window;
     state.last_rx_valid = true;
@@ -209,8 +233,26 @@ void InvariantAuditor::check_extra_overlap(NodeId node, const ArrivalWindow& add
     const auto heard_it = sender.heard.find(key);
     const auto knows_it = sender.knows_since.find(node);
     checks_ += 1;
-    if (heard_it == sender.heard.end() || heard_it->second > extra.tx_at) continue;
+    if (heard_it == sender.heard.end()) continue;
+    // The knowledge actually in hand at launch: the latest decode of this
+    // exchange's negotiation not after the extra's launch.
+    Time decode{};
+    bool decoded = false;
+    const std::size_t live = std::min(heard_it->second.count, TxRing::kSlots);
+    for (std::size_t i = 0; i < live; ++i) {
+      const Time t = heard_it->second.at[i];
+      if (t > extra.tx_at) continue;
+      if (!decoded || t > decode) {
+        decode = t;
+        decoded = true;
+      }
+    }
+    if (!decoded) continue;
     if (knows_it == sender.knows_since.end() || knows_it->second > extra.tx_at) continue;
+    // Attempt scoping: a decode of an earlier, failed attempt predicts
+    // nothing about the retry that produced this window.
+    const auto attempt_it = attempt_started_.find(key);
+    if (attempt_it != attempt_started_.end() && decode < attempt_it->second) continue;
 
     std::ostringstream detail;
     detail << to_string(extra.type) << " from " << extra.src << " ["
@@ -303,7 +345,41 @@ void InvariantAuditor::on_relay_forward(const TraceEvent& event) {
   }
 }
 
+void InvariantAuditor::on_relay_retry(const TraceEvent& event) {
+  // (h): the relay must never spend more than the configured custody
+  // budget on one packet. Stateless — the event carries the retry count.
+  if (config_.custody_retry_bound == 0) return;
+  if (!healthy(event.node, event.at)) return;
+  checks_ += 1;
+  if (event.a > static_cast<std::int64_t>(config_.custody_retry_bound)) {
+    std::ostringstream detail;
+    detail << "packet " << event.seq << " at node " << event.node << " reached retry "
+           << event.a << ", custody bound is " << config_.custody_retry_bound;
+    add_violation(Violation{InvariantKind::kRetryExceedsBound, event.at, event.node,
+                            event.frame_type, event.src, event.dst, event.seq,
+                            detail.str()});
+  }
+}
+
 void InvariantAuditor::on_relay_arrive(const TraceEvent& event) {
+  // (g): with the reliability layer on, a sink absorbs each e2e id at
+  // most once (the seen_ dedup contract). Scoped per sink node: an
+  // ACK-loss fork reaching a *different* sink is permitted behavior.
+  if (config_.custody_retry_bound > 0 && healthy(event.node, event.at)) {
+    const auto seen = sink_arrivals_.find(event.seq);
+    checks_ += 1;
+    if (seen != sink_arrivals_.end() && seen->second.sink == event.node) {
+      std::ostringstream detail;
+      detail << "packet " << event.seq << " from origin " << event.src
+             << " absorbed by sink " << event.node << " twice (first at "
+             << seen->second.at.to_string() << ")";
+      add_violation(Violation{InvariantKind::kDuplicateSinkDelivery, event.at, event.node,
+                              event.frame_type, event.src, event.dst, event.seq,
+                              detail.str()});
+    } else if (seen == sink_arrivals_.end()) {
+      sink_arrivals_[event.seq] = Arrival{event.node, event.at};
+    }
+  }
   const auto it = flights_.find(event.seq);
   if (it == flights_.end()) return;
   const Flight flight = it->second;
@@ -326,10 +402,15 @@ void InvariantAuditor::on_relay_arrive(const TraceEvent& event) {
 }
 
 void InvariantAuditor::prune_flights(Time now) {
-  if (flights_.size() <= 4096) return;
   // Dropped packets never arrive; shed flights old enough that nothing
   // could still be relaying them (generous multiple of a per-hop cycle).
   const Duration horizon = 256 * (config_.slot_length + config_.tau_max);
+  // The arrival ledger grows with every delivery (flights_ self-erases on
+  // arrival, sink_arrivals_ does not), so it prunes on its own trigger.
+  if (sink_arrivals_.size() > 4096) {
+    std::erase_if(sink_arrivals_, [&](const auto& kv) { return kv.second.at + horizon < now; });
+  }
+  if (flights_.size() <= 4096) return;
   std::erase_if(flights_,
                 [&](const auto& kv) { return kv.second.origin_at + horizon < now; });
 }
@@ -349,8 +430,12 @@ void InvariantAuditor::prune(NodeId node, Time now) {
   // The heard-exchange map only grows; trim it occasionally on long runs.
   if (state.heard.size() > 4096) {
     const Duration heard_horizon = config_.slot_length * 64;
-    std::erase_if(state.heard,
-                  [&](const auto& kv) { return kv.second + heard_horizon < now; });
+    std::erase_if(state.heard, [&](const auto& kv) {
+      const std::size_t live = std::min(kv.second.count, TxRing::kSlots);
+      Time latest{};
+      for (std::size_t i = 0; i < live; ++i) latest = std::max(latest, kv.second.at[i]);
+      return latest + heard_horizon < now;
+    });
   }
 }
 

@@ -10,7 +10,9 @@
 //       a violation only when the sender had decoded the negotiation
 //       (RTS/CTS of that exchange) and had already measured its delay to
 //       the garbled receiver before launching — hidden terminals cannot
-//       violate a prediction they never saw.
+//       violate a prediction they never saw. Scoped per *attempt*: a
+//       handshake retry restarts the schedule at the retry's RTS, so the
+//       decode must be of the attempt that produced the clashing window.
 //   (b) kOffSlotStart — negotiated packets (RTS/CTS/DATA/ACK) start on
 //       slot boundaries (§4.1). Slotted protocols only.
 //   (c) kAckSlotMismatch — the Ack's slot equals Eq. (5):
@@ -26,7 +28,14 @@
 //       which revisits are expected churn, not violations.
 //   (f) kHopCountExceedsRoute — a packet's final hop count at the sink
 //       never exceeds the route length its origin advertised at launch,
-//       provided no route changed anywhere in the network mid-flight.
+//       provided no route changed anywhere in the network mid-flight
+//       (and the packet was never failed over to an alternate hop).
+//   (g) kDuplicateSinkDelivery — with the reliability layer on
+//       (custody_retry_bound > 0), no sink absorbs the same e2e id twice:
+//       the relay dedup contract (docs/reliability.md). Scoped per sink —
+//       an ACK-loss fork that reaches two different sinks is permitted.
+//   (h) kRetryExceedsBound — a custody retry count (kRelayRetry's `a`)
+//       never exceeds the configured custody_retry_bound.
 //
 // Violations are recorded with full context; hard_fail promotes the first
 // one to a std::runtime_error, which is how the soak tests use it. The
@@ -52,6 +61,8 @@ enum class InvariantKind : std::uint8_t {
   kNeighborDelayDrift,
   kPacketRevisit,
   kHopCountExceedsRoute,
+  kDuplicateSinkDelivery,
+  kRetryExceedsBound,
 };
 
 [[nodiscard]] std::string_view to_string(InvariantKind kind);
@@ -71,6 +82,11 @@ class InvariantAuditor final : public TraceSink {
     /// kRouteUpdate: DV re-convergence legitimately produces transient
     /// loops and detours until the sequence wave flushes stale routes.
     Duration route_grace{};
+    /// The scenario's ReliabilityConfig::max_retries; > 0 enables checks
+    /// (g) and (h). Zero (ARQ off) disables them — without the relay
+    /// dedup layer a post-outage MAC state reset can legitimately
+    /// double-deliver, so the checks only bind when the contract exists.
+    std::uint32_t custody_retry_bound{0};
     bool hard_fail{false};     ///< throw on the first violation
   };
 
@@ -145,8 +161,10 @@ class InvariantAuditor final : public TraceSink {
   struct NodeState {
     std::deque<ArrivalWindow> negotiated;  ///< addressed-to-this-node windows
     std::deque<ArrivalWindow> extras;      ///< extra-class windows (any dst)
-    /// Earliest decode of each exchange's RTS/CTS at this node.
-    std::unordered_map<ExchangeKey, Time, ExchangeKeyHash> heard;
+    /// Recent RTS/CTS decode times per exchange (a ring, because MAC
+    /// retransmissions reuse the key and check (a) needs the latest
+    /// decode not after an extra's launch, not just the first ever).
+    std::unordered_map<ExchangeKey, TxRing, ExchangeKeyHash> heard;
     /// Earliest successful reception from each sender: from then on this
     /// node has a measured delay to that sender (§4.3).
     std::unordered_map<NodeId, Time> knows_since;
@@ -177,6 +195,7 @@ class InvariantAuditor final : public TraceSink {
   void on_relay_originate(const TraceEvent& event);
   void on_relay_forward(const TraceEvent& event);
   void on_relay_arrive(const TraceEvent& event);
+  void on_relay_retry(const TraceEvent& event);
   /// Whether the routing layer has been quiet for route_grace at `at`.
   [[nodiscard]] bool routes_settled(Time at) const;
   void prune_flights(Time now);
@@ -197,10 +216,25 @@ class InvariantAuditor final : public TraceSink {
 
   Config config_;
   std::unordered_map<TxKey, TxRing, TxKeyHash> tx_times_;
+  /// Latest RTS launch per exchange. A handshake retry restarts the
+  /// negotiated schedule, so check (a) holds an extra's sender only to
+  /// predictions decodable from the *current* attempt: knowledge of an
+  /// earlier, failed attempt predicts nothing about the retry's windows
+  /// (the sender is a hidden terminal with respect to the retry).
+  std::unordered_map<ExchangeKey, Time, ExchangeKeyHash> attempt_started_;
   std::unordered_map<NodeId, NodeState> node_states_;
   /// In-flight relayed packets for checks (e)/(f). Dropped packets never
   /// see their kRelayArrive, so the map is bounded by periodic pruning.
   std::unordered_map<std::uint64_t, Flight> flights_;
+  /// First sink absorption per e2e id, for check (g); pruned alongside
+  /// flights_ (a sink cannot re-absorb arbitrarily late — seen_ is
+  /// permanent in the implementation, but a bounded horizon keeps the
+  /// auditor O(in-flight)).
+  struct Arrival {
+    NodeId sink{kNoNode};
+    Time at{};
+  };
+  std::unordered_map<std::uint64_t, Arrival> sink_arrivals_;
   /// Latest kRouteUpdate anywhere (network-wide churn marker).
   Time last_route_update_{};
   bool any_route_update_{false};

@@ -78,6 +78,15 @@ struct RunStats {
   double hop_stretch{0.0};
   /// mean_e2e_latency_s / mean_hops: queueing+contention cost per hop.
   double mean_per_hop_latency_s{0.0};
+  // Hop-by-hop reliability layer (docs/reliability.md); zero with the
+  // ARQ off:
+  std::uint64_t e2e_retransmissions{0};  ///< custody re-enqueues after backoff
+  std::uint64_t e2e_failovers{0};        ///< retries sent via an alternate hop
+  std::uint64_t e2e_dead_letter_exhausted{0};  ///< custody retry budget spent
+  std::uint64_t e2e_dead_letter_overflow{0};   ///< relay queue overflow drops
+  std::uint64_t e2e_dead_letter_no_route{0};   ///< no hop left at retry time
+  std::uint64_t e2e_duplicates_suppressed{0};  ///< relay-level dedup hits
+  std::uint64_t relay_queue_highwater{0};      ///< worst custody occupancy
 };
 
 /// Jain's fairness index: (sum x)^2 / (n * sum x^2); 1.0 for empty or

@@ -33,6 +33,9 @@ std::string_view to_string(TraceEventKind kind) {
     case TraceEventKind::kRelayOriginate: return "RELAYSRC";
     case TraceEventKind::kRelayForward: return "RELAYFWD";
     case TraceEventKind::kRelayArrive: return "RELAYDST";
+    case TraceEventKind::kRelayRetry: return "RELAYRETRY";
+    case TraceEventKind::kRelayRequeue: return "RELAYREQUEUE";
+    case TraceEventKind::kRelayDeadLetter: return "RELAYDEADLETTER";
   }
   return "?";
 }

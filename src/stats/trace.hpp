@@ -61,6 +61,14 @@ enum class TraceEventKind : std::uint8_t {
                      ///< a = hop count after this hop, b = advertised hops here
   kRelayArrive,      ///< e2e packet absorbed by a sink; seq = e2e id,
                      ///< src = origin, a = final hop count
+  // --- hop-by-hop reliability events (RelayAgent ARQ, docs/reliability.md)
+  kRelayRetry,       ///< custody backoff armed after a MAC drop; seq = e2e
+                     ///< id, dst = failed hop, a = retry count, b = wait ns
+  kRelayRequeue,     ///< custody retransmission re-enqueued; seq = e2e id,
+                     ///< dst = chosen hop, a = retry count, b = 1 if failover
+  kRelayDeadLetter,  ///< custody abandoned; seq = e2e id, a = retries spent,
+                     ///< b = reason (0 exhausted, 1 overflow, 2 no-route,
+                     ///< 3 duplicate custody)
 };
 
 [[nodiscard]] std::string_view to_string(TraceEventKind kind);

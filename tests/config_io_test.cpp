@@ -171,6 +171,32 @@ TEST(ConfigIo, FaultAndHardeningKeysRoundTrip) {
   EXPECT_TRUE(loaded.fault.enabled());
 }
 
+TEST(ConfigIo, ReliabilityKeysRoundTrip) {
+  ScenarioConfig original = small_test_scenario();
+  original.reliability.max_retries = 4;
+  original.reliability.queue_limit = 12;
+  original.reliability.drop_policy = RelayDropPolicy::kOldestFirst;
+  original.reliability.backoff_base = Duration::from_seconds(7.5);
+  original.reliability.backoff_max = Duration::from_seconds(95.0);
+  original.reliability.failover = false;
+  original.greedy_blacklist = false;
+  original.mac_config.neighbor_ewma = 0.25;
+
+  std::stringstream buffer;
+  save_scenario(original, buffer);
+  const ScenarioConfig loaded = load_scenario(buffer, small_test_scenario());
+
+  EXPECT_EQ(loaded.reliability.max_retries, original.reliability.max_retries);
+  EXPECT_EQ(loaded.reliability.queue_limit, original.reliability.queue_limit);
+  EXPECT_EQ(loaded.reliability.drop_policy, original.reliability.drop_policy);
+  EXPECT_EQ(loaded.reliability.backoff_base, original.reliability.backoff_base);
+  EXPECT_EQ(loaded.reliability.backoff_max, original.reliability.backoff_max);
+  EXPECT_EQ(loaded.reliability.failover, original.reliability.failover);
+  EXPECT_FALSE(loaded.greedy_blacklist);
+  EXPECT_DOUBLE_EQ(loaded.mac_config.neighbor_ewma, original.mac_config.neighbor_ewma);
+  EXPECT_TRUE(loaded.reliability.enabled());
+}
+
 TEST(ConfigIo, DefaultSaveKeepsFaultsDisabled) {
   // A default round-trip must not accidentally enable fault injection —
   // the strict no-op guarantee has to survive save/load.

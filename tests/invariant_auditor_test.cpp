@@ -134,6 +134,38 @@ TEST(InvariantAuditor, HiddenTerminalClashIsExempt) {
   EXPECT_TRUE(auditor.violations().empty());
 }
 
+TEST(InvariantAuditor, StaleAttemptDecodeIsExempt) {
+  // Node 3 decoded only the *first* attempt of exchange (1 -> 2, seq 7);
+  // that attempt died (node 1 never got the CTS) and node 1 retried. The
+  // retry restarts the schedule, node 3 misses every retry frame, so its
+  // clash with the retried DATA is hidden-terminal noise, not a theorem
+  // violation.
+  InvariantAuditor auditor{synthetic_config()};
+  auditor.record(tx(0.0, 1, FrameType::kRts, 2, 7, 0.005));
+  auditor.record(rx(TraceEventKind::kRxOk, 0.1, 0.2, 3, FrameType::kRts, 1, 2, 7));
+  auditor.record(rx(TraceEventKind::kRxOk, 0.3, 0.4, 3, FrameType::kCts, 2, 1, 7));
+  auditor.record(tx(5.0, 1, FrameType::kRts, 2, 7, 0.005));  // the retry
+  auditor.record(rx(TraceEventKind::kRxLost, 6.1, 6.2, 2, FrameType::kExData, 3, 1, 9));
+  auditor.record(rx(TraceEventKind::kRxOk, 6.0, 6.3, 2, FrameType::kData, 1, 2, 7));
+  EXPECT_TRUE(auditor.violations().empty());
+}
+
+TEST(InvariantAuditor, CurrentAttemptDecodeStillFlagged) {
+  // Same retry, but node 3 also decodes the retry's CTS: its knowledge is
+  // of the current attempt, so the clash is a genuine violation.
+  InvariantAuditor auditor{synthetic_config()};
+  auditor.record(tx(0.0, 1, FrameType::kRts, 2, 7, 0.005));
+  auditor.record(rx(TraceEventKind::kRxOk, 0.1, 0.2, 3, FrameType::kRts, 1, 2, 7));
+  auditor.record(rx(TraceEventKind::kRxOk, 0.3, 0.4, 3, FrameType::kCts, 2, 1, 7));
+  auditor.record(tx(5.0, 1, FrameType::kRts, 2, 7, 0.005));  // the retry
+  auditor.record(rx(TraceEventKind::kRxOk, 5.3, 5.4, 3, FrameType::kCts, 2, 1, 7));
+  auditor.record(rx(TraceEventKind::kRxLost, 6.1, 6.2, 2, FrameType::kExData, 3, 1, 9));
+  auditor.record(rx(TraceEventKind::kRxOk, 6.0, 6.3, 2, FrameType::kData, 1, 2, 7));
+  ASSERT_EQ(auditor.violations().size(), 1u);
+  EXPECT_EQ(auditor.violations()[0].kind, InvariantKind::kExtraOverlap);
+  EXPECT_EQ(auditor.violations()[0].src, 3u);
+}
+
 TEST(InvariantAuditor, NeighborDelayDriftFlagged) {
   InvariantAuditor auditor{synthetic_config()};
   auditor.record(tx(1.0, 1, FrameType::kCts, 2, 3, 0.1));

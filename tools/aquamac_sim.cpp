@@ -38,6 +38,8 @@ int run(const CliParser& cli) {
   config.multi_hop = cli.get_bool("multi-hop");
   config.routing = routing_kind_from_string(cli.get("routing"));
   config.routing_beacon = Duration::from_seconds(cli.get_double("routing-beacon-s"));
+  config.reliability.max_retries = static_cast<std::uint32_t>(cli.get_int("relay-retries"));
+  config.reliability.queue_limit = static_cast<std::uint32_t>(cli.get_int("relay-queue"));
   config.node_failure_fraction = cli.get_double("kill-fraction");
   config.shards = static_cast<unsigned>(std::max<std::int64_t>(1, cli.get_int("shards")));
 
@@ -123,6 +125,15 @@ int run(const CliParser& cli) {
               << "routing drops     " << stats.e2e_dropped_no_route << " no-route, "
               << stats.e2e_dropped_hop_limit << " hop-limit, " << stats.e2e_dropped_mac
               << " mac\n";
+    if (config.reliability.enabled()) {
+      std::cout << "relay ARQ         " << stats.e2e_retransmissions << " retransmissions, "
+                << stats.e2e_failovers << " failovers, " << stats.e2e_duplicates_suppressed
+                << " dups suppressed\n"
+                << "dead letters      " << stats.e2e_dead_letter_exhausted << " exhausted, "
+                << stats.e2e_dead_letter_overflow << " overflow, "
+                << stats.e2e_dead_letter_no_route << " no-route\n"
+                << "relay queue hw    " << stats.relay_queue_highwater << "\n";
+    }
   }
   return 0;
 }
@@ -157,6 +168,9 @@ int main(int argc, char** argv) {
                                                "the sinks' sequence waves but contend like "
                                                "any other frame, so dense single-cluster "
                                                "deployments want this larger"},
+                    {"relay-retries", "0", "hop-by-hop custody retransmission budget per "
+                                           "node (0 = ARQ off; docs/reliability.md)"},
+                    {"relay-queue", "32", "bound on packets in relay custody per node"},
                     {"kill-fraction", "0", "fraction of nodes that die 60 s into traffic"},
                     {"shards", "1", "conservative-PDES shards for intra-run parallelism "
                                     "(results are bit-identical for every value)"},
