@@ -17,6 +17,7 @@ using namespace aquamac;
 
 void BM_EventQueuePushPop(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
+  // aquamac-lint: allow(rng-root) -- bench-local stream; feeds no simulation run.
   Rng rng{7};
   for (auto _ : state) {
     EventQueue queue;
@@ -65,6 +66,7 @@ BENCHMARK(BM_NoisePsd);
 
 void BM_BellhopLiteEigenray(benchmark::State& state) {
   const BellhopLitePropagation prop{std::make_shared<LinearProfile>(1'500.0, 0.017)};
+  // aquamac-lint: allow(rng-root) -- bench-local stream; feeds no simulation run.
   Rng rng{11};
   for (auto _ : state) {
     const Vec3 a{rng.uniform(0, 4'000), rng.uniform(0, 4'000), rng.uniform(0, 4'000)};

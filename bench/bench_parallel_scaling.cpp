@@ -1,3 +1,6 @@
+// aquamac-lint: allow-file(wall-clock) -- this bench's deliverable IS
+// wall-clock speedup; determinism is separately digest-checked.
+//
 // Parallel harness scaling: runs the same 3-protocol x 4-load x 5-seed
 // sweep with jobs=1 (the serial code path) and jobs=N (default: all
 // cores), verifies the results are bit-identical, and records the

@@ -1,3 +1,6 @@
+// aquamac-lint: allow-file(wall-clock) -- this bench's deliverable IS
+// wall-clock speedup; determinism is separately digest-checked.
+//
 // Scaling ledger: runs the density-preserving grid3d scale scenario at
 // N in {50, 200, 1000, 2000, 5000, 20000} and records, per N:
 //

@@ -19,6 +19,7 @@ int main() {
   std::cout << "Paper-literal Table 2 region:\n\n" << describe_scenario(literal) << "\n";
 
   // Connectivity diagnostic justifying the scaled default.
+  // aquamac-lint: allow(rng-root) -- one-shot deployment diagnostic, not a run.
   Rng rng{42};
   const DeploymentConfig scaled_box = paper_default_scenario().deployment;
   const auto scaled = generate_deployment(scaled_box, 60, rng);

@@ -1,5 +1,8 @@
 #pragma once
 // Shared helpers for the figure benches.
+//
+// aquamac-lint: allow-file(wall-clock) -- benches measure real elapsed
+// time by design; nothing here feeds the deterministic event stream.
 
 #include <array>
 #include <chrono>

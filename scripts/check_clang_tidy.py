@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""clang-tidy wall: run the curated .clang-tidy profile over src/ via
-compile_commands.json and fail on any finding NOT in the committed
-baseline (tools/lint/clang-tidy-baseline.txt).
+"""clang-tidy wall: run the curated .clang-tidy profile over src/,
+tools/ and bench/ via compile_commands.json and fail on any finding NOT
+in the committed baseline (tools/lint/clang-tidy-baseline.txt).
 
 Findings are matched by a stable fingerprint — sha1 over (relative path,
 check name, whitespace-normalized source line text) — so a finding
@@ -67,12 +67,13 @@ def run_one(clang_tidy: str, build_dir: Path, src: str) -> str:
 def collect_findings(clang_tidy: str, build_dir: Path, jobs: int):
     with open(build_dir / "compile_commands.json") as fh:
         commands = json.load(fh)
+    scoped = ("/src/", "/tools/", "/bench/")
     sources = sorted({
         entry["file"] for entry in commands
-        if "/src/" in entry["file"].replace("\\", "/")})
+        if any(d in entry["file"].replace("\\", "/") for d in scoped)})
     if not sources:
-        print("check_clang_tidy: no src/ entries in compile_commands.json",
-              file=sys.stderr)
+        print("check_clang_tidy: no src/tools/bench entries in "
+              "compile_commands.json", file=sys.stderr)
         sys.exit(2)
 
     findings = {}
@@ -88,7 +89,7 @@ def collect_findings(clang_tidy: str, build_dir: Path, jobs: int):
                     rel = str(path.relative_to(REPO))
                 except ValueError:
                     continue  # system header noise
-                if not rel.startswith("src/"):
+                if not rel.startswith(("src/", "tools/", "bench/")):
                     continue
                 for check in m.group("check").split(","):
                     text = source_line(path, int(m.group("line")))

@@ -126,15 +126,18 @@ class FaultPlan {
   [[nodiscard]] std::pair<Duration, Duration> clock_error_range(NodeId node) const;
 
  private:
-  FaultConfig config_;
-  std::size_t node_count_;
-  Time horizon_;
+  // Everything below except loss_rng_ is the precomputed plan: the
+  // constructor rebuilds it deterministically from (config, node_count,
+  // horizon, seed), so checkpoints carry only the live loss streams.
+  FaultConfig config_;       // lint: ckpt-skip(precomputed plan, ctor rebuilds)
+  std::size_t node_count_;   // lint: ckpt-skip(precomputed plan, ctor rebuilds)
+  Time horizon_;             // lint: ckpt-skip(precomputed plan, ctor rebuilds)
 
-  std::vector<double> drift_ppm_;
-  std::vector<std::vector<Duration>> jitter_steps_;
-  std::vector<std::vector<TimeInterval>> down_;
-  std::vector<std::vector<TimeInterval>> ge_bad_;
-  std::vector<TimeInterval> storms_;
+  std::vector<double> drift_ppm_;  // lint: ckpt-skip(precomputed plan, ctor rebuilds)
+  std::vector<std::vector<Duration>> jitter_steps_;  // lint: ckpt-skip(precomputed plan)
+  std::vector<std::vector<TimeInterval>> down_;      // lint: ckpt-skip(precomputed plan)
+  std::vector<std::vector<TimeInterval>> ge_bad_;    // lint: ckpt-skip(precomputed plan)
+  std::vector<TimeInterval> storms_;                 // lint: ckpt-skip(precomputed plan)
   std::vector<Rng> loss_rng_;
 };
 

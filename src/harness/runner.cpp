@@ -70,6 +70,7 @@ std::vector<RunStats> run_replicated_parallel(const ScenarioConfig& base,
   return runs;
 }
 
+// lint: stats-site(RunStats)
 MeanStats mean_of(const std::vector<RunStats>& runs) {
   MeanStats mean{};
   if (runs.empty()) return mean;
@@ -91,6 +92,37 @@ MeanStats mean_of(const std::vector<RunStats>& runs) {
     mean.e2e_delivery_ratio += run.e2e_delivery_ratio;
     mean.mean_hops += run.mean_hops;
     mean.mean_e2e_latency_s += run.mean_e2e_latency_s;
+    mean.traffic_duration_s += run.traffic_duration_s;
+    mean.packets_offered += static_cast<double>(run.packets_offered);
+    mean.packets_delivered += static_cast<double>(run.packets_delivered);
+    mean.packets_dropped += static_cast<double>(run.packets_dropped);
+    mean.duplicate_deliveries += static_cast<double>(run.duplicate_deliveries);
+    mean.bits_offered += static_cast<double>(run.bits_offered);
+    mean.offered_load_kbps += run.offered_load_kbps;
+    mean.control_bits += static_cast<double>(run.control_bits);
+    mean.maintenance_bits += static_cast<double>(run.maintenance_bits);
+    mean.retransmitted_bits += static_cast<double>(run.retransmitted_bits);
+    mean.piggyback_bits += static_cast<double>(run.piggyback_bits);
+    mean.total_bits_sent += static_cast<double>(run.total_bits_sent);
+    mean.handshake_attempts += static_cast<double>(run.handshake_attempts);
+    mean.handshake_successes += static_cast<double>(run.handshake_successes);
+    mean.contention_losses += static_cast<double>(run.contention_losses);
+    mean.extra_attempts += static_cast<double>(run.extra_attempts);
+    mean.e2e_originated += static_cast<double>(run.e2e_originated);
+    mean.e2e_arrived_at_sink += static_cast<double>(run.e2e_arrived_at_sink);
+    mean.e2e_forwarded += static_cast<double>(run.e2e_forwarded);
+    mean.e2e_dropped_no_route += static_cast<double>(run.e2e_dropped_no_route);
+    mean.e2e_dropped_hop_limit += static_cast<double>(run.e2e_dropped_hop_limit);
+    mean.e2e_dropped_mac += static_cast<double>(run.e2e_dropped_mac);
+    mean.hop_stretch += run.hop_stretch;
+    mean.mean_per_hop_latency_s += run.mean_per_hop_latency_s;
+    mean.e2e_retransmissions += static_cast<double>(run.e2e_retransmissions);
+    mean.e2e_failovers += static_cast<double>(run.e2e_failovers);
+    mean.e2e_dead_letter_exhausted += static_cast<double>(run.e2e_dead_letter_exhausted);
+    mean.e2e_dead_letter_overflow += static_cast<double>(run.e2e_dead_letter_overflow);
+    mean.e2e_dead_letter_no_route += static_cast<double>(run.e2e_dead_letter_no_route);
+    mean.e2e_duplicates_suppressed += static_cast<double>(run.e2e_duplicates_suppressed);
+    mean.relay_queue_highwater += static_cast<double>(run.relay_queue_highwater);
   }
   const double n = static_cast<double>(runs.size());
   mean.throughput_kbps /= n;
@@ -110,6 +142,37 @@ MeanStats mean_of(const std::vector<RunStats>& runs) {
   mean.e2e_delivery_ratio /= n;
   mean.mean_hops /= n;
   mean.mean_e2e_latency_s /= n;
+  mean.traffic_duration_s /= n;
+  mean.packets_offered /= n;
+  mean.packets_delivered /= n;
+  mean.packets_dropped /= n;
+  mean.duplicate_deliveries /= n;
+  mean.bits_offered /= n;
+  mean.offered_load_kbps /= n;
+  mean.control_bits /= n;
+  mean.maintenance_bits /= n;
+  mean.retransmitted_bits /= n;
+  mean.piggyback_bits /= n;
+  mean.total_bits_sent /= n;
+  mean.handshake_attempts /= n;
+  mean.handshake_successes /= n;
+  mean.contention_losses /= n;
+  mean.extra_attempts /= n;
+  mean.e2e_originated /= n;
+  mean.e2e_arrived_at_sink /= n;
+  mean.e2e_forwarded /= n;
+  mean.e2e_dropped_no_route /= n;
+  mean.e2e_dropped_hop_limit /= n;
+  mean.e2e_dropped_mac /= n;
+  mean.hop_stretch /= n;
+  mean.mean_per_hop_latency_s /= n;
+  mean.e2e_retransmissions /= n;
+  mean.e2e_failovers /= n;
+  mean.e2e_dead_letter_exhausted /= n;
+  mean.e2e_dead_letter_overflow /= n;
+  mean.e2e_dead_letter_no_route /= n;
+  mean.e2e_duplicates_suppressed /= n;
+  mean.relay_queue_highwater /= n;
   return mean;
 }
 

@@ -19,8 +19,8 @@ void SlottedAloha::restore_state(StateReader& reader) {
   reader.section("s-aloha", [this](StateReader& r) {
     awaiting_ack_ = r.read_bool();
     awaited_packet_ = r.read_u64();
-    read_handle(r);
-    read_handle(r);
+    read_handle(r, attempt_event_);
+    read_handle(r, timeout_event_);
   });
 }
 

@@ -21,8 +21,8 @@ void CwMac::restore_state(StateReader& reader) {
     counter_ = r.read_i64();
     awaiting_ack_ = r.read_bool();
     awaited_packet_ = r.read_u64();
-    read_handle(r);
-    read_handle(r);
+    read_handle(r, tick_event_);
+    read_handle(r, timeout_event_);
   });
 }
 

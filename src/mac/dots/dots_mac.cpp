@@ -20,8 +20,8 @@ void DotsMac::restore_state(StateReader& reader) {
   reader.section("dots", [this](StateReader& r) {
     awaiting_ack_ = r.read_bool();
     awaited_packet_ = r.read_u64();
-    read_handle(r);
-    read_handle(r);
+    read_handle(r, attempt_event_);
+    read_handle(r, timeout_event_);
     schedule_.restore_state(r);
   });
 }

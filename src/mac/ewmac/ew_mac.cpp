@@ -50,9 +50,9 @@ void EwMac::restore_state(StateReader& reader) {
   SlottedMac::restore_state(reader);
   reader.section("ew-mac", [this](StateReader& r) {
     state_ = static_cast<State>(r.read_u32());
-    read_handle(r);
-    read_handle(r);
-    read_handle(r);
+    read_handle(r, attempt_event_);
+    read_handle(r, timeout_event_);
+    read_handle(r, decide_event_);
     candidates_.clear();
     const std::uint64_t count = r.read_u64();
     for (std::uint64_t k = 0; k < count; ++k) {
@@ -88,7 +88,7 @@ void EwMac::restore_state(StateReader& reader) {
       grant.expires = r.read_time();
       grant_ = grant;
     }
-    read_handle(r);
+    read_handle(r, grant_expiry_event_);
     schedule_.restore_state(r);
   });
 }

@@ -332,7 +332,12 @@ void MacProtocol::write_handle(StateWriter& writer, const EventHandle& handle) {
   writer.write_bool(!handle.is_null());
 }
 
-void MacProtocol::read_handle(StateReader& reader) { static_cast<void>(reader.read_bool()); }
+void MacProtocol::read_handle(StateReader& reader, const EventHandle& handle) {
+  const bool armed = reader.read_bool();
+  if (armed != !handle.is_null()) {
+    throw CheckpointError("mac restore: event-handle armed bit diverges from replayed schedule");
+  }
+}
 
 void MacProtocol::trace_mac(TraceEvent event) const {
   if (trace_ == nullptr) return;

@@ -258,9 +258,10 @@ class MacProtocol : public ModemListener {
   /// Checkpoint encoding of an EventHandle: only the armed (non-null) bit
   /// is invariant across shard counts, so that is all a snapshot carries.
   /// Replay re-arms the live handles before restore_state runs, so
-  /// read_handle consumes the bit purely for the re-encode equality check.
+  /// read_handle cross-checks the stored bit against the replayed handle
+  /// and throws CheckpointError when the schedules diverged.
   static void write_handle(StateWriter& writer, const EventHandle& handle);
-  static void read_handle(StateReader& reader);
+  static void read_handle(StateReader& reader, const EventHandle& handle);
 
   /// Records a MAC-level trace event, stamping `at` and `node`; the
   /// caller fills the kind-specific fields. No-op without a sink.
@@ -271,21 +272,21 @@ class MacProtocol : public ModemListener {
   Simulator& sim_;
   AcousticModem& modem_;
   NeighborTable& neighbors_;
-  MacConfig config_;
+  MacConfig config_;  // lint: ckpt-skip(scenario-derived, rebuilt by resume)
   Rng rng_;
-  Logger log_;
+  Logger log_;  // lint: ckpt-skip(logging wiring, no simulation state)
   TraceSink* trace_{nullptr};
   MacCounters counters_;
   std::deque<Packet> queue_;
   std::uint64_t next_packet_id_{1};
   /// Highest sequence delivered per sender (senders emit in order).
   std::unordered_map<NodeId, std::uint64_t> delivered_seq_high_;
-  DeliveryHandler delivery_handler_{};
-  DropHandler drop_handler_{};
-  SentHandler sent_handler_{};
-  FrameStampHook stamp_hook_{};
-  FrameObserveHook observe_hook_{};
-  NeighborDownHook neighbor_down_hook_{};
+  DeliveryHandler delivery_handler_{};      // lint: ckpt-skip(callback wiring, rebound on construction)
+  DropHandler drop_handler_{};              // lint: ckpt-skip(callback wiring, rebound on construction)
+  SentHandler sent_handler_{};              // lint: ckpt-skip(callback wiring, rebound on construction)
+  FrameStampHook stamp_hook_{};             // lint: ckpt-skip(callback wiring, rebound on construction)
+  FrameObserveHook observe_hook_{};         // lint: ckpt-skip(callback wiring, rebound on construction)
+  NeighborDownHook neighbor_down_hook_{};   // lint: ckpt-skip(callback wiring, rebound on construction)
 
  private:
   struct PeerHealth {

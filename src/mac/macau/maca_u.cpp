@@ -19,8 +19,8 @@ void MacaU::restore_state(StateReader& reader) {
   SlottedMac::restore_state(reader);
   reader.section("maca-u", [this](StateReader& r) {
     state_ = static_cast<State>(r.read_u32());
-    read_handle(r);
-    read_handle(r);
+    read_handle(r, attempt_event_);
+    read_handle(r, timeout_event_);
     expected_data_from_ = r.read_u32();
     expected_seq_ = r.read_u64();
   });

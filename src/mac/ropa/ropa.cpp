@@ -34,9 +34,9 @@ void Ropa::restore_state(StateReader& reader) {
   SlottedMac::restore_state(reader);
   reader.section("ropa", [this](StateReader& r) {
     state_ = static_cast<State>(r.read_u32());
-    read_handle(r);
-    read_handle(r);
-    read_handle(r);
+    read_handle(r, attempt_event_);
+    read_handle(r, timeout_event_);
+    read_handle(r, decide_event_);
     pending_rts_.reset();
     if (r.read_bool()) {
       PendingRts rts{};

@@ -27,9 +27,9 @@ void SFama::restore_state(StateReader& reader) {
   SlottedMac::restore_state(reader);
   reader.section("s-fama", [this](StateReader& r) {
     state_ = static_cast<State>(r.read_u32());
-    read_handle(r);
-    read_handle(r);
-    read_handle(r);
+    read_handle(r, attempt_event_);
+    read_handle(r, timeout_event_);
+    read_handle(r, decide_event_);
     pending_rts_.reset();
     if (r.read_bool()) {
       PendingRts rts{};

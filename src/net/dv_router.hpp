@@ -103,13 +103,13 @@ class DvRouter {
   void install_own_entry();
   void refresh_best(bool notify);
 
-  NodeId self_;
-  bool is_sink_;
+  NodeId self_;    // lint: ckpt-skip(config, fixed per node)
+  bool is_sink_;   // lint: ckpt-skip(config, fixed per node)
   std::uint32_t own_seq_{1};
   std::map<NodeId, Entry> entries_;  ///< sink id -> route
   NodeId best_sink_{kNoNode};        ///< cached selection; kNoNode = none
   Entry last_best_{};                ///< change detection baseline
-  RouteChangeHook on_change_{};
+  RouteChangeHook on_change_{};  // lint: ckpt-skip(callback wiring, rebound on construction)
 };
 
 }  // namespace aquamac

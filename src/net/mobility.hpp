@@ -55,7 +55,7 @@ class Mobility {
 
  private:
   MobilityKind kind_{MobilityKind::kStatic};
-  MobilityConfig config_{};
+  MobilityConfig config_{};  // lint: ckpt-skip(scenario-derived, rebuilt by resume)
   Vec3 position_{};
   Vec3 velocity_{};
 };

@@ -613,6 +613,7 @@ bool Network::workload_complete() const {
   return true;
 }
 
+// lint: stats-site(RelayCounters)
 RunStats Network::stats() const {
   MacCounters total{};
   double energy_j = 0.0;

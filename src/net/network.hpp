@@ -239,17 +239,17 @@ class Network {
                    std::int64_t b = 0) const;
 
   Simulator& sim_;
-  ScenarioConfig config_;
-  Rng rng_;
+  ScenarioConfig config_;  // lint: ckpt-skip(the checkpoint carries the scenario text)
+  Rng rng_;  // lint: ckpt-skip(construction-only stream: topology + forks, never redrawn)
 
-  std::unique_ptr<PropagationModel> propagation_;
-  std::unique_ptr<ReceptionModel> reception_;
+  std::unique_ptr<PropagationModel> propagation_;  // lint: ckpt-skip(stateless model from config)
+  std::unique_ptr<ReceptionModel> reception_;      // lint: ckpt-skip(stateless model from config)
   std::unique_ptr<AcousticChannel> channel_;
   std::vector<std::unique_ptr<Node>> nodes_;
-  std::unique_ptr<UphillRouter> router_;
+  std::unique_ptr<UphillRouter> router_;  // lint: ckpt-skip(immutable candidates from initial positions)
   std::vector<std::unique_ptr<RelayAgent>> relays_;  ///< multi-hop mode only
   /// Static shortest-delay tree (multi-hop; null until traffic start).
-  std::unique_ptr<RouteTable> route_table_;
+  std::unique_ptr<RouteTable> route_table_;  // lint: ckpt-skip(rebuilt deterministically at traffic start)
   std::vector<std::unique_ptr<DvRouter>> dv_routers_;  ///< kDv mode only
   /// Beacon/trigger jitter streams, one per node (kDv mode), heap-held so
   /// scheduling lambdas can reference them and checkpoints can reach them.
@@ -264,19 +264,19 @@ class Network {
   /// so the emit lambdas can reference them and checkpoints can reach
   /// them (a by-value rng captured in a closure would be unserializable).
   std::vector<std::unique_ptr<Rng>> route_rngs_;
-  std::vector<Vec3> initial_positions_;
+  std::vector<Vec3> initial_positions_;  // lint: ckpt-skip(set once at construction from the scenario)
   std::unique_ptr<FaultPlan> fault_plan_;  ///< null when faults disabled
-  std::unique_ptr<ShardPlan> shard_plan_;  ///< null when shards <= 1
+  std::unique_ptr<ShardPlan> shard_plan_;  // lint: ckpt-skip(derived from config + initial positions)
   /// Wraps config.trace for sharded runs (barrier-ordered replay); the
   /// sink modems/MACs/fault tracing actually write to.
-  std::unique_ptr<DeferredTraceSink> deferred_trace_;
+  std::unique_ptr<DeferredTraceSink> deferred_trace_;  // lint: ckpt-skip(trace plumbing, not simulation state)
   /// Counts + digests the event stream ahead of config.trace so
   /// checkpoints can record the trace position; null without a trace.
   std::unique_ptr<TallyTrace> tally_trace_;
   TraceSink* run_trace_{nullptr};
 
-  Time traffic_start_{};
-  Time horizon_{};
+  Time traffic_start_{};  // lint: ckpt-skip(derived from config at construction)
+  Time horizon_{};        // lint: ckpt-skip(derived from config at construction)
 };
 
 }  // namespace aquamac

@@ -22,6 +22,7 @@ RelayDropPolicy relay_drop_policy_from_string(std::string_view name) {
   throw std::invalid_argument("unknown relay drop policy: " + std::string(name));
 }
 
+// lint: stats-site(RelayCounters)
 RelayCounters& RelayCounters::operator+=(const RelayCounters& o) {
   originated += o.originated;
   arrived_at_sink += o.arrived_at_sink;
@@ -355,6 +356,11 @@ void RelayAgent::restore_state(StateReader& reader) {
   counters_.duplicates_suppressed = reader.read_u64();
   counters_.queue_highwater = reader.read_u64();
   const bool arq = reader.read_bool();
+  if (arq != rel_.enabled()) {
+    // The payload layout branches on the reliability config; restoring
+    // into an agent configured differently would misparse the stream.
+    throw CheckpointError("relay restore: reliability-enabled mismatch with config");
+  }
   if (!arq) return;
   next_admission_ = reader.read_u64();
   custody_.clear();

@@ -63,6 +63,7 @@ struct ReliabilityConfig {
 };
 
 /// Network-layer counters, aggregated by Network::stats in multi-hop mode.
+// lint: stats-class(merged by operator+=, folded into RunStats by Network::stats)
 struct RelayCounters {
   std::uint64_t originated{0};       ///< packets stamped at this origin
   std::uint64_t arrived_at_sink{0};  ///< packets absorbed here as sink
@@ -169,17 +170,17 @@ class RelayAgent {
 
   Simulator& sim_;
   MacProtocol& mac_;
-  NodeId self_;
-  bool is_sink_;
-  NextHopFn next_hop_;
-  std::uint8_t hop_limit_;
-  ReliabilityConfig rel_;
+  NodeId self_;     // lint: ckpt-skip(config, fixed per node)
+  bool is_sink_;    // lint: ckpt-skip(config, fixed per node)
+  NextHopFn next_hop_;  // lint: ckpt-skip(callback wiring, rebound on construction)
+  std::uint8_t hop_limit_;  // lint: ckpt-skip(config, fixed per scenario)
+  ReliabilityConfig rel_;   ///< restore cross-checks the enabled bit
   std::uint64_t next_e2e_id_{1};
   RelayCounters counters_;
   TraceSink* trace_{nullptr};
-  RouteHopsFn tree_hops_{};
-  RouteHopsFn advertised_hops_{};
-  AltHopFn alt_next_hop_{};
+  RouteHopsFn tree_hops_{};  // lint: ckpt-skip(callback wiring, rebound on construction)
+  RouteHopsFn advertised_hops_{};  // lint: ckpt-skip(callback wiring)
+  AltHopFn alt_next_hop_{};        // lint: ckpt-skip(callback wiring)
   Rng* backoff_rng_{nullptr};
 
   // --- custody state (ordered: serialized and iterated for eviction) ---

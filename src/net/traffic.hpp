@@ -56,10 +56,10 @@ class TrafficSource {
   [[nodiscard]] std::uint32_t draw_size();
 
   Simulator& sim_;
-  TrafficConfig config_;
-  double rate_pps_;
+  TrafficConfig config_;  // lint: ckpt-skip(scenario-derived, rebuilt by resume)
+  double rate_pps_;       // lint: ckpt-skip(derived from config at construction)
   Rng rng_;
-  EmitFn emit_;
+  EmitFn emit_;  // lint: ckpt-skip(callback wiring, rebound on construction)
   std::uint64_t generated_{0};
 };
 

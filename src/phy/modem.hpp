@@ -166,8 +166,8 @@ class AcousticModem {
   void prune_ledgers();
 
   Simulator& sim_;
-  NodeId id_;
-  ModemConfig config_;
+  NodeId id_;           // lint: ckpt-skip(config, fixed per node)
+  ModemConfig config_;  // lint: ckpt-skip(scenario-derived, rebuilt by resume)
   const ReceptionModel& reception_;
   Rng rng_;
 
@@ -190,7 +190,7 @@ class AcousticModem {
   Time last_rx_accounted_until_{Time::zero()};
   Duration clock_offset_{};
   double clock_drift_ppm_{0.0};
-  ImpairmentFn impairment_{};
+  ImpairmentFn impairment_{};  // lint: ckpt-skip(callback wiring, rebound on construction)
   bool operational_{true};
 
   std::uint64_t frames_sent_{0};

@@ -17,6 +17,7 @@ std::uint64_t MacCounters::control_bits_sent() const {
   return sum;
 }
 
+// lint: stats-site(MacCounters)
 MacCounters& MacCounters::operator+=(const MacCounters& o) {
   for (std::size_t i = 0; i < kFrameTypeCount; ++i) {
     frames_sent[i] += o.frames_sent[i];
@@ -45,6 +46,7 @@ MacCounters& MacCounters::operator+=(const MacCounters& o) {
   return *this;
 }
 
+// lint: stats-site(MacCounters)
 void MacCounters::save_state(StateWriter& writer) const {
   for (std::size_t i = 0; i < kFrameTypeCount; ++i) {
     writer.write_u64(frames_sent[i]);

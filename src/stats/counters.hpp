@@ -22,6 +22,7 @@ inline constexpr std::size_t kFrameTypeCount = 11;
   return static_cast<std::size_t>(t);
 }
 
+// lint: stats-class(merged by operator+=, checkpointed by save_state)
 struct MacCounters {
   // --- transmit side, by frame class --------------------------------
   std::array<std::uint64_t, kFrameTypeCount> frames_sent{};

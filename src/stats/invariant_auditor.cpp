@@ -29,6 +29,14 @@ std::string_view to_string(InvariantKind kind) {
   return "?";
 }
 
+// lint: trace-dispatch(TraceEventKind)
+// The kinds below carry MAC/fault context the auditor observes but has no
+// obligation for: slot/contention/extra bookkeeping is checked from the
+// kTxStart path, and burst/storm/clock faults only shape the channel.
+// lint: trace-skip(kMacState, kSlotBoundary, kContentionWin, kContentionLoss -- MAC context, no auditor obligation)
+// lint: trace-skip(kExtraNegotiated, kExtraScheduled -- extra-overlap theorem is checked at kTxStart)
+// lint: trace-skip(kFaultClockStep, kFaultBurstBegin, kFaultBurstEnd, kFaultStormBegin, kFaultStormEnd -- channel-shaping faults, no per-node state)
+// lint: trace-skip(kNeighborDead, kNeighborProbe -- probing telemetry, no knowledge change)
 void InvariantAuditor::record(const TraceEvent& event) {
   switch (event.kind) {
     case TraceEventKind::kTxStart: on_tx_start(event); break;

@@ -1,5 +1,7 @@
 #include "stats/metrics.hpp"
 
+#include "util/json_writer.hpp"
+
 namespace aquamac {
 
 double jain_fairness(const std::vector<double>& values) {
@@ -27,6 +29,7 @@ RunStats compute_run_stats(const MacCounters& total, double total_energy_j,
   stats.packets_offered = total.packets_offered;
   stats.packets_delivered = total.packets_delivered;
   stats.packets_dropped = total.packets_dropped;
+  stats.duplicate_deliveries = total.duplicate_deliveries;
   stats.bits_offered = total.bits_offered;
   stats.bits_delivered = total.bits_delivered;
 
@@ -68,6 +71,60 @@ RunStats compute_run_stats(const MacCounters& total, double total_energy_j,
   stats.extra_successes = total.extra_successes;
   stats.rx_collisions = total.rx_collisions;
   return stats;
+}
+
+// lint: stats-site(RunStats)
+void write_run_stats_json(JsonWriter& json, const RunStats& stats) {
+  json.begin_object();
+  json.key("elapsed_s").value(stats.elapsed_s);
+  json.key("traffic_duration_s").value(stats.traffic_duration_s);
+  json.key("node_count").value(static_cast<std::uint64_t>(stats.node_count));
+  json.key("packets_offered").value(stats.packets_offered);
+  json.key("packets_delivered").value(stats.packets_delivered);
+  json.key("packets_dropped").value(stats.packets_dropped);
+  json.key("duplicate_deliveries").value(stats.duplicate_deliveries);
+  json.key("bits_offered").value(stats.bits_offered);
+  json.key("bits_delivered").value(stats.bits_delivered);
+  json.key("throughput_kbps").value(stats.throughput_kbps);
+  json.key("offered_load_kbps").value(stats.offered_load_kbps);
+  json.key("delivery_ratio").value(stats.delivery_ratio);
+  json.key("total_energy_j").value(stats.total_energy_j);
+  json.key("mean_power_mw").value(stats.mean_power_mw);
+  json.key("control_bits").value(stats.control_bits);
+  json.key("maintenance_bits").value(stats.maintenance_bits);
+  json.key("retransmitted_bits").value(stats.retransmitted_bits);
+  json.key("piggyback_bits").value(stats.piggyback_bits);
+  json.key("total_bits_sent").value(stats.total_bits_sent);
+  json.key("overhead_bits").value(stats.overhead_bits());
+  json.key("mean_latency_s").value(stats.mean_latency_s);
+  json.key("execution_time_s").value(stats.execution_time_s);
+  json.key("handshake_attempts").value(stats.handshake_attempts);
+  json.key("handshake_successes").value(stats.handshake_successes);
+  json.key("contention_losses").value(stats.contention_losses);
+  json.key("extra_attempts").value(stats.extra_attempts);
+  json.key("extra_successes").value(stats.extra_successes);
+  json.key("rx_collisions").value(stats.rx_collisions);
+  json.key("efficiency_raw").value(stats.efficiency_raw());
+  json.key("fairness_index").value(stats.fairness_index);
+  json.key("e2e_originated").value(stats.e2e_originated);
+  json.key("e2e_arrived_at_sink").value(stats.e2e_arrived_at_sink);
+  json.key("e2e_delivery_ratio").value(stats.e2e_delivery_ratio);
+  json.key("mean_hops").value(stats.mean_hops);
+  json.key("mean_e2e_latency_s").value(stats.mean_e2e_latency_s);
+  json.key("e2e_forwarded").value(stats.e2e_forwarded);
+  json.key("e2e_dropped_no_route").value(stats.e2e_dropped_no_route);
+  json.key("e2e_dropped_hop_limit").value(stats.e2e_dropped_hop_limit);
+  json.key("e2e_dropped_mac").value(stats.e2e_dropped_mac);
+  json.key("hop_stretch").value(stats.hop_stretch);
+  json.key("mean_per_hop_latency_s").value(stats.mean_per_hop_latency_s);
+  json.key("e2e_retransmissions").value(stats.e2e_retransmissions);
+  json.key("e2e_failovers").value(stats.e2e_failovers);
+  json.key("e2e_dead_letter_exhausted").value(stats.e2e_dead_letter_exhausted);
+  json.key("e2e_dead_letter_overflow").value(stats.e2e_dead_letter_overflow);
+  json.key("e2e_dead_letter_no_route").value(stats.e2e_dead_letter_no_route);
+  json.key("e2e_duplicates_suppressed").value(stats.e2e_duplicates_suppressed);
+  json.key("relay_queue_highwater").value(stats.relay_queue_highwater);
+  json.end_object();
 }
 
 }  // namespace aquamac

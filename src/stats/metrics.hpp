@@ -9,6 +9,9 @@
 
 namespace aquamac {
 
+class JsonWriter;
+
+// lint: stats-class(emitted by write_run_stats_json, merged by mean_of)
 struct RunStats {
   double elapsed_s{0.0};           ///< total simulated time
   double traffic_duration_s{0.0};  ///< window over which load was offered
@@ -17,6 +20,9 @@ struct RunStats {
   std::uint64_t packets_offered{0};
   std::uint64_t packets_delivered{0};
   std::uint64_t packets_dropped{0};
+  /// Retransmissions the receiver had already delivered (lost Acks);
+  /// a high count flags an Ack path too lossy for the retry budget.
+  std::uint64_t duplicate_deliveries{0};
   std::uint64_t bits_offered{0};
   std::uint64_t bits_delivered{0};
 
@@ -97,5 +103,10 @@ struct RunStats {
 [[nodiscard]] RunStats compute_run_stats(const MacCounters& total, double total_energy_j,
                                          std::size_t node_count, Duration elapsed,
                                          Duration traffic_duration, Time traffic_start);
+
+/// Emits every RunStats field (plus the derived overhead/efficiency
+/// metrics) as one JSON object; the field-coverage contract is enforced
+/// by aquamac-lint's stats-symmetric rule.
+void write_run_stats_json(JsonWriter& json, const RunStats& stats);
 
 }  // namespace aquamac

@@ -18,6 +18,7 @@
 #include "harness/runner.hpp"
 #include "harness/scenario.hpp"
 #include "util/cli.hpp"
+#include "util/json_writer.hpp"
 
 namespace {
 
@@ -135,6 +136,16 @@ int run(const CliParser& cli) {
                 << "relay queue hw    " << stats.relay_queue_highwater << "\n";
     }
   }
+  if (cli.has("stats-json")) {
+    std::ofstream json_os{cli.get("stats-json")};
+    if (!json_os) {
+      std::cerr << "cannot open " << cli.get("stats-json") << " for writing\n";
+      return 1;
+    }
+    JsonWriter json{json_os};
+    write_run_stats_json(json, stats);
+    json_os << '\n';
+  }
   return 0;
 }
 
@@ -177,6 +188,8 @@ int main(int argc, char** argv) {
                     {"batch", "false", "batch workload instead of Poisson (Figs. 8/9 mode)"},
                     {"batch-packets", "40", "packets injected at start in batch mode"},
                     {"trace", "", "write a per-event PHY + MAC trace CSV to this path"},
+                    {"stats-json", "", "write the full RunStats metric block as one JSON "
+                                       "object to this path"},
                     {"checkpoint-every-s", "0", "snapshot the run to --checkpoint-out every N "
                                                 "sim seconds (0 = off)"},
                     {"checkpoint-out", "", "checkpoint file path (overwritten each snapshot)"},

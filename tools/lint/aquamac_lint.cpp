@@ -1,570 +1,77 @@
-// aquamac-lint: repo-specific determinism & protocol-safety static analysis.
+// aquamac-lint driver: repo-specific determinism & state-coverage static
+// analysis.
+//
+// aquamac-lint: allow-file(lint-directive) -- the grammar examples in
+// this file's documentation parse as live directives.
 //
 // The simulator's headline guarantees — bit-identical serial-vs-parallel
-// traces, digest-equal spatial-index A/B, strict-no-op FaultPlan — are
-// otherwise enforced only dynamically (TSan, digest oracles, the
-// InvariantAuditor). A single stray std::random_device, wall-clock read,
-// or hash-order-dependent unordered_map iteration can silently break
-// reproducibility until a soak happens to catch it. This tool moves those
-// guarantees left: it scans src/ at the lexical level (comments, strings
-// and raw strings stripped; token positions preserved) and fails the
-// build on any construct that can leak nondeterminism into the event
-// stream.
+// traces, digest-verified checkpoint resume, exhaustive trace/stat
+// accounting — are otherwise enforced only dynamically (TSan, digest
+// oracles, the InvariantAuditor). This tool moves them left: a
+// dependency-free lexer pass plus two cross-file symbol passes fail the
+// build on constructs that can leak nondeterminism or let state silently
+// drop out of a completeness contract.
 //
-// It is deliberately a dependency-free lexer pass rather than a libclang
-// plugin: the CI container guarantees only a C++ toolchain, and every
-// rule below is expressible over the token stream plus a tiny
-// cross-file symbol table (names of unordered members / accessors). When
-// a full LibTooling build of these rules lands, this file remains the
-// portable fallback (the rule set and allowlist grammar are the contract;
-// the engine is an implementation detail).
+// Rule passes (see docs/static-analysis.md for the full semantics):
+//   rules_lexical  wall-clock, unordered-iter, rng-discipline, rng-root,
+//                  raw-ns (PR 5).
+//   rules_state    ckpt-coverage, trace-kind-exhaustive, stats-symmetric,
+//                  shard-shared-mutable, plus the lint-directive meta
+//                  rule over the `// lint: ...` directive grammar.
 //
-// Rules (ids are what allow() annotations name):
-//   wall-clock      Nondeterminism sources banned in simulation code:
-//                   std::rand/srand, std::random_device, the <chrono>
-//                   clocks' now(), gettimeofday, clock_gettime, std::time,
-//                   localtime/gmtime/mktime, timespec_get.
-//   unordered-iter  Range-for iteration over std::unordered_map/set (or
-//                   over any variable/accessor the symbol pass knows has
-//                   such a type): iteration order is implementation-
-//                   defined and leaks into schedules, traces and RNG
-//                   draw order.
-//   rng-discipline  Standard-library random engines/distributions (and
-//                   #include <random>) banned: draws must go through the
-//                   forked named-stream aquamac::Rng API, whose streams
-//                   are specified exactly (see util/rng.hpp).
-//   rng-root        A local `Rng x{...}` / `Rng x(...)` / `Rng x = ...`
-//                   whose initializer does not go through .fork(...):
-//                   only a run's designated root stream may be built from
-//                   a raw seed; everything else must fork, so adding a
-//                   consumer never perturbs existing draws.
-//   raw-ns          In src/mac/ and src/sim/: integer-nanosecond
-//                   arithmetic outside the Duration/Time types —
-//                   arithmetic on .count_ns() results, or integer
-//                   variables named *_ns. The strong time types are the
-//                   single FP->integer boundary (util/time.hpp); raw ns
-//                   math reintroduces silent unit and rounding bugs.
-//
-// Allowlist grammar (the ONLY sanctioned suppression mechanism; every
-// use must carry a reason after `--`):
-//   // aquamac-lint: allow(rule[,rule...]) -- reason
-//       suppresses those rules on this line and the next code line.
-//   // aquamac-lint: allow-file(rule[,rule...]) -- reason
-//       suppresses those rules for the whole file.
-// `aquamac_lint --list-allows` prints every active annotation so the
-// allowlist is auditable in one command.
+// Suppression / registration grammar:
+//   // aquamac-lint: allow(rule[,rule...]) -- reason        (line + next)
+//   // aquamac-lint: allow-file(rule[,rule...]) -- reason   (whole file)
+//   // lint: ckpt-skip(reason)            exempt one member from ckpt
+//   // lint: stats-skip(reason)           exempt one field from stats
+//   // lint: stats-class(...)             register the class that follows
+//   // lint: stats-site(Class)            register the function that follows
+//   // lint: trace-dispatch(Enum)         register an exhaustive dispatch
+//   // lint: trace-skip(kA,kB -- reason)  exempt kinds at a dispatch site
+// `aquamac_lint --list-allows` prints every allow AND directive so the
+// whole exemption surface is auditable in one command.
 //
 // Exit codes: 0 clean, 1 findings, 2 usage/IO error.
 
 #include <algorithm>
-#include <cctype>
-#include <cstdint>
-#include <filesystem>
-#include <fstream>
 #include <iostream>
-#include <map>
-#include <set>
-#include <sstream>
-#include <string>
 #include <string_view>
 #include <vector>
 
+#include "lint_core.hpp"
+
 namespace {
 
-namespace fs = std::filesystem;
-
-// ---------------------------------------------------------------------
-// Source model
-// ---------------------------------------------------------------------
-
-struct Token {
-  std::string text;
-  std::size_t line{0};  ///< 1-based
-  std::size_t col{0};   ///< 1-based
-  bool is_ident{false};
-};
-
-struct Allow {
-  std::size_t line{0};      ///< annotation line (applies there + next code line)
-  bool whole_file{false};
-  std::vector<std::string> rules;
-  std::string reason;
-};
-
-struct SourceFile {
-  fs::path path;
-  std::vector<std::string> raw_lines;
-  std::vector<Token> tokens;          ///< comments/strings stripped
-  std::vector<Allow> allows;
-  bool in_time_domain{false};         ///< under a mac/ or sim/ directory
-};
-
-struct Finding {
-  fs::path path;
-  std::size_t line{0};
-  std::size_t col{0};
-  std::string rule;
-  std::string message;
-};
-
-// Splits "a, b ,c" into trimmed names.
-std::vector<std::string> split_rules(std::string_view list) {
-  std::vector<std::string> out;
-  std::string cur;
-  for (const char c : list) {
-    if (c == ',') {
-      if (!cur.empty()) out.push_back(cur);
-      cur.clear();
-    } else if (!std::isspace(static_cast<unsigned char>(c))) {
-      cur.push_back(c);
-    }
-  }
-  if (!cur.empty()) out.push_back(cur);
-  return out;
-}
-
-// Parses `aquamac-lint: allow(...)` / `allow-file(...)` out of a comment.
-void parse_allow(std::string_view comment, std::size_t line, std::vector<Allow>& allows) {
-  const std::string_view kTag = "aquamac-lint:";
-  const std::size_t tag = comment.find(kTag);
-  if (tag == std::string_view::npos) return;
-  std::string_view rest = comment.substr(tag + kTag.size());
-  const bool whole_file = rest.find("allow-file(") != std::string_view::npos;
-  const std::string_view kw = whole_file ? "allow-file(" : "allow(";
-  const std::size_t open = rest.find(kw);
-  if (open == std::string_view::npos) return;
-  const std::size_t start = open + kw.size();
-  const std::size_t close = rest.find(')', start);
-  if (close == std::string_view::npos) return;
-  Allow allow;
-  allow.line = line;
-  allow.whole_file = whole_file;
-  allow.rules = split_rules(rest.substr(start, close - start));
-  const std::size_t dash = rest.find("--", close);
-  if (dash != std::string_view::npos) {
-    std::string_view reason = rest.substr(dash + 2);
-    while (!reason.empty() && std::isspace(static_cast<unsigned char>(reason.front()))) {
-      reason.remove_prefix(1);
-    }
-    allow.reason = std::string(reason);
-  }
-  if (!allow.rules.empty()) allows.push_back(allow);
-}
-
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-// Lexes one translation unit: tokens with positions, comments routed to
-// the allow parser, string/char literals reduced to a placeholder token.
-void lex(SourceFile& file) {
-  const std::vector<std::string>& lines = file.raw_lines;
-  bool in_block_comment = false;
-  std::string block_comment;  // accumulated for allow parsing
-  std::size_t block_comment_line = 0;
-  bool in_raw_string = false;
-  std::string raw_delim;
-
-  for (std::size_t li = 0; li < lines.size(); ++li) {
-    const std::string& line = lines[li];
-    std::size_t i = 0;
-    if (in_raw_string) {
-      const std::size_t end = line.find(raw_delim);
-      if (end == std::string::npos) continue;
-      in_raw_string = false;
-      i = end + raw_delim.size();
-    }
-    if (in_block_comment) {
-      const std::size_t end = line.find("*/");
-      if (end == std::string::npos) {
-        block_comment += line;
-        continue;
-      }
-      block_comment += line.substr(0, end);
-      parse_allow(block_comment, block_comment_line, file.allows);
-      in_block_comment = false;
-      i = end + 2;
-    }
-    while (i < line.size()) {
-      const char c = line[i];
-      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
-        parse_allow(line.substr(i + 2), li + 1, file.allows);
-        break;
-      }
-      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
-        const std::size_t end = line.find("*/", i + 2);
-        if (end == std::string::npos) {
-          in_block_comment = true;
-          block_comment = line.substr(i + 2);
-          block_comment_line = li + 1;
-          i = line.size();
-        } else {
-          parse_allow(line.substr(i + 2, end - i - 2), li + 1, file.allows);
-          i = end + 2;
-        }
-        continue;
-      }
-      if (c == '"' || c == '\'') {
-        // Raw string literal? R"delim( ... )delim" — may span lines.
-        if (c == '"' && i > 0 && line[i - 1] == 'R') {
-          const std::size_t open = line.find('(', i);
-          if (open != std::string::npos) {
-            std::string delim(1, ')');
-            delim.append(line, i + 1, open - i - 1);
-            delim.push_back('"');
-            const std::size_t end = line.find(delim, open + 1);
-            if (end != std::string::npos) {
-              i = end + delim.size();
-            } else {
-              in_raw_string = true;
-              raw_delim = delim;
-              i = line.size();
-            }
-            continue;
-          }
-        }
-        // Ordinary string/char literal: skip to unescaped close quote.
-        std::size_t j = i + 1;
-        while (j < line.size()) {
-          if (line[j] == '\\') {
-            j += 2;
-            continue;
-          }
-          if (line[j] == c) break;
-          ++j;
-        }
-        i = std::min(j + 1, line.size() + 1);
-        continue;
-      }
-      if (ident_char(c) && std::isdigit(static_cast<unsigned char>(c)) == 0) {
-        std::size_t j = i;
-        while (j < line.size() && ident_char(line[j])) ++j;
-        file.tokens.push_back(Token{line.substr(i, j - i), li + 1, i + 1, true});
-        i = j;
-        continue;
-      }
-      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
-        std::size_t j = i;
-        while (j < line.size() && (ident_char(line[j]) || line[j] == '\'' || line[j] == '.')) ++j;
-        file.tokens.push_back(Token{line.substr(i, j - i), li + 1, i + 1, false});
-        i = j;
-        continue;
-      }
-      if (!std::isspace(static_cast<unsigned char>(c))) {
-        file.tokens.push_back(Token{std::string(1, c), li + 1, i + 1, false});
-      }
-      ++i;
-    }
-  }
-}
-
-// ---------------------------------------------------------------------
-// Symbol table: names whose type involves an unordered container
-// ---------------------------------------------------------------------
-
-struct UnorderedSymbols {
-  std::set<std::string> variables;   ///< members/locals of unordered type
-  std::set<std::string> accessors;   ///< functions returning unordered refs
-};
-
-// Skips a balanced <...> starting at tokens[i] == "<"; returns the index
-// one past the matching ">". Tolerates ">>" being two tokens.
-std::size_t skip_template_args(const std::vector<Token>& toks, std::size_t i) {
-  int depth = 0;
-  for (; i < toks.size(); ++i) {
-    if (toks[i].text == "<") ++depth;
-    else if (toks[i].text == ">") {
-      if (--depth == 0) return i + 1;
-    }
-  }
-  return i;
-}
-
-void collect_unordered_symbols(const SourceFile& file, UnorderedSymbols& syms) {
-  const std::vector<Token>& toks = file.tokens;
-  for (std::size_t i = 0; i < toks.size(); ++i) {
-    if (toks[i].text != "unordered_map" && toks[i].text != "unordered_set" &&
-        toks[i].text != "unordered_multimap" && toks[i].text != "unordered_multiset") {
-      continue;
-    }
-    std::size_t j = i + 1;
-    if (j < toks.size() && toks[j].text == "<") j = skip_template_args(toks, j);
-    // Reference/const qualifiers between type and name.
-    while (j < toks.size() && (toks[j].text == "&" || toks[j].text == "const" ||
-                               toks[j].text == "*")) {
-      ++j;
-    }
-    if (j >= toks.size() || !toks[j].is_ident) continue;
-    const std::string& name = toks[j].text;
-    const std::string next = j + 1 < toks.size() ? toks[j + 1].text : "";
-    if (next == "(") {
-      syms.accessors.insert(name);      // accessor returning unordered ref
-    } else if (next == ";" || next == "{" || next == "=" || next == ",") {
-      syms.variables.insert(name);      // member / local / param of unordered type
-    }
-  }
-}
-
-// ---------------------------------------------------------------------
-// Rules
-// ---------------------------------------------------------------------
-
-class Linter {
- public:
-  explicit Linter(const UnorderedSymbols& syms) : syms_{syms} {}
-
-  void run(const SourceFile& file, std::vector<Finding>& out) {
-    file_ = &file;
-    findings_ = &out;
-    rule_wall_clock();
-    rule_unordered_iteration();
-    rule_rng_discipline();
-    rule_rng_root();
-    if (file.in_time_domain) rule_raw_ns();
-  }
-
- private:
-  void add(std::size_t tok, const std::string& rule, std::string message) {
-    const Token& t = file_->tokens[tok];
-    if (suppressed(rule, t.line)) return;
-    findings_->push_back(Finding{file_->path, t.line, t.col, rule, std::move(message)});
-  }
-
-  [[nodiscard]] bool suppressed(const std::string& rule, std::size_t line) const {
-    for (const Allow& a : file_->allows) {
-      const bool names_rule = std::find(a.rules.begin(), a.rules.end(), rule) != a.rules.end();
-      if (!names_rule) continue;
-      if (a.whole_file) return true;
-      // Same line, or the annotation sits on the immediately preceding line.
-      if (line == a.line || line == a.line + 1) return true;
-    }
-    return false;
-  }
-
-  [[nodiscard]] const std::vector<Token>& toks() const { return file_->tokens; }
-
-  [[nodiscard]] bool prev_is_scope(std::size_t i, std::string_view ns) const {
-    // Matches `ns :: <tok i>`; tolerates `std :: chrono :: ...` chains.
-    return i >= 2 && toks()[i - 1].text == ":" && i >= 3 && toks()[i - 2].text == ":" &&
-           toks()[i - 3].text == ns;
-  }
-
-  // ----- wall-clock ---------------------------------------------------
-  void rule_wall_clock() {
-    static const std::set<std::string> kBannedIdents = {
-        "random_device",   "system_clock", "steady_clock", "high_resolution_clock",
-        "gettimeofday",    "clock_gettime", "timespec_get", "localtime",
-        "gmtime",          "mktime",        "srand",
-    };
-    for (std::size_t i = 0; i < toks().size(); ++i) {
-      const Token& t = toks()[i];
-      if (!t.is_ident) continue;
-      if (kBannedIdents.contains(t.text)) {
-        add(i, "wall-clock",
-            "'" + t.text +
-                "' is a nondeterminism source; simulation code must derive all timing from "
-                "the simulated clock (Time/Duration) and all randomness from forked Rng "
-                "streams");
-        continue;
-      }
-      // std::rand / std::time need the scope check: bare `rand`/`time`
-      // collide with legitimate local names.
-      if ((t.text == "rand" || t.text == "time") && prev_is_scope(i, "std") &&
-          i + 1 < toks().size() && toks()[i + 1].text == "(") {
-        add(i, "wall-clock",
-            "'std::" + t.text + "' reads ambient state; banned in simulation code");
-      }
-    }
-  }
-
-  // ----- unordered-iter -----------------------------------------------
-  void rule_unordered_iteration() {
-    const std::vector<Token>& t = toks();
-    for (std::size_t i = 0; i + 2 < t.size(); ++i) {
-      if (!(t[i].text == "for" && t[i + 1].text == "(")) continue;
-      // Find the `:` of a range-for at paren depth 1 (skipping `::`).
-      int depth = 0;
-      std::size_t colon = 0;
-      std::size_t close = 0;
-      for (std::size_t j = i + 1; j < t.size(); ++j) {
-        const std::string& s = t[j].text;
-        if (s == "(") ++depth;
-        else if (s == ")") {
-          if (--depth == 0) {
-            close = j;
-            break;
-          }
-        } else if (s == ";" && depth == 1) {
-          break;  // classic for, not range-for
-        } else if (s == ":" && depth == 1 && colon == 0) {
-          const bool scope = (j > 0 && t[j - 1].text == ":") ||
-                             (j + 1 < t.size() && t[j + 1].text == ":");
-          if (!scope) colon = j;
-        }
-      }
-      if (colon == 0 || close == 0) continue;
-      for (std::size_t j = colon + 1; j < close; ++j) {
-        if (!t[j].is_ident) continue;
-        const std::string& name = t[j].text;
-        const bool direct = name.rfind("unordered_", 0) == 0;
-        const bool known_var = syms_.variables.contains(name);
-        const bool known_fn = syms_.accessors.contains(name) && j + 1 < close &&
-                              t[j + 1].text == "(";
-        if (direct || known_var || known_fn) {
-          add(j, "unordered-iter",
-              "range-for over unordered container '" + name +
-                  "': iteration order is implementation-defined and leaks into event "
-                  "scheduling/traces; iterate a sorted copy or use an ordered container");
-          break;  // one finding per loop
-        }
-      }
-    }
-  }
-
-  // ----- rng-discipline -----------------------------------------------
-  void rule_rng_discipline() {
-    static const std::set<std::string> kBannedEngines = {
-        "mt19937",        "mt19937_64",     "minstd_rand",  "minstd_rand0",
-        "default_random_engine", "ranlux24", "ranlux48",    "knuth_b",
-        "mersenne_twister_engine", "linear_congruential_engine",
-        "subtract_with_carry_engine", "shuffle_order_engine", "random_shuffle",
-    };
-    for (std::size_t i = 0; i < toks().size(); ++i) {
-      const Token& t = toks()[i];
-      if (!t.is_ident) continue;
-      const bool is_distribution =
-          t.text.size() > 13 &&
-          t.text.compare(t.text.size() - 13, 13, "_distribution") == 0;
-      if (kBannedEngines.contains(t.text) || is_distribution) {
-        add(i, "rng-discipline",
-            "'" + t.text +
-                "' bypasses the forked named-stream Rng API; standard engines and "
-                "distributions are implementation-defined across stdlibs and break "
-                "portable trace digests (use aquamac::Rng, util/rng.hpp)");
-        continue;
-      }
-      // `# include < random >` — the include is the tell even before use.
-      if (t.text == "random" && i >= 2 && toks()[i - 1].text == "<" &&
-          toks()[i - 2].text == "include" && i + 1 < toks().size() &&
-          toks()[i + 1].text == ">") {
-        add(i, "rng-discipline",
-            "#include <random>: simulation code must draw through aquamac::Rng "
-            "(util/rng.hpp), never the standard engines/distributions");
-      }
-    }
-  }
-
-  // ----- rng-root -----------------------------------------------------
-  void rule_rng_root() {
-    const std::vector<Token>& t = toks();
-    for (std::size_t i = 0; i + 2 < t.size(); ++i) {
-      if (!(t[i].is_ident && t[i].text == "Rng")) continue;
-      if (i >= 2 && t[i - 1].text == ":" && t[i - 2].text == ":") continue;  // qualified use
-      std::size_t j = i + 1;
-      while (j < t.size() && t[j].text == "const") ++j;
-      if (j >= t.size() || !t[j].is_ident) continue;  // e.g. `Rng{...}` rvalue, `Rng&`
-      const std::size_t name = j;
-      ++j;
-      if (j >= t.size()) continue;
-      const std::string& open = t[j].text;
-      if (open != "{" && open != "(" && open != "=") continue;  // param / member decl
-      // Scan the initializer to the terminating `;` at depth 0. Two
-      // adjacent identifiers inside the parens mean a parameter
-      // declaration (`Rng fork(std::uint64_t stream_id)`) — a function
-      // returning Rng, not a construction; empty parens likewise.
-      bool has_fork = false;
-      bool looks_like_fn_decl = open == "(" && j + 1 < t.size() && t[j + 1].text == ")";
-      int depth = 0;
-      std::size_t k = j;
-      for (; k < t.size(); ++k) {
-        const std::string& s = t[k].text;
-        if (s == "(" || s == "{") ++depth;
-        else if (s == ")" || s == "}") --depth;
-        else if (s == ";" && depth == 0) break;
-        else if (s == "," && depth == 0) break;  // parameter list, not a decl
-        if (t[k].is_ident && s == "fork") has_fork = true;
-        if (open == "(" && depth >= 1 && t[k].is_ident && k + 1 < t.size() &&
-            t[k + 1].is_ident && s != "const") {
-          looks_like_fn_decl = true;
-        }
-      }
-      if (k >= t.size() || t[k].text != ";") continue;
-      if (looks_like_fn_decl) continue;
-      if (!has_fork) {
-        add(name, "rng-root",
-            "Rng '" + t[name].text +
-                "' constructed without .fork(): only a run's designated root stream may "
-                "be seeded directly; fork a named sub-stream so adding a consumer never "
-                "perturbs existing draws");
-      }
-    }
-  }
-
-  // ----- raw-ns -------------------------------------------------------
-  void rule_raw_ns() {
-    static const std::set<std::string> kIntTypes = {
-        "int", "long", "unsigned", "int32_t", "uint32_t", "int64_t", "uint64_t",
-        "size_t", "auto",
-    };
-    static const std::set<std::string> kArith = {"+", "-", "*", "/", "%"};
-    const std::vector<Token>& t = toks();
-    for (std::size_t i = 0; i < t.size(); ++i) {
-      // (a) arithmetic directly on a raw count_ns() value.
-      if (t[i].is_ident && t[i].text == "count_ns" && i + 2 < t.size() &&
-          t[i + 1].text == "(" && t[i + 2].text == ")") {
-        const std::size_t after = i + 3;
-        if (after < t.size() && kArith.contains(t[after].text)) {
-          add(i, "raw-ns",
-              "arithmetic on raw count_ns(): keep sim-time math inside "
-              "Duration/Time (util/time.hpp) so units and rounding stay checked");
-        }
-      }
-      // (b) integer variables named *_ns.
-      if (t[i].is_ident && t[i].text.size() > 3 &&
-          t[i].text.compare(t[i].text.size() - 3, 3, "_ns") == 0 && i >= 1 &&
-          kIntTypes.contains(t[i - 1].text) && i + 1 < t.size() &&
-          (t[i + 1].text == "=" || t[i + 1].text == "{" || t[i + 1].text == ";")) {
-        add(i, "raw-ns",
-            "integer nanosecond variable '" + t[i].text +
-                "': use Duration/Time instead of raw ns integers in MAC/sim code");
-      }
-    }
-  }
-
-  const UnorderedSymbols& syms_;
-  const SourceFile* file_{nullptr};
-  std::vector<Finding>* findings_{nullptr};
-};
-
-// ---------------------------------------------------------------------
-// Driver
-// ---------------------------------------------------------------------
-
-bool load(const fs::path& path, SourceFile& file) {
-  std::ifstream in(path);
-  if (!in) return false;
-  file.path = path;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    file.raw_lines.push_back(line);
-  }
-  for (const fs::path& part : path) {
-    if (part == "mac" || part == "sim") file.in_time_domain = true;
-  }
-  lex(file);
-  return true;
-}
-
-bool has_source_extension(const fs::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
-}
+using namespace aquamac_lint;
 
 int usage() {
-  std::cerr << "usage: aquamac_lint [--root DIR] [--list-allows] [files...]\n"
-            << "  With no files, scans DIR/src (default DIR: cwd) recursively.\n";
+  std::cerr << "usage: aquamac_lint [--root DIR] [--list-allows] [--dump-structure] "
+               "[files-or-dirs...]\n"
+            << "  With no inputs, scans DIR/src (default DIR: cwd) recursively.\n"
+            << "  Directory inputs are scanned recursively; paths containing a\n"
+            << "  'testdata' component are skipped (the self-test corpus is\n"
+            << "  deliberately dirty).\n";
   return 2;
+}
+
+bool in_testdata(const fs::path& p) {
+  for (const fs::path& part : p) {
+    if (part == "testdata") return true;
+  }
+  return false;
+}
+
+void expand_input(const fs::path& input, std::vector<fs::path>& out) {
+  if (fs::is_directory(input)) {
+    for (const auto& entry : fs::recursive_directory_iterator(input)) {
+      if (entry.is_regular_file() && has_source_extension(entry.path()) &&
+          !in_testdata(entry.path())) {
+        out.push_back(entry.path());
+      }
+    }
+  } else {
+    out.push_back(input);
+  }
 }
 
 }  // namespace
@@ -572,7 +79,8 @@ int usage() {
 int main(int argc, char** argv) {
   fs::path root = fs::current_path();
   bool list_allows = false;
-  std::vector<fs::path> inputs;
+  bool dump_structure = false;
+  std::vector<fs::path> raw_inputs;
   for (int a = 1; a < argc; ++a) {
     const std::string_view arg = argv[a];
     if (arg == "--root") {
@@ -580,26 +88,33 @@ int main(int argc, char** argv) {
       root = argv[++a];
     } else if (arg == "--list-allows") {
       list_allows = true;
+    } else if (arg == "--dump-structure") {
+      dump_structure = true;
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
     } else if (arg.rfind("--", 0) == 0) {
       return usage();
     } else {
-      inputs.emplace_back(arg);
+      raw_inputs.emplace_back(arg);
     }
   }
 
-  if (inputs.empty()) {
+  std::vector<fs::path> inputs;
+  if (raw_inputs.empty()) {
     const fs::path src = root / "src";
     if (!fs::exists(src)) {
       std::cerr << "aquamac-lint: no such directory: " << src << "\n";
       return 2;
     }
-    for (const auto& entry : fs::recursive_directory_iterator(src)) {
-      if (entry.is_regular_file() && has_source_extension(entry.path())) {
-        inputs.push_back(entry.path());
+    expand_input(src, inputs);
+  } else {
+    for (const fs::path& input : raw_inputs) {
+      if (!fs::exists(input)) {
+        std::cerr << "aquamac-lint: no such file or directory: " << input << "\n";
+        return 2;
       }
+      expand_input(input, inputs);
     }
   }
   std::sort(inputs.begin(), inputs.end());  // deterministic report order
@@ -615,10 +130,44 @@ int main(int argc, char** argv) {
     files.push_back(std::move(file));
   }
 
-  // Cross-file symbol pass first: a header's unordered member names must
-  // be known before linting the .cpp files that iterate them.
+  // Cross-file symbol passes first: a header's unordered member names and
+  // class inventories must be known before linting the .cpp files that
+  // iterate/serialize them.
   UnorderedSymbols syms;
-  for (const SourceFile& file : files) collect_unordered_symbols(file, syms);
+  Structure structure;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    collect_unordered_symbols(files[i], syms);
+    collect_structure(files[i], i, structure);
+  }
+
+  if (dump_structure) {
+    // Debug view of the structural symbol pass (not part of any gate).
+    for (const ClassInfo& c : structure.classes) {
+      std::cout << "class " << c.name << " (" << files[c.file_index].path.string() << ":"
+                << c.line << ") members:";
+      for (const MemberInfo& m : c.members) {
+        std::cout << " " << m.name << (m.is_reference ? "&" : "")
+                  << (m.is_pointer ? "*" : "") << (m.is_const ? "#" : "");
+      }
+      std::cout << " | statics:";
+      for (const StaticMember& sm : c.static_members) std::cout << " " << sm.name;
+      std::cout << " | methods:";
+      for (const std::string& m : c.declared_methods) std::cout << " " << m;
+      std::cout << "\n";
+    }
+    for (const EnumInfo& e : structure.enums) {
+      std::cout << "enum " << e.name << " (" << e.enumerators.size() << " enumerators)\n";
+    }
+    for (const FunctionDef& fn : structure.functions) {
+      std::cout << "fn " << fn.display() << " (" << files[fn.file_index].path.string()
+                << ":" << fn.line << ")\n";
+    }
+    for (const GlobalVar& g : structure.globals) {
+      std::cout << "global " << g.name << " (" << files[g.file_index].path.string() << ":"
+                << g.line << ")\n";
+    }
+    return 0;
+  }
 
   if (list_allows) {
     std::size_t n = 0;
@@ -633,15 +182,34 @@ int main(int argc, char** argv) {
                   << "\n";
         ++n;
       }
+      for (const Directive& d : file.directives) {
+        std::cout << file.path.string() << ":" << d.line << ": " << d.name << "("
+                  << d.payload << ")";
+        if (!d.reason.empty()) {
+          std::cout << " -- " << d.reason;
+        } else if (d.name == "trace-skip" ||
+                   ((d.name == "ckpt-skip" || d.name == "stats-skip") &&
+                    d.payload.empty())) {
+          std::cout << " [MISSING REASON]";
+        }
+        std::cout << "\n";
+        ++n;
+      }
     }
     std::cout << "aquamac-lint: " << n << " allowlist annotation(s)\n";
     return 0;
   }
 
   std::vector<Finding> findings;
-  Linter linter{syms};
-  for (const SourceFile& file : files) linter.run(file, findings);
+  for (const SourceFile& file : files) run_lexical_rules(file, syms, findings);
+  run_state_rules(files, structure, findings);
 
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.path != b.path) return a.path < b.path;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.col != b.col) return a.col < b.col;
+    return a.rule < b.rule;
+  });
   for (const Finding& f : findings) {
     std::cout << f.path.string() << ":" << f.line << ":" << f.col << ": error: [" << f.rule
               << "] " << f.message << "\n";

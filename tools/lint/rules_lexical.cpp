@@ -1,0 +1,241 @@
+// aquamac-lint lexical rules: the five PR 5 token-pattern rules
+// (wall-clock, unordered-iter, rng-discipline, rng-root, raw-ns).
+// Each is a scan over one file's token stream plus the cross-file
+// unordered-symbol table. See docs/static-analysis.md for semantics.
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint_core.hpp"
+
+namespace aquamac_lint {
+
+namespace {
+
+class LexicalLinter {
+ public:
+  LexicalLinter(const SourceFile& file, const UnorderedSymbols& syms,
+                std::vector<Finding>& out)
+      : file_{file}, syms_{syms}, findings_{out} {}
+
+  void run() {
+    rule_wall_clock();
+    rule_unordered_iteration();
+    rule_rng_discipline();
+    rule_rng_root();
+    if (file_.in_time_domain) rule_raw_ns();
+  }
+
+ private:
+  void add(std::size_t tok, const std::string& rule, std::string message) {
+    const Token& t = file_.tokens[tok];
+    if (suppressed(file_, rule, t.line)) return;
+    findings_.push_back(Finding{file_.path, t.line, t.col, rule, std::move(message)});
+  }
+
+  [[nodiscard]] const std::vector<Token>& toks() const { return file_.tokens; }
+
+  [[nodiscard]] bool prev_is_scope(std::size_t i, std::string_view ns) const {
+    // Matches `ns :: <tok i>`; tolerates `std :: chrono :: ...` chains.
+    return i >= 2 && toks()[i - 1].text == ":" && i >= 3 && toks()[i - 2].text == ":" &&
+           toks()[i - 3].text == ns;
+  }
+
+  // ----- wall-clock ---------------------------------------------------
+  void rule_wall_clock() {
+    static const std::set<std::string> kBannedIdents = {
+        "random_device",   "system_clock", "steady_clock", "high_resolution_clock",
+        "gettimeofday",    "clock_gettime", "timespec_get", "localtime",
+        "gmtime",          "mktime",        "srand",
+    };
+    for (std::size_t i = 0; i < toks().size(); ++i) {
+      const Token& t = toks()[i];
+      if (!t.is_ident) continue;
+      if (kBannedIdents.contains(t.text)) {
+        add(i, "wall-clock",
+            "'" + t.text +
+                "' is a nondeterminism source; simulation code must derive all timing from "
+                "the simulated clock (Time/Duration) and all randomness from forked Rng "
+                "streams");
+        continue;
+      }
+      // std::rand / std::time need the scope check: bare `rand`/`time`
+      // collide with legitimate local names.
+      if ((t.text == "rand" || t.text == "time") && prev_is_scope(i, "std") &&
+          i + 1 < toks().size() && toks()[i + 1].text == "(") {
+        add(i, "wall-clock",
+            "'std::" + t.text + "' reads ambient state; banned in simulation code");
+      }
+    }
+  }
+
+  // ----- unordered-iter -----------------------------------------------
+  void rule_unordered_iteration() {
+    const std::vector<Token>& t = toks();
+    for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+      if (!(t[i].text == "for" && t[i + 1].text == "(")) continue;
+      // Find the `:` of a range-for at paren depth 1 (skipping `::`).
+      int depth = 0;
+      std::size_t colon = 0;
+      std::size_t close = 0;
+      for (std::size_t j = i + 1; j < t.size(); ++j) {
+        const std::string& s = t[j].text;
+        if (s == "(") ++depth;
+        else if (s == ")") {
+          if (--depth == 0) {
+            close = j;
+            break;
+          }
+        } else if (s == ";" && depth == 1) {
+          break;  // classic for, not range-for
+        } else if (s == ":" && depth == 1 && colon == 0) {
+          const bool scope = (j > 0 && t[j - 1].text == ":") ||
+                             (j + 1 < t.size() && t[j + 1].text == ":");
+          if (!scope) colon = j;
+        }
+      }
+      if (colon == 0 || close == 0) continue;
+      for (std::size_t j = colon + 1; j < close; ++j) {
+        if (!t[j].is_ident) continue;
+        const std::string& name = t[j].text;
+        const bool direct = name.rfind("unordered_", 0) == 0;
+        const bool known_var = syms_.variables.contains(name);
+        const bool known_fn = syms_.accessors.contains(name) && j + 1 < close &&
+                              t[j + 1].text == "(";
+        if (direct || known_var || known_fn) {
+          add(j, "unordered-iter",
+              "range-for over unordered container '" + name +
+                  "': iteration order is implementation-defined and leaks into event "
+                  "scheduling/traces; iterate a sorted copy or use an ordered container");
+          break;  // one finding per loop
+        }
+      }
+    }
+  }
+
+  // ----- rng-discipline -----------------------------------------------
+  void rule_rng_discipline() {
+    static const std::set<std::string> kBannedEngines = {
+        "mt19937",        "mt19937_64",     "minstd_rand",  "minstd_rand0",
+        "default_random_engine", "ranlux24", "ranlux48",    "knuth_b",
+        "mersenne_twister_engine", "linear_congruential_engine",
+        "subtract_with_carry_engine", "shuffle_order_engine", "random_shuffle",
+    };
+    for (std::size_t i = 0; i < toks().size(); ++i) {
+      const Token& t = toks()[i];
+      if (!t.is_ident) continue;
+      const bool has_distribution_suffix =
+          t.text.size() > 13 &&
+          t.text.compare(t.text.size() - 13, 13, "_distribution") == 0;
+      if (kBannedEngines.contains(t.text) || has_distribution_suffix) {
+        add(i, "rng-discipline",
+            "'" + t.text +
+                "' bypasses the forked named-stream Rng API; standard engines and "
+                "distributions are implementation-defined across stdlibs and break "
+                "portable trace digests (use aquamac::Rng, util/rng.hpp)");
+        continue;
+      }
+      // `# include < random >` — the include is the tell even before use.
+      if (t.text == "random" && i >= 2 && toks()[i - 1].text == "<" &&
+          toks()[i - 2].text == "include" && i + 1 < toks().size() &&
+          toks()[i + 1].text == ">") {
+        add(i, "rng-discipline",
+            "#include <random>: simulation code must draw through aquamac::Rng "
+            "(util/rng.hpp), never the standard engines/distributions");
+      }
+    }
+  }
+
+  // ----- rng-root -----------------------------------------------------
+  void rule_rng_root() {
+    const std::vector<Token>& t = toks();
+    for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+      if (!(t[i].is_ident && t[i].text == "Rng")) continue;
+      if (i >= 2 && t[i - 1].text == ":" && t[i - 2].text == ":") continue;  // qualified use
+      std::size_t j = i + 1;
+      while (j < t.size() && t[j].text == "const") ++j;
+      if (j >= t.size() || !t[j].is_ident) continue;  // e.g. `Rng{...}` rvalue, `Rng&`
+      const std::size_t name = j;
+      ++j;
+      if (j >= t.size()) continue;
+      const std::string& open = t[j].text;
+      if (open != "{" && open != "(" && open != "=") continue;  // param / member decl
+      // Scan the initializer to the terminating `;` at depth 0. Two
+      // adjacent identifiers inside the parens mean a parameter
+      // declaration (`Rng fork(std::uint64_t stream_id)`) — a function
+      // returning Rng, not a construction; empty parens likewise.
+      bool has_fork = false;
+      bool looks_like_fn_decl = open == "(" && j + 1 < t.size() && t[j + 1].text == ")";
+      int depth = 0;
+      std::size_t k = j;
+      for (; k < t.size(); ++k) {
+        const std::string& s = t[k].text;
+        if (s == "(" || s == "{") ++depth;
+        else if (s == ")" || s == "}") --depth;
+        else if (s == ";" && depth == 0) break;
+        else if (s == "," && depth == 0) break;  // parameter list, not a decl
+        if (t[k].is_ident && s == "fork") has_fork = true;
+        if (open == "(" && depth >= 1 && t[k].is_ident && k + 1 < t.size() &&
+            t[k + 1].is_ident && s != "const") {
+          looks_like_fn_decl = true;
+        }
+      }
+      if (k >= t.size() || t[k].text != ";") continue;
+      if (looks_like_fn_decl) continue;
+      if (!has_fork) {
+        add(name, "rng-root",
+            "Rng '" + t[name].text +
+                "' constructed without .fork(): only a run's designated root stream may "
+                "be seeded directly; fork a named sub-stream so adding a consumer never "
+                "perturbs existing draws");
+      }
+    }
+  }
+
+  // ----- raw-ns -------------------------------------------------------
+  void rule_raw_ns() {
+    static const std::set<std::string> kIntTypes = {
+        "int", "long", "unsigned", "int32_t", "uint32_t", "int64_t", "uint64_t",
+        "size_t", "auto",
+    };
+    static const std::set<std::string> kArith = {"+", "-", "*", "/", "%"};
+    const std::vector<Token>& t = toks();
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      // (a) arithmetic directly on a raw count_ns() value.
+      if (t[i].is_ident && t[i].text == "count_ns" && i + 2 < t.size() &&
+          t[i + 1].text == "(" && t[i + 2].text == ")") {
+        const std::size_t after = i + 3;
+        if (after < t.size() && kArith.contains(t[after].text)) {
+          add(i, "raw-ns",
+              "arithmetic on raw count_ns(): keep sim-time math inside "
+              "Duration/Time (util/time.hpp) so units and rounding stay checked");
+        }
+      }
+      // (b) integer variables named *_ns.
+      if (t[i].is_ident && t[i].text.size() > 3 &&
+          t[i].text.compare(t[i].text.size() - 3, 3, "_ns") == 0 && i >= 1 &&
+          kIntTypes.contains(t[i - 1].text) && i + 1 < t.size() &&
+          (t[i + 1].text == "=" || t[i + 1].text == "{" || t[i + 1].text == ";")) {
+        add(i, "raw-ns",
+            "integer nanosecond variable '" + t[i].text +
+                "': use Duration/Time instead of raw ns integers in MAC/sim code");
+      }
+    }
+  }
+
+  const SourceFile& file_;
+  const UnorderedSymbols& syms_;
+  std::vector<Finding>& findings_;
+};
+
+}  // namespace
+
+void run_lexical_rules(const SourceFile& file, const UnorderedSymbols& syms,
+                       std::vector<Finding>& out) {
+  LexicalLinter{file, syms, out}.run();
+}
+
+}  // namespace aquamac_lint

@@ -1,0 +1,39 @@
+// Known-bad ckpt-coverage corpus: one member missing from save_state,
+// one from restore_state, one from both, and a nested state struct with
+// an uncovered field. Four findings expected.
+namespace aquamac {
+
+class StateWriter;
+class StateReader;
+
+void write_long(StateWriter& writer, long v);
+long read_long(StateReader& reader);
+
+class Queue {
+ public:
+  void save_state(StateWriter& writer) const;
+  void restore_state(StateReader& reader);
+
+ private:
+  struct Slot {
+    long seq{0};
+    long deadline{0};
+  };
+
+  long head_{0};      // referenced in save only
+  long tail_{0};      // referenced in restore only
+  long highwater_{0}; // referenced in neither
+  Slot slot_{};
+};
+
+void Queue::save_state(StateWriter& writer) const {
+  write_long(writer, head_);
+  write_long(writer, slot_.seq);
+}
+
+void Queue::restore_state(StateReader& reader) {
+  tail_ = read_long(reader);
+  slot_.seq = read_long(reader);
+}
+
+}  // namespace aquamac

@@ -1,0 +1,57 @@
+// Known-good ckpt-coverage corpus: every member is referenced in both
+// codec directions, auto-exempt (reference/pointer/const wiring), or
+// carries a reasoned ckpt-skip. The nested state struct is covered
+// through StateWriter/StateReader helper expansion.
+namespace aquamac {
+
+class StateWriter;
+class StateReader;
+
+void write_long(StateWriter& writer, long v);
+long read_long(StateReader& reader);
+
+class Channel {
+ public:
+  void save_state(StateWriter& writer) const;
+  void restore_state(StateReader& reader);
+
+ private:
+  struct Clock {
+    long ticks{0};
+    double skew{0.0};
+  };
+
+  long depth_{0};
+  Clock clock_{};
+  double* scratch_{nullptr};
+  const long limit_{8};
+  StateWriter& sink_;
+  long epoch_{0};  // lint: ckpt-skip(derived from config at construction)
+};
+
+void write_clock(StateWriter& writer, const Channel::Clock& clock);
+Channel::Clock read_clock(StateReader& reader);
+
+void Channel::save_state(StateWriter& writer) const {
+  write_long(writer, depth_);
+  write_clock(writer, clock_);
+}
+
+void Channel::restore_state(StateReader& reader) {
+  depth_ = read_long(reader);
+  clock_ = read_clock(reader);
+}
+
+void write_clock(StateWriter& writer, const Channel::Clock& clock) {
+  write_long(writer, clock.ticks);
+  write_long(writer, static_cast<long>(clock.skew));
+}
+
+Channel::Clock read_clock(StateReader& reader) {
+  Channel::Clock clock;
+  clock.ticks = read_long(reader);
+  clock.skew = static_cast<double>(read_long(reader));
+  return clock;
+}
+
+}  // namespace aquamac

@@ -1,0 +1,22 @@
+// Known-bad shard-shared-mutable corpus: a mutable namespace-scope
+// global, a mutable static data member, and a mutable function-local
+// static. Three findings expected.
+namespace aquamac {
+
+long event_budget = 1'000;
+
+class Dispatcher {
+ public:
+  long next();
+
+ private:
+  static long sequence_;
+};
+
+long Dispatcher::next() {
+  static long fallback_seq = 0;
+  fallback_seq += 1;
+  return fallback_seq;
+}
+
+}  // namespace aquamac

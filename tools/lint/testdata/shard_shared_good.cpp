@@ -1,0 +1,30 @@
+// Known-good shard-shared-mutable corpus: every namespace/static datum
+// is const, constexpr, atomic or thread_local, so nothing is mutable
+// shared state across PDES shards.
+#include <atomic>
+
+namespace aquamac {
+
+constexpr long kEventBudget = 1'000;
+const double kDrainFactor = 0.5;
+std::atomic<long> live_shards{0};
+thread_local long shard_scratch = 0;
+
+class Dispatcher {
+ public:
+  long next();
+
+ private:
+  static constexpr long kStride = 16;
+  static const long kBase;
+  static std::atomic<long> sequence_;
+};
+
+long Dispatcher::next() {
+  static const long offset = 3;
+  static thread_local long local_seq = 0;
+  local_seq += 1;
+  return local_seq + offset + kStride;
+}
+
+}  // namespace aquamac

@@ -1,0 +1,45 @@
+// Known-bad stats-symmetric corpus: Lonely has a single registered site
+// (the rule demands an emission AND a merge path), and Skewed's emission
+// site drops the `received` field. Two findings expected.
+namespace aquamac {
+
+class JsonWriter {
+ public:
+  JsonWriter& key(const char* name);
+  JsonWriter& value(double v);
+};
+
+// lint: stats-class(merge-only registration, needs an emission site too)
+struct Lonely {
+  double sent{0.0};
+
+  Lonely& operator+=(const Lonely& o);
+};
+
+// lint: stats-site(Lonely)
+Lonely& Lonely::operator+=(const Lonely& o) {
+  sent += o.sent;
+  return *this;
+}
+
+// lint: stats-class(merged by operator+=, emitted by write_skewed_json)
+struct Skewed {
+  double sent{0.0};
+  double received{0.0};
+
+  Skewed& operator+=(const Skewed& o);
+};
+
+// lint: stats-site(Skewed)
+Skewed& Skewed::operator+=(const Skewed& o) {
+  sent += o.sent;
+  received += o.received;
+  return *this;
+}
+
+// lint: stats-site(Skewed)
+void write_skewed_json(JsonWriter& json, const Skewed& counters) {
+  json.key("sent").value(counters.sent);
+}
+
+}  // namespace aquamac

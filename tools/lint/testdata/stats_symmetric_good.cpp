@@ -1,0 +1,34 @@
+// Known-good stats-symmetric corpus: the registered class has two sites
+// (merge and emission) that each reference every field; one field is
+// exempted with a reasoned stats-skip.
+namespace aquamac {
+
+class JsonWriter {
+ public:
+  JsonWriter& key(const char* name);
+  JsonWriter& value(double v);
+};
+
+// lint: stats-class(merged by operator+=, emitted by write_counters_json)
+struct Counters {
+  double sent{0.0};
+  double received{0.0};
+  double scratch{0.0};  // lint: stats-skip(transient workspace, never reported)
+
+  Counters& operator+=(const Counters& o);
+};
+
+// lint: stats-site(Counters)
+Counters& Counters::operator+=(const Counters& o) {
+  sent += o.sent;
+  received += o.received;
+  return *this;
+}
+
+// lint: stats-site(Counters)
+void write_counters_json(JsonWriter& json, const Counters& counters) {
+  json.key("sent").value(counters.sent);
+  json.key("received").value(counters.received);
+}
+
+}  // namespace aquamac

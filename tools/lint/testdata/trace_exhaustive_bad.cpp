@@ -1,0 +1,22 @@
+// Known-bad trace-kind-exhaustive corpus: the dispatch neither handles
+// nor skips kRxLost and kNeighborDead. Two findings expected.
+namespace aquamac {
+
+enum class TraceEventKind {
+  kTxStart,
+  kRxOk,
+  kRxLost,
+  kNeighborDead,
+};
+
+// lint: trace-dispatch(TraceEventKind)
+const char* to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kTxStart: return "TX";
+    case TraceEventKind::kRxOk: return "RX";
+    default: break;
+  }
+  return "?";
+}
+
+}  // namespace aquamac

@@ -1,0 +1,24 @@
+// Known-good trace-kind-exhaustive corpus: the registered dispatch
+// handles every enumerator, with one reasoned trace-skip.
+namespace aquamac {
+
+enum class TraceEventKind {
+  kTxStart,
+  kRxOk,
+  kRxLost,
+  kDebugProbe,
+};
+
+// lint: trace-dispatch(TraceEventKind)
+// lint: trace-skip(kDebugProbe -- debug-only kind, no dispatch obligation)
+const char* to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kTxStart: return "TX";
+    case TraceEventKind::kRxOk: return "RX";
+    case TraceEventKind::kRxLost: return "LOST";
+    default: break;
+  }
+  return "?";
+}
+
+}  // namespace aquamac

@@ -1,0 +1,18 @@
+// Anti-rot corpus: the trace enum exists but no dispatch registers it —
+// the exhaustiveness contract has been lost, which is itself a finding.
+namespace aquamac {
+
+enum class TraceEventKind {
+  kTxStart,
+  kRxOk,
+};
+
+const char* to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kTxStart: return "TX";
+    case TraceEventKind::kRxOk: return "RX";
+  }
+  return "?";
+}
+
+}  // namespace aquamac
